@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Simulator-throughput regression benchmarks (google-benchmark):
+ * host-side cost of one simulated access per scheme and state, plus
+ * PMP-table update throughput. These guard the engineering quality
+ * of the simulator itself rather than reproducing a paper figure.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+
+namespace hpmp::bench
+{
+namespace
+{
+
+void
+BM_AccessTlbHit(benchmark::State &state)
+{
+    MicroEnv env(rocketParams(),
+                 IsolationScheme(int(state.range(0))));
+    const Addr va = env.mapPages(1);
+    Machine &m = env.machine();
+    (void)m.access(va, AccessType::Load);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(m.access(va, AccessType::Load));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AccessTlbHit)
+    ->Arg(int(IsolationScheme::Pmp))
+    ->Arg(int(IsolationScheme::PmpTable))
+    ->Arg(int(IsolationScheme::Hpmp));
+
+void
+BM_AccessTlbMiss(benchmark::State &state)
+{
+    MicroEnv env(rocketParams(),
+                 IsolationScheme(int(state.range(0))));
+    const Addr va = env.mapPages(1);
+    Machine &m = env.machine();
+    for (auto _ : state) {
+        m.tlb().flushAll();
+        benchmark::DoNotOptimize(m.access(va, AccessType::Load));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AccessTlbMiss)
+    ->Arg(int(IsolationScheme::Pmp))
+    ->Arg(int(IsolationScheme::PmpTable))
+    ->Arg(int(IsolationScheme::Hpmp));
+
+void
+BM_PmpTableUpdate(benchmark::State &state)
+{
+    PhysMem mem(16_GiB);
+    PmpTable table(mem, bumpAllocator(64_MiB), 2);
+    uint64_t offset = 0;
+    for (auto _ : state) {
+        table.setPerm(offset % 8_GiB, 64_KiB, Perm::rw());
+        offset += 64_KiB;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PmpTableUpdate);
+
+void
+BM_ColdWalk(benchmark::State &state)
+{
+    MicroEnv env(rocketParams(), IsolationScheme::PmpTable);
+    const Addr va = env.mapPages(1);
+    Machine &m = env.machine();
+    for (auto _ : state) {
+        m.coldReset();
+        benchmark::DoNotOptimize(m.access(va, AccessType::Load));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ColdWalk);
+
+} // namespace
+} // namespace hpmp::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * DMA / I-O protection demo (paper §9): IOPMP places the same
+ * segment/table hybrid in front of bus masters. A NIC is given a
+ * page-granular table window, a disk controller a plain segment
+ * window, and a hostile device gets nothing — its transfer is cut
+ * off at the first beat.
+ *
+ * Build & run:  ./build/examples/dma_protection
+ */
+
+#include <cstdio>
+
+#include "base/frame_alloc.h"
+#include "core/params.h"
+#include "hpmp/iopmp.h"
+
+using namespace hpmp;
+
+int
+main()
+{
+    PhysMem mem(16_GiB);
+    MemoryHierarchy hier(rocketParams().hier);
+    IopmpUnit iopmp(mem, /*masters=*/3);
+
+    // Master 0 — disk controller: one segment window for its ring
+    // buffers and data region.
+    iopmp.master(0).programSegment(0, 4_GiB, 64_MiB, Perm::rw());
+
+    // Master 1 — NIC: page-granular table window (rx ring read-write,
+    // tx descriptors read-only).
+    PmpTable table(mem, bumpAllocator(64_MiB), 2);
+    table.setPerm(6_GiB, 2_MiB, Perm::rw());        // rx buffers
+    table.setPerm(6_GiB + 2_MiB, 64_KiB, Perm::ro()); // tx descriptors
+    iopmp.master(1).programTable(0, 0, 16_GiB, table.rootPa());
+
+    // Master 2 — hostile device: no windows programmed.
+
+    struct Case
+    {
+        const char *name;
+        MasterId master;
+        Addr src, dst;
+        uint64_t bytes;
+    } cases[] = {
+        {"disk -> buffer ", 0, 4_GiB, 4_GiB + 1_MiB, 64_KiB},
+        {"nic rx dma     ", 1, 6_GiB, 6_GiB + 1_MiB, 16_KiB},
+        {"nic tx overwrite", 1, 6_GiB, 6_GiB + 2_MiB, 4_KiB},
+        {"hostile read   ", 2, 4_GiB, 6_GiB, 4_KiB},
+        {"disk escape    ", 0, 4_GiB, 8_GiB, 4_KiB},
+    };
+
+    std::printf("%-17s %8s %8s %10s  %s\n", "transfer", "beats",
+                "pmpte", "cycles", "result");
+    for (const Case &c : cases) {
+        DmaEngine dma(iopmp, hier, c.master);
+        const auto result = dma.transfer(c.src, c.dst, c.bytes);
+        std::printf("%-17s %8u %8u %10lu  %s", c.name, result.beats,
+                    result.pmptRefs, (unsigned long)result.cycles,
+                    result.ok ? "ok" : "DENIED");
+        if (!result.ok)
+            std::printf(" at %#lx", (unsigned long)result.faultAddr);
+        std::printf("\n");
+    }
+    std::printf("\nIOPMP denials recorded: %lu\n",
+                (unsigned long)iopmp.denials());
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Quickstart: build a machine, map one page, and watch what one load
+ * costs under the three isolation schemes.
+ *
+ * This walks the library's core loop end to end: a real Sv39 page
+ * table in simulated memory, HPMP registers programmed the way the
+ * secure monitor would, and a timed access whose reference breakdown
+ * reproduces the paper's Figure 2 / Figure 4 arithmetic (4 references
+ * with PMP, 12 with a 2-level PMP Table, 6 with HPMP).
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/machine.h"
+#include "pmpt/pmp_table.h"
+#include "pt/page_table.h"
+
+using namespace hpmp;
+
+namespace
+{
+
+constexpr Addr kPtPool = 256_MiB;   // contiguous PT-page region
+constexpr Addr kData = 4_GiB;       // data region
+constexpr Addr kVa = 0x40000000;    // the virtual page we touch
+
+void
+demo(IsolationScheme scheme)
+{
+    // 1. A machine: Table 1's RocketCore (cache hierarchy, TLB, PWC).
+    Machine machine(rocketParams());
+
+    // 2. A real page table in simulated DRAM, with its PT pages drawn
+    //    from a contiguous pool (the HPMP OS policy).
+    PageTable pt(machine.mem(), bumpAllocator(kPtPool), PagingMode::Sv39);
+    pt.map(kVa, kData, Perm::rw(), /*user=*/true);
+
+    // 3. Physical memory protection, as the secure monitor programs it.
+    PmpTable table(machine.mem(), bumpAllocator(64_MiB), /*levels=*/2);
+    table.setPerm(kPtPool, 16_MiB, Perm::rw());
+    table.setPerm(kData, 1_GiB, Perm::rwx());
+
+    HpmpUnit &unit = machine.hpmp();
+    switch (scheme) {
+      case IsolationScheme::Pmp:
+        // Segment mode only: fast checks, <16 regions.
+        unit.programSegment(0, kPtPool, 16_MiB, Perm::rw());
+        unit.programSegment(1, kData, 4_GiB, Perm::rwx());
+        break;
+      case IsolationScheme::PmpTable:
+        // Everything through the in-DRAM permission table.
+        unit.programTable(0, 0, 16_GiB, table.rootPa());
+        break;
+      case IsolationScheme::Hpmp:
+        // The paper's hybrid: PT pages behind a segment, data behind
+        // the table. Lowest-numbered entry wins, so the segment acts
+        // as a cache of the table.
+        unit.programSegment(0, kPtPool, 16_MiB, Perm::rw());
+        unit.programTable(1, 0, 16_GiB, table.rootPa());
+        break;
+      case IsolationScheme::None:
+        break;
+    }
+
+    // 4. Point the MMU at the table and make one cold user load.
+    machine.setSatp(pt.rootPa(), PagingMode::Sv39);
+    machine.setPriv(PrivMode::User);
+    machine.coldReset();
+
+    const AccessOutcome cold = machine.access(kVa, AccessType::Load);
+    const AccessOutcome warm = machine.access(kVa, AccessType::Load);
+
+    std::printf("%-6s cold: %3u refs (%u PT + %u pmpte + %u data), "
+                "%4lu cycles | TLB-hit: %lu cycles\n",
+                toString(scheme), cold.totalRefs(), cold.ptRefs,
+                cold.pmptRefs, cold.dataRefs,
+                (unsigned long)cold.cycles, (unsigned long)warm.cycles);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("One TLB-missing load on RocketCore (Sv39):\n\n");
+    demo(IsolationScheme::Pmp);
+    demo(IsolationScheme::PmpTable);
+    demo(IsolationScheme::Hpmp);
+    std::printf("\nPMP is fast but supports <16 regions; the PMP Table "
+                "scales but triples the\nreferences; HPMP keeps the "
+                "table's scalability at half its walk cost.\n");
+    return 0;
+}

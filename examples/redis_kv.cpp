@@ -1,0 +1,45 @@
+/**
+ * @file
+ * In-enclave key-value store demo: runs the Redis model inside a
+ * Penglai-HPMP enclave and contrasts a cache-friendly command (GET)
+ * with a pointer-chasing one (LRANGE_300) across the isolation
+ * schemes — the long-running memory-intensive case study of §8.5.
+ *
+ * Build & run:  ./build/examples/redis_kv
+ */
+
+#include <cstdio>
+
+#include "workloads/redis.h"
+
+using namespace hpmp;
+
+int
+main()
+{
+    std::printf("Redis-like store in an enclave (RocketCore), RPS:\n\n");
+    std::printf("%-8s %12s %12s %14s\n", "scheme", "PING", "GET",
+                "LRANGE_300");
+
+    for (const IsolationScheme scheme :
+         {IsolationScheme::Pmp, IsolationScheme::PmpTable,
+          IsolationScheme::Hpmp}) {
+        EnvConfig config;
+        config.scheme = scheme;
+        TeeEnv env(config);
+        RedisBench bench(env, /*keyspace=*/2048);
+
+        const double ping = bench.run("PING_INLINE", 800);
+        const double get = bench.run("GET", 800);
+        const double lrange = bench.run("LRANGE_300", 250);
+        std::printf("%-8s %12.0f %12.0f %14.0f\n", toString(scheme),
+                    ping, get, lrange);
+    }
+
+    std::printf("\nPointer-chasing LRANGE suffers most under the "
+                "permission table: every node\nhop can miss the TLB "
+                "and pay the extra-dimensional walk. HPMP recovers\n"
+                "most of it by exempting page-table pages from table "
+                "checks.\n");
+    return 0;
+}

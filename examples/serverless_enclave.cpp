@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Serverless-enclave walkthrough: the full Penglai-HPMP software
+ * stack. Creates a TEE environment per isolation scheme, launches a
+ * FunctionBench-style function in a fresh enclave, and breaks the
+ * end-to-end latency down. Also demonstrates the hot-region hint
+ * extension (paper §9): labelling the enclave's data GMS "fast" pins
+ * it into a spare segment entry and removes the remaining permission
+ * table checks.
+ *
+ * Build & run:  ./build/examples/serverless_enclave
+ */
+
+#include <cstdio>
+
+#include "workloads/serverless.h"
+
+using namespace hpmp;
+
+namespace
+{
+
+void
+runScheme(IsolationScheme scheme)
+{
+    EnvConfig config;
+    config.core = CoreKind::Rocket;
+    config.scheme = scheme;
+    TeeEnv env(config);
+
+    const FunctionModel &fn = functionBenchApps()[0]; // Chameleon
+    const double seconds = invokeFunction(env, fn, 30000);
+    std::printf("  %-6s %-10s end-to-end %8.1f ms\n", toString(scheme),
+                fn.name.c_str(), seconds * 1e3);
+}
+
+void
+hotDataHintDemo()
+{
+    std::printf("\nHot-region hints (paper §9): pin the enclave's data "
+                "GMS into a segment.\n");
+    EnvConfig config;
+    config.scheme = IsolationScheme::Hpmp;
+    TeeEnv env(config);
+
+    auto enclave = env.createEnclave(16_MiB);
+    env.enterEnclave(*enclave, PrivMode::User);
+    const Addr va = enclave->as->mmap(64_KiB, Perm::rw(), true, true);
+
+    Machine &m = env.machine();
+    m.coldReset();
+    AccessOutcome before = m.access(va, AccessType::Load);
+
+    // The enclave issues the ioctl-equivalent: carve a hot 64 KiB
+    // NAPOT region around its buffer into a fast GMS. The monitor
+    // mirrors it into a free segment entry; the permission table is
+    // untouched because the permission did not change.
+    const Addr hot_pa =
+        alignDown(*enclave->as->pageTable().translate(va), 64_KiB);
+    auto res = env.monitor().hintHotRegion(enclave->domain, hot_pa,
+                                           64_KiB);
+    if (!res.ok)
+        std::printf("  hint rejected: %s\n", res.error.c_str());
+
+    m.coldReset();
+    AccessOutcome after = m.access(va, AccessType::Load);
+
+    std::printf("  cold load before hint: %u refs (%u pmpte)\n",
+                before.totalRefs(), before.pmptRefs);
+    std::printf("  cold load after hint:  %u refs (%u pmpte) — back "
+                "to the Fig. 2-a minimum\n",
+                after.totalRefs(), after.pmptRefs);
+
+    env.exitToHost();
+    env.destroyEnclave(std::move(enclave));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("One serverless invocation (create enclave, cold "
+                "start, run, destroy):\n");
+    runScheme(IsolationScheme::Pmp);
+    runScheme(IsolationScheme::PmpTable);
+    runScheme(IsolationScheme::Hpmp);
+    hotDataHintDemo();
+    return 0;
+}

@@ -1,0 +1,35 @@
+#include "base/access.h"
+
+namespace hpmp
+{
+
+const char *
+toString(AccessType type)
+{
+    switch (type) {
+      case AccessType::Load: return "load";
+      case AccessType::Store: return "store";
+      case AccessType::Fetch: return "fetch";
+    }
+    return "?";
+}
+
+const char *
+toString(Fault fault)
+{
+    switch (fault) {
+      case Fault::None: return "none";
+      case Fault::LoadPageFault: return "load-page-fault";
+      case Fault::StorePageFault: return "store-page-fault";
+      case Fault::FetchPageFault: return "fetch-page-fault";
+      case Fault::LoadAccessFault: return "load-access-fault";
+      case Fault::StoreAccessFault: return "store-access-fault";
+      case Fault::FetchAccessFault: return "fetch-access-fault";
+      case Fault::GuestLoadPageFault: return "guest-load-page-fault";
+      case Fault::GuestStorePageFault: return "guest-store-page-fault";
+      case Fault::GuestFetchPageFault: return "guest-fetch-page-fault";
+    }
+    return "?";
+}
+
+} // namespace hpmp

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared access vocabulary: access types, privilege modes, permissions
+ * and fault codes, following the RISC-V privileged specification.
+ */
+
+#ifndef HPMP_BASE_ACCESS_H
+#define HPMP_BASE_ACCESS_H
+
+#include <cstdint>
+
+namespace hpmp
+{
+
+/** Kind of memory operation. */
+enum class AccessType : uint8_t { Load, Store, Fetch };
+
+/** RISC-V privilege mode of the requester. */
+enum class PrivMode : uint8_t { User, Supervisor, Machine };
+
+/** R/W/X permission triple used by PTEs, PMP and PMP-table entries. */
+struct Perm
+{
+    bool r = false;
+    bool w = false;
+    bool x = false;
+
+    constexpr bool
+    allows(AccessType type) const
+    {
+        switch (type) {
+          case AccessType::Load: return r;
+          case AccessType::Store: return w;
+          case AccessType::Fetch: return x;
+        }
+        return false;
+    }
+
+    constexpr bool any() const { return r || w || x; }
+    constexpr bool operator==(const Perm &) const = default;
+
+    static constexpr Perm rw() { return {true, true, false}; }
+    static constexpr Perm rwx() { return {true, true, true}; }
+    static constexpr Perm ro() { return {true, false, false}; }
+    static constexpr Perm rx() { return {true, false, true}; }
+    static constexpr Perm none() { return {}; }
+};
+
+/** Translation / protection fault kinds (subset of mcause encodings). */
+enum class Fault : uint8_t
+{
+    None,
+    LoadPageFault,
+    StorePageFault,
+    FetchPageFault,
+    LoadAccessFault,   //!< physical-memory protection (PMP/PMPT) denial
+    StoreAccessFault,
+    FetchAccessFault,
+    GuestLoadPageFault,  //!< G-stage translation failure
+    GuestStorePageFault,
+    GuestFetchPageFault,
+};
+
+/** The page-fault code matching an access type. */
+constexpr Fault
+pageFaultFor(AccessType type)
+{
+    switch (type) {
+      case AccessType::Load: return Fault::LoadPageFault;
+      case AccessType::Store: return Fault::StorePageFault;
+      case AccessType::Fetch: return Fault::FetchPageFault;
+    }
+    return Fault::LoadPageFault;
+}
+
+/** The access-fault (PMP-style) code matching an access type. */
+constexpr Fault
+accessFaultFor(AccessType type)
+{
+    switch (type) {
+      case AccessType::Load: return Fault::LoadAccessFault;
+      case AccessType::Store: return Fault::StoreAccessFault;
+      case AccessType::Fetch: return Fault::FetchAccessFault;
+    }
+    return Fault::LoadAccessFault;
+}
+
+/** The guest-page-fault code matching an access type. */
+constexpr Fault
+guestPageFaultFor(AccessType type)
+{
+    switch (type) {
+      case AccessType::Load: return Fault::GuestLoadPageFault;
+      case AccessType::Store: return Fault::GuestStorePageFault;
+      case AccessType::Fetch: return Fault::GuestFetchPageFault;
+    }
+    return Fault::GuestLoadPageFault;
+}
+
+const char *toString(AccessType type);
+const char *toString(Fault fault);
+
+} // namespace hpmp
+
+#endif // HPMP_BASE_ACCESS_H

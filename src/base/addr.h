@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Address types and memory-size constants.
+ *
+ * The simulator distinguishes virtual, guest-physical and (supervisor)
+ * physical addresses only by convention; all are 64-bit unsigned values
+ * as in the RISC-V privileged specification.
+ */
+
+#ifndef HPMP_BASE_ADDR_H
+#define HPMP_BASE_ADDR_H
+
+#include <cstdint>
+
+namespace hpmp
+{
+
+/** A physical or virtual address. */
+using Addr = uint64_t;
+
+/** Size and shift constants for the base 4 KiB page. */
+constexpr unsigned kPageShift = 12;
+constexpr uint64_t kPageSize = 1ULL << kPageShift;
+
+constexpr uint64_t operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr uint64_t operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr uint64_t operator""_GiB(unsigned long long v) { return v << 30; }
+
+/** Page-number <-> address conversions. */
+constexpr uint64_t pageNumber(Addr a) { return a >> kPageShift; }
+constexpr Addr pageAddr(uint64_t pn) { return pn << kPageShift; }
+constexpr uint64_t pageOffset(Addr a) { return a & (kPageSize - 1); }
+
+} // namespace hpmp
+
+#endif // HPMP_BASE_ADDR_H

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the simulator.
+ *
+ * These mirror the helpers found in hardware simulators (gem5's
+ * base/bitfield.hh): extracting, inserting and masking bit ranges of
+ * 64-bit values. All ranges are inclusive and little-endian bit order
+ * (bit 0 is the LSB), matching the RISC-V ISA manual's figures.
+ */
+
+#ifndef HPMP_BASE_BITFIELD_H
+#define HPMP_BASE_BITFIELD_H
+
+#include <cstdint>
+
+namespace hpmp
+{
+
+/** Return a value with bits [nbits-1:0] set; nbits == 64 yields all ones. */
+constexpr uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~0ULL : (1ULL << nbits) - 1;
+}
+
+/** Extract the (inclusive) bit range [hi:lo] of val, right-aligned. */
+constexpr uint64_t
+bits(uint64_t val, unsigned hi, unsigned lo)
+{
+    return (val >> lo) & mask(hi - lo + 1);
+}
+
+/** Extract the single bit [bit] of val. */
+constexpr uint64_t
+bits(uint64_t val, unsigned bit)
+{
+    return (val >> bit) & 1ULL;
+}
+
+/** Return val with the (inclusive) bit range [hi:lo] replaced by field. */
+constexpr uint64_t
+insertBits(uint64_t val, unsigned hi, unsigned lo, uint64_t field)
+{
+    const uint64_t m = mask(hi - lo + 1) << lo;
+    return (val & ~m) | ((field << lo) & m);
+}
+
+/** Return val with bit [bit] replaced by the LSB of field. */
+constexpr uint64_t
+insertBits(uint64_t val, unsigned bit, uint64_t field)
+{
+    return insertBits(val, bit, bit, field);
+}
+
+/** Sign-extend the low nbits of val to a signed 64-bit value. */
+constexpr int64_t
+sext(uint64_t val, unsigned nbits)
+{
+    const unsigned shift = 64 - nbits;
+    return static_cast<int64_t>(val << shift) >> shift;
+}
+
+/** True iff val is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(uint64_t val)
+{
+    return val != 0 && (val & (val - 1)) == 0;
+}
+
+/** Round addr down to the nearest multiple of align (a power of two). */
+constexpr uint64_t
+alignDown(uint64_t addr, uint64_t align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Round addr up to the nearest multiple of align (a power of two). */
+constexpr uint64_t
+alignUp(uint64_t addr, uint64_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** Integer log2 for powers of two. */
+constexpr unsigned
+log2i(uint64_t val)
+{
+    unsigned n = 0;
+    while (val > 1) {
+        val >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace hpmp
+
+#endif // HPMP_BASE_BITFIELD_H

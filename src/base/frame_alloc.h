@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Frame-allocator callback type shared by the page-table and
+ * PMP-table builders. The OS / secure-monitor models supply the
+ * policy (contiguous pool vs. scattered), which is the software knob
+ * HPMP turns.
+ */
+
+#ifndef HPMP_BASE_FRAME_ALLOC_H
+#define HPMP_BASE_FRAME_ALLOC_H
+
+#include <functional>
+#include <memory>
+
+#include "base/addr.h"
+
+namespace hpmp
+{
+
+/**
+ * Allocates `npages` contiguous zeroed 4 KiB frames and returns the
+ * base physical address of the run.
+ */
+using FrameAllocator = std::function<Addr(unsigned npages)>;
+
+/** A trivial bump allocator for tests and examples. */
+inline FrameAllocator
+bumpAllocator(Addr start)
+{
+    auto next = std::make_shared<Addr>(start);
+    return [next](unsigned npages) {
+        const Addr base = *next;
+        *next += npages * kPageSize;
+        return base;
+    };
+}
+
+} // namespace hpmp
+
+#endif // HPMP_BASE_FRAME_ALLOC_H

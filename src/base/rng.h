@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * Workload generators must be reproducible run-to-run, so everything in
+ * the simulator draws from this xoshiro256** generator with an explicit
+ * seed rather than std::random_device.
+ */
+
+#ifndef HPMP_BASE_RNG_H
+#define HPMP_BASE_RNG_H
+
+#include <cstdint>
+
+namespace hpmp
+{
+
+/** xoshiro256** by Blackman & Vigna — fast, high-quality, seedable. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed (splitmix64 expansion). */
+    void
+    reseed(uint64_t seed)
+    {
+        for (auto &w : state_) {
+            seed += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            w = z ^ (z >> 31);
+        }
+    }
+
+    /** Next 64 uniformly random bits. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be non-zero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Rejection-free mapping; bias is negligible for bound << 2^64.
+        return static_cast<uint64_t>(
+            (static_cast<__uint128_t>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return (next() >> 11) * (1.0 / (1ULL << 53));
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    static constexpr uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace hpmp
+
+#endif // HPMP_BASE_RNG_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fixed-capacity inline vector.
+ *
+ * The walkers return short reference lists (at most a handful of
+ * entries) on every simulated access; a heap-backed std::vector there
+ * dominates the simulator's hot path. SmallVec stores elements inline
+ * with a fixed capacity and panics on overflow (capacities are sized
+ * from architectural limits, so overflow is a simulator bug).
+ */
+
+#ifndef HPMP_BASE_SMALL_VEC_H
+#define HPMP_BASE_SMALL_VEC_H
+
+#include <array>
+#include <cstddef>
+
+#include "base/logging.h"
+
+namespace hpmp
+{
+
+/** Inline vector of trivially copyable elements. */
+template <typename T, size_t N>
+class SmallVec
+{
+  public:
+    using value_type = T;
+
+    void
+    push_back(const T &value)
+    {
+        panic_if(size_ >= N, "SmallVec overflow (capacity %zu)", N);
+        data_[size_++] = value;
+    }
+
+    void clear() { size_ = 0; }
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    T &operator[](size_t i) { return data_[i]; }
+    const T &operator[](size_t i) const { return data_[i]; }
+
+    T &back() { return data_[size_ - 1]; }
+    const T &back() const { return data_[size_ - 1]; }
+
+    T *begin() { return data_.data(); }
+    T *end() { return data_.data() + size_; }
+    const T *begin() const { return data_.data(); }
+    const T *end() const { return data_.data() + size_; }
+
+  private:
+    std::array<T, N> data_;
+    size_t size_ = 0;
+};
+
+} // namespace hpmp
+
+#endif // HPMP_BASE_SMALL_VEC_H

@@ -1,0 +1,31 @@
+#include "base/stats.h"
+
+#include <sstream>
+
+namespace hpmp
+{
+
+uint64_t
+StatGroup::get(const std::string &stat_name) const
+{
+    auto it = counters_.find(stat_name);
+    return it == counters_.end() ? 0 : it->second->value();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, counter] : counters_)
+        counter->reset();
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, counter] : counters_)
+        os << name_ << '.' << name << ' ' << counter->value() << '\n';
+    return os.str();
+}
+
+} // namespace hpmp

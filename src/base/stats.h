@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Lightweight statistics registry.
+ *
+ * Components own named Counter/Scalar statistics grouped under a
+ * StatGroup; groups can be dumped, reset between measurement phases
+ * (e.g. to discard warm-up), and queried by name in tests.
+ */
+
+#ifndef HPMP_BASE_STATS_H
+#define HPMP_BASE_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hpmp
+{
+
+/** A monotonically increasing event counter, resettable between phases. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(uint64_t v) { value_ += v; return *this; }
+
+    uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/**
+ * A named collection of counters. Components register their counters
+ * at construction; tests and benches read them back by name.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register a counter under this group; the group does not own it. */
+    void
+    add(const std::string &stat_name, Counter *counter)
+    {
+        counters_[stat_name] = counter;
+    }
+
+    /** Value of a registered counter; 0 if the name is unknown. */
+    uint64_t get(const std::string &stat_name) const;
+
+    /** Reset every registered counter (e.g. after warm-up). */
+    void resetAll();
+
+    /** Render "group.stat value" lines for all counters. */
+    std::string dump() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter *> counters_;
+};
+
+} // namespace hpmp
+
+#endif // HPMP_BASE_STATS_H

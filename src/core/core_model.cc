@@ -1,0 +1,58 @@
+#include "core/core_model.h"
+
+namespace hpmp
+{
+
+CoreModel::CoreModel(const MachineParams &params)
+    : timing_(params.timing),
+      l1HitCycles_(params.hier.l1d.latency)
+{
+}
+
+void
+CoreModel::addAccess(const AccessOutcome &outcome)
+{
+    ++memAccesses_;
+    // The L1-hit portion of the access is covered by the base CPI;
+    // anything beyond it is stall, scaled by how much of it the core
+    // can hide. Walk-induced stalls (TLB miss) are serially dependent
+    // and harder to hide than plain data misses.
+    const uint64_t stall =
+        outcome.cycles > l1HitCycles_ ? outcome.cycles - l1HitCycles_ : 0;
+    const double overlap =
+        outcome.tlbHit ? timing_.memOverlap : timing_.walkOverlap;
+    exposedStall_ += stall * overlap;
+}
+
+void
+CoreModel::addStallCycles(uint64_t cycles, bool walk)
+{
+    ++memAccesses_;
+    const uint64_t stall = cycles > l1HitCycles_ ? cycles - l1HitCycles_ : 0;
+    exposedStall_ += stall * (walk ? timing_.walkOverlap
+                                   : timing_.memOverlap);
+}
+
+uint64_t
+CoreModel::cycles() const
+{
+    const double base =
+        (instructions_ + memAccesses_) * timing_.baseCpi;
+    return static_cast<uint64_t>(base + exposedStall_);
+}
+
+double
+CoreModel::seconds() const
+{
+    return cycles() / (timing_.freqGHz * 1e9);
+}
+
+void
+CoreModel::reset()
+{
+    instructions_ = 0;
+    memAccesses_ = 0;
+    exposedStall_ = 0.0;
+}
+
+} // namespace hpmp

@@ -1,0 +1,207 @@
+#include "core/machine.h"
+
+#include "base/logging.h"
+
+namespace hpmp
+{
+
+Machine::Machine(const MachineParams &params)
+    : params_(params),
+      mem_(std::make_unique<PhysMem>(params.physMemBytes)),
+      hier_(std::make_unique<MemoryHierarchy>(params.hier)),
+      hpmp_(std::make_unique<HpmpUnit>(*mem_, params.hpmpEntries,
+                                       params.pmptwEntries)),
+      tlb_(std::make_unique<Tlb>(params.l1TlbEntries, params.l2TlbEntries)),
+      pwc_(std::make_unique<Pwc>(params.pwcEntries))
+{
+    stats_.add("accesses", &statAccesses_);
+    stats_.add("walks", &statWalks_);
+    stats_.add("pt_refs", &statPtRefs_);
+    stats_.add("pmpt_refs", &statPmptRefs_);
+    stats_.add("page_faults", &statPageFaults_);
+    stats_.add("access_faults", &statAccessFaults_);
+}
+
+namespace
+{
+
+/** Classify a fault for the machine-level counters. */
+bool
+isAccessFault(Fault fault)
+{
+    return fault == Fault::LoadAccessFault ||
+           fault == Fault::StoreAccessFault ||
+           fault == Fault::FetchAccessFault;
+}
+
+} // namespace
+
+void
+Machine::setSatp(Addr root_pa, PagingMode mode)
+{
+    translationOn_ = true;
+    satpRoot_ = root_pa;
+    mode_ = mode;
+    sfenceVma();
+}
+
+void
+Machine::sfenceVma()
+{
+    tlb_->flushAll();
+    pwc_->flush();
+}
+
+void
+Machine::coldReset()
+{
+    sfenceVma();
+    hpmp_->flushCache();
+    hier_->flushAll();
+}
+
+Fault
+Machine::checkPhys(Addr pa, AccessType type, AccessOutcome &out)
+{
+    HpmpCheckResult check = hpmp_->check(pa, 8, type, priv_);
+    for (const PmptRef &ref : check.pmptRefs) {
+        out.cycles += params_.pmptwStepCycles;
+        out.cycles += hier_->access(ref.pa, false).cycles;
+        ++out.pmptRefs;
+    }
+    if (check.viaCache)
+        ++out.cycles; // PMPTW-Cache lookup
+    return check.fault;
+}
+
+Perm
+Machine::physPermProbe(Addr pa) const
+{
+    if (priv_ == PrivMode::Machine)
+        return Perm::rwx();
+
+    const PmpUnit &regs = hpmp_->regs();
+    const int idx = regs.findMatch(pa, 8);
+    if (idx < 0 || !regs.coversAll(unsigned(idx), pa, 8))
+        return Perm::none();
+
+    const PmpCfg cfg = regs.cfg(unsigned(idx));
+    const bool table_mode =
+        cfg.reservedT() && unsigned(idx) + 1 < regs.numEntries();
+    if (!table_mode)
+        return cfg.perm();
+
+    const auto region = regs.region(unsigned(idx));
+    const PmptBaseReg base_reg{regs.addr(unsigned(idx) + 1)};
+    const PmptWalkResult walk = walkPmpTable(
+        *mem_, base_reg.tablePa(), base_reg.levels(), pa - region->base);
+    return walk.valid ? walk.perm : Perm::none();
+}
+
+AccessOutcome
+Machine::access(Addr va, AccessType type)
+{
+    AccessOutcome out = accessInner(va, type);
+    ++statAccesses_;
+    if (!out.tlbHit && translationOn_)
+        ++statWalks_;
+    statPtRefs_ += out.ptRefs + out.adRefs;
+    statPmptRefs_ += out.pmptRefs;
+    if (isAccessFault(out.fault))
+        ++statAccessFaults_;
+    else if (out.fault != Fault::None)
+        ++statPageFaults_;
+    return out;
+}
+
+AccessOutcome
+Machine::accessInner(Addr va, AccessType type)
+{
+    AccessOutcome out;
+    const bool is_store = type == AccessType::Store;
+    const bool is_fetch = type == AccessType::Fetch;
+
+    if (!translationOn_) {
+        // Bare mode: the physical check still applies (e.g. the host
+        // OS running with PMP enabled but paging off).
+        out.fault = checkPhys(va, type, out);
+        if (out.fault != Fault::None)
+            return out;
+        out.cycles += hier_->access(va, is_store, is_fetch).cycles;
+        out.dataRefs = 1;
+        return out;
+    }
+
+    TlbHitLevel hit_level = TlbHitLevel::Miss;
+    if (auto entry = tlb_->lookup(va, &hit_level)) {
+        out.tlbHit = true;
+        if (hit_level == TlbHitLevel::L2)
+            out.cycles += kL2TlbPenalty;
+
+        // Privilege/permission checks from the cached entry; the
+        // inlined physical permission makes PMP/PMPT activity
+        // unnecessary on hits (TLB inlining, §7).
+        Pte shadow = Pte::leaf(0, entry->perm, entry->user, true, true);
+        out.fault = checkLeafPerms(shadow, type, priv_, true);
+        if (out.fault == Fault::None && !entry->physPerm.allows(type))
+            out.fault = accessFaultFor(type);
+        if (out.fault != Fault::None)
+            return out;
+
+        const Addr pa = entry->translate(va);
+        out.cycles += hier_->access(pa, is_store, is_fetch).cycles;
+        out.dataRefs = 1;
+        return out;
+    }
+
+    // TLB miss: functional walk first, then replay its references
+    // through the PWC, the protection checker and the hierarchy.
+    WalkConfig config;
+    config.mode = mode_;
+    WalkResult walk = walkPageTable(*mem_, satpRoot_, va, type, priv_,
+                                    config);
+
+    for (const PtRef &ref : walk.refs) {
+        if (!ref.write) {
+            if (pwc_->lookup(ref.level, va)) {
+                ++out.pwcSkips;
+                continue;
+            }
+        }
+        // The walker's reference must itself pass the physical check.
+        const AccessType ref_type =
+            ref.write ? AccessType::Store : AccessType::Load;
+        out.fault = checkPhys(ref.pa, ref_type, out);
+        if (out.fault != Fault::None)
+            return out;
+
+        out.cycles += hier_->access(ref.pa, ref.write).cycles;
+        if (ref.write) {
+            ++out.adRefs;
+        } else {
+            ++out.ptRefs;
+            const Pte pte{mem_->read64(ref.pa)};
+            if (pte.v())
+                pwc_->fill(ref.level, va, pte);
+        }
+    }
+
+    if (!walk.ok()) {
+        out.fault = walk.fault;
+        return out;
+    }
+
+    // Data reference with its own physical check.
+    out.fault = checkPhys(walk.pa, type, out);
+    if (out.fault != Fault::None)
+        return out;
+    out.cycles += hier_->access(walk.pa, is_store, is_fetch).cycles;
+    out.dataRefs = 1;
+
+    const uint64_t span = pageSizeAtLevel(walk.leafLevel);
+    tlb_->fill(va, walk.pa - (va & (span - 1)), walk.perm,
+               physPermProbe(walk.pa), walk.user, walk.leafLevel);
+    return out;
+}
+
+} // namespace hpmp

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The end-to-end memory-access engine.
+ *
+ * Machine ties together the TLB, page-table walker, PWC, the HPMP
+ * permission checker and the cache/DRAM hierarchy, reproducing the
+ * reference streams of the paper's Figures 2 and 4:
+ *
+ *   - TLB hit: inlined permission, data reference only.
+ *   - TLB miss: one reference per page-table level (modulo PWC hits),
+ *     each preceded by a physical permission check; then the data
+ *     reference with its own check. In table mode every check costs
+ *     up to two pmpte references through the same cache hierarchy.
+ *
+ * The isolation *scheme* is not machine state — it is whatever the
+ * secure monitor programmed into the HPMP entries. The machine simply
+ * checks every actual physical reference.
+ */
+
+#ifndef HPMP_CORE_MACHINE_H
+#define HPMP_CORE_MACHINE_H
+
+#include <memory>
+
+#include "base/stats.h"
+#include "core/params.h"
+#include "core/pwc.h"
+#include "core/tlb.h"
+#include "hpmp/hpmp_unit.h"
+#include "hpmp/isolation.h"
+#include "mem/hierarchy.h"
+#include "mem/phys_mem.h"
+#include "pt/walker.h"
+
+namespace hpmp
+{
+
+/** Per-access outcome and reference breakdown. */
+struct AccessOutcome
+{
+    Fault fault = Fault::None;
+    uint64_t cycles = 0;
+    bool tlbHit = false;
+    unsigned ptRefs = 0;    //!< page-table page reads
+    unsigned adRefs = 0;    //!< A/D-bit update writes
+    unsigned pmptRefs = 0;  //!< permission-table entry references
+    unsigned dataRefs = 0;  //!< the data/instruction reference itself
+    unsigned pwcSkips = 0;  //!< PT references skipped by the PWC
+
+    bool ok() const { return fault == Fault::None; }
+    unsigned totalRefs() const
+    {
+        return ptRefs + adRefs + pmptRefs + dataRefs;
+    }
+};
+
+/** One simulated hart plus its memory system. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineParams &params);
+
+    const MachineParams &params() const { return params_; }
+
+    PhysMem &mem() { return *mem_; }
+    MemoryHierarchy &hier() { return *hier_; }
+    HpmpUnit &hpmp() { return *hpmp_; }
+    Tlb &tlb() { return *tlb_; }
+    Pwc &pwc() { return *pwc_; }
+
+    /** Point the MMU at a page table (satp write implies sfence). */
+    void setSatp(Addr root_pa, PagingMode mode);
+
+    /** Disable translation (bare / M-mode style direct physical). */
+    void setBare() { translationOn_ = false; }
+
+    void setPriv(PrivMode priv) { priv_ = priv; }
+    PrivMode priv() const { return priv_; }
+
+    /** Perform one load/store/fetch at virtual address va. */
+    AccessOutcome access(Addr va, AccessType type);
+
+    /** sfence.vma rs1=x0: flush TLB and PWC. */
+    void sfenceVma();
+
+    /** Flush TLB/PWC/PMPTW and all caches; close DRAM rows. */
+    void coldReset();
+
+    /**
+     * Check one physical reference against the programmed HPMP state,
+     * charging pmpte references to `out`. Public so the virtualized
+     * machine can reuse it.
+     */
+    Fault checkPhys(Addr pa, AccessType type, AccessOutcome &out);
+
+    /**
+     * Functional probe of the physical permission triple for a page
+     * (used for TLB inlining; costs nothing).
+     */
+    Perm physPermProbe(Addr pa) const;
+
+    /** Aggregate counters ("machine.*"): accesses, walks, faults... */
+    StatGroup &stats() { return stats_; }
+
+  private:
+    MachineParams params_;
+    std::unique_ptr<PhysMem> mem_;
+    std::unique_ptr<MemoryHierarchy> hier_;
+    std::unique_ptr<HpmpUnit> hpmp_;
+    std::unique_ptr<Tlb> tlb_;
+    std::unique_ptr<Pwc> pwc_;
+
+    bool translationOn_ = false;
+    Addr satpRoot_ = 0;
+    PagingMode mode_ = PagingMode::Sv39;
+    PrivMode priv_ = PrivMode::Supervisor;
+
+    /** The access path proper (stats wrapper lives in access()). */
+    AccessOutcome accessInner(Addr va, AccessType type);
+
+    StatGroup stats_{"machine"};
+    Counter statAccesses_;
+    Counter statWalks_;
+    Counter statPtRefs_;
+    Counter statPmptRefs_;
+    Counter statPageFaults_;
+    Counter statAccessFaults_;
+
+    static constexpr unsigned kL2TlbPenalty = 2;
+};
+
+} // namespace hpmp
+
+#endif // HPMP_CORE_MACHINE_H

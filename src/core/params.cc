@@ -1,0 +1,55 @@
+#include "core/params.h"
+
+namespace hpmp
+{
+
+MachineParams
+rocketParams()
+{
+    MachineParams p;
+    p.kind = CoreKind::Rocket;
+    p.name = "rocket";
+
+    // Table 1: 16 KiB L1 I/D, 512 KiB L2, 4 MiB LLC. Latencies in
+    // 1 GHz core cycles.
+    p.hier.l1i = {"l1i", 16_KiB, 4, 64, 1};
+    p.hier.l1d = {"l1d", 16_KiB, 4, 64, 1};
+    p.hier.l2 = {"l2", 512_KiB, 8, 64, 12};
+    p.hier.llc = {"llc", 4_MiB, 8, 64, 24};
+    p.hier.dram = {32, 8192, 36, 66};
+
+    p.timing = {1.0, 1.4, 1.0, 1.0};
+    p.pmptwStepCycles = 6;
+    return p;
+}
+
+MachineParams
+boomParams()
+{
+    MachineParams p;
+    p.kind = CoreKind::Boom;
+    p.name = "boom";
+
+    // Table 1: 32 KiB 8-way L1 I/D, 512 KiB L2, 4 MiB LLC. Latencies
+    // in 3.2 GHz core cycles: the same wall-clock DRAM costs ~3x more
+    // cycles than on the 1 GHz Rocket.
+    p.hier.l1i = {"l1i", 32_KiB, 8, 64, 2};
+    p.hier.l1d = {"l1d", 32_KiB, 8, 64, 2};
+    p.hier.l2 = {"l2", 512_KiB, 8, 64, 18};
+    p.hier.llc = {"llc", 4_MiB, 8, 64, 40};
+    p.hier.dram = {32, 8192, 110, 200};
+
+    // 4-wide OoO: low base CPI, most data-miss latency hidden by the
+    // 128-entry ROB, but walk references are serially dependent.
+    p.timing = {3.2, 0.45, 0.35, 0.85};
+    p.pmptwStepCycles = 8;
+    return p;
+}
+
+MachineParams
+machineParams(CoreKind kind)
+{
+    return kind == CoreKind::Rocket ? rocketParams() : boomParams();
+}
+
+} // namespace hpmp

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Machine configurations mirroring Table 1 of the paper.
+ *
+ * Two cores are modelled: RocketCore (5-stage in-order scalar, 1 GHz)
+ * and SonicBOOM (4-way superscalar out-of-order, 3.2 GHz). Cache and
+ * TLB geometry follows Table 1; latencies are calibrated so that the
+ * relative shapes of the paper's figures reproduce (absolute cycle
+ * counts necessarily differ from the FPGA prototype).
+ */
+
+#ifndef HPMP_CORE_PARAMS_H
+#define HPMP_CORE_PARAMS_H
+
+#include <string>
+
+#include "mem/hierarchy.h"
+
+namespace hpmp
+{
+
+/** Which core is being modelled. */
+enum class CoreKind { Rocket, Boom };
+
+/** Application-level timing knobs for the core model. */
+struct CoreTimingParams
+{
+    double freqGHz = 1.0;
+    double baseCpi = 1.0;   //!< CPI with all memory hitting L1
+    /**
+     * Fraction of each memory-stall cycle that is exposed (cannot be
+     * hidden by out-of-order execution). 1.0 for the in-order Rocket;
+     * BOOM hides a large part of data-miss latency but page walks are
+     * a serial dependence chain, so walk cycles use walkOverlap.
+     */
+    double memOverlap = 1.0;
+    double walkOverlap = 1.0;
+};
+
+/** Full machine configuration. */
+struct MachineParams
+{
+    CoreKind kind = CoreKind::Rocket;
+    std::string name = "rocket";
+
+    uint64_t physMemBytes = 16_GiB; //!< Table 1: 16 GB DDR3
+
+    HierarchyParams hier;
+
+    unsigned l1TlbEntries = 32;     //!< fully associative
+    unsigned l2TlbEntries = 1024;   //!< direct mapped
+    unsigned pwcEntries = 8;        //!< "PTECache 8 entries"
+    unsigned pmptwEntries = 0;      //!< PMPTW-Cache disabled by default
+    unsigned hpmpEntries = 16;
+    /**
+     * Fixed issue cost per pmpte reference: the PMPT walker occupies
+     * its port and serializes against the access even when the entry
+     * hits in the L1 cache.
+     */
+    unsigned pmptwStepCycles = 4;
+
+    CoreTimingParams timing;
+};
+
+/** RocketCore configuration (Table 1, 1 GHz SoC). */
+MachineParams rocketParams();
+
+/** BOOM configuration (Table 1, 3.2 GHz SoC). */
+MachineParams boomParams();
+
+/** Lookup by kind. */
+MachineParams machineParams(CoreKind kind);
+
+} // namespace hpmp
+
+#endif // HPMP_CORE_PARAMS_H

@@ -1,0 +1,65 @@
+#include "core/pwc.h"
+
+namespace hpmp
+{
+
+Pwc::Pwc(unsigned num_entries)
+    : numEntries_(num_entries),
+      entries_(num_entries)
+{
+}
+
+std::optional<Pte>
+Pwc::lookup(unsigned level, Addr va)
+{
+    if (!enabled())
+        return std::nullopt;
+    const uint64_t tag = tagFor(level, va);
+    for (auto &entry : entries_) {
+        if (entry.valid && entry.level == level && entry.tag == tag) {
+            entry.lru = ++lruClock_;
+            ++hits_;
+            return entry.pte;
+        }
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+void
+Pwc::fill(unsigned level, Addr va, Pte pte)
+{
+    if (!enabled())
+        return;
+    const uint64_t tag = tagFor(level, va);
+    Entry *victim = &entries_[0];
+    for (auto &entry : entries_) {
+        if (entry.valid && entry.level == level && entry.tag == tag) {
+            entry.pte = pte;
+            entry.lru = ++lruClock_;
+            return;
+        }
+        if (!entry.valid || (victim->valid && entry.lru < victim->lru))
+            victim = &entry;
+    }
+    *victim = Entry{true, level, tag, pte, ++lruClock_};
+}
+
+void
+Pwc::invalidate(unsigned level, Addr va)
+{
+    const uint64_t tag = tagFor(level, va);
+    for (auto &entry : entries_) {
+        if (entry.valid && entry.level == level && entry.tag == tag)
+            entry.valid = false;
+    }
+}
+
+void
+Pwc::flush()
+{
+    for (auto &entry : entries_)
+        entry.valid = false;
+}
+
+} // namespace hpmp

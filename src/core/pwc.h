@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Page-Walk Cache (the "PTECache" of Table 1).
+ *
+ * Fully-associative LRU cache of PTEs keyed by (level, va-prefix). A
+ * hit at level L means the walker can skip the memory reference for
+ * the level-L entry — including, in protected schemes, the permission
+ * check that reference would have needed, which is the interaction
+ * Fig. 17 studies.
+ */
+
+#ifndef HPMP_CORE_PWC_H
+#define HPMP_CORE_PWC_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/addr.h"
+#include "base/stats.h"
+#include "pt/pte.h"
+
+namespace hpmp
+{
+
+/** Fully-associative page-walk cache. */
+class Pwc
+{
+  public:
+    /** @param num_entries 0 disables the cache. */
+    explicit Pwc(unsigned num_entries = 8);
+
+    bool enabled() const { return numEntries_ > 0; }
+    unsigned numEntries() const { return numEntries_; }
+
+    /** Look up the PTE for `va` at walk level `level`. */
+    std::optional<Pte> lookup(unsigned level, Addr va);
+
+    /** Install the PTE read at `level` for `va`. */
+    void fill(unsigned level, Addr va, Pte pte);
+
+    /** Invalidate the entry covering va at level, if present. */
+    void invalidate(unsigned level, Addr va);
+
+    /** Drop everything (sfence.vma / domain switch). */
+    void flush();
+
+    uint64_t hits() const { return hits_.value(); }
+    uint64_t misses() const { return misses_.value(); }
+    void resetStats() { hits_.reset(); misses_.reset(); }
+
+  private:
+    static uint64_t
+    tagFor(unsigned level, Addr va)
+    {
+        // All VA bits that select the level-`level` entry and above.
+        return va >> (kPageShift + 9 * level);
+    }
+
+    struct Entry
+    {
+        bool valid = false;
+        unsigned level = 0;
+        uint64_t tag = 0;
+        Pte pte;
+        uint64_t lru = 0;
+    };
+
+    unsigned numEntries_;
+    std::vector<Entry> entries_;
+    uint64_t lruClock_ = 0;
+
+    Counter hits_;
+    Counter misses_;
+};
+
+} // namespace hpmp
+
+#endif // HPMP_CORE_PWC_H

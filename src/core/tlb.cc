@@ -1,0 +1,110 @@
+#include "core/tlb.h"
+
+namespace hpmp
+{
+
+Tlb::Tlb(unsigned l1_entries, unsigned l2_entries)
+    : l1Entries_(l1_entries),
+      l2Entries_(l2_entries),
+      l1_(l1_entries),
+      l1Lru_(l1_entries, 0),
+      l2_(l2_entries)
+{
+}
+
+std::optional<TlbEntry>
+Tlb::lookup(Addr va, TlbHitLevel *level)
+{
+    const uint64_t vpn = pageNumber(va);
+
+    for (unsigned i = 0; i < l1Entries_; ++i) {
+        if (l1_[i].matches(va)) {
+            l1Lru_[i] = ++lruClock_;
+            ++l1Hits_;
+            if (level)
+                *level = TlbHitLevel::L1;
+            return l1_[i];
+        }
+    }
+
+    TlbEntry &slot = l2_[vpn % l2Entries_];
+    if (slot.valid && slot.level == 0 && slot.vpn == vpn) {
+        ++l2Hits_;
+        if (level)
+            *level = TlbHitLevel::L2;
+        // Promote into L1.
+        unsigned victim = 0;
+        for (unsigned i = 1; i < l1Entries_; ++i) {
+            if (!l1_[i].valid) { victim = i; break; }
+            if (l1Lru_[i] < l1Lru_[victim] && l1_[victim].valid)
+                victim = i;
+        }
+        l1_[victim] = slot;
+        l1Lru_[victim] = ++lruClock_;
+        return slot;
+    }
+
+    ++misses_;
+    if (level)
+        *level = TlbHitLevel::Miss;
+    return std::nullopt;
+}
+
+void
+Tlb::fill(Addr va, Addr pa_base, Perm perm, Perm phys_perm, bool user,
+          unsigned level)
+{
+    TlbEntry entry;
+    entry.vpn = pageNumber(va) >> (9 * level);
+    entry.ppn = pageNumber(pa_base);
+    entry.level = uint8_t(level);
+    entry.perm = perm;
+    entry.physPerm = phys_perm;
+    entry.user = user;
+    entry.valid = true;
+
+    unsigned victim = 0;
+    for (unsigned i = 0; i < l1Entries_; ++i) {
+        if (l1_[i].matches(va)) { victim = i; break; }
+        if (!l1_[i].valid) { victim = i; break; }
+        if (l1Lru_[i] < l1Lru_[victim])
+            victim = i;
+    }
+    l1_[victim] = entry;
+    l1Lru_[victim] = ++lruClock_;
+
+    // The direct-mapped L2 only holds base pages.
+    if (level == 0)
+        l2_[pageNumber(va) % l2Entries_] = entry;
+}
+
+void
+Tlb::flushAll()
+{
+    for (auto &entry : l1_)
+        entry.valid = false;
+    for (auto &entry : l2_)
+        entry.valid = false;
+}
+
+void
+Tlb::flushPage(Addr va)
+{
+    for (auto &entry : l1_) {
+        if (entry.matches(va))
+            entry.valid = false;
+    }
+    TlbEntry &slot = l2_[pageNumber(va) % l2Entries_];
+    if (slot.valid && slot.level == 0 && slot.vpn == pageNumber(va))
+        slot.valid = false;
+}
+
+void
+Tlb::resetStats()
+{
+    l1Hits_.reset();
+    l2Hits_.reset();
+    misses_.reset();
+}
+
+} // namespace hpmp

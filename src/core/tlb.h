@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Two-level TLB model with permission inlining.
+ *
+ * L1 is fully associative (32 entries, Table 1) and L2 is
+ * direct-mapped (1024 entries). Entries cache the combined result of
+ * translation *and* physical-memory permission checking ("TLB
+ * inlining", paper §2.2/§7): a hit therefore requires no PMP/PMPT
+ * activity at all, which is why the permission table only costs on
+ * TLB misses in all schemes.
+ */
+
+#ifndef HPMP_CORE_TLB_H
+#define HPMP_CORE_TLB_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/access.h"
+#include "base/addr.h"
+#include "base/stats.h"
+#include "pt/pte.h"
+
+namespace hpmp
+{
+
+/**
+ * One cached translation. Superpage leaves (level > 0) are cached at
+ * their natural size in the fully-associative L1; the direct-mapped
+ * L2 holds 4 KiB entries only (a common split in real designs).
+ */
+struct TlbEntry
+{
+    uint64_t vpn = 0;   //!< VPN of the mapping's base, >> 9*level
+    uint64_t ppn = 0;   //!< PPN of the mapping's base page
+    uint8_t level = 0;  //!< 0 = 4 KiB, 1 = 2 MiB, 2 = 1 GiB
+    Perm perm;          //!< leaf PTE permission
+    Perm physPerm;      //!< inlined physical (PMP/PMPT) permission
+    bool user = false;
+    bool valid = false;
+
+    /** True iff this entry translates va. */
+    bool
+    matches(Addr va) const
+    {
+        return valid && (pageNumber(va) >> (9 * level)) == vpn;
+    }
+
+    /** Physical address for va (which must match). */
+    Addr
+    translate(Addr va) const
+    {
+        const uint64_t span_mask = pageSizeAtLevel(level) - 1;
+        return pageAddr(ppn) + (va & span_mask);
+    }
+};
+
+/** Where a TLB lookup hit. */
+enum class TlbHitLevel { Miss, L1, L2 };
+
+/** L1 fully-associative + L2 direct-mapped TLB pair. */
+class Tlb
+{
+  public:
+    Tlb(unsigned l1_entries, unsigned l2_entries);
+
+    /** Look up va; promotes L2 hits into L1. */
+    std::optional<TlbEntry> lookup(Addr va, TlbHitLevel *level = nullptr);
+
+    /**
+     * Install a translation. `pa_base` is the physical base of the
+     * (possibly super-) page; level > 0 entries go to L1 only.
+     */
+    void fill(Addr va, Addr pa_base, Perm perm, Perm phys_perm,
+              bool user, unsigned level = 0);
+
+    /** sfence.vma with rs1=x0: drop everything. */
+    void flushAll();
+
+    /** sfence.vma with a specific page. */
+    void flushPage(Addr va);
+
+    uint64_t l1Hits() const { return l1Hits_.value(); }
+    uint64_t l2Hits() const { return l2Hits_.value(); }
+    uint64_t misses() const { return misses_.value(); }
+    void resetStats();
+
+  private:
+    unsigned l1Entries_;
+    unsigned l2Entries_;
+    std::vector<TlbEntry> l1_;
+    std::vector<uint64_t> l1Lru_;
+    std::vector<TlbEntry> l2_; //!< direct mapped by vpn % l2Entries_
+    uint64_t lruClock_ = 0;
+
+    Counter l1Hits_;
+    Counter l2Hits_;
+    Counter misses_;
+};
+
+} // namespace hpmp
+
+#endif // HPMP_CORE_TLB_H

@@ -1,0 +1,121 @@
+#include "core/virt_machine.h"
+
+namespace hpmp
+{
+
+VirtMachine::VirtMachine(const MachineParams &params)
+    : machine_(params),
+      combinedTlb_(params.l1TlbEntries, params.l2TlbEntries),
+      gStageTlb_(params.l1TlbEntries, params.l2TlbEntries),
+      vsPwc_(params.pwcEntries)
+{
+    // The host side runs bare; all translation happens here.
+    machine_.setBare();
+}
+
+void
+VirtMachine::hfenceVvma()
+{
+    combinedTlb_.flushAll();
+    vsPwc_.flush();
+}
+
+void
+VirtMachine::hfenceGvma()
+{
+    gStageTlb_.flushAll();
+    combinedTlb_.flushAll();
+    vsPwc_.flush();
+}
+
+void
+VirtMachine::coldReset()
+{
+    hfenceGvma();
+    machine_.coldReset();
+}
+
+VirtAccessOutcome
+VirtMachine::access(Addr gva, AccessType type)
+{
+    VirtAccessOutcome out;
+    const bool is_store = type == AccessType::Store;
+    const bool is_fetch = type == AccessType::Fetch;
+
+    // Combined-TLB hit: inlined permissions, data reference only.
+    if (auto entry = combinedTlb_.lookup(gva)) {
+        out.tlbHit = true;
+        Pte shadow = Pte::leaf(0, entry->perm, entry->user, true, true);
+        out.fault = checkLeafPerms(shadow, type, guestPriv_, true);
+        if (out.fault == Fault::None && !entry->physPerm.allows(type))
+            out.fault = accessFaultFor(type);
+        if (out.fault != Fault::None)
+            return out;
+        const Addr spa = entry->translate(gva);
+        out.cycles += machine_.hier().access(spa, is_store, is_fetch).cycles;
+        out.dataRefs = 1;
+        return out;
+    }
+
+    // Full two-stage walk with the G-stage TLB and guest PWC hooks.
+    GStageTlbHooks gtlb_hooks;
+    gtlb_hooks.lookup = [this](Addr gpa_page) -> std::optional<Addr> {
+        if (auto e = gStageTlb_.lookup(gpa_page))
+            return pageAddr(e->ppn);
+        return std::nullopt;
+    };
+    gtlb_hooks.fill = [this](Addr gpa_page, Addr spa_page) {
+        gStageTlb_.fill(gpa_page, spa_page, Perm::rwx(), Perm::rwx(),
+                        true);
+    };
+    VsPwcHooks pwc_hooks;
+    pwc_hooks.lookup = [this](unsigned level, Addr va) {
+        return vsPwc_.lookup(level, va);
+    };
+    pwc_hooks.fill = [this](unsigned level, Addr va, Pte pte) {
+        vsPwc_.fill(level, va, pte);
+    };
+
+    TwoStageConfig config;
+    TwoStageResult walk =
+        walkTwoStage(machine_.mem(), vsatpRoot_, hgatpRoot_, gva, type,
+                     guestPriv_, config, &gtlb_hooks, &pwc_hooks);
+    out.gTlbHits = walk.gstageTlbHits;
+
+    // Replay the supervisor-physical references: protection check
+    // first, then the memory reference itself.
+    AccessOutcome check_out;
+    for (const VirtRef &ref : walk.refs) {
+        const AccessType ref_type =
+            ref.kind == VirtRefKind::Data
+                ? type
+                : (ref.write ? AccessType::Store : AccessType::Load);
+        out.fault = machine_.checkPhys(ref.spa, ref_type, check_out);
+        out.cycles += check_out.cycles;
+        out.pmptRefs += check_out.pmptRefs;
+        check_out = AccessOutcome{};
+        if (out.fault != Fault::None)
+            return out;
+
+        out.cycles +=
+            machine_.hier().access(ref.spa, ref.write,
+                                   ref.kind == VirtRefKind::Data &&
+                                       is_fetch).cycles;
+        switch (ref.kind) {
+          case VirtRefKind::NptPage: ++out.nptRefs; break;
+          case VirtRefKind::GptPage: ++out.gptRefs; break;
+          case VirtRefKind::Data: ++out.dataRefs; break;
+        }
+    }
+
+    if (!walk.ok()) {
+        out.fault = walk.fault;
+        return out;
+    }
+
+    combinedTlb_.fill(gva, alignDown(walk.spa, kPageSize), walk.perm,
+                      machine_.physPermProbe(walk.spa), true);
+    return out;
+}
+
+} // namespace hpmp

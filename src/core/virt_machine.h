@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Virtualized-environment machine (paper §6, Figures 8 and 13).
+ *
+ * Wraps a Machine with the hypervisor-extension translation path:
+ * guest accesses walk the guest page table (vsatp, Sv39) through the
+ * nested page table (hgatp, Sv39x4), and every supervisor-physical
+ * reference — NPT page, guest-PT page or data — goes through the same
+ * HPMP permission check and cache hierarchy. Separate combined and
+ * G-stage TLBs plus a guest PWC give hfence.vvma / hfence.gvma their
+ * distinct costs.
+ */
+
+#ifndef HPMP_CORE_VIRT_MACHINE_H
+#define HPMP_CORE_VIRT_MACHINE_H
+
+#include "core/machine.h"
+#include "pt/two_stage.h"
+
+namespace hpmp
+{
+
+/** Outcome of one guest access with the 3D-walk breakdown. */
+struct VirtAccessOutcome
+{
+    Fault fault = Fault::None;
+    uint64_t cycles = 0;
+    bool tlbHit = false;
+    unsigned nptRefs = 0;   //!< nested-PT page references
+    unsigned gptRefs = 0;   //!< guest-PT page references
+    unsigned dataRefs = 0;
+    unsigned pmptRefs = 0;  //!< permission-table references
+    unsigned gTlbHits = 0;  //!< G-stage walks short-circuited
+
+    bool ok() const { return fault == Fault::None; }
+    unsigned totalRefs() const
+    {
+        return nptRefs + gptRefs + dataRefs + pmptRefs;
+    }
+};
+
+/** A guest hart running under the hypervisor extension. */
+class VirtMachine
+{
+  public:
+    explicit VirtMachine(const MachineParams &params);
+
+    Machine &machine() { return machine_; }
+    PhysMem &mem() { return machine_.mem(); }
+    HpmpUnit &hpmp() { return machine_.hpmp(); }
+    MemoryHierarchy &hier() { return machine_.hier(); }
+
+    void setVsatp(Addr root_pa) { vsatpRoot_ = root_pa; hfenceGvma(); }
+    void setHgatp(Addr root_pa) { hgatpRoot_ = root_pa; hfenceGvma(); }
+    void setGuestPriv(PrivMode priv) { guestPriv_ = priv; }
+
+    /** One guest load/store/fetch (the hlv.d path of §8.6). */
+    VirtAccessOutcome access(Addr gva, AccessType type);
+
+    /** hfence.vvma: drop guest translations, keep G-stage ones. */
+    void hfenceVvma();
+
+    /** hfence.gvma: drop G-stage and combined translations. */
+    void hfenceGvma();
+
+    /** Cold caches + all TLBs. */
+    void coldReset();
+
+  private:
+    Machine machine_;
+    Tlb combinedTlb_;  //!< gva -> spa with inlined permissions
+    Tlb gStageTlb_;    //!< gpa page -> spa page
+    Pwc vsPwc_;        //!< guest-PTE cache
+
+    Addr vsatpRoot_ = 0;
+    Addr hgatpRoot_ = 0;
+    PrivMode guestPriv_ = PrivMode::Supervisor;
+};
+
+} // namespace hpmp
+
+#endif // HPMP_CORE_VIRT_MACHINE_H

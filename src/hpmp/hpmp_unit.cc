@@ -1,0 +1,119 @@
+#include "hpmp/hpmp_unit.h"
+
+#include "base/logging.h"
+
+namespace hpmp
+{
+
+HpmpUnit::HpmpUnit(PhysMem &mem, unsigned num_entries,
+                   unsigned pmptw_entries)
+    : mem_(mem),
+      regs_(num_entries),
+      pmptwCache_(pmptw_entries)
+{
+}
+
+void
+HpmpUnit::programSegment(unsigned idx, Addr base, uint64_t size, Perm perm)
+{
+    regs_.setAddr(idx, PmpUnit::encodeNapot(base, size));
+    regs_.setCfg(idx, PmpCfg::make(perm, PmpAddrMode::Napot));
+    csrWrites_ += 2;
+}
+
+void
+HpmpUnit::programTable(unsigned idx, Addr base, uint64_t size,
+                       Addr table_root, unsigned levels)
+{
+    fatal_if(idx + 1 >= regs_.numEntries(),
+             "the last HPMP entry cannot be in table mode (no successor "
+             "to hold the table base)");
+    fatal_if(size > pmpt_geom::coverage(levels),
+             "region %#lx larger than table coverage %#lx",
+             size, pmpt_geom::coverage(levels));
+    regs_.setAddr(idx, PmpUnit::encodeNapot(base, size));
+    regs_.setCfg(idx, PmpCfg::make(Perm::none(), PmpAddrMode::Napot,
+                                   /*lock=*/false, /*t=*/true));
+    // The successor entry's address register holds the table base; its
+    // own config must be OFF so it never matches.
+    regs_.setCfg(idx + 1, PmpCfg::make(Perm::none(), PmpAddrMode::Off));
+    regs_.setAddr(idx + 1, PmptBaseReg::make(table_root, levels).raw);
+    csrWrites_ += 4;
+}
+
+void
+HpmpUnit::disable(unsigned idx)
+{
+    regs_.disable(idx);
+    csrWrites_ += 2;
+}
+
+HpmpCheckResult
+HpmpUnit::check(Addr pa, uint64_t size, AccessType type, PrivMode priv)
+{
+    HpmpCheckResult result;
+
+    // The monitor itself (M-mode) is unconstrained: no lock bits are
+    // used in this model, matching Penglai's deployment.
+    if (priv == PrivMode::Machine)
+        return result;
+
+    const int idx = regs_.findMatch(pa, size);
+    result.entry = idx;
+    if (idx < 0) {
+        result.fault = accessFaultFor(type);
+        return result;
+    }
+    if (!regs_.coversAll(unsigned(idx), pa, size)) {
+        result.fault = accessFaultFor(type);
+        return result;
+    }
+
+    const PmpCfg cfg = regs_.cfg(unsigned(idx));
+
+    // WARL legalization: a T bit on the last entry reads as zero.
+    const bool table_mode =
+        cfg.reservedT() && unsigned(idx) + 1 < regs_.numEntries();
+
+    if (!table_mode) {
+        if (!cfg.perm().allows(type))
+            result.fault = accessFaultFor(type);
+        return result;
+    }
+
+    result.viaTable = true;
+    const auto region = regs_.region(unsigned(idx));
+    panic_if(!region, "matching entry has no region");
+    const uint64_t offset = pa - region->base;
+    const PmptBaseReg base_reg{regs_.addr(unsigned(idx) + 1)};
+
+    if (auto cached = pmptwCache_.lookup(base_reg.tablePa(), offset)) {
+        result.viaCache = true;
+        if (!cached->allows(type))
+            result.fault = accessFaultFor(type);
+        return result;
+    }
+
+    PmptWalkResult walk = walkPmpTable(mem_, base_reg.tablePa(),
+                                       base_reg.levels(), offset);
+    result.pmptRefs = walk.refs;
+    if (!walk.valid || !walk.perm.allows(type)) {
+        result.fault = accessFaultFor(type);
+        return result;
+    }
+
+    // Fill the PMPTW-Cache with the (possibly synthesized) leaf pmpte.
+    if (pmptwCache_.enabled()) {
+        if (walk.hugeHit) {
+            pmptwCache_.fill(base_reg.tablePa(), offset,
+                             LeafPmpte::uniform(walk.perm));
+        } else {
+            const Addr leaf_slot = walk.refs.back().pa;
+            pmptwCache_.fill(base_reg.tablePa(), offset,
+                             LeafPmpte{mem_.read64(leaf_slot)});
+        }
+    }
+    return result;
+}
+
+} // namespace hpmp

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * HPMP — Hybrid Physical Memory Protection (paper §4).
+ *
+ * Extends the PMP register file with the Table-mode bit (T, the
+ * previously reserved bit 5 of pmpcfg). A segment-mode entry checks
+ * with its inline permission, zero extra references. A table-mode
+ * entry borrows the *next* entry's address register as the base of a
+ * PMP Table (PmptBaseReg, Fig. 6-b) and fetches the permission from
+ * DRAM through the PMPTW, optionally short-circuited by the
+ * PMPTW-Cache. Matching and priority are unchanged from PMP: the
+ * lowest-numbered entry covering the access decides, which is what
+ * lets Penglai-HPMP treat segments as a cache of the tables (§5).
+ */
+
+#ifndef HPMP_HPMP_HPMP_UNIT_H
+#define HPMP_HPMP_HPMP_UNIT_H
+
+#include "mem/phys_mem.h"
+#include "pmp/pmp.h"
+#include "pmpt/pmp_table.h"
+#include "pmpt/pmpt_walker.h"
+#include "pmpt/pmptw_cache.h"
+
+namespace hpmp
+{
+
+/** Outcome of one HPMP permission check. */
+struct HpmpCheckResult
+{
+    Fault fault = Fault::None;
+    int entry = -1;        //!< matching entry, -1 = none
+    bool viaTable = false; //!< resolved through a PMP Table walk
+    bool viaCache = false; //!< resolved by the PMPTW-Cache
+    SmallVec<PmptRef, 4> pmptRefs; //!< pmpte references performed
+
+    bool ok() const { return fault == Fault::None; }
+};
+
+/** The HPMP register file and permission checker. */
+class HpmpUnit
+{
+  public:
+    /**
+     * @param mem           simulated physical memory holding the tables
+     * @param num_entries   16 by default; 64 models the ePMP direction
+     * @param pmptw_entries PMPTW-Cache size; 0 disables (paper default)
+     */
+    explicit HpmpUnit(PhysMem &mem, unsigned num_entries = 16,
+                      unsigned pmptw_entries = 0);
+
+    PmpUnit &regs() { return regs_; }
+    const PmpUnit &regs() const { return regs_; }
+
+    /** Program entry idx as a NAPOT segment-mode region. */
+    void programSegment(unsigned idx, Addr base, uint64_t size, Perm perm);
+
+    /**
+     * Program entry idx as a NAPOT table-mode region whose permissions
+     * come from the PMP Table rooted at table_root. Consumes entry
+     * idx+1's address register for the base (Fig. 6-b); idx+1's config
+     * is forced OFF. idx must not be the last entry (§4.3).
+     */
+    void programTable(unsigned idx, Addr base, uint64_t size,
+                      Addr table_root, unsigned levels = 2);
+
+    /** Turn entry idx off. */
+    void disable(unsigned idx);
+
+    /**
+     * Check one physical access. Machine-mode accesses bypass the
+     * check (entries are not locked in this model, matching the
+     * monitor's own use); S/U accesses require a covering entry.
+     */
+    HpmpCheckResult check(Addr pa, uint64_t size, AccessType type,
+                          PrivMode priv);
+
+    PmptwCache &pmptwCache() { return pmptwCache_; }
+
+    /** Flush the PMPTW-Cache (entry/table update, domain switch). */
+    void flushCache() { pmptwCache_.flush(); }
+
+    /** Number of register (CSR) writes performed via the helpers. */
+    uint64_t csrWrites() const { return csrWrites_.value(); }
+    void resetCsrWrites() { csrWrites_.reset(); }
+
+  private:
+    PhysMem &mem_;
+    PmpUnit regs_;
+    PmptwCache pmptwCache_;
+    Counter csrWrites_;
+};
+
+} // namespace hpmp
+
+#endif // HPMP_HPMP_HPMP_UNIT_H

@@ -1,0 +1,78 @@
+#include "hpmp/iopmp.h"
+
+#include "base/logging.h"
+
+namespace hpmp
+{
+
+IopmpUnit::IopmpUnit(PhysMem &mem, unsigned num_masters,
+                     unsigned entries_per_master)
+{
+    fatal_if(num_masters == 0, "IOPMP needs at least one master");
+    for (unsigned i = 0; i < num_masters; ++i) {
+        masters_.push_back(
+            std::make_unique<HpmpUnit>(mem, entries_per_master, 0));
+    }
+}
+
+HpmpUnit &
+IopmpUnit::master(MasterId id)
+{
+    panic_if(id >= masters_.size(), "unknown DMA master %u", id);
+    return *masters_[id];
+}
+
+HpmpCheckResult
+IopmpUnit::check(MasterId id, Addr pa, uint64_t size, AccessType type)
+{
+    HpmpCheckResult result =
+        master(id).check(pa, size, type, PrivMode::User);
+    if (!result.ok())
+        ++denials_;
+    return result;
+}
+
+void
+IopmpUnit::flushCaches()
+{
+    for (auto &m : masters_)
+        m->flushCache();
+}
+
+DmaEngine::TransferResult
+DmaEngine::transfer(Addr src, Addr dst, uint64_t bytes)
+{
+    TransferResult result;
+    for (uint64_t off = 0; off < bytes; off += 64) {
+        const uint64_t beat = std::min<uint64_t>(64, bytes - off);
+
+        HpmpCheckResult read_check =
+            iopmp_.check(id_, src + off, beat, AccessType::Load);
+        result.pmptRefs += unsigned(read_check.pmptRefs.size());
+        for (const PmptRef &ref : read_check.pmptRefs)
+            result.cycles += hier_.access(ref.pa, false).cycles;
+        if (!read_check.ok()) {
+            result.ok = false;
+            result.faultAddr = src + off;
+            return result;
+        }
+
+        HpmpCheckResult write_check =
+            iopmp_.check(id_, dst + off, beat, AccessType::Store);
+        result.pmptRefs += unsigned(write_check.pmptRefs.size());
+        for (const PmptRef &ref : write_check.pmptRefs)
+            result.cycles += hier_.access(ref.pa, false).cycles;
+        if (!write_check.ok()) {
+            result.ok = false;
+            result.faultAddr = dst + off;
+            return result;
+        }
+
+        result.cycles += hier_.access(src + off, false).cycles;
+        result.cycles += hier_.access(dst + off, true).cycles;
+        ++result.beats;
+    }
+    return result;
+}
+
+} // namespace hpmp

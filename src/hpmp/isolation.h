@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The physical-memory isolation schemes compared throughout the paper.
+ */
+
+#ifndef HPMP_HPMP_ISOLATION_H
+#define HPMP_HPMP_ISOLATION_H
+
+namespace hpmp
+{
+
+/**
+ * How the secure monitor programs the (H)PMP entries. The checking
+ * hardware is the same HpmpUnit in all cases; the scheme is a software
+ * policy:
+ *  - None:     isolation disabled (Fig. 2-a).
+ *  - Pmp:      segment mode only — fast but <16 regions (Fig. 2-b).
+ *  - PmpTable: table mode for everything — scalable but 2 extra
+ *              references per checked access (Fig. 2-c).
+ *  - Hpmp:     PT pages in segment mode, data in table mode (Fig. 4).
+ */
+enum class IsolationScheme { None, Pmp, PmpTable, Hpmp };
+
+inline const char *
+toString(IsolationScheme scheme)
+{
+    switch (scheme) {
+      case IsolationScheme::None: return "none";
+      case IsolationScheme::Pmp: return "PMP";
+      case IsolationScheme::PmpTable: return "PMPT";
+      case IsolationScheme::Hpmp: return "HPMP";
+    }
+    return "?";
+}
+
+} // namespace hpmp
+
+#endif // HPMP_HPMP_ISOLATION_H

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tag-only set-associative cache timing model.
+ *
+ * The data itself lives in PhysMem (functional state); this model only
+ * tracks which lines are resident to attribute hit/miss latency, like
+ * the timing side of gem5's classic caches. LRU replacement, write-back
+ * write-allocate. Geometry follows Table 1 of the paper.
+ */
+
+#ifndef HPMP_MEM_CACHE_H
+#define HPMP_MEM_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/addr.h"
+#include "base/stats.h"
+
+namespace hpmp
+{
+
+/** Geometry and latency of one cache level. */
+struct CacheParams
+{
+    std::string name;       //!< for stats output
+    uint64_t sizeBytes;     //!< total capacity
+    unsigned assoc;         //!< ways per set
+    unsigned lineBytes = 64;
+    unsigned latency;       //!< hit latency contribution, core cycles
+};
+
+/** One level of tag-only cache with LRU replacement. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Look up (and on miss, fill) the line containing pa.
+     * @return true on hit.
+     */
+    bool access(Addr pa, bool is_write);
+
+    /** Look up without filling or LRU update (for tests / probes). */
+    bool probe(Addr pa) const;
+
+    /** Insert the line containing pa without counting a miss (warm-up). */
+    void touch(Addr pa);
+
+    /** Invalidate everything (cold state for TC1-style experiments). */
+    void flushAll();
+
+    /** Invalidate only the line containing pa, if resident. */
+    void flushLine(Addr pa);
+
+    /**
+     * Cache-line locking (Penglai's side-channel/latency defence,
+     * paper Fig. 7): pin the line containing pa so replacement never
+     * evicts it. @return false if every way of its set is already
+     * locked (at least one way must stay evictable).
+     */
+    bool lockLine(Addr pa);
+
+    /** Release a pinned line. */
+    void unlockLine(Addr pa);
+
+    /** Number of currently locked lines. */
+    uint64_t lockedLines() const { return lockedLines_; }
+
+    unsigned latency() const { return params_.latency; }
+    const CacheParams &params() const { return params_; }
+
+    uint64_t hits() const { return hits_.value(); }
+    uint64_t misses() const { return misses_.value(); }
+    void resetStats() { hits_.reset(); misses_.reset(); }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool locked = false; //!< never chosen as a victim
+        uint64_t lru = 0;    //!< larger = more recently used
+    };
+
+    uint64_t lineNumber(Addr pa) const { return pa >> lineShift_; }
+    uint64_t setIndex(Addr pa) const { return lineNumber(pa) % numSets_; }
+    uint64_t tagOf(Addr pa) const { return lineNumber(pa) / numSets_; }
+
+    CacheParams params_;
+    unsigned lineShift_;
+    uint64_t numSets_;
+    std::vector<Line> lines_; //!< numSets_ x assoc, row-major
+    uint64_t lruClock_ = 0;
+    uint64_t lockedLines_ = 0;
+
+    Counter hits_;
+    Counter misses_;
+};
+
+} // namespace hpmp
+
+#endif // HPMP_MEM_CACHE_H

@@ -1,0 +1,37 @@
+#include "mem/dram.h"
+
+namespace hpmp
+{
+
+Dram::Dram(const DramParams &params)
+    : params_(params),
+      openRow_(params.numBanks, -1)
+{
+}
+
+unsigned
+Dram::access(Addr pa)
+{
+    // Row index within the whole device, bank-interleaved at row
+    // granularity so that adjacent rows map to different banks.
+    const uint64_t row_global = pa / params_.rowBytes;
+    const unsigned bank = row_global % params_.numBanks;
+    const int64_t row = static_cast<int64_t>(row_global / params_.numBanks);
+
+    if (openRow_[bank] == row) {
+        ++rowHits_;
+        return params_.rowHitCycles;
+    }
+    openRow_[bank] = row;
+    ++rowMisses_;
+    return params_.rowMissCycles;
+}
+
+void
+Dram::precharge()
+{
+    for (auto &row : openRow_)
+        row = -1;
+}
+
+} // namespace hpmp

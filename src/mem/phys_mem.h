@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Sparse functional physical-memory backing store.
+ *
+ * Pages are allocated lazily on first touch and zero-filled, so the
+ * simulator can model a 16 GiB machine (Table 1) without committing
+ * host memory. Page tables, PMP tables and workload data all live in
+ * here and are read back bit-exactly by the walkers.
+ */
+
+#ifndef HPMP_MEM_PHYS_MEM_H
+#define HPMP_MEM_PHYS_MEM_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "base/addr.h"
+
+namespace hpmp
+{
+
+/** Byte-addressable sparse physical memory. */
+class PhysMem
+{
+  public:
+    /** @param size total physical address space in bytes. */
+    explicit PhysMem(uint64_t size) : size_(size) {}
+
+    uint64_t size() const { return size_; }
+
+    /** Aligned 64-bit load; addr must be 8-byte aligned and in range. */
+    uint64_t read64(Addr addr) const;
+
+    /** Aligned 64-bit store; addr must be 8-byte aligned and in range. */
+    void write64(Addr addr, uint64_t value);
+
+    uint8_t read8(Addr addr) const;
+    void write8(Addr addr, uint8_t value);
+
+    /** Bulk helpers for workload data. */
+    void readBytes(Addr addr, void *buf, uint64_t len) const;
+    void writeBytes(Addr addr, const void *buf, uint64_t len);
+
+    /** Zero an entire naturally aligned 4 KiB page. */
+    void zeroPage(Addr page_base);
+
+    /** Number of host-backed pages (for tests / footprint checks). */
+    size_t backedPages() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<uint8_t, kPageSize>;
+
+    Page &pageFor(Addr addr);
+    const Page *pageForConst(Addr addr) const;
+    void checkRange(Addr addr, uint64_t len) const;
+
+    uint64_t size_;
+    std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace hpmp
+
+#endif // HPMP_MEM_PHYS_MEM_H

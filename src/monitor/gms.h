@@ -1,0 +1,46 @@
+/**
+ * @file
+ * General Memory Segment (GMS) — the unified isolation abstraction of
+ * Penglai-HPMP (paper §5).
+ *
+ * A GMS is a contiguous physical region with one permission and a
+ * software label. The OS may label a GMS "fast" (a hint: put it in a
+ * segment-mode entry) or "slow", but only the secure monitor can set
+ * the region range and permission. The monitor treats segment entries
+ * as a cache of the permission tables: every GMS is always present in
+ * the domain's PMP Table, and fast GMSs are additionally mirrored
+ * into low-numbered (higher-priority) segment entries.
+ */
+
+#ifndef HPMP_MONITOR_GMS_H
+#define HPMP_MONITOR_GMS_H
+
+#include <cstdint>
+
+#include "base/access.h"
+#include "base/addr.h"
+
+namespace hpmp
+{
+
+/** OS-provided placement hint. */
+enum class GmsLabel : uint8_t { Fast, Slow };
+
+/** One general memory segment. */
+struct Gms
+{
+    Addr base = 0;
+    uint64_t size = 0;
+    Perm perm;
+    GmsLabel label = GmsLabel::Slow;
+    /**
+     * Shared regions (inter-enclave communication, paper Fig. 7 and
+     * Fig. 1's "H (shared)" pages) may appear in several domains'
+     * GMS lists; exclusive ones may not overlap anything.
+     */
+    bool shared = false;
+};
+
+} // namespace hpmp
+
+#endif // HPMP_MONITOR_GMS_H

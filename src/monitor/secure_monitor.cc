@@ -1,0 +1,506 @@
+#include "monitor/secure_monitor.h"
+
+#include "base/bitfield.h"
+#include "base/logging.h"
+
+namespace hpmp
+{
+
+SecureMonitor::SecureMonitor(Machine &machine, const MonitorConfig &config)
+    : machine_(machine),
+      config_(config)
+{
+    fatal_if(!isPowerOf2(config.monitorSize) ||
+                 config.monitorBase % config.monitorSize,
+             "monitor region must be NAPOT");
+    // PMP Table frames are carved from the top of the monitor region.
+    tableFrameEnd_ = config.monitorBase + config.monitorSize;
+    tableFrameNext_ = tableFrameEnd_ - config.monitorSize / 2;
+
+    // Entry 0: the monitor's private memory. S/U get no access; the
+    // monitor itself runs in M-mode and is unconstrained.
+    machine_.hpmp().programSegment(0, config.monitorBase,
+                                   config.monitorSize, Perm::none());
+
+    // The host is domain 0.
+    const DomainId host = createDomain();
+    panic_if(host != 0, "host must be domain 0");
+    current_ = 0;
+}
+
+SecureMonitor::Domain &
+SecureMonitor::domain(DomainId id)
+{
+    auto it = domains_.find(id);
+    panic_if(it == domains_.end() || !it->second.alive,
+             "no such domain %u", id);
+    return it->second;
+}
+
+const SecureMonitor::Domain &
+SecureMonitor::domain(DomainId id) const
+{
+    auto it = domains_.find(id);
+    panic_if(it == domains_.end() || !it->second.alive,
+             "no such domain %u", id);
+    return it->second;
+}
+
+Addr
+SecureMonitor::allocTableFrame(unsigned npages)
+{
+    const Addr base = tableFrameNext_;
+    fatal_if(base + npages * kPageSize > tableFrameEnd_,
+             "monitor out of PMP-table frames");
+    tableFrameNext_ += npages * kPageSize;
+    return base;
+}
+
+PmpTable &
+SecureMonitor::tableOf(DomainId id)
+{
+    Domain &dom = domain(id);
+    if (!dom.table) {
+        dom.table = std::make_unique<PmpTable>(
+            machine_.mem(),
+            [this](unsigned npages) { return allocTableFrame(npages); },
+            config_.pmptLevels);
+        // Replay existing GMSs into the fresh table.
+        for (const Gms &gms : dom.gmsList)
+            writeGmsToTable(dom, gms);
+    }
+    return *dom.table;
+}
+
+void
+SecureMonitor::writeGmsToTable(Domain &dom, const Gms &gms)
+{
+    panic_if(!dom.table, "writeGmsToTable without a table");
+    dom.table->setPerm(gms.base, gms.size, gms.perm, config_.hugePmpte);
+}
+
+unsigned
+SecureMonitor::segmentBudget() const
+{
+    const unsigned entries = machine_.hpmp().regs().numEntries();
+    // Entry 0 is the monitor; table mode consumes two entries.
+    switch (config_.scheme) {
+      case IsolationScheme::Pmp:
+      case IsolationScheme::None:
+        return entries - 1;
+      case IsolationScheme::PmpTable:
+        return 0;
+      case IsolationScheme::Hpmp:
+        return entries - 3;
+    }
+    return 0;
+}
+
+void
+SecureMonitor::beginOp()
+{
+    csrSnapshot_ = machine_.hpmp().csrWrites();
+    uint64_t table_writes = tableWritesTotal_;
+    for (const auto &[id, dom] : domains_) {
+        if (dom.table)
+            table_writes += dom.table->entryWrites();
+    }
+    tableWriteSnapshot_ = table_writes;
+}
+
+uint64_t
+SecureMonitor::opCycles(bool flushed)
+{
+    const uint64_t csr_delta = machine_.hpmp().csrWrites() - csrSnapshot_;
+    uint64_t table_writes = tableWritesTotal_;
+    for (const auto &[id, dom] : domains_) {
+        if (dom.table)
+            table_writes += dom.table->entryWrites();
+    }
+    const uint64_t table_delta = table_writes - tableWriteSnapshot_;
+
+    uint64_t cycles = config_.costs.trapCycles;
+    cycles += csr_delta * config_.costs.csrWriteCycles;
+    cycles += table_delta * config_.costs.tableWriteCycles;
+    if (flushed)
+        cycles += config_.costs.flushCycles;
+    return cycles;
+}
+
+DomainId
+SecureMonitor::createDomain()
+{
+    const DomainId id = next_++;
+    domains_[id] = Domain{};
+    return id;
+}
+
+MonitorResult
+SecureMonitor::destroyDomain(DomainId id)
+{
+    if (id == 0)
+        return MonitorResult::fail("cannot destroy the host domain");
+    auto it = domains_.find(id);
+    if (it == domains_.end() || !it->second.alive)
+        return MonitorResult::fail("no such domain");
+    beginOp();
+    if (it->second.table)
+        tableWritesTotal_ += it->second.table->entryWrites();
+    domains_.erase(it);
+    if (current_ == id)
+        current_ = 0;
+    MonitorResult result;
+    result.cycles = opCycles(false);
+    return result;
+}
+
+MonitorResult
+SecureMonitor::addGms(DomainId id, const Gms &gms)
+{
+    Domain &dom = domain(id);
+    if (gms.size == 0 || gms.base % kPageSize || gms.size % kPageSize)
+        return MonitorResult::fail("GMS must be page-granular");
+
+    // No overlap with any domain's existing GMSs: memory ownership is
+    // exclusive (the host must release regions before granting them).
+    for (const auto &[other_id, other] : domains_) {
+        for (const Gms &existing : other.gmsList) {
+            if (existing.base < gms.base + gms.size &&
+                gms.base < existing.base + existing.size) {
+                return MonitorResult::fail("GMS overlaps a domain region");
+            }
+        }
+    }
+    // The monitor region is never handed out.
+    if (gms.base < config_.monitorBase + config_.monitorSize &&
+        config_.monitorBase < gms.base + gms.size) {
+        return MonitorResult::fail("GMS overlaps the monitor");
+    }
+
+    beginOp();
+    dom.gmsList.push_back(gms);
+
+    // Cache-based management: every GMS always enters the table (when
+    // the scheme has one); segments only mirror the fast ones.
+    if (config_.scheme == IsolationScheme::PmpTable ||
+        config_.scheme == IsolationScheme::Hpmp) {
+        tableOf(id);
+        writeGmsToTable(dom, dom.gmsList.back());
+    }
+
+    bool flushed = false;
+    std::string error;
+    uint64_t layout_cycles = 0;
+    if (id == current_) {
+        if (!applyLayout(layout_cycles, error)) {
+            dom.gmsList.pop_back();
+            return MonitorResult::fail(error);
+        }
+        flushed = true;
+    }
+    MonitorResult result;
+    result.cycles = opCycles(flushed);
+    return result;
+}
+
+MonitorResult
+SecureMonitor::removeGms(DomainId id, Addr base)
+{
+    Domain &dom = domain(id);
+    auto it = dom.gmsList.begin();
+    for (; it != dom.gmsList.end(); ++it) {
+        if (it->base == base)
+            break;
+    }
+    if (it == dom.gmsList.end())
+        return MonitorResult::fail("no GMS at this base");
+
+    beginOp();
+    if (dom.table)
+        dom.table->setPerm(it->base, it->size, Perm::none());
+    dom.gmsList.erase(it);
+
+    bool flushed = false;
+    if (id == current_) {
+        uint64_t layout_cycles = 0;
+        std::string error;
+        if (!applyLayout(layout_cycles, error))
+            return MonitorResult::fail(error);
+        flushed = true;
+    }
+    MonitorResult result;
+    result.cycles = opCycles(flushed);
+    return result;
+}
+
+MonitorResult
+SecureMonitor::setLabel(DomainId id, Addr base, GmsLabel label)
+{
+    Domain &dom = domain(id);
+    for (Gms &gms : dom.gmsList) {
+        if (gms.base == base) {
+            beginOp();
+            gms.label = label;
+            // Labels only affect which GMSs sit in segment entries:
+            // registers change, tables do not (§5, cache-based mgmt).
+            bool flushed = false;
+            if (id == current_) {
+                uint64_t layout_cycles = 0;
+                std::string error;
+                if (!applyLayout(layout_cycles, error))
+                    return MonitorResult::fail(error);
+                flushed = true;
+            }
+            MonitorResult result;
+            result.cycles = opCycles(flushed);
+            return result;
+        }
+    }
+    return MonitorResult::fail("no GMS at this base");
+}
+
+MonitorResult
+SecureMonitor::setPerm(DomainId id, Addr base, Perm perm)
+{
+    Domain &dom = domain(id);
+    for (Gms &gms : dom.gmsList) {
+        if (gms.base == base) {
+            beginOp();
+            gms.perm = perm;
+            if (dom.table)
+                writeGmsToTable(dom, gms);
+            bool flushed = false;
+            if (id == current_) {
+                uint64_t layout_cycles = 0;
+                std::string error;
+                if (!applyLayout(layout_cycles, error))
+                    return MonitorResult::fail(error);
+                flushed = true;
+            }
+            MonitorResult result;
+            result.cycles = opCycles(flushed);
+            return result;
+        }
+    }
+    return MonitorResult::fail("no GMS at this base");
+}
+
+MonitorResult
+SecureMonitor::shareGms(DomainId owner, Addr base, DomainId peer,
+                        Perm perm)
+{
+    if (owner == peer)
+        return MonitorResult::fail("cannot share with self");
+    Domain &own = domain(owner);
+    Domain &dst = domain(peer);
+
+    for (Gms &gms : own.gmsList) {
+        if (gms.base != base)
+            continue;
+        if ((perm.r && !gms.perm.r) || (perm.w && !gms.perm.w) ||
+            (perm.x && !gms.perm.x)) {
+            return MonitorResult::fail(
+                "shared permission exceeds the owner's");
+        }
+        for (const Gms &existing : dst.gmsList) {
+            if (existing.base < gms.base + gms.size &&
+                gms.base < existing.base + existing.size) {
+                return MonitorResult::fail(
+                    "peer already maps an overlapping region");
+            }
+        }
+        beginOp();
+        gms.shared = true;
+        Gms shared_view = gms;
+        shared_view.perm = perm;
+        shared_view.label = GmsLabel::Slow;
+        dst.gmsList.push_back(shared_view);
+        if (config_.scheme == IsolationScheme::PmpTable ||
+            config_.scheme == IsolationScheme::Hpmp) {
+            tableOf(peer);
+            writeGmsToTable(dst, dst.gmsList.back());
+        }
+        bool flushed = false;
+        if (peer == current_ || owner == current_) {
+            uint64_t layout_cycles = 0;
+            std::string error;
+            if (!applyLayout(layout_cycles, error))
+                return MonitorResult::fail(error);
+            flushed = true;
+        }
+        MonitorResult result;
+        result.cycles = opCycles(flushed);
+        return result;
+    }
+    return MonitorResult::fail("no GMS at this base");
+}
+
+MerkleHash
+SecureMonitor::measureDomain(DomainId id) const
+{
+    const Domain &dom = domain(id);
+    MerkleHash acc = 0x4d4541535552u; // "MEASUR"
+    for (const Gms &gms : dom.gmsList) {
+        acc = Attestor::fold(
+            acc, Attestor::measure(machine_.mem(), gms.base, gms.size));
+    }
+    return acc;
+}
+
+AttestationReport
+SecureMonitor::attestDomain(DomainId id, uint64_t nonce) const
+{
+    return attestor_.sign(measureDomain(id), nonce);
+}
+
+MonitorResult
+SecureMonitor::hintHotRegion(DomainId id, Addr base, uint64_t size)
+{
+    if (!isPowerOf2(size) || size < kPageSize || base % size != 0)
+        return MonitorResult::fail("hot region must be NAPOT");
+
+    Domain &dom = domain(id);
+    for (size_t i = 0; i < dom.gmsList.size(); ++i) {
+        Gms covering = dom.gmsList[i];
+        if (!(covering.base <= base &&
+              base + size <= covering.base + covering.size)) {
+            continue;
+        }
+        if (covering.base == base && covering.size == size)
+            return setLabel(id, base, GmsLabel::Fast);
+
+        beginOp();
+        // Split into [left][hot][right]; permissions unchanged, so
+        // the table is untouched (registers only — the cheap path).
+        dom.gmsList.erase(dom.gmsList.begin() + long(i));
+        if (covering.base < base) {
+            dom.gmsList.push_back(Gms{covering.base,
+                                      base - covering.base,
+                                      covering.perm, covering.label});
+        }
+        dom.gmsList.push_back(Gms{base, size, covering.perm,
+                                  GmsLabel::Fast});
+        const Addr end = base + size;
+        const Addr cov_end = covering.base + covering.size;
+        if (end < cov_end) {
+            dom.gmsList.push_back(Gms{end, cov_end - end,
+                                      covering.perm, covering.label});
+        }
+
+        bool flushed = false;
+        if (id == current_) {
+            uint64_t layout_cycles = 0;
+            std::string error;
+            if (!applyLayout(layout_cycles, error))
+                return MonitorResult::fail(error);
+            flushed = true;
+        }
+        MonitorResult result;
+        result.cycles = opCycles(flushed);
+        return result;
+    }
+    return MonitorResult::fail("no GMS covers the hot region");
+}
+
+MonitorResult
+SecureMonitor::switchTo(DomainId id)
+{
+    domain(id); // validates
+    beginOp();
+    current_ = id;
+    uint64_t layout_cycles = 0;
+    std::string error;
+    if (!applyLayout(layout_cycles, error))
+        return MonitorResult::fail(error);
+    MonitorResult result;
+    result.cycles = opCycles(true);
+    return result;
+}
+
+const std::vector<Gms> &
+SecureMonitor::gmsOf(DomainId id) const
+{
+    return domain(id).gmsList;
+}
+
+bool
+SecureMonitor::applyLayout(uint64_t &cycles, std::string &error)
+{
+    HpmpUnit &unit = machine_.hpmp();
+    const unsigned entries = unit.regs().numEntries();
+    Domain &dom = domain(current_);
+
+    // Entry 0 stays on the monitor region; everything else is ours.
+    unsigned next_entry = 1;
+    auto program_segment = [&](const Gms &gms) -> bool {
+        if (next_entry >= entries)
+            return false;
+        if (!isPowerOf2(gms.size) || gms.size < 8 ||
+            gms.base % gms.size != 0) {
+            return false; // not NAPOT-representable
+        }
+        unit.programSegment(next_entry++, gms.base, gms.size, gms.perm);
+        return true;
+    };
+
+    switch (config_.scheme) {
+      case IsolationScheme::None:
+        break;
+      case IsolationScheme::Pmp:
+        for (const Gms &gms : dom.gmsList) {
+            if (!program_segment(gms)) {
+                error = "no available PMP entry (or non-NAPOT GMS)";
+                return false;
+            }
+        }
+        break;
+      case IsolationScheme::PmpTable: {
+        if (next_entry + 1 >= entries) {
+            error = "no entries left for the PMP table";
+            return false;
+        }
+        PmpTable &table = tableOf(current_);
+        unit.programTable(next_entry, 0, machine_.params().physMemBytes,
+                          table.rootPa(), table.levels());
+        next_entry += 2;
+        break;
+      }
+      case IsolationScheme::Hpmp: {
+        // Fast GMSs first (higher priority = acts as a cache of the
+        // table); then one table-mode pair covering everything.
+        for (const Gms &gms : dom.gmsList) {
+            if (gms.label != GmsLabel::Fast)
+                continue;
+            if (next_entry + 2 >= entries)
+                break; // out of fast slots: the table still covers it
+            if (!program_segment(gms))
+                continue; // non-NAPOT fast GMS: hint ignored
+        }
+        if (next_entry + 1 >= entries) {
+            error = "no entries left for the PMP table";
+            return false;
+        }
+        PmpTable &table = tableOf(current_);
+        unit.programTable(next_entry, 0, machine_.params().physMemBytes,
+                          table.rootPa(), table.levels());
+        next_entry += 2;
+        break;
+      }
+    }
+
+    // Disable stale entries from the previous layout.
+    for (unsigned i = next_entry; i < entries; ++i) {
+        if (unit.regs().cfg(i).a() != PmpAddrMode::Off ||
+            unit.regs().addr(i) != 0) {
+            unit.disable(i);
+        }
+    }
+
+    // Any isolation-state change requires TLB + PMPTW synchronization.
+    machine_.sfenceVma();
+    unit.flushCache();
+    cycles = 0; // accounted via CSR/table write deltas by the caller
+    return true;
+}
+
+} // namespace hpmp

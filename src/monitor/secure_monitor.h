@@ -1,0 +1,210 @@
+/**
+ * @file
+ * The Penglai-HPMP secure monitor (paper §5).
+ *
+ * The monitor is the only software TCB: it owns the HPMP registers
+ * and the per-domain PMP Tables, validates GMS registrations from the
+ * untrusted OS, and reprograms the isolation state on domain
+ * switches. Three policies are supported, matching the paper's
+ * comparison systems:
+ *
+ *  - Penglai-PMP   (IsolationScheme::Pmp):      every GMS needs its
+ *    own segment entry; runs out beyond ~a dozen regions/domains.
+ *  - Penglai-PMPT  (IsolationScheme::PmpTable): one table-mode entry
+ *    covers all memory; unlimited GMSs, slow checks.
+ *  - Penglai-HPMP  (IsolationScheme::Hpmp):     cache-based
+ *    management — all GMSs live in the table, "fast" GMSs are
+ *    mirrored into higher-priority segment entries.
+ *
+ * Operation costs (cycles) are modelled from the work performed:
+ * trap overhead + CSR writes + pmpte stores + TLB/PMPTW flushes,
+ * which is what Fig. 14 measures.
+ */
+
+#ifndef HPMP_MONITOR_SECURE_MONITOR_H
+#define HPMP_MONITOR_SECURE_MONITOR_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/interval_set.h"
+#include "core/machine.h"
+#include "hpmp/isolation.h"
+#include "monitor/attestation.h"
+#include "monitor/gms.h"
+#include "pmpt/pmp_table.h"
+
+namespace hpmp
+{
+
+/** Identifier of an isolation domain (0 = the host). */
+using DomainId = uint32_t;
+
+/** Per-operation cost knobs for the monitor's cycle model. */
+struct MonitorCosts
+{
+    unsigned trapCycles = 380;      //!< ecall into M-mode and back
+    unsigned csrWriteCycles = 4;    //!< one pmpaddr/pmpcfg write
+    unsigned tableWriteCycles = 10; //!< one pmpte store (uncached)
+    unsigned flushCycles = 24;      //!< sfence.vma + PMPTW flush
+};
+
+/** Result of a monitor call. */
+struct MonitorResult
+{
+    bool ok = true;
+    uint64_t cycles = 0;
+    std::string error;
+
+    static MonitorResult
+    fail(std::string why)
+    {
+        return {false, 0, std::move(why)};
+    }
+};
+
+/** Monitor configuration. */
+struct MonitorConfig
+{
+    IsolationScheme scheme = IsolationScheme::Hpmp;
+    Addr monitorBase = 0;           //!< monitor-private region
+    uint64_t monitorSize = 128_MiB; //!< holds monitor + PMP tables
+    unsigned pmptLevels = 2;
+    /**
+     * Use huge (32 MiB) pmptes for aligned whole-span updates. Speeds
+     * up large allocations (Fig. 14-d) at the cost of coarser table
+     * contents; off by default to model page-interleaved ownership.
+     */
+    bool hugePmpte = false;
+    MonitorCosts costs;
+};
+
+/** The machine-mode secure monitor. */
+class SecureMonitor
+{
+  public:
+    SecureMonitor(Machine &machine, const MonitorConfig &config);
+
+    IsolationScheme scheme() const { return config_.scheme; }
+
+    /** Create an empty domain; the host is domain 0. */
+    DomainId createDomain();
+
+    /** Destroy a domain and drop its GMSs. */
+    MonitorResult destroyDomain(DomainId id);
+
+    /**
+     * Register a GMS for a domain (monitor validates that the region
+     * does not overlap another domain's private memory; regions with
+     * Perm::none() act as blocked holes and may overlap is not
+     * allowed either).
+     */
+    MonitorResult addGms(DomainId id, const Gms &gms);
+
+    /** Remove the GMS starting at base. */
+    MonitorResult removeGms(DomainId id, Addr base);
+
+    /** OS hint: relabel a GMS (fast <-> slow). Registers only. */
+    MonitorResult setLabel(DomainId id, Addr base, GmsLabel label);
+
+    /**
+     * Change the permission of an existing GMS (e.g. granting a
+     * region to an enclave). Touches table entries and registers.
+     */
+    MonitorResult setPerm(DomainId id, Addr base, Perm perm);
+
+    /**
+     * Inter-enclave communication: expose the GMS starting at `base`
+     * in domain `owner` to `peer` as well (both see it with `perm`,
+     * which must not exceed the owner's). The owner's copy is marked
+     * shared; revoke with removeGms(peer, base).
+     */
+    MonitorResult shareGms(DomainId owner, Addr base, DomainId peer,
+                           Perm perm);
+
+    /**
+     * Measure a domain: fold the Merkle roots of all its GMS regions
+     * (enclave measurement for attestation).
+     */
+    MerkleHash measureDomain(DomainId id) const;
+
+    /** Produce a signed attestation report for a domain. */
+    AttestationReport attestDomain(DomainId id, uint64_t nonce) const;
+
+    /** The monitor's attestation identity (verification side). */
+    const Attestor &attestor() const { return attestor_; }
+
+    /**
+     * Hot-region hint (paper §9, the ioctl extension): carve the
+     * NAPOT range [base, base+size) out of the covering GMS into its
+     * own "fast" GMS so it can be mirrored into a segment entry. The
+     * permission is inherited, so the permission table needs no
+     * update — only registers change.
+     */
+    MonitorResult hintHotRegion(DomainId id, Addr base, uint64_t size);
+
+    /** Switch the active domain, reprogramming the isolation state. */
+    MonitorResult switchTo(DomainId id);
+
+    DomainId currentDomain() const { return current_; }
+    size_t domainCount() const { return domains_.size(); }
+
+    /** GMSs of a domain (for tests and the OS view). */
+    const std::vector<Gms> &gmsOf(DomainId id) const;
+
+    /** Number of segment entries available to fast GMSs. */
+    unsigned segmentBudget() const;
+
+    /** The machine this monitor controls. */
+    Machine &machine() { return machine_; }
+
+  private:
+    struct Domain
+    {
+        std::vector<Gms> gmsList;
+        std::unique_ptr<PmpTable> table; //!< lazily created
+        bool alive = true;
+    };
+
+    Domain &domain(DomainId id);
+    const Domain &domain(DomainId id) const;
+
+    /** Frames for PMP tables come from the monitor-private region. */
+    Addr allocTableFrame(unsigned npages);
+
+    /** Ensure the domain's PMP Table exists and reflects its GMSs. */
+    PmpTable &tableOf(DomainId id);
+
+    /** Write one GMS's permission into the domain's table. */
+    void writeGmsToTable(Domain &dom, const Gms &gms);
+
+    /**
+     * Reprogram the HPMP registers for the current domain according
+     * to the configured scheme. @return false if the scheme cannot
+     * represent the domain (PMP out of entries).
+     */
+    bool applyLayout(uint64_t &cycles, std::string &error);
+
+    /** Account cycles for CSR/table writes since the last snapshot. */
+    void beginOp();
+    uint64_t opCycles(bool flushed);
+
+    Machine &machine_;
+    MonitorConfig config_;
+    Attestor attestor_{0x5ec0de};
+    std::map<DomainId, Domain> domains_;
+    DomainId next_ = 0;
+    DomainId current_ = 0;
+    Addr tableFrameNext_;
+    Addr tableFrameEnd_;
+
+    uint64_t csrSnapshot_ = 0;
+    uint64_t tableWriteSnapshot_ = 0;
+    uint64_t tableWritesTotal_ = 0; //!< across destroyed tables
+};
+
+} // namespace hpmp
+
+#endif // HPMP_MONITOR_SECURE_MONITOR_H

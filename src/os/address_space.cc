@@ -1,0 +1,125 @@
+#include "os/address_space.h"
+
+#include "base/logging.h"
+#include "os/kernel.h"
+
+namespace hpmp
+{
+
+AddressSpace::AddressSpace(Kernel &kernel)
+    : kernel_(kernel),
+      pt_(kernel.machine().mem(),
+          [&kernel](unsigned npages) {
+              return kernel.allocPtFrames(npages);
+          },
+          kernel.config().pagingMode)
+{
+}
+
+AddressSpace::~AddressSpace()
+{
+    // Release all populated frames; PT frames stay with the pool (the
+    // pool is reclaimed wholesale when the domain is destroyed).
+    while (!vmas_.empty()) {
+        const auto &[base, vma] = *vmas_.begin();
+        munmap(base, vma.len);
+    }
+}
+
+Addr
+AddressSpace::mmap(uint64_t len, Perm perm, bool user, bool populate)
+{
+    const Addr va = mmapNext_;
+    mmapNext_ = alignUp(mmapNext_ + len + kPageSize, kPageSize);
+    const bool ok = mapAt(va, len, perm, user, populate);
+    panic_if(!ok, "mmap at fresh address failed");
+    return va;
+}
+
+bool
+AddressSpace::mapAt(Addr va, uint64_t len, Perm perm, bool user,
+                    bool populate)
+{
+    fatal_if(va % kPageSize || len == 0, "mapAt requires page alignment");
+    len = alignUp(len, kPageSize);
+
+    for (const auto &[base, vma] : vmas_) {
+        if (base < va + len && va < base + vma.len)
+            return false;
+    }
+    Vma vma{va, len, perm, user};
+    vmas_[va] = vma;
+    if (populate) {
+        for (Addr page = va; page < va + len; page += kPageSize)
+            populatePage(vma, page);
+    }
+    if (va + len > mmapNext_)
+        mmapNext_ = alignUp(va + len + kPageSize, kPageSize);
+    return true;
+}
+
+void
+AddressSpace::populatePage(const Vma &vma, Addr page_va)
+{
+    auto frame = kernel_.allocData(1);
+    fatal_if(!frame, "out of memory populating %#lx", page_va);
+    const bool ok = pt_.map(page_va, *frame, vma.perm, vma.user);
+    panic_if(!ok, "double map at %#lx", page_va);
+    present_.insert(pageNumber(page_va));
+}
+
+bool
+AddressSpace::mapFrameAt(Addr va, Addr pa, Perm perm, bool user)
+{
+    fatal_if(va % kPageSize || pa % kPageSize,
+             "mapFrameAt requires page alignment");
+    return pt_.map(va, pa, perm, user);
+}
+
+bool
+AddressSpace::munmap(Addr va, uint64_t len)
+{
+    auto it = vmas_.find(va);
+    if (it == vmas_.end() || it->second.len != alignUp(len, kPageSize))
+        return false;
+
+    for (Addr page = va; page < va + it->second.len; page += kPageSize) {
+        if (!present_.count(pageNumber(page)))
+            continue;
+        const auto pa = pt_.translate(page);
+        panic_if(!pa, "present page %#lx not mapped", page);
+        pt_.unmap(page);
+        kernel_.freeData(alignDown(*pa, kPageSize), 1);
+        present_.erase(pageNumber(page));
+    }
+    vmas_.erase(it);
+    kernel_.machine().sfenceVma();
+    return true;
+}
+
+bool
+AddressSpace::handleFault(Addr va, AccessType type)
+{
+    (void)type;
+    auto it = vmas_.upper_bound(va);
+    if (it == vmas_.begin())
+        return false;
+    --it;
+    const Vma &vma = it->second;
+    if (va >= vma.base + vma.len)
+        return false;
+    const Addr page = alignDown(va, kPageSize);
+    if (present_.count(pageNumber(page)))
+        return false; // not a demand-paging fault
+    populatePage(vma, page);
+    ++faults_;
+    return true;
+}
+
+bool
+AddressSpace::populated(Addr va) const
+{
+    return present_.count(pageNumber(va)) != 0;
+}
+
+} // namespace hpmp

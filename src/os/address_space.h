@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A user address space: VMAs + a real page table with demand paging.
+ *
+ * Workload models run on top of this: mmap regions, touch pages (the
+ * touch drives page faults, PT growth and therefore PT-page checking
+ * traffic), and issue loads/stores through the Machine.
+ */
+
+#ifndef HPMP_OS_ADDRESS_SPACE_H
+#define HPMP_OS_ADDRESS_SPACE_H
+
+#include <map>
+#include <unordered_set>
+
+#include "pt/page_table.h"
+
+namespace hpmp
+{
+
+class Kernel;
+
+/** One process address space. */
+class AddressSpace
+{
+  public:
+    explicit AddressSpace(Kernel &kernel);
+    ~AddressSpace();
+
+    AddressSpace(const AddressSpace &) = delete;
+    AddressSpace &operator=(const AddressSpace &) = delete;
+
+    PageTable &pageTable() { return pt_; }
+    Addr rootPa() const { return pt_.rootPa(); }
+
+    /**
+     * Map `len` bytes of anonymous memory at a kernel-chosen address.
+     * With populate, frames are allocated and mapped eagerly;
+     * otherwise pages fault in on first touch.
+     * @return the chosen virtual base address.
+     */
+    Addr mmap(uint64_t len, Perm perm, bool user = true,
+              bool populate = true);
+
+    /** Map at a fixed address. @return false if it overlaps a VMA. */
+    bool mapAt(Addr va, uint64_t len, Perm perm, bool user,
+               bool populate);
+
+    /** Unmap [va, va+len), freeing any populated frames. */
+    bool munmap(Addr va, uint64_t len);
+
+    /**
+     * Map one specific physical frame at va (kernel windows onto
+     * page-table pages, device memory, shared buffers). The frame is
+     * not owned by this address space and is not freed on unmap.
+     */
+    bool mapFrameAt(Addr va, Addr pa, Perm perm, bool user);
+
+    /** Demand-paging entry point. @return false if va is unmapped. */
+    bool handleFault(Addr va, AccessType type);
+
+    /** True iff the page containing va has a frame. */
+    bool populated(Addr va) const;
+
+    uint64_t pageFaults() const { return faults_; }
+    uint64_t populatedPages() const { return present_.size(); }
+
+  private:
+    struct Vma
+    {
+        Addr base = 0;
+        uint64_t len = 0;
+        Perm perm;
+        bool user = true;
+    };
+
+    /** Allocate and map one page of the given VMA. */
+    void populatePage(const Vma &vma, Addr page_va);
+
+    Kernel &kernel_;
+    PageTable pt_;
+    std::map<Addr, Vma> vmas_;
+    std::unordered_set<uint64_t> present_; //!< populated VPNs
+    Addr mmapNext_ = 0x40000000;
+    uint64_t faults_ = 0;
+};
+
+} // namespace hpmp
+
+#endif // HPMP_OS_ADDRESS_SPACE_H

@@ -1,0 +1,112 @@
+#include "os/kernel.h"
+
+#include "base/bitfield.h"
+#include "base/logging.h"
+#include "os/address_space.h"
+
+namespace hpmp
+{
+
+Kernel::Kernel(SecureMonitor &monitor, DomainId domain, Addr mem_base,
+               uint64_t mem_size, const KernelConfig &config)
+    : monitor_(monitor),
+      domain_(domain),
+      config_(config),
+      memBase_(mem_base),
+      memSize_(mem_size)
+{
+    // The data region starts past the PT-pool carve-out in *all*
+    // configurations so that experiments comparing schemes see the
+    // same physical data placement; the baseline simply does not use
+    // the pool (its PT pages come from the data allocator).
+    fatal_if(!isPowerOf2(config_.ptPoolBytes) ||
+                 mem_base % config_.ptPoolBytes,
+             "PT pool must be NAPOT within the domain region");
+    const Addr data_base = mem_base + config_.ptPoolBytes;
+    const uint64_t data_size = mem_size - config_.ptPoolBytes;
+
+    if (config_.contiguousPtPool) {
+        // Register the pool as one "fast" GMS — the monitor will
+        // mirror it into a segment entry under the HPMP scheme.
+        ptPoolBase_ = mem_base;
+        ptAlloc_ = std::make_unique<PageAllocator>(ptPoolBase_,
+                                                   config_.ptPoolBytes);
+        auto res = monitor_.addGms(
+            domain_, Gms{ptPoolBase_, config_.ptPoolBytes, Perm::rw(),
+                         GmsLabel::Fast});
+        fatal_if(!res.ok, "registering PT-pool GMS failed: %s",
+                 res.error.c_str());
+        res = monitor_.addGms(
+            domain_, Gms{data_base, data_size, Perm::rwx(),
+                         GmsLabel::Slow});
+        fatal_if(!res.ok, "registering data GMS failed: %s",
+                 res.error.c_str());
+    } else {
+        auto res = monitor_.addGms(
+            domain_, Gms{mem_base, mem_size, Perm::rwx(),
+                         GmsLabel::Slow});
+        fatal_if(!res.ok, "registering domain GMS failed: %s",
+                 res.error.c_str());
+    }
+
+    dataAlloc_ = std::make_unique<PageAllocator>(data_base, data_size);
+    dataAlloc_->setScatter(config_.scatterData, config_.scatterSeed);
+}
+
+Kernel::~Kernel() = default;
+
+std::optional<Addr>
+Kernel::allocData(unsigned npages)
+{
+    return dataAlloc_->alloc(npages);
+}
+
+void
+Kernel::freeData(Addr addr, unsigned npages)
+{
+    dataAlloc_->free(addr, npages);
+}
+
+Addr
+Kernel::allocPtFrames(unsigned npages)
+{
+    if (ptAlloc_) {
+        if (auto frame = ptAlloc_->alloc(npages))
+            return *frame;
+        warn("PT pool exhausted; falling back to the data allocator");
+    }
+    // Baseline: PT pages come from the general allocator. Allocate
+    // from the top so data placement matches the pool configuration;
+    // under scatter mode they spread like everything else.
+    auto frame = config_.scatterData ? dataAlloc_->alloc(npages)
+                                     : dataAlloc_->allocTop(npages);
+    fatal_if(!frame, "out of physical memory for PT pages");
+    return *frame;
+}
+
+void
+Kernel::freePtFrame(Addr frame)
+{
+    if (ptAlloc_ && frame >= ptPoolBase_ &&
+        frame < ptPoolBase_ + config_.ptPoolBytes) {
+        ptAlloc_->free(frame, 1);
+    } else {
+        dataAlloc_->free(frame, 1);
+    }
+}
+
+std::unique_ptr<AddressSpace>
+Kernel::createAddressSpace()
+{
+    return std::make_unique<AddressSpace>(*this);
+}
+
+void
+Kernel::activate(AddressSpace &as, PrivMode priv)
+{
+    Machine &m = machine();
+    m.setSatp(as.rootPa(), config_.pagingMode);
+    m.setPriv(priv);
+}
+
+} // namespace hpmp

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * OS-kernel model for one domain (host or enclave).
+ *
+ * The kernel owns the domain's physical memory (registered as GMSs
+ * with the secure monitor), allocates frames for data and page-table
+ * pages, and creates address spaces. Its HPMP support is the ~700-LoC
+ * Linux change the paper describes: all page-table pages come from a
+ * single contiguous pool, which the kernel registers as one GMS
+ * labelled "fast" so the monitor can mirror it into a segment entry.
+ */
+
+#ifndef HPMP_OS_KERNEL_H
+#define HPMP_OS_KERNEL_H
+
+#include <memory>
+#include <vector>
+
+#include "monitor/secure_monitor.h"
+#include "os/page_alloc.h"
+
+namespace hpmp
+{
+
+class AddressSpace;
+
+/** Kernel policy knobs. */
+struct KernelConfig
+{
+    /**
+     * Allocate all PT pages from one contiguous pool registered as a
+     * fast GMS (the HPMP OS extension). When false, PT pages come
+     * from the general allocator like any other page (baseline).
+     */
+    bool contiguousPtPool = true;
+    uint64_t ptPoolBytes = 16_MiB;
+
+    /** Fragment data-page placement (paper §8.8). */
+    bool scatterData = false;
+    uint64_t scatterSeed = 1;
+
+    PagingMode pagingMode = PagingMode::Sv39;
+};
+
+/** The per-domain kernel. */
+class Kernel
+{
+  public:
+    /**
+     * @param mem_base/mem_size the domain's physical memory; must be
+     *        NAPOT when the monitor runs in plain-PMP mode.
+     */
+    Kernel(SecureMonitor &monitor, DomainId domain, Addr mem_base,
+           uint64_t mem_size, const KernelConfig &config);
+    ~Kernel();
+
+    Machine &machine() { return monitor_.machine(); }
+    SecureMonitor &monitor() { return monitor_; }
+    DomainId domainId() const { return domain_; }
+    const KernelConfig &config() const { return config_; }
+
+    /** Allocate data frames (scatter-aware). */
+    std::optional<Addr> allocData(unsigned npages);
+    void freeData(Addr base, unsigned npages);
+
+    /** Allocate page-table frames (pool when configured). */
+    Addr allocPtFrames(unsigned npages);
+
+    /** Return one PT frame to whichever allocator owns it. */
+    void freePtFrame(Addr frame);
+
+    /** Create a new user address space. */
+    std::unique_ptr<AddressSpace> createAddressSpace();
+
+    /** Point the MMU at this address space and set privilege. */
+    void activate(AddressSpace &as, PrivMode priv);
+
+    /** Base of the PT pool (for tests), 0 when not configured. */
+    Addr ptPoolBase() const { return ptPoolBase_; }
+
+    PageAllocator &dataAllocator() { return *dataAlloc_; }
+
+  private:
+    SecureMonitor &monitor_;
+    DomainId domain_;
+    KernelConfig config_;
+    Addr memBase_;
+    uint64_t memSize_;
+
+    Addr ptPoolBase_ = 0;
+    std::unique_ptr<PageAllocator> ptAlloc_;   //!< pool allocator
+    std::unique_ptr<PageAllocator> dataAlloc_; //!< everything else
+};
+
+} // namespace hpmp
+
+#endif // HPMP_OS_KERNEL_H

@@ -1,0 +1,86 @@
+#include "os/page_alloc.h"
+
+#include "base/bitfield.h"
+#include "base/logging.h"
+
+namespace hpmp
+{
+
+PageAllocator::PageAllocator(Addr base, uint64_t size)
+    : base_(base),
+      size_(size)
+{
+    fatal_if(base % kPageSize || size % kPageSize,
+             "allocator range must be page aligned");
+    free_.insert(base, size);
+}
+
+std::optional<Addr>
+PageAllocator::alloc(unsigned npages, uint64_t align)
+{
+    const uint64_t bytes = uint64_t(npages) * kPageSize;
+
+    if (scatter_ && npages == 1 && align <= kPageSize) {
+        // Pick a random free interval (weighted by trying a few times)
+        // and a random page inside it.
+        const auto &ivals = free_.intervals();
+        if (ivals.empty())
+            return std::nullopt;
+        for (int attempt = 0; attempt < 8; ++attempt) {
+            auto it = ivals.begin();
+            std::advance(it, rng_.below(ivals.size()));
+            const uint64_t pages = it->second / kPageSize;
+            const Addr pick = it->first + pageAddr(rng_.below(pages));
+            if (free_.erase(pick, kPageSize))
+                return pick;
+        }
+        // Fall through to first-fit if the random picks raced away.
+    }
+
+    const auto fit = free_.findFit(bytes, align);
+    if (!fit)
+        return std::nullopt;
+    const bool ok = free_.erase(*fit, bytes);
+    panic_if(!ok, "findFit returned an unusable range");
+    return *fit;
+}
+
+std::optional<Addr>
+PageAllocator::allocTop(unsigned npages)
+{
+    const uint64_t bytes = uint64_t(npages) * kPageSize;
+    const auto &ivals = free_.intervals();
+    for (auto it = ivals.rbegin(); it != ivals.rend(); ++it) {
+        if (it->second >= bytes) {
+            const Addr base = it->first + it->second - bytes;
+            const bool ok = free_.erase(base, bytes);
+            panic_if(!ok, "allocTop erase failed");
+            return base;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<Addr>
+PageAllocator::allocNapot(uint64_t size)
+{
+    fatal_if(!isPowerOf2(size) || size < kPageSize,
+             "NAPOT size must be a power of two >= 4 KiB");
+    return alloc(unsigned(size / kPageSize), size);
+}
+
+void
+PageAllocator::free(Addr addr, unsigned npages)
+{
+    const bool ok = free_.insert(addr, uint64_t(npages) * kPageSize);
+    panic_if(!ok, "double free at %#lx", addr);
+}
+
+void
+PageAllocator::setScatter(bool on, uint64_t seed)
+{
+    scatter_ = on;
+    rng_.reseed(seed);
+}
+
+} // namespace hpmp

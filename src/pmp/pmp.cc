@@ -1,0 +1,133 @@
+#include "pmp/pmp.h"
+
+#include "base/bitfield.h"
+#include "base/logging.h"
+
+namespace hpmp
+{
+
+PmpUnit::PmpUnit(unsigned num_entries)
+    : numEntries_(num_entries),
+      addr_(num_entries, 0),
+      cfg_(num_entries, 0)
+{
+    fatal_if(num_entries == 0 || num_entries > 64,
+             "PMP supports 1..64 entries, got %u", num_entries);
+}
+
+void
+PmpUnit::setAddr(unsigned idx, uint64_t value)
+{
+    panic_if(idx >= numEntries_, "pmpaddr index %u out of range", idx);
+    // Writes to pmpaddr[i] are ignored when entry i is locked, or when
+    // entry i+1 is a locked TOR entry (it uses addr[i] as its floor).
+    if (cfg(idx).l())
+        return;
+    if (idx + 1 < numEntries_) {
+        const PmpCfg next = cfg(idx + 1);
+        if (next.l() && next.a() == PmpAddrMode::Tor)
+            return;
+    }
+    // Base PMP defines addr[55:2] (bits 53:0) and keeps the top bits
+    // WARL-zero; the HPMP extension redefines the full register as a
+    // PmptBaseReg when the preceding config has T=1 (Fig. 6-b), so
+    // the raw value is stored and interpretation happens at use.
+    addr_[idx] = value;
+}
+
+void
+PmpUnit::setCfg(unsigned idx, uint8_t value)
+{
+    panic_if(idx >= numEntries_, "pmpcfg index %u out of range", idx);
+    if (cfg(idx).l())
+        return; // locked until reset
+    cfg_[idx] = value;
+}
+
+std::optional<PmpRegion>
+PmpUnit::region(unsigned idx) const
+{
+    const PmpCfg c = cfg(idx);
+    switch (c.a()) {
+      case PmpAddrMode::Off:
+        return std::nullopt;
+      case PmpAddrMode::Tor: {
+        const Addr floor = idx == 0 ? 0 : (addr_[idx - 1] << 2);
+        const Addr top = addr_[idx] << 2;
+        if (top <= floor)
+            return PmpRegion{floor, 0}; // empty region matches nothing
+        return PmpRegion{floor, top - floor};
+      }
+      case PmpAddrMode::Na4:
+        return PmpRegion{addr_[idx] << 2, 4};
+      case PmpAddrMode::Napot: {
+        // Trailing ones of pmpaddr encode the size: k ones -> 2^(k+3).
+        const uint64_t a = addr_[idx];
+        unsigned ones = 0;
+        while (ones < 54 && (a >> ones) & 1)
+            ++ones;
+        const uint64_t size = 1ULL << (ones + 3);
+        const Addr base = (a & ~mask(ones)) << 2;
+        return PmpRegion{base, size};
+      }
+    }
+    return std::nullopt;
+}
+
+bool
+PmpUnit::coversAll(unsigned idx, Addr pa, uint64_t size) const
+{
+    const auto reg = region(idx);
+    if (!reg || reg->size == 0)
+        return false;
+    return reg->base <= pa && pa + size <= reg->base + reg->size;
+}
+
+int
+PmpUnit::findMatch(Addr pa, uint64_t size) const
+{
+    for (unsigned i = 0; i < numEntries_; ++i) {
+        const auto reg = region(i);
+        if (!reg || reg->size == 0)
+            continue;
+        const bool overlap =
+            reg->base < pa + size && pa < reg->base + reg->size;
+        if (overlap)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+Fault
+PmpUnit::check(Addr pa, uint64_t size, AccessType type, PrivMode priv) const
+{
+    const int idx = findMatch(pa, size);
+    if (idx < 0) {
+        // No matching entry: M succeeds, S/U fail.
+        return priv == PrivMode::Machine ? Fault::None
+                                         : accessFaultFor(type);
+    }
+    // A partial match (access straddles the region boundary) fails
+    // regardless of permission.
+    if (!coversAll(idx, pa, size))
+        return accessFaultFor(type);
+
+    const PmpCfg c = cfg(idx);
+    // M-mode is only constrained by locked entries.
+    if (priv == PrivMode::Machine && !c.l())
+        return Fault::None;
+    return c.perm().allows(type) ? Fault::None : accessFaultFor(type);
+}
+
+uint64_t
+PmpUnit::encodeNapot(Addr base, uint64_t size)
+{
+    fatal_if(!isPowerOf2(size) || size < 8,
+             "NAPOT size must be a power of two >= 8, got %#lx", size);
+    fatal_if(base % size != 0,
+             "NAPOT base %#lx not aligned to size %#lx", base, size);
+    const unsigned ones = log2i(size) - 3;
+    return (base >> 2) | mask(ones);
+}
+
+} // namespace hpmp

@@ -1,0 +1,155 @@
+#include "pmpt/pmp_table.h"
+
+#include "base/logging.h"
+
+namespace hpmp
+{
+
+using namespace pmpt_geom;
+
+PmpTable::PmpTable(PhysMem &mem, FrameAllocator alloc, unsigned levels)
+    : mem_(mem),
+      alloc_(std::move(alloc)),
+      levels_(levels)
+{
+    fatal_if(levels < 2 || levels > 4,
+             "PMP Table supports 2..4 levels, got %u", levels);
+    rootPa_ = alloc_(1);
+    mem_.zeroPage(rootPa_);
+    tablePages_.push_back(rootPa_);
+}
+
+void
+PmpTable::writeEntry(Addr slot, uint64_t value)
+{
+    mem_.write64(slot, value);
+    ++entryWrites_;
+}
+
+Addr
+PmpTable::expandEntry(Addr slot, unsigned child_level, Perm fill_perm,
+                      bool fill_valid)
+{
+    const Addr node = alloc_(1);
+    mem_.zeroPage(node);
+    tablePages_.push_back(node);
+
+    if (fill_valid) {
+        // Preserve the previous huge permission for untouched ranges.
+        if (child_level == 0) {
+            const LeafPmpte fill = LeafPmpte::uniform(fill_perm);
+            if (fill.raw != 0) {
+                for (unsigned i = 0; i < 512; ++i)
+                    writeEntry(node + i * 8, fill.raw);
+            }
+        } else {
+            const RootPmpte fill = RootPmpte::huge(fill_perm);
+            for (unsigned i = 0; i < 512; ++i)
+                writeEntry(node + i * 8, fill.raw);
+        }
+    }
+    writeEntry(slot, RootPmpte::pointer(node).raw);
+    return node;
+}
+
+void
+PmpTable::setPermIn(Addr node_pa, unsigned level, uint64_t node_base,
+                    uint64_t offset, uint64_t len, Perm perm,
+                    bool allow_huge)
+{
+    const uint64_t end = offset + len;
+
+    if (level == 0) {
+        // Leaf table: 4-bit nibbles, 16 pages per pmpte.
+        const uint64_t first = indexAt(offset, 0);
+        const uint64_t last = indexAt(end - 1, 0);
+        for (uint64_t idx = first; idx <= last; ++idx) {
+            const Addr slot = node_pa + idx * 8;
+            const uint64_t entry_base = node_base + idx * entrySpan(0);
+            LeafPmpte e{mem_.read64(slot)};
+            const uint64_t lo = std::max(offset, entry_base);
+            const uint64_t hi = std::min(end, entry_base + entrySpan(0));
+            for (uint64_t page = lo; page < hi; page += kPageSize)
+                e.setPerm(unsigned(pageIndex(page)), perm);
+            writeEntry(slot, e.raw);
+        }
+        return;
+    }
+
+    const uint64_t span = entrySpan(level);
+    const uint64_t first = indexAt(offset, level);
+    const uint64_t last = indexAt(end - 1, level);
+    for (uint64_t idx = first; idx <= last; ++idx) {
+        const Addr slot = node_pa + idx * 8;
+        const uint64_t entry_base = node_base + idx * span;
+        const uint64_t lo = std::max(offset, entry_base);
+        const uint64_t hi = std::min(end, entry_base + span);
+
+        if (allow_huge && lo == entry_base && hi == entry_base + span) {
+            // The whole span changes: one huge pmpte — the single-write
+            // 32 MiB fast path the paper exploits in Fig. 14-d.
+            writeEntry(slot, RootPmpte::huge(perm).raw);
+            continue;
+        }
+
+        RootPmpte e{mem_.read64(slot)};
+        Addr child;
+        if (e.isPointer()) {
+            child = e.tablePa();
+        } else {
+            child = expandEntry(slot, level - 1, e.perm(), e.isHuge());
+        }
+        setPermIn(child, level - 1, entry_base, lo, hi - lo, perm,
+                  allow_huge);
+    }
+}
+
+void
+PmpTable::setPerm(uint64_t offset, uint64_t len, Perm perm,
+                  bool allow_huge)
+{
+    fatal_if(offset % kPageSize || len % kPageSize,
+             "setPerm must be page-granular: offset %#lx len %#lx",
+             offset, len);
+    fatal_if(offset + len > coverage(),
+             "setPerm beyond table coverage: offset %#lx len %#lx",
+             offset, len);
+    if (len == 0)
+        return;
+    setPermIn(rootPa_, levels_ - 1, 0, offset, len, perm, allow_huge);
+}
+
+Perm
+PmpTable::lookup(uint64_t offset) const
+{
+    Addr node = rootPa_;
+    for (unsigned level = levels_ - 1; level >= 1; --level) {
+        const Addr slot = node + indexAt(offset, level) * 8;
+        const RootPmpte e{mem_.read64(slot)};
+        if (!e.v())
+            return Perm::none();
+        if (e.isHuge())
+            return e.perm();
+        node = e.tablePa();
+    }
+    const LeafPmpte leaf{mem_.read64(node + indexAt(offset, 0) * 8)};
+    return leaf.perm(unsigned(pageIndex(offset)));
+}
+
+bool
+PmpTable::valid(uint64_t offset) const
+{
+    Addr node = rootPa_;
+    for (unsigned level = levels_ - 1; level >= 1; --level) {
+        const Addr slot = node + indexAt(offset, level) * 8;
+        const RootPmpte e{mem_.read64(slot)};
+        if (!e.v())
+            return false;
+        if (e.isHuge())
+            return true;
+        node = e.tablePa();
+    }
+    return true;
+}
+
+} // namespace hpmp

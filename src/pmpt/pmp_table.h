@@ -1,0 +1,94 @@
+/**
+ * @file
+ * PMP Table builder/manager.
+ *
+ * Owns one multi-level permission table in simulated DRAM, mapping
+ * offsets within the protected region to page permissions. The secure
+ * monitor edits permissions through this class; the hardware walker
+ * (pmpt_walker) reads the same bytes back. Entry-write counts are
+ * tracked because the paper's TEE-operation latencies (Fig. 14) are
+ * dominated by how many pmptes an update touches — including the
+ * single-entry 32 MiB "huge" fast path.
+ */
+
+#ifndef HPMP_PMPT_PMP_TABLE_H
+#define HPMP_PMPT_PMP_TABLE_H
+
+#include <vector>
+
+#include "base/frame_alloc.h"
+#include "mem/phys_mem.h"
+#include "pmpt/pmpte.h"
+
+namespace hpmp
+{
+
+/** Builder/owner of one PMP Table rooted in simulated memory. */
+class PmpTable
+{
+  public:
+    /**
+     * @param levels table depth; 2 (Mode 0, 16 GiB) by default, 3 via
+     *        the reserved Mode extension (8 TiB).
+     */
+    PmpTable(PhysMem &mem, FrameAllocator alloc, unsigned levels = 2);
+
+    Addr rootPa() const { return rootPa_; }
+    unsigned levels() const { return levels_; }
+
+    /** Bytes of region offset space this table can describe. */
+    uint64_t coverage() const { return pmpt_geom::coverage(levels_); }
+
+    /**
+     * Set the permission for [offset, offset+len), page-granular.
+     * With allow_huge, whole top-level-entry spans (32 MiB for 2-level
+     * tables) that are aligned use a single huge pmpte — the paper's
+     * single-write fast path for large allocations (Fig. 14-d); an
+     * existing huge entry is split into a leaf table when a
+     * finer-grained update lands inside it. Without allow_huge the
+     * update always lands in leaf pmptes, which models the steady
+     * state of page-interleaved ownership and keeps walks two-level.
+     */
+    void setPerm(uint64_t offset, uint64_t len, Perm perm,
+                 bool allow_huge = false);
+
+    /** Functional permission lookup (no timing). */
+    Perm lookup(uint64_t offset) const;
+
+    /** Whether the offset is described by a valid entry at all. */
+    bool valid(uint64_t offset) const;
+
+    /** Number of 64-bit pmpte stores performed since construction. */
+    uint64_t entryWrites() const { return entryWrites_; }
+    void resetEntryWrites() { entryWrites_ = 0; }
+
+    /** Physical pages holding table nodes (root first). */
+    const std::vector<Addr> &tablePages() const { return tablePages_; }
+
+  private:
+    /** Write one pmpte and account for it. */
+    void writeEntry(Addr slot, uint64_t value);
+
+    /**
+     * Recursive permission update of [offset, offset+len) within the
+     * table node at node_pa spanning entries of `level`.
+     */
+    void setPermIn(Addr node_pa, unsigned level, uint64_t node_base,
+                   uint64_t offset, uint64_t len, Perm perm,
+                   bool allow_huge);
+
+    /** Replace a huge/invalid entry with a pointer to a new node. */
+    Addr expandEntry(Addr slot, unsigned child_level, Perm fill_perm,
+                     bool fill_valid);
+
+    PhysMem &mem_;
+    FrameAllocator alloc_;
+    unsigned levels_;
+    Addr rootPa_;
+    std::vector<Addr> tablePages_;
+    uint64_t entryWrites_ = 0;
+};
+
+} // namespace hpmp
+
+#endif // HPMP_PMPT_PMP_TABLE_H

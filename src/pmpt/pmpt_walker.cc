@@ -1,0 +1,38 @@
+#include "pmpt/pmpt_walker.h"
+
+namespace hpmp
+{
+
+using namespace pmpt_geom;
+
+PmptWalkResult
+walkPmpTable(const PhysMem &mem, Addr root_pa, unsigned levels,
+             uint64_t offset)
+{
+    PmptWalkResult result;
+
+    Addr node = root_pa;
+    for (unsigned level = levels - 1; level >= 1; --level) {
+        const Addr slot = node + indexAt(offset, level) * 8;
+        result.refs.push_back({slot, level});
+        const RootPmpte e{mem.read64(slot)};
+        if (!e.v())
+            return result; // invalid: access fails (paper §4.3)
+        if (e.isHuge()) {
+            result.valid = true;
+            result.perm = e.perm();
+            result.hugeHit = true;
+            return result;
+        }
+        node = e.tablePa();
+    }
+
+    const Addr slot = node + indexAt(offset, 0) * 8;
+    result.refs.push_back({slot, 0});
+    const LeafPmpte leaf{mem.read64(slot)};
+    result.valid = true;
+    result.perm = leaf.perm(unsigned(pageIndex(offset)));
+    return result;
+}
+
+} // namespace hpmp

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Hardware PMP-Table walker (PMPTW) — functional part.
+ *
+ * Given a table base and an offset within the protected region,
+ * produces the permission plus the ordered list of pmpte references
+ * the hardware makes (root first). The timing machine replays these
+ * references through the cache hierarchy; with a 2-level table each
+ * checked physical reference costs at most 2 extra references, which
+ * is where the paper's "+8 for Sv39" comes from.
+ */
+
+#ifndef HPMP_PMPT_PMPT_WALKER_H
+#define HPMP_PMPT_PMPT_WALKER_H
+
+#include "base/small_vec.h"
+#include "mem/phys_mem.h"
+#include "pmpt/pmpte.h"
+
+namespace hpmp
+{
+
+/** One pmpte reference of a PMP-Table walk. */
+struct PmptRef
+{
+    Addr pa = 0;
+    unsigned level = 0; //!< levels-1 = root, 0 = leaf
+};
+
+/** Result of one PMP-Table walk. */
+struct PmptWalkResult
+{
+    bool valid = false;   //!< invalid entry encountered -> access fails
+    Perm perm;            //!< permission for the page (none if !valid)
+    bool hugeHit = false; //!< resolved by a huge (non-leaf) pmpte
+    SmallVec<PmptRef, 4> refs;
+};
+
+/**
+ * Walk the table rooted at root_pa (of `levels` levels) for the page
+ * containing `offset` (offset is relative to the protected region's
+ * base, per Fig. 6-e).
+ */
+PmptWalkResult walkPmpTable(const PhysMem &mem, Addr root_pa,
+                            unsigned levels, uint64_t offset);
+
+} // namespace hpmp
+
+#endif // HPMP_PMPT_PMPT_WALKER_H

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * PMP Table entry encodings (paper Figure 6).
+ *
+ * A PMP Table is a multi-level radix tree mapping an *offset within
+ * the protected region* to an R/W/X permission:
+ *
+ *  - Offset split (Fig. 6-e):  OFF[1] = bits 33:25 indexes the root
+ *    table, OFF[0] = bits 24:16 indexes the leaf table, PageIndex =
+ *    bits 15:12 selects one of 16 permission nibbles in the leaf
+ *    pmpte, PageOffset = bits 11:0. A 3-level table (reserved Mode
+ *    value, paper §4.3) adds OFF[2] = bits 42:34.
+ *
+ *  - Root pmpte (Fig. 6-c): V = bit 0, R/W/X = bits 1..3. R=W=X=0
+ *    makes it a pointer to the next-level table; otherwise the entry
+ *    is a "huge" leaf holding the permission for the whole 32 MiB it
+ *    spans. The pointer PPN occupies bits 48:5 (4 KiB-aligned leaf
+ *    table).
+ *
+ *  - Leaf pmpte (Fig. 6-d): 16 4-bit permission fields, perm0 in bits
+ *    3:0 .. perm15 in bits 63:60; within a nibble R = bit 0, W = bit
+ *    1, X = bit 2, bit 3 reserved. One leaf pmpte covers 16 * 4 KiB.
+ *
+ * Each root pmpte therefore manages 512 * 16 * 4 KiB = 32 MiB and one
+ * 2-level table covers 512 * 32 MiB = 16 GiB, exactly the figures the
+ * paper quotes.
+ */
+
+#ifndef HPMP_PMPT_PMPTE_H
+#define HPMP_PMPT_PMPTE_H
+
+#include <cstdint>
+
+#include "base/access.h"
+#include "base/addr.h"
+#include "base/bitfield.h"
+
+namespace hpmp
+{
+
+/** Offset-field geometry of the PMP Table. */
+namespace pmpt_geom
+{
+/** Bits of offset consumed below the leaf-table index. */
+constexpr unsigned kPageIndexLo = 12;
+constexpr unsigned kPageIndexBits = 4;   //!< 16 pages per leaf pmpte
+constexpr unsigned kLevelBits = 9;       //!< 512 entries per table page
+
+/** Low bit of the table index for level (0 = leaf table). */
+constexpr unsigned
+indexLo(unsigned level)
+{
+    return kPageIndexLo + kPageIndexBits + kLevelBits * level;
+}
+
+/** Table index of `offset` at `level`. */
+constexpr uint64_t
+indexAt(uint64_t offset, unsigned level)
+{
+    return bits(offset, indexLo(level) + kLevelBits - 1, indexLo(level));
+}
+
+/** PageIndex field (which nibble of the leaf pmpte). */
+constexpr uint64_t
+pageIndex(uint64_t offset)
+{
+    return bits(offset, kPageIndexLo + kPageIndexBits - 1, kPageIndexLo);
+}
+
+/** Bytes spanned by one entry at `level` (level 0 = one leaf pmpte). */
+constexpr uint64_t
+entrySpan(unsigned level)
+{
+    return 1ULL << indexLo(level);
+}
+
+/** Bytes covered by a whole table of `levels` levels. */
+constexpr uint64_t
+coverage(unsigned levels)
+{
+    return 1ULL << (indexLo(levels - 1) + kLevelBits);
+}
+
+static_assert(entrySpan(1) == 32_MiB, "root pmpte must span 32 MiB");
+static_assert(coverage(2) == 16_GiB, "2-level table must cover 16 GiB");
+} // namespace pmpt_geom
+
+/** Non-leaf-table entry (root pmpte and intermediate levels). */
+struct RootPmpte
+{
+    uint64_t raw = 0;
+
+    RootPmpte() = default;
+    explicit RootPmpte(uint64_t bits_val) : raw(bits_val) {}
+
+    bool v() const { return bits(raw, 0); }
+    bool r() const { return bits(raw, 1); }
+    bool w() const { return bits(raw, 2); }
+    bool x() const { return bits(raw, 3); }
+
+    Perm perm() const { return Perm{r(), w(), x()}; }
+
+    /** R=W=X=0: pointer to the next-level table. */
+    bool isPointer() const { return v() && !perm().any(); }
+    /** Any permission bit set: huge-permission leaf. */
+    bool isHuge() const { return v() && perm().any(); }
+
+    Addr tablePa() const { return bits(raw, 48, 5) << kPageShift; }
+
+    static RootPmpte
+    pointer(Addr table_pa)
+    {
+        uint64_t v = 1;
+        v = insertBits(v, 48, 5, table_pa >> kPageShift);
+        return RootPmpte{v};
+    }
+
+    static RootPmpte
+    huge(Perm perm)
+    {
+        uint64_t v = 1;
+        v = insertBits(v, 1, perm.r);
+        v = insertBits(v, 2, perm.w);
+        v = insertBits(v, 3, perm.x);
+        return RootPmpte{v};
+    }
+};
+
+/** Leaf pmpte: 16 4-bit permission nibbles. */
+struct LeafPmpte
+{
+    uint64_t raw = 0;
+
+    LeafPmpte() = default;
+    explicit LeafPmpte(uint64_t bits_val) : raw(bits_val) {}
+
+    Perm
+    perm(unsigned page_index) const
+    {
+        const uint64_t nib = bits(raw, page_index * 4 + 3, page_index * 4);
+        return Perm{bool(nib & 1), bool(nib & 2), bool(nib & 4)};
+    }
+
+    void
+    setPerm(unsigned page_index, Perm perm)
+    {
+        uint64_t nib = 0;
+        nib |= perm.r ? 1 : 0;
+        nib |= perm.w ? 2 : 0;
+        nib |= perm.x ? 4 : 0;
+        raw = insertBits(raw, page_index * 4 + 3, page_index * 4, nib);
+    }
+
+    /** Leaf pmpte with the same permission for all 16 pages. */
+    static LeafPmpte
+    uniform(Perm perm)
+    {
+        LeafPmpte e;
+        for (unsigned i = 0; i < 16; ++i)
+            e.setPerm(i, perm);
+        return e;
+    }
+};
+
+/**
+ * HPMP address-register format when the preceding config has T=1
+ * (Fig. 6-b): Mode = bits 63:62 selects the table depth (0 = 2-level;
+ * other values reserved — this implementation uses 1 = 3-level as the
+ * paper's suggested extension), PPN = bits 43:0.
+ */
+struct PmptBaseReg
+{
+    uint64_t raw = 0;
+
+    PmptBaseReg() = default;
+    explicit PmptBaseReg(uint64_t bits_val) : raw(bits_val) {}
+
+    unsigned mode() const { return unsigned(bits(raw, 63, 62)); }
+    Addr tablePa() const { return bits(raw, 43, 0) << kPageShift; }
+
+    /** Table levels for the mode field (mode 0 = 2 levels). */
+    unsigned levels() const { return mode() + 2; }
+
+    static PmptBaseReg
+    make(Addr table_pa, unsigned levels = 2)
+    {
+        uint64_t v = 0;
+        v = insertBits(v, 43, 0, table_pa >> kPageShift);
+        v = insertBits(v, 63, 62, levels - 2);
+        return PmptBaseReg{v};
+    }
+};
+
+} // namespace hpmp
+
+#endif // HPMP_PMPT_PMPTE_H

@@ -1,0 +1,63 @@
+#include "pmpt/pmptw_cache.h"
+
+namespace hpmp
+{
+
+PmptwCache::PmptwCache(unsigned num_entries)
+    : numEntries_(num_entries),
+      entries_(num_entries)
+{
+}
+
+std::optional<Perm>
+PmptwCache::lookup(Addr root_pa, uint64_t offset)
+{
+    if (!enabled())
+        return std::nullopt;
+    const uint64_t granule = offset >> 16;
+    for (auto &entry : entries_) {
+        if (entry.valid && entry.rootPa == root_pa &&
+            entry.granule == granule) {
+            entry.lru = ++lruClock_;
+            ++hits_;
+            return entry.leaf.perm(unsigned(pmpt_geom::pageIndex(offset)));
+        }
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+void
+PmptwCache::fill(Addr root_pa, uint64_t offset, LeafPmpte leaf)
+{
+    if (!enabled())
+        return;
+    const uint64_t granule = offset >> 16;
+    Entry *victim = &entries_[0];
+    for (auto &entry : entries_) {
+        if (entry.valid && entry.rootPa == root_pa &&
+            entry.granule == granule) {
+            entry.leaf = leaf;
+            entry.lru = ++lruClock_;
+            return;
+        }
+        if (!entry.valid ||
+            (victim->valid && entry.lru < victim->lru)) {
+            victim = &entry;
+        }
+    }
+    victim->valid = true;
+    victim->rootPa = root_pa;
+    victim->granule = granule;
+    victim->leaf = leaf;
+    victim->lru = ++lruClock_;
+}
+
+void
+PmptwCache::flush()
+{
+    for (auto &entry : entries_)
+        entry.valid = false;
+}
+
+} // namespace hpmp

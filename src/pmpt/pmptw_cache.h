@@ -1,0 +1,68 @@
+/**
+ * @file
+ * PMPTW-Cache: a small fully-associative cache of leaf pmptes,
+ * analogous to a page-walk cache (paper §8.9). A hit returns the
+ * permission without any pmpte memory references. Disabled by default
+ * in the paper's main experiments; Fig. 16 studies the benefit.
+ */
+
+#ifndef HPMP_PMPT_PMPTW_CACHE_H
+#define HPMP_PMPT_PMPTW_CACHE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/stats.h"
+#include "pmpt/pmpte.h"
+
+namespace hpmp
+{
+
+/** Fully-associative LRU cache of 64 KiB permission granules. */
+class PmptwCache
+{
+  public:
+    /** @param num_entries 0 disables the cache entirely. */
+    explicit PmptwCache(unsigned num_entries = 8);
+
+    bool enabled() const { return numEntries_ > 0; }
+    unsigned numEntries() const { return numEntries_; }
+
+    /**
+     * Look up the permission for `offset` under the table rooted at
+     * root_pa. @return the page permission on hit.
+     */
+    std::optional<Perm> lookup(Addr root_pa, uint64_t offset);
+
+    /** Install the leaf pmpte covering offset after a walk. */
+    void fill(Addr root_pa, uint64_t offset, LeafPmpte leaf);
+
+    /** Drop everything (monitor updated a table / switched domains). */
+    void flush();
+
+    uint64_t hits() const { return hits_.value(); }
+    uint64_t misses() const { return misses_.value(); }
+    void resetStats() { hits_.reset(); misses_.reset(); }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr rootPa = 0;
+        uint64_t granule = 0; //!< offset >> 16
+        LeafPmpte leaf;
+        uint64_t lru = 0;
+    };
+
+    unsigned numEntries_;
+    std::vector<Entry> entries_;
+    uint64_t lruClock_ = 0;
+
+    Counter hits_;
+    Counter misses_;
+};
+
+} // namespace hpmp
+
+#endif // HPMP_PMPT_PMPTW_CACHE_H

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Two-stage (VS-stage + G-stage) translation for the RISC-V hypervisor
+ * extension: guest page table (vsatp, Sv39) walked through the nested
+ * page table (hgatp, Sv39x4).
+ *
+ * Produces the 3D-walk reference stream of the paper's Figure 8: each
+ * guest-PT access is a guest-physical address that itself requires a
+ * G-stage walk (nL2/nL1/nL0), for 16 references total on Sv39/Sv39x4.
+ * An optional G-stage TLB hook lets the timing machine model hfence
+ * semantics (hfence.vvma keeps G-stage translations cached, hfence.gvma
+ * drops them).
+ */
+
+#ifndef HPMP_PT_TWO_STAGE_H
+#define HPMP_PT_TWO_STAGE_H
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "pt/walker.h"
+
+namespace hpmp
+{
+
+/** Category of one supervisor-physical reference in a 3D walk. */
+enum class VirtRefKind : uint8_t { NptPage, GptPage, Data };
+
+/** One supervisor-physical reference of the two-stage walk. */
+struct VirtRef
+{
+    Addr spa = 0;
+    VirtRefKind kind = VirtRefKind::Data;
+    bool write = false;
+    unsigned level = 0;
+};
+
+/** Result of a two-stage walk. */
+struct TwoStageResult
+{
+    Fault fault = Fault::None;
+    Addr gpa = 0;  //!< final guest-physical address
+    Addr spa = 0;  //!< final supervisor-physical address
+    Perm perm;     //!< effective permission (VS-stage leaf)
+    SmallVec<VirtRef, 40> refs;
+    unsigned gstageWalks = 0;    //!< G-stage walks actually performed
+    unsigned gstageTlbHits = 0;  //!< walks short-circuited by the hook
+
+    bool ok() const { return fault == Fault::None; }
+};
+
+/**
+ * G-stage translation cache hooks (4 KiB granularity): lookup returns
+ * the supervisor-physical page base for a guest-physical page base, or
+ * nullopt; fill is invoked after each performed G-stage walk.
+ */
+struct GStageTlbHooks
+{
+    std::function<std::optional<Addr>(Addr gpa_page)> lookup;
+    std::function<void(Addr gpa_page, Addr spa_page)> fill;
+};
+
+/**
+ * Guest-side page-walk-cache hooks: a hit for (level, gva) supplies
+ * the guest PTE directly, skipping both the guest-PT reference and
+ * the G-stage walk that locating it would have required.
+ */
+struct VsPwcHooks
+{
+    std::function<std::optional<Pte>(unsigned level, Addr gva)> lookup;
+    std::function<void(unsigned level, Addr gva, Pte pte)> fill;
+};
+
+/** Configuration of both stages. */
+struct TwoStageConfig
+{
+    WalkConfig vsStage{PagingMode::Sv39, 0, true, true};
+    WalkConfig gStage{PagingMode::Sv39, 2, true, true}; //!< Sv39x4
+};
+
+/**
+ * Walk guest virtual address `gva` for an access of `type` in guest
+ * privilege `priv`, using the guest table rooted at `vsatp_root` and
+ * the nested table rooted at `hgatp_root`.
+ */
+TwoStageResult walkTwoStage(PhysMem &mem, Addr vsatp_root, Addr hgatp_root,
+                            Addr gva, AccessType type, PrivMode priv,
+                            const TwoStageConfig &config,
+                            const GStageTlbHooks *tlb = nullptr,
+                            const VsPwcHooks *pwc = nullptr);
+
+} // namespace hpmp
+
+#endif // HPMP_PT_TWO_STAGE_H

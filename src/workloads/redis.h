@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Redis model (paper §8.5): a real in-memory key-value store running
+ * inside an enclave, driven by a redis-benchmark-like client.
+ *
+ * The store implements the actual data structures — an open-addressed
+ * hash index, linked lists (LPUSH/LRANGE walk real node pointers
+ * scattered across the heap), sets and hashes — with every element
+ * access timed through the machine. Long-running and memory-intensive:
+ * the regime where the paper reports the largest table-mode slowdowns
+ * (LRANGE_100 worst, MSET best).
+ */
+
+#ifndef HPMP_WORKLOADS_REDIS_H
+#define HPMP_WORKLOADS_REDIS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "workloads/env.h"
+#include "workloads/runner.h"
+
+namespace hpmp
+{
+
+/** Command set of Fig. 12-d/e, in the paper's order. */
+std::vector<std::string> redisCommands();
+
+/** The in-enclave store plus its benchmark driver. */
+class RedisBench
+{
+  public:
+    /** Builds the store in a fresh enclave of env and preloads keys. */
+    explicit RedisBench(TeeEnv &env, unsigned keyspace = 4096,
+                        unsigned value_bytes = 3);
+    ~RedisBench();
+
+    /**
+     * Run `requests` requests of one command and return the achieved
+     * requests-per-second.
+     */
+    double run(const std::string &command, unsigned requests = 3000);
+
+  private:
+    struct Store;
+
+    /** Per-request server-side work excluding the data structures. */
+    void requestOverhead(Runner &r);
+
+    void execute(Runner &r, const std::string &command);
+
+    /** Append one node to a list (benchmark preload and LPUSH/RPUSH). */
+    void pushNode(unsigned list_key, bool front);
+
+    TeeEnv &env_;
+    std::unique_ptr<Enclave> enclave_;
+    std::unique_ptr<CoreModel> model_;
+    std::unique_ptr<Runner> runner_;
+    std::unique_ptr<Store> store_;
+    Rng rng_;
+    unsigned keyspace_;
+    unsigned valueBytes_;
+};
+
+} // namespace hpmp
+
+#endif // HPMP_WORKLOADS_REDIS_H

@@ -1,0 +1,91 @@
+#include "workloads/runner.h"
+
+#include "base/logging.h"
+
+namespace hpmp
+{
+
+Runner::Runner(Kernel &kernel, AddressSpace &as, CoreModel &model)
+    : kernel_(kernel),
+      as_(&as),
+      model_(model)
+{
+}
+
+AccessOutcome
+Runner::accessChecked(Addr va, AccessType type)
+{
+    if (trace_)
+        trace_->append(va, type);
+    Machine &m = kernel_.machine();
+    AccessOutcome out = m.access(va, type);
+    if (out.ok()) {
+        model_.addAccess(out);
+        return out;
+    }
+
+    // Page fault: let the OS model populate the page, charge the
+    // kernel path, retry once.
+    model_.addAccess(out); // cycles burned discovering the fault
+    if (!as_->handleFault(va, type))
+        panic("unhandled fault (%s) at va %#lx", toString(out.fault), va);
+    ++faults_;
+    model_.addInstructions(kFaultKernelInstrs);
+
+    out = m.access(va, type);
+    panic_if(!out.ok(), "fault persists at va %#lx: %s", va,
+             toString(out.fault));
+    model_.addAccess(out);
+    return out;
+}
+
+void
+Runner::load(Addr va)
+{
+    accessChecked(va, AccessType::Load);
+}
+
+void
+Runner::store(Addr va)
+{
+    accessChecked(va, AccessType::Store);
+}
+
+void
+Runner::fetch(Addr va)
+{
+    accessChecked(va, AccessType::Fetch);
+}
+
+uint64_t
+Runner::load64(Addr va)
+{
+    accessChecked(va, AccessType::Load);
+    auto pa = as_->pageTable().translate(va);
+    return pa ? kernel_.machine().mem().read64(alignDown(*pa, 8)) : 0;
+}
+
+void
+Runner::store64(Addr va, uint64_t value)
+{
+    accessChecked(va, AccessType::Store);
+    auto pa = as_->pageTable().translate(va);
+    if (pa)
+        kernel_.machine().mem().write64(alignDown(*pa, 8), value);
+}
+
+void
+Runner::streamRead(Addr va, uint64_t len)
+{
+    for (Addr a = alignDown(va, 64); a < va + len; a += 64)
+        load(a);
+}
+
+void
+Runner::streamWrite(Addr va, uint64_t len)
+{
+    for (Addr a = alignDown(va, 64); a < va + len; a += 64)
+        store(a);
+}
+
+} // namespace hpmp

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * RV8 benchmark-suite model (paper §8.3, Fig. 11-a).
+ *
+ * The RV8 applications are computation-bound with modest working
+ * sets; their cost under the isolation schemes is dominated by how
+ * often they miss the TLB. Each app is modelled by its instruction
+ * volume, memory-operation ratio, working-set size and access
+ * pattern; a sampled run through the full machine is extrapolated to
+ * the app's instruction volume.
+ */
+
+#ifndef HPMP_WORKLOADS_RV8_H
+#define HPMP_WORKLOADS_RV8_H
+
+#include <string>
+#include <vector>
+
+#include "workloads/env.h"
+
+namespace hpmp
+{
+
+/** Access-pattern classes used by the workload models. */
+enum class MemPattern { Sequential, Random, Mixed };
+
+/** Model of one RV8 application. */
+struct Rv8App
+{
+    std::string name;
+    uint64_t instructions;  //!< total dynamic instructions
+    double memRatio;        //!< memory ops per instruction
+    uint64_t workingSet;    //!< bytes
+    MemPattern pattern;
+    /** Fraction of accesses that jump randomly (Mixed pattern). */
+    double randomFrac = 0.05;
+};
+
+/** The eight apps of Fig. 11-a. */
+const std::vector<Rv8App> &rv8Apps();
+
+/**
+ * Run one app in an enclave of `env` and return the modelled
+ * execution time in seconds.
+ */
+double runRv8App(TeeEnv &env, const Rv8App &app,
+                 uint64_t sample_accesses = 120000);
+
+} // namespace hpmp
+
+#endif // HPMP_WORKLOADS_RV8_H

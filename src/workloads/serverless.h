@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Serverless workloads (paper §8.4): FunctionBench models and the
+ * four-stage image-processing chain.
+ *
+ * Serverless functions are fine-grained and short-lived: every
+ * invocation pays enclave creation, cold-start demand paging (page
+ * faults build fresh page tables), a short compute phase, and
+ * teardown — precisely the regime where extra-dimensional walk costs
+ * are not amortized by warm TLBs.
+ */
+
+#ifndef HPMP_WORKLOADS_SERVERLESS_H
+#define HPMP_WORKLOADS_SERVERLESS_H
+
+#include <string>
+#include <vector>
+
+#include "workloads/env.h"
+#include "workloads/rv8.h" // MemPattern
+
+namespace hpmp
+{
+
+/** Model of one FunctionBench function. */
+struct FunctionModel
+{
+    std::string name;
+    unsigned coldPages;     //!< pages faulted in at start-up
+    uint64_t instructions;  //!< total dynamic instructions
+    double memRatio;        //!< memory ops per instruction
+    uint64_t workingSet;    //!< bytes
+    MemPattern pattern;
+};
+
+/** The seven workloads of Fig. 12-a/b. */
+const std::vector<FunctionModel> &functionBenchApps();
+
+/**
+ * Invoke a function once in a fresh enclave (create, cold start, run,
+ * destroy) and return the end-to-end latency in seconds.
+ */
+double invokeFunction(TeeEnv &env, const FunctionModel &fn,
+                      uint64_t sample_accesses = 60000);
+
+/**
+ * Run the 4-function image-processing chain on an image of
+ * `side` x `side` pixels; @return end-to-end seconds.
+ */
+double runImageChain(TeeEnv &env, unsigned side);
+
+} // namespace hpmp
+
+#endif // HPMP_WORKLOADS_SERVERLESS_H

@@ -1,0 +1,102 @@
+#include "workloads/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hpmp
+{
+
+namespace
+{
+
+char
+typeChar(AccessType type)
+{
+    switch (type) {
+      case AccessType::Load: return 'L';
+      case AccessType::Store: return 'S';
+      case AccessType::Fetch: return 'F';
+    }
+    return '?';
+}
+
+} // namespace
+
+std::string
+Trace::toText() const
+{
+    std::ostringstream os;
+    for (const TraceRecord &rec : records_) {
+        char line[32];
+        std::snprintf(line, sizeof(line), "%c 0x%lx\n",
+                      typeChar(rec.type), (unsigned long)rec.va);
+        os << line;
+    }
+    return os.str();
+}
+
+bool
+Trace::fromText(const std::string &text)
+{
+    records_.clear();
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        AccessType type;
+        switch (line[0]) {
+          case 'L': type = AccessType::Load; break;
+          case 'S': type = AccessType::Store; break;
+          case 'F': type = AccessType::Fetch; break;
+          default: return false;
+        }
+        char *end = nullptr;
+        const Addr va = std::strtoull(line.c_str() + 1, &end, 16);
+        if (end == line.c_str() + 1)
+            return false;
+        records_.push_back({va, type});
+    }
+    return true;
+}
+
+bool
+Trace::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toText();
+    return bool(out);
+}
+
+bool
+Trace::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return fromText(buf.str());
+}
+
+ReplayResult
+replayTrace(Machine &machine, CoreModel &model, const Trace &trace)
+{
+    ReplayResult result;
+    for (const TraceRecord &rec : trace.records()) {
+        const AccessOutcome out = machine.access(rec.va, rec.type);
+        ++result.accesses;
+        model.addAccess(out);
+        result.cycles += out.cycles;
+        result.totalRefs += out.totalRefs();
+        result.pmptRefs += out.pmptRefs;
+        if (!out.ok())
+            ++result.faults;
+    }
+    return result;
+}
+
+} // namespace hpmp

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Address-trace capture and replay.
+ *
+ * Research workflows often want to decouple workload generation from
+ * timing: capture the (va, type) stream of one run, then replay it
+ * against differently configured machines (other isolation schemes,
+ * cache/TLB geometries) with identical access sequences. The Runner
+ * can record transparently; traces round-trip through a simple text
+ * format (one `L|S|F <hex-va>` line per access) that is easy to
+ * produce from external tools as well.
+ */
+
+#ifndef HPMP_WORKLOADS_TRACE_H
+#define HPMP_WORKLOADS_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "core/core_model.h"
+
+namespace hpmp
+{
+
+/** One trace entry. */
+struct TraceRecord
+{
+    Addr va = 0;
+    AccessType type = AccessType::Load;
+
+    bool operator==(const TraceRecord &) const = default;
+};
+
+/** An in-memory access trace. */
+class Trace
+{
+  public:
+    void
+    append(Addr va, AccessType type)
+    {
+        records_.push_back({va, type});
+    }
+
+    size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+    const std::vector<TraceRecord> &records() const { return records_; }
+    void clear() { records_.clear(); }
+
+    /** Serialize as text ("L 0x... / S 0x... / F 0x..." lines). */
+    std::string toText() const;
+
+    /**
+     * Parse the text format. @return false on malformed input (the
+     * trace is left with the records parsed so far).
+     */
+    bool fromText(const std::string &text);
+
+    /** Write/read the text format to/from a file. */
+    bool save(const std::string &path) const;
+    bool load(const std::string &path);
+
+  private:
+    std::vector<TraceRecord> records_;
+};
+
+/** Aggregate result of a trace replay. */
+struct ReplayResult
+{
+    uint64_t accesses = 0;
+    uint64_t faults = 0;
+    uint64_t cycles = 0;
+    uint64_t totalRefs = 0;
+    uint64_t pmptRefs = 0;
+};
+
+/**
+ * Replay a trace against a machine. Faulting accesses are counted and
+ * skipped (replay has no OS to service them); cycles accumulate in
+ * the given core model.
+ */
+ReplayResult replayTrace(Machine &machine, CoreModel &model,
+                         const Trace &trace);
+
+} // namespace hpmp
+
+#endif // HPMP_WORKLOADS_TRACE_H

@@ -1,0 +1,111 @@
+#include "workloads/virt_env.h"
+
+#include "base/logging.h"
+
+namespace hpmp
+{
+
+const char *
+toString(VirtScheme scheme)
+{
+    switch (scheme) {
+      case VirtScheme::Pmp: return "PMP";
+      case VirtScheme::Pmpt: return "PMPT";
+      case VirtScheme::Hpmp: return "HPMP";
+      case VirtScheme::HpmpGpt: return "HPMP-GPT";
+    }
+    return "?";
+}
+
+VirtEnv::VirtEnv(CoreKind core, VirtScheme scheme)
+    : scheme_(scheme)
+{
+    vm_ = std::make_unique<VirtMachine>(machineParams(core));
+    PhysMem &mem = vm_->mem();
+
+    // Nested table: Sv39x4 (root is four pages wide), frames from the
+    // NPT pool — the hypervisor-side HPMP policy (paper §6).
+    npt_ = std::make_unique<PageTable>(mem, bumpAllocator(kNptPool),
+                                       PagingMode::Sv39, 2);
+    // Guest table: frames from the guest-PT pool; guest-physical
+    // addresses are identity-mapped so the builder can write directly.
+    gpt_ = std::make_unique<PageTable>(mem, bumpAllocator(kGptPool),
+                                       PagingMode::Sv39, 0);
+
+    // G-stage identity mappings for the regions the guest can reach:
+    // its page-table pool and its data region. U=1 as required for
+    // G-stage leaves.
+    for (Addr gpa = kGptPool; gpa < kGptPool + kGptPoolSize;
+         gpa += kPageSize) {
+        npt_->map(gpa, gpa, Perm::rw(), true);
+    }
+    // Data region mapped lazily in mapGuestPages (it is large).
+
+    vm_->setHgatp(npt_->rootPa());
+    vm_->setVsatp(gpt_->rootPa());
+
+    programScheme();
+}
+
+void
+VirtEnv::programScheme()
+{
+    HpmpUnit &unit = vm_->hpmp();
+    PhysMem &mem = vm_->mem();
+
+    // Entry 0: the monitor region, inaccessible to S/U.
+    unit.programSegment(0, kMonitorBase, kMonitorSize, Perm::none());
+
+    auto make_table = [&]() {
+        table_ = std::make_unique<PmpTable>(
+            mem, bumpAllocator(kMonitorBase + kMonitorSize / 2), 2);
+        table_->setPerm(kNptPool, kNptPoolSize, Perm::rw());
+        table_->setPerm(kGptPool, kGptPoolSize, Perm::rw());
+        table_->setPerm(kDataBase, kDataSize, Perm::rwx());
+    };
+
+    switch (scheme_) {
+      case VirtScheme::Pmp:
+        unit.programSegment(1, kNptPool, kNptPoolSize, Perm::rw());
+        unit.programSegment(2, kGptPool, kGptPoolSize, Perm::rw());
+        unit.programSegment(3, kDataBase, kDataSize, Perm::rwx());
+        break;
+      case VirtScheme::Pmpt:
+        make_table();
+        unit.programTable(1, 0, 16_GiB, table_->rootPa());
+        break;
+      case VirtScheme::Hpmp:
+        unit.programSegment(1, kNptPool, kNptPoolSize, Perm::rw());
+        make_table();
+        unit.programTable(2, 0, 16_GiB, table_->rootPa());
+        break;
+      case VirtScheme::HpmpGpt:
+        unit.programSegment(1, kNptPool, kNptPoolSize, Perm::rw());
+        unit.programSegment(2, kGptPool, kGptPoolSize, Perm::rw());
+        make_table();
+        unit.programTable(3, 0, 16_GiB, table_->rootPa());
+        break;
+    }
+}
+
+Addr
+VirtEnv::mapGuestPages(unsigned npages, uint64_t va_stride_pages)
+{
+    const Addr base = nextGva_;
+    for (unsigned i = 0; i < npages; ++i) {
+        const Addr gva = base + pageAddr(uint64_t(i) * va_stride_pages);
+        const Addr gpa = nextDataPage_;
+        nextDataPage_ += kPageSize;
+        fatal_if(nextDataPage_ > kDataBase + kDataSize,
+                 "guest data region exhausted");
+        const bool mapped_g = gpt_->map(gva, gpa, Perm::rwx(), true);
+        panic_if(!mapped_g, "guest map collision at %#lx", gva);
+        const bool mapped_n = npt_->map(gpa, gpa, Perm::rwx(), true);
+        panic_if(!mapped_n, "nested map collision at %#lx", gpa);
+    }
+    nextGva_ = base + pageAddr(uint64_t(npages) * va_stride_pages + 16);
+    vm_->hfenceGvma();
+    return base;
+}
+
+} // namespace hpmp

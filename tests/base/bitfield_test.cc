@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Bitfield helper tests, including property-style sweeps over field
+ * positions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/bitfield.h"
+
+namespace hpmp
+{
+namespace
+{
+
+TEST(Bitfield, Mask)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(12), 0xfffu);
+    EXPECT_EQ(mask(64), ~0ULL);
+}
+
+TEST(Bitfield, BitsExtract)
+{
+    EXPECT_EQ(bits(0xdeadbeefULL, 15, 0), 0xbeefu);
+    EXPECT_EQ(bits(0xdeadbeefULL, 31, 16), 0xdeadu);
+    EXPECT_EQ(bits(0x80ULL, 7), 1u);
+    EXPECT_EQ(bits(0x80ULL, 6), 0u);
+}
+
+TEST(Bitfield, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 15, 8, 0xab), 0xab00u);
+    EXPECT_EQ(insertBits(0xffffULL, 7, 0, 0), 0xff00u);
+    EXPECT_EQ(insertBits(0, 0, 1), 1u);
+    // Field wider than range is truncated.
+    EXPECT_EQ(insertBits(0, 3, 0, 0xff), 0xfu);
+}
+
+TEST(Bitfield, SignExtend)
+{
+    EXPECT_EQ(sext(0xfff, 12), -1);
+    EXPECT_EQ(sext(0x7ff, 12), 0x7ff);
+    EXPECT_EQ(sext(0x800, 12), -2048);
+}
+
+TEST(Bitfield, PowerOfTwoAndLog)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(12));
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(4096), 12u);
+}
+
+TEST(Bitfield, Align)
+{
+    EXPECT_EQ(alignDown(0x1234, 0x1000), 0x1000u);
+    EXPECT_EQ(alignUp(0x1234, 0x1000), 0x2000u);
+    EXPECT_EQ(alignUp(0x1000, 0x1000), 0x1000u);
+}
+
+/** Round-trip property: insert then extract returns the field. */
+class BitfieldRoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BitfieldRoundTrip, InsertExtract)
+{
+    const unsigned lo = GetParam();
+    const unsigned hi = lo + 8;
+    for (uint64_t field : {0ULL, 1ULL, 0x5aULL, 0xffULL}) {
+        const uint64_t v = insertBits(0xffffffffffffffffULL, hi, lo, field);
+        EXPECT_EQ(bits(v, hi, lo), field & mask(9));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, BitfieldRoundTrip,
+                         ::testing::Values(0u, 5u, 12u, 25u, 33u, 43u,
+                                           55u));
+
+} // namespace
+} // namespace hpmp

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * IntervalSet tests: coalescing, splitting, overlap queries and a
+ * randomized consistency property against a page-granular bitmap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/interval_set.h"
+#include "base/rng.h"
+
+namespace hpmp
+{
+namespace
+{
+
+TEST(IntervalSet, InsertCoalesces)
+{
+    IntervalSet s;
+    EXPECT_TRUE(s.insert(0x1000, 0x1000));
+    EXPECT_TRUE(s.insert(0x2000, 0x1000));
+    EXPECT_EQ(s.intervalCount(), 1u);
+    EXPECT_TRUE(s.contains(0x1000, 0x2000));
+    EXPECT_TRUE(s.insert(0x0, 0x1000));
+    EXPECT_EQ(s.intervalCount(), 1u);
+}
+
+TEST(IntervalSet, InsertRejectsOverlap)
+{
+    IntervalSet s;
+    EXPECT_TRUE(s.insert(0x1000, 0x2000));
+    EXPECT_FALSE(s.insert(0x2000, 0x1000));
+    EXPECT_FALSE(s.insert(0x0, 0x1001));
+}
+
+TEST(IntervalSet, EraseSplits)
+{
+    IntervalSet s;
+    ASSERT_TRUE(s.insert(0x0, 0x10000));
+    EXPECT_TRUE(s.erase(0x4000, 0x1000));
+    EXPECT_EQ(s.intervalCount(), 2u);
+    EXPECT_FALSE(s.contains(0x4000, 0x1000));
+    EXPECT_TRUE(s.contains(0x0, 0x4000));
+    EXPECT_TRUE(s.contains(0x5000, 0xb000));
+}
+
+TEST(IntervalSet, EraseRequiresFullCoverage)
+{
+    IntervalSet s;
+    ASSERT_TRUE(s.insert(0x1000, 0x1000));
+    EXPECT_FALSE(s.erase(0x800, 0x1000));
+    EXPECT_FALSE(s.erase(0x1800, 0x1000));
+}
+
+TEST(IntervalSet, FindFitRespectsAlignment)
+{
+    IntervalSet s;
+    ASSERT_TRUE(s.insert(0x1800, 0x10000));
+    const auto fit = s.findFit(0x4000, 0x4000);
+    ASSERT_TRUE(fit.has_value());
+    EXPECT_EQ(*fit % 0x4000, 0u);
+    EXPECT_GE(*fit, 0x1800u);
+}
+
+TEST(IntervalSet, TotalBytes)
+{
+    IntervalSet s;
+    s.insert(0, 0x3000);
+    s.insert(0x10000, 0x1000);
+    EXPECT_EQ(s.totalBytes(), 0x4000u);
+}
+
+/** Randomized: the set must agree with a page bitmap oracle. */
+TEST(IntervalSetProperty, MatchesBitmapOracle)
+{
+    constexpr uint64_t kPages = 256;
+    IntervalSet s;
+    std::set<uint64_t> oracle; // pages present
+    Rng rng(42);
+
+    for (int step = 0; step < 2000; ++step) {
+        const uint64_t page = rng.below(kPages);
+        const uint64_t len = 1 + rng.below(8);
+        const Addr base = page * kPageSize;
+        const uint64_t bytes = len * kPageSize;
+
+        bool oracle_free = true;
+        bool oracle_full = true;
+        for (uint64_t p = page; p < page + len; ++p) {
+            if (oracle.count(p))
+                oracle_free = false;
+            else
+                oracle_full = false;
+        }
+
+        if (rng.chance(0.5)) {
+            const bool ok = s.insert(base, bytes);
+            EXPECT_EQ(ok, oracle_free) << "insert step " << step;
+            if (ok) {
+                for (uint64_t p = page; p < page + len; ++p)
+                    oracle.insert(p);
+            }
+        } else {
+            const bool ok = s.erase(base, bytes);
+            EXPECT_EQ(ok, oracle_full) << "erase step " << step;
+            if (ok) {
+                for (uint64_t p = page; p < page + len; ++p)
+                    oracle.erase(p);
+            }
+        }
+        EXPECT_EQ(s.totalBytes(), oracle.size() * kPageSize);
+    }
+}
+
+} // namespace
+} // namespace hpmp

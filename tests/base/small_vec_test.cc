@@ -1,0 +1,72 @@
+/**
+ * @file
+ * SmallVec and frame-allocator tests, including overflow failure
+ * injection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/frame_alloc.h"
+#include "base/small_vec.h"
+
+namespace hpmp
+{
+namespace
+{
+
+TEST(SmallVec, PushAndIterate)
+{
+    SmallVec<int, 4> v;
+    EXPECT_TRUE(v.empty());
+    v.push_back(1);
+    v.push_back(2);
+    v.push_back(3);
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], 1);
+    EXPECT_EQ(v.back(), 3);
+
+    int sum = 0;
+    for (int x : v)
+        sum += x;
+    EXPECT_EQ(sum, 6);
+}
+
+TEST(SmallVec, ClearResets)
+{
+    SmallVec<int, 2> v;
+    v.push_back(7);
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    v.push_back(9);
+    EXPECT_EQ(v[0], 9);
+}
+
+TEST(SmallVecDeath, OverflowPanics)
+{
+    SmallVec<int, 2> v;
+    v.push_back(1);
+    v.push_back(2);
+    EXPECT_DEATH(v.push_back(3), "SmallVec overflow");
+}
+
+TEST(FrameAlloc, BumpAllocatorAdvances)
+{
+    FrameAllocator alloc = bumpAllocator(1_MiB);
+    EXPECT_EQ(alloc(1), 1_MiB);
+    EXPECT_EQ(alloc(4), 1_MiB + kPageSize);
+    EXPECT_EQ(alloc(1), 1_MiB + 5 * kPageSize);
+}
+
+TEST(FrameAlloc, IndependentAllocators)
+{
+    FrameAllocator a = bumpAllocator(1_MiB);
+    FrameAllocator b = bumpAllocator(1_MiB);
+    (void)a(3);
+    EXPECT_EQ(b(1), 1_MiB); // b has its own cursor
+    // Copies share the cursor (shared_ptr state).
+    FrameAllocator c = a;
+    EXPECT_EQ(c(1), 1_MiB + 3 * kPageSize);
+}
+
+} // namespace
+} // namespace hpmp

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Core timing-model tests: base CPI accounting, stall exposure,
+ * overlap asymmetry between Rocket and BOOM, and the Table-1
+ * parameter factories.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/core_model.h"
+
+namespace hpmp
+{
+namespace
+{
+
+AccessOutcome
+outcomeWith(uint64_t cycles, bool tlb_hit)
+{
+    AccessOutcome out;
+    out.cycles = cycles;
+    out.tlbHit = tlb_hit;
+    out.dataRefs = 1;
+    return out;
+}
+
+TEST(CoreModel, BaseCpiOnly)
+{
+    CoreModel model(rocketParams());
+    model.addInstructions(1000);
+    // Rocket base CPI = 1.4.
+    EXPECT_EQ(model.cycles(), 1400u);
+}
+
+TEST(CoreModel, L1HitAddsNoStall)
+{
+    MachineParams p = rocketParams();
+    CoreModel model(p);
+    model.addAccess(outcomeWith(p.hier.l1d.latency, true));
+    // Just the access's base-CPI share.
+    EXPECT_EQ(model.cycles(), uint64_t(p.timing.baseCpi));
+}
+
+TEST(CoreModel, StallCyclesExposedFully_InOrder)
+{
+    MachineParams p = rocketParams();
+    CoreModel model(p);
+    model.addAccess(outcomeWith(p.hier.l1d.latency + 100, true));
+    EXPECT_EQ(model.cycles(), uint64_t(p.timing.baseCpi) + 100);
+}
+
+TEST(CoreModel, BoomHidesDataMissesMoreThanWalks)
+{
+    MachineParams p = boomParams();
+    CoreModel hit_model(p);
+    CoreModel walk_model(p);
+    hit_model.addAccess(outcomeWith(p.hier.l1d.latency + 200, true));
+    walk_model.addAccess(outcomeWith(p.hier.l1d.latency + 200, false));
+    // Walk stalls (TLB miss) are exposed more than data stalls.
+    EXPECT_GT(walk_model.cycles(), hit_model.cycles());
+}
+
+TEST(CoreModel, SecondsUseFrequency)
+{
+    MachineParams rocket = rocketParams();
+    MachineParams boom = boomParams();
+    CoreModel a(rocket), b(boom);
+    a.addInstructions(1000000);
+    b.addInstructions(1000000);
+    // Same instruction count: the 3.2 GHz core finishes sooner even
+    // with its different CPI.
+    EXPECT_LT(b.seconds(), a.seconds());
+}
+
+TEST(CoreModel, ResetClearsEverything)
+{
+    CoreModel model(rocketParams());
+    model.addInstructions(50);
+    model.addAccess(outcomeWith(500, false));
+    model.reset();
+    EXPECT_EQ(model.cycles(), 0u);
+    EXPECT_EQ(model.instructions(), 0u);
+    EXPECT_EQ(model.memAccesses(), 0u);
+}
+
+TEST(Params, Table1Geometry)
+{
+    const MachineParams rocket = rocketParams();
+    EXPECT_EQ(rocket.hier.l1d.sizeBytes, 16_KiB);
+    EXPECT_EQ(rocket.hier.l2.sizeBytes, 512_KiB);
+    EXPECT_EQ(rocket.hier.llc.sizeBytes, 4_MiB);
+    EXPECT_EQ(rocket.l1TlbEntries, 32u);
+    EXPECT_EQ(rocket.l2TlbEntries, 1024u);
+    EXPECT_EQ(rocket.pwcEntries, 8u);
+    EXPECT_EQ(rocket.physMemBytes, 16_GiB);
+
+    const MachineParams boom = boomParams();
+    EXPECT_EQ(boom.hier.l1d.sizeBytes, 32_KiB);
+    EXPECT_EQ(boom.hier.l1d.assoc, 8u);
+    EXPECT_DOUBLE_EQ(boom.timing.freqGHz, 3.2);
+    EXPECT_LT(boom.timing.baseCpi, rocketParams().timing.baseCpi);
+
+    EXPECT_EQ(machineParams(CoreKind::Rocket).name, "rocket");
+    EXPECT_EQ(machineParams(CoreKind::Boom).name, "boom");
+}
+
+} // namespace
+} // namespace hpmp

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Machine statistics tests: the "machine.*" counters must agree with
+ * the per-access outcomes they aggregate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.h"
+#include "pmpt/pmp_table.h"
+#include "pt/page_table.h"
+
+namespace hpmp
+{
+namespace
+{
+
+TEST(MachineStats, CountersTrackOutcomes)
+{
+    Machine machine(rocketParams());
+    PmpTable table(machine.mem(), bumpAllocator(64_MiB), 2);
+    table.setPerm(256_MiB, 16_MiB, Perm::rw());
+    table.setPerm(4_GiB, 64_MiB, Perm::rwx());
+    machine.hpmp().programTable(0, 0, 16_GiB, table.rootPa());
+
+    PageTable pt(machine.mem(), bumpAllocator(256_MiB),
+                 PagingMode::Sv39);
+    pt.map(0x40000000, 4_GiB, Perm::rw(), true);
+    machine.setSatp(pt.rootPa(), PagingMode::Sv39);
+    machine.setPriv(PrivMode::User);
+    machine.coldReset();
+
+    StatGroup &stats = machine.stats();
+    stats.resetAll();
+
+    // One walk + one TLB hit.
+    ASSERT_TRUE(machine.access(0x40000000, AccessType::Load).ok());
+    ASSERT_TRUE(machine.access(0x40000000, AccessType::Load).ok());
+    EXPECT_EQ(stats.get("accesses"), 2u);
+    EXPECT_EQ(stats.get("walks"), 1u);
+    EXPECT_EQ(stats.get("pt_refs"), 3u);
+    EXPECT_EQ(stats.get("pmpt_refs"), 8u);
+    EXPECT_EQ(stats.get("page_faults"), 0u);
+    EXPECT_EQ(stats.get("access_faults"), 0u);
+
+    // A page fault and an access fault.
+    (void)machine.access(0x50000000, AccessType::Load);
+    EXPECT_EQ(stats.get("page_faults"), 1u);
+    pt.map(0x60000000, 8_GiB, Perm::rw(), true); // outside the table
+    machine.sfenceVma();
+    (void)machine.access(0x60000000, AccessType::Load);
+    EXPECT_EQ(stats.get("access_faults"), 1u);
+
+    const std::string dump = stats.dump();
+    EXPECT_NE(dump.find("machine.accesses"), std::string::npos);
+}
+
+} // namespace
+} // namespace hpmp

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * TLB and PWC unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pwc.h"
+#include "core/tlb.h"
+
+namespace hpmp
+{
+namespace
+{
+
+TEST(Tlb, MissThenL1Hit)
+{
+    Tlb tlb(4, 64);
+    TlbHitLevel level;
+    EXPECT_FALSE(tlb.lookup(0x1000, &level).has_value());
+    EXPECT_EQ(level, TlbHitLevel::Miss);
+
+    tlb.fill(0x1000, 0x80001000, Perm::rw(), Perm::rwx(), true);
+    auto entry = tlb.lookup(0x1234, &level);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(level, TlbHitLevel::L1);
+    EXPECT_EQ(entry->ppn, 0x80001000u >> kPageShift);
+    EXPECT_EQ(entry->perm, Perm::rw());
+    EXPECT_EQ(entry->physPerm, Perm::rwx());
+    EXPECT_TRUE(entry->user);
+}
+
+TEST(Tlb, L2BackstopsL1Eviction)
+{
+    Tlb tlb(2, 64);
+    tlb.fill(0x1000, 0x80001000, Perm::rw(), Perm::rwx(), true);
+    tlb.fill(0x2000, 0x80002000, Perm::rw(), Perm::rwx(), true);
+    tlb.fill(0x3000, 0x80003000, Perm::rw(), Perm::rwx(), true);
+
+    TlbHitLevel level;
+    auto entry = tlb.lookup(0x1000, &level);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(level, TlbHitLevel::L2); // evicted from L1, caught by L2
+    // Promotion: the next lookup hits L1.
+    tlb.lookup(0x1000, &level);
+    EXPECT_EQ(level, TlbHitLevel::L1);
+}
+
+TEST(Tlb, DirectMappedL2Conflicts)
+{
+    Tlb tlb(1, 16);
+    // Two VPNs that collide in a 16-entry direct-mapped L2.
+    tlb.fill(pageAddr(3), 0x80001000, Perm::rw(), Perm::rwx(), true);
+    tlb.fill(pageAddr(3 + 16), 0x80002000, Perm::rw(), Perm::rwx(),
+             true);
+    tlb.fill(pageAddr(5), 0x80003000, Perm::rw(), Perm::rwx(), true);
+    // First fill was evicted from both L1 (size 1) and its L2 slot.
+    EXPECT_FALSE(tlb.lookup(pageAddr(3)).has_value());
+    EXPECT_TRUE(tlb.lookup(pageAddr(3 + 16)).has_value());
+}
+
+TEST(Tlb, FlushPageIsSelective)
+{
+    Tlb tlb(4, 64);
+    tlb.fill(0x1000, 0x80001000, Perm::rw(), Perm::rwx(), true);
+    tlb.fill(0x2000, 0x80002000, Perm::rw(), Perm::rwx(), true);
+    tlb.flushPage(0x1000);
+    EXPECT_FALSE(tlb.lookup(0x1000).has_value());
+    EXPECT_TRUE(tlb.lookup(0x2000).has_value());
+    tlb.flushAll();
+    EXPECT_FALSE(tlb.lookup(0x2000).has_value());
+}
+
+TEST(Tlb, SuperpageEntryCoversWholeRange)
+{
+    Tlb tlb(4, 64);
+    // 2 MiB leaf: one entry serves every 4 KiB page inside it.
+    tlb.fill(0x40000000, 0x80000000, Perm::rw(), Perm::rwx(), true,
+             /*level=*/1);
+    auto a = tlb.lookup(0x40000000 + 0x1234);
+    auto b = tlb.lookup(0x40000000 + 0x1ff000 + 0x10);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->translate(0x40000000 + 0x1234), 0x80001234u);
+    EXPECT_EQ(b->translate(0x40000000 + 0x1ff010), 0x801ff010u);
+    // Outside the superpage: miss.
+    EXPECT_FALSE(tlb.lookup(0x40200000).has_value());
+    // flushPage with any covered address drops the whole entry.
+    tlb.flushPage(0x40001000);
+    EXPECT_FALSE(tlb.lookup(0x40000000).has_value());
+}
+
+TEST(Tlb, StatsCount)
+{
+    Tlb tlb(4, 64);
+    tlb.lookup(0x1000);
+    tlb.fill(0x1000, 0x80001000, Perm::rw(), Perm::rwx(), true);
+    tlb.lookup(0x1000);
+    EXPECT_EQ(tlb.misses(), 1u);
+    EXPECT_EQ(tlb.l1Hits(), 1u);
+}
+
+TEST(Pwc, FillLookupByLevel)
+{
+    Pwc pwc(8);
+    const Pte pte = Pte::pointer(0x123000);
+    pwc.fill(1, 0x40000000, pte);
+    auto hit = pwc.lookup(1, 0x40000000);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->raw, pte.raw);
+    // Same address, different level: miss.
+    EXPECT_FALSE(pwc.lookup(2, 0x40000000).has_value());
+    // Different 2 MiB region at level 0... level 0 tags 4 KiB regions.
+    EXPECT_FALSE(pwc.lookup(1, 0x40200000).has_value());
+    // Within the same level-1 region (2 MiB): hit.
+    EXPECT_TRUE(pwc.lookup(1, 0x40001000).has_value());
+}
+
+TEST(Pwc, LruEviction)
+{
+    Pwc pwc(2);
+    pwc.fill(0, 0x1000, Pte::pointer(0x1000));
+    pwc.fill(0, 0x2000, Pte::pointer(0x2000));
+    pwc.lookup(0, 0x1000); // touch
+    pwc.fill(0, 0x3000, Pte::pointer(0x3000));
+    EXPECT_TRUE(pwc.lookup(0, 0x1000).has_value());
+    EXPECT_FALSE(pwc.lookup(0, 0x2000).has_value());
+}
+
+TEST(Pwc, DisabledNeverCaches)
+{
+    Pwc pwc(0);
+    EXPECT_FALSE(pwc.enabled());
+    pwc.fill(0, 0x1000, Pte::pointer(0x1000));
+    EXPECT_FALSE(pwc.lookup(0, 0x1000).has_value());
+}
+
+TEST(Pwc, InvalidateAndFlush)
+{
+    Pwc pwc(8);
+    pwc.fill(0, 0x1000, Pte::pointer(0x1000));
+    pwc.fill(1, 0x1000, Pte::pointer(0x2000));
+    pwc.invalidate(0, 0x1000);
+    EXPECT_FALSE(pwc.lookup(0, 0x1000).has_value());
+    EXPECT_TRUE(pwc.lookup(1, 0x1000).has_value());
+    pwc.flush();
+    EXPECT_FALSE(pwc.lookup(1, 0x1000).has_value());
+}
+
+} // namespace
+} // namespace hpmp

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * PhysMem tests: sparse backing, zero-fill semantics, bulk copies and
+ * range checking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mem/phys_mem.h"
+
+namespace hpmp
+{
+namespace
+{
+
+TEST(PhysMem, ZeroFilledOnFirstRead)
+{
+    PhysMem mem(1_GiB);
+    EXPECT_EQ(mem.read64(0x12340), 0u);
+    EXPECT_EQ(mem.backedPages(), 0u); // reads do not materialize pages
+}
+
+TEST(PhysMem, ReadBackWrites)
+{
+    PhysMem mem(1_GiB);
+    mem.write64(0x1000, 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(mem.read64(0x1000), 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(mem.backedPages(), 1u);
+}
+
+TEST(PhysMem, ByteAccess)
+{
+    PhysMem mem(1_GiB);
+    mem.write8(0x2003, 0xab);
+    EXPECT_EQ(mem.read8(0x2003), 0xab);
+    EXPECT_EQ(mem.read64(0x2000), 0xab000000ULL); // byte 3 = bits 31:24
+}
+
+TEST(PhysMem, BulkCopySpansPages)
+{
+    PhysMem mem(1_GiB);
+    std::vector<uint8_t> src(3 * kPageSize);
+    for (size_t i = 0; i < src.size(); ++i)
+        src[i] = uint8_t(i * 7);
+    mem.writeBytes(kPageSize - 100, src.data(), src.size());
+
+    std::vector<uint8_t> dst(src.size());
+    mem.readBytes(kPageSize - 100, dst.data(), dst.size());
+    EXPECT_EQ(std::memcmp(src.data(), dst.data(), src.size()), 0);
+}
+
+TEST(PhysMem, ZeroPage)
+{
+    PhysMem mem(1_GiB);
+    mem.write64(0x3000, 1);
+    mem.write64(0x3ff8, 2);
+    mem.zeroPage(0x3000);
+    EXPECT_EQ(mem.read64(0x3000), 0u);
+    EXPECT_EQ(mem.read64(0x3ff8), 0u);
+}
+
+TEST(PhysMemDeath, OutOfRangePanics)
+{
+    PhysMem mem(1_MiB);
+    EXPECT_DEATH(mem.read64(2_MiB), "out of range");
+    EXPECT_DEATH(mem.write64(1_MiB - 4, 0), "out of range");
+}
+
+TEST(PhysMemDeath, MisalignedPanics)
+{
+    PhysMem mem(1_MiB);
+    EXPECT_DEATH(mem.read64(1), "misaligned");
+}
+
+} // namespace
+} // namespace hpmp

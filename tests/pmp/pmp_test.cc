@@ -1,0 +1,182 @@
+/**
+ * @file
+ * RISC-V PMP tests: NAPOT/TOR/NA4 decoding, static priority, partial
+ * matches, lock semantics and privilege rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pmp/pmp.h"
+
+namespace hpmp
+{
+namespace
+{
+
+TEST(PmpCfg, MakeAndDecode)
+{
+    const uint8_t raw = PmpCfg::make(Perm::rx(), PmpAddrMode::Napot,
+                                     true, true);
+    const PmpCfg cfg{raw};
+    EXPECT_TRUE(cfg.r());
+    EXPECT_FALSE(cfg.w());
+    EXPECT_TRUE(cfg.x());
+    EXPECT_EQ(cfg.a(), PmpAddrMode::Napot);
+    EXPECT_TRUE(cfg.l());
+    EXPECT_TRUE(cfg.reservedT()); // bit 5, reused by HPMP
+}
+
+TEST(Pmp, NapotEncodeDecode)
+{
+    PmpUnit pmp;
+    pmp.programNapot(0, 0x80000000, 2_MiB, Perm::rw());
+    const auto region = pmp.region(0);
+    ASSERT_TRUE(region.has_value());
+    EXPECT_EQ(region->base, 0x80000000u);
+    EXPECT_EQ(region->size, 2_MiB);
+}
+
+class PmpNapotSizes : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(PmpNapotSizes, RoundTrip)
+{
+    const uint64_t size = GetParam();
+    PmpUnit pmp;
+    pmp.programNapot(0, size, size, Perm::ro()); // base = size: aligned
+    const auto region = pmp.region(0);
+    ASSERT_TRUE(region.has_value());
+    EXPECT_EQ(region->base, size);
+    EXPECT_EQ(region->size, size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PmpNapotSizes,
+                         ::testing::Values(8ULL, 4096ULL, 64_KiB, 2_MiB,
+                                           32_MiB, 1_GiB, 16_GiB));
+
+TEST(Pmp, TorRegion)
+{
+    PmpUnit pmp;
+    pmp.setAddr(0, 0x1000 >> 2);
+    pmp.setAddr(1, 0x3000 >> 2);
+    pmp.setCfg(1, PmpCfg::make(Perm::rw(), PmpAddrMode::Tor));
+    const auto region = pmp.region(1);
+    ASSERT_TRUE(region.has_value());
+    EXPECT_EQ(region->base, 0x1000u);
+    EXPECT_EQ(region->size, 0x2000u);
+}
+
+TEST(Pmp, TorEntryZeroFloorsAtZero)
+{
+    PmpUnit pmp;
+    pmp.setAddr(0, 0x8000 >> 2);
+    pmp.setCfg(0, PmpCfg::make(Perm::ro(), PmpAddrMode::Tor));
+    const auto region = pmp.region(0);
+    ASSERT_TRUE(region.has_value());
+    EXPECT_EQ(region->base, 0u);
+    EXPECT_EQ(region->size, 0x8000u);
+}
+
+TEST(Pmp, Na4)
+{
+    PmpUnit pmp;
+    pmp.setAddr(0, 0x2000 >> 2);
+    pmp.setCfg(0, PmpCfg::make(Perm::rw(), PmpAddrMode::Na4));
+    const auto region = pmp.region(0);
+    ASSERT_TRUE(region.has_value());
+    EXPECT_EQ(region->base, 0x2000u);
+    EXPECT_EQ(region->size, 4u);
+}
+
+TEST(Pmp, LowestNumberedEntryWins)
+{
+    PmpUnit pmp;
+    pmp.programNapot(0, 0x80000000, 4096, Perm::none());
+    pmp.programNapot(1, 0x80000000, 1_MiB, Perm::rw());
+    // Inside entry 0: denied even though entry 1 allows.
+    EXPECT_EQ(pmp.check(0x80000000, 8, AccessType::Load,
+                        PrivMode::Supervisor),
+              Fault::LoadAccessFault);
+    // Outside entry 0, inside entry 1: allowed.
+    EXPECT_EQ(pmp.check(0x80001000, 8, AccessType::Load,
+                        PrivMode::Supervisor),
+              Fault::None);
+}
+
+TEST(Pmp, NoMatchDeniesSAndUButNotM)
+{
+    PmpUnit pmp;
+    pmp.programNapot(0, 0x80000000, 4096, Perm::rw());
+    EXPECT_EQ(pmp.check(0x10000, 8, AccessType::Load,
+                        PrivMode::Supervisor),
+              Fault::LoadAccessFault);
+    EXPECT_EQ(pmp.check(0x10000, 8, AccessType::Load, PrivMode::User),
+              Fault::LoadAccessFault);
+    EXPECT_EQ(pmp.check(0x10000, 8, AccessType::Load,
+                        PrivMode::Machine),
+              Fault::None);
+}
+
+TEST(Pmp, PartialOverlapFails)
+{
+    PmpUnit pmp;
+    pmp.programNapot(0, 0x80000000, 4096, Perm::rw());
+    // 8-byte access straddling the region's end.
+    EXPECT_EQ(pmp.check(0x80000ffc, 8, AccessType::Load,
+                        PrivMode::Supervisor),
+              Fault::LoadAccessFault);
+}
+
+TEST(Pmp, PermissionBitsChecked)
+{
+    PmpUnit pmp;
+    pmp.programNapot(0, 0x80000000, 4096, Perm::ro());
+    EXPECT_EQ(pmp.check(0x80000000, 8, AccessType::Load,
+                        PrivMode::User),
+              Fault::None);
+    EXPECT_EQ(pmp.check(0x80000000, 8, AccessType::Store,
+                        PrivMode::User),
+              Fault::StoreAccessFault);
+    EXPECT_EQ(pmp.check(0x80000000, 8, AccessType::Fetch,
+                        PrivMode::User),
+              Fault::FetchAccessFault);
+}
+
+TEST(Pmp, LockedEntryIgnoresWrites)
+{
+    PmpUnit pmp;
+    pmp.setAddr(0, PmpUnit::encodeNapot(0x80000000, 4096));
+    pmp.setCfg(0, PmpCfg::make(Perm::ro(), PmpAddrMode::Napot, true));
+    pmp.setCfg(0, PmpCfg::make(Perm::rwx(), PmpAddrMode::Napot));
+    pmp.setAddr(0, 0);
+    EXPECT_TRUE(pmp.cfg(0).l());
+    EXPECT_EQ(pmp.region(0)->base, 0x80000000u);
+    // Locked entries constrain M-mode too.
+    EXPECT_EQ(pmp.check(0x80000000, 8, AccessType::Store,
+                        PrivMode::Machine),
+              Fault::StoreAccessFault);
+}
+
+TEST(Pmp, LockedTorGuardsPreviousAddr)
+{
+    PmpUnit pmp;
+    pmp.setAddr(0, 0x1000 >> 2);
+    pmp.setAddr(1, 0x2000 >> 2);
+    pmp.setCfg(1, PmpCfg::make(Perm::rw(), PmpAddrMode::Tor, true));
+    pmp.setAddr(0, 0); // must be ignored: entry 1 is locked TOR
+    EXPECT_EQ(pmp.addr(0), 0x1000u >> 2);
+}
+
+TEST(Pmp, EntryCountConfigurable)
+{
+    PmpUnit pmp64(64);
+    EXPECT_EQ(pmp64.numEntries(), 64u);
+    pmp64.programNapot(63, 0x80000000, 4096, Perm::rw());
+    EXPECT_EQ(pmp64.check(0x80000000, 8, AccessType::Load,
+                          PrivMode::User),
+              Fault::None);
+}
+
+} // namespace
+} // namespace hpmp

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * PMP Table tests: Fig. 6 encodings and geometry, builder semantics
+ * (huge entries, splitting), walker reference counts and the
+ * PMPTW-Cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/frame_alloc.h"
+#include "base/rng.h"
+#include "pmpt/pmp_table.h"
+#include "pmpt/pmpt_walker.h"
+#include "pmpt/pmptw_cache.h"
+
+namespace hpmp
+{
+namespace
+{
+
+TEST(PmptGeometry, PaperConstants)
+{
+    using namespace pmpt_geom;
+    // Fig. 6-e: PageIndex = bits 15:12, OFF[0] = 24:16, OFF[1] = 33:25.
+    EXPECT_EQ(indexLo(0), 16u);
+    EXPECT_EQ(indexLo(1), 25u);
+    EXPECT_EQ(pageIndex(0xffff), 0xfu);
+    EXPECT_EQ(indexAt(1ULL << 16, 0), 1u);
+    EXPECT_EQ(indexAt(1ULL << 25, 1), 1u);
+    // §4.3: one root pmpte manages 32 MiB; one 2-level table 16 GiB.
+    EXPECT_EQ(entrySpan(1), 32_MiB);
+    EXPECT_EQ(coverage(2), 16_GiB);
+    EXPECT_EQ(coverage(3), 8192_GiB); // 3-level extension
+}
+
+TEST(RootPmpte, PointerAndHuge)
+{
+    const RootPmpte ptr = RootPmpte::pointer(0x123000);
+    EXPECT_TRUE(ptr.v());
+    EXPECT_TRUE(ptr.isPointer());
+    EXPECT_FALSE(ptr.isHuge());
+    EXPECT_EQ(ptr.tablePa(), 0x123000u);
+
+    const RootPmpte huge = RootPmpte::huge(Perm::rw());
+    EXPECT_TRUE(huge.isHuge());
+    EXPECT_FALSE(huge.isPointer());
+    EXPECT_EQ(huge.perm(), Perm::rw());
+
+    const RootPmpte invalid{0};
+    EXPECT_FALSE(invalid.v());
+}
+
+TEST(LeafPmpte, SixteenNibbles)
+{
+    LeafPmpte leaf;
+    for (unsigned i = 0; i < 16; ++i)
+        leaf.setPerm(i, i % 2 ? Perm::rw() : Perm::rx());
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(leaf.perm(i), i % 2 ? Perm::rw() : Perm::rx()) << i;
+
+    const LeafPmpte uniform = LeafPmpte::uniform(Perm::rwx());
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(uniform.perm(i), Perm::rwx());
+}
+
+TEST(PmptBaseReg, ModeAndPpn)
+{
+    const PmptBaseReg reg = PmptBaseReg::make(0x40000000, 3);
+    EXPECT_EQ(reg.tablePa(), 0x40000000u);
+    EXPECT_EQ(reg.mode(), 1u);
+    EXPECT_EQ(reg.levels(), 3u);
+    EXPECT_EQ(PmptBaseReg::make(0x1000).levels(), 2u);
+}
+
+class PmpTableTest : public ::testing::Test
+{
+  protected:
+    PmpTableTest()
+        : mem(16_GiB),
+          table(mem, bumpAllocator(64_MiB), 2)
+    {
+    }
+
+    PhysMem mem;
+    PmpTable table;
+};
+
+TEST_F(PmpTableTest, DefaultInvalid)
+{
+    EXPECT_FALSE(table.valid(0x100000));
+    EXPECT_EQ(table.lookup(0x100000), Perm::none());
+}
+
+TEST_F(PmpTableTest, PageGranularPerms)
+{
+    table.setPerm(1_GiB, 16 * kPageSize, Perm::rw());
+    EXPECT_EQ(table.lookup(1_GiB), Perm::rw());
+    EXPECT_EQ(table.lookup(1_GiB + 15 * kPageSize), Perm::rw());
+    EXPECT_EQ(table.lookup(1_GiB + 16 * kPageSize), Perm::none());
+    EXPECT_EQ(table.lookup(1_GiB - kPageSize), Perm::none());
+}
+
+TEST_F(PmpTableTest, SinglePageUpdateLeavesNeighbors)
+{
+    table.setPerm(2_GiB, 64_KiB, Perm::rwx());
+    table.setPerm(2_GiB + kPageSize, kPageSize, Perm::ro());
+    EXPECT_EQ(table.lookup(2_GiB), Perm::rwx());
+    EXPECT_EQ(table.lookup(2_GiB + kPageSize), Perm::ro());
+    EXPECT_EQ(table.lookup(2_GiB + 2 * kPageSize), Perm::rwx());
+}
+
+TEST_F(PmpTableTest, HugeEntrySingleWrite)
+{
+    table.resetEntryWrites();
+    table.setPerm(0, 32_MiB, Perm::rw(), /*allow_huge=*/true);
+    EXPECT_EQ(table.entryWrites(), 1u); // Fig. 14-d's fast path
+    EXPECT_EQ(table.lookup(0), Perm::rw());
+    EXPECT_EQ(table.lookup(32_MiB - kPageSize), Perm::rw());
+}
+
+TEST_F(PmpTableTest, HugeSplitPreservesSurroundings)
+{
+    table.setPerm(0, 32_MiB, Perm::rw(), true);
+    table.setPerm(1_MiB, kPageSize, Perm::none());
+    EXPECT_EQ(table.lookup(0), Perm::rw());
+    EXPECT_EQ(table.lookup(1_MiB), Perm::none());
+    EXPECT_EQ(table.lookup(1_MiB + kPageSize), Perm::rw());
+    EXPECT_EQ(table.lookup(31_MiB), Perm::rw());
+}
+
+TEST_F(PmpTableTest, LeafGranularCostsMoreWrites)
+{
+    table.resetEntryWrites();
+    table.setPerm(0, 32_MiB, Perm::rw(), /*allow_huge=*/false);
+    // 512 leaf pmptes + 1 pointer.
+    EXPECT_EQ(table.entryWrites(), 513u);
+}
+
+TEST(PmpTable3Level, CoversBeyond16GiB)
+{
+    PhysMem mem(16_GiB);
+    PmpTable table(mem, bumpAllocator(64_MiB), 3);
+    EXPECT_EQ(table.coverage(), 8192_GiB);
+    table.setPerm(20_GiB, 64_KiB, Perm::rw());
+    EXPECT_EQ(table.lookup(20_GiB), Perm::rw());
+    EXPECT_EQ(table.lookup(20_GiB - kPageSize), Perm::none());
+
+    PmptWalkResult walk = walkPmpTable(mem, table.rootPa(), 3, 20_GiB);
+    EXPECT_TRUE(walk.valid);
+    EXPECT_EQ(walk.refs.size(), 3u); // one ref per level
+}
+
+TEST_F(PmpTableTest, WalkerTwoRefsOnLeafPath)
+{
+    table.setPerm(1_GiB, 64_KiB, Perm::rw());
+    const PmptWalkResult walk =
+        walkPmpTable(mem, table.rootPa(), 2, 1_GiB + kPageSize);
+    EXPECT_TRUE(walk.valid);
+    EXPECT_FALSE(walk.hugeHit);
+    EXPECT_EQ(walk.perm, Perm::rw());
+    ASSERT_EQ(walk.refs.size(), 2u);
+    EXPECT_EQ(walk.refs[0].level, 1u);
+    EXPECT_EQ(walk.refs[1].level, 0u);
+    EXPECT_EQ(walk.refs[0].pa & ~0xfffULL, table.rootPa());
+}
+
+TEST_F(PmpTableTest, WalkerOneRefOnHugeHit)
+{
+    table.setPerm(0, 32_MiB, Perm::rwx(), true);
+    const PmptWalkResult walk = walkPmpTable(mem, table.rootPa(), 2,
+                                             5_MiB);
+    EXPECT_TRUE(walk.valid);
+    EXPECT_TRUE(walk.hugeHit);
+    EXPECT_EQ(walk.refs.size(), 1u);
+}
+
+TEST_F(PmpTableTest, WalkerInvalidStopsAtRoot)
+{
+    const PmptWalkResult walk = walkPmpTable(mem, table.rootPa(), 2,
+                                             8_GiB);
+    EXPECT_FALSE(walk.valid);
+    EXPECT_EQ(walk.refs.size(), 1u);
+}
+
+TEST(PmptwCache, HitSkipsWalk)
+{
+    PmptwCache cache(4);
+    EXPECT_FALSE(cache.lookup(0x1000, 0x40000).has_value());
+    cache.fill(0x1000, 0x40000, LeafPmpte::uniform(Perm::rw()));
+    const auto hit = cache.lookup(0x1000, 0x4a000);
+    ASSERT_TRUE(hit.has_value()); // same 64 KiB granule
+    EXPECT_EQ(*hit, Perm::rw());
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(PmptwCache, DistinguishesTablesAndGranules)
+{
+    PmptwCache cache(4);
+    cache.fill(0x1000, 0x40000, LeafPmpte::uniform(Perm::rw()));
+    EXPECT_FALSE(cache.lookup(0x2000, 0x40000).has_value());
+    EXPECT_FALSE(cache.lookup(0x1000, 0x50000).has_value());
+}
+
+TEST(PmptwCache, LruReplacement)
+{
+    PmptwCache cache(2);
+    cache.fill(0x1000, 0x00000, LeafPmpte::uniform(Perm::ro()));
+    cache.fill(0x1000, 0x10000, LeafPmpte::uniform(Perm::rw()));
+    ASSERT_TRUE(cache.lookup(0x1000, 0x00000).has_value()); // touch A
+    cache.fill(0x1000, 0x20000, LeafPmpte::uniform(Perm::rwx()));
+    EXPECT_TRUE(cache.lookup(0x1000, 0x00000).has_value());
+    EXPECT_FALSE(cache.lookup(0x1000, 0x10000).has_value()); // evicted
+}
+
+TEST(PmptwCache, DisabledNeverHits)
+{
+    PmptwCache cache(0);
+    EXPECT_FALSE(cache.enabled());
+    cache.fill(0x1000, 0, LeafPmpte::uniform(Perm::rw()));
+    EXPECT_FALSE(cache.lookup(0x1000, 0).has_value());
+}
+
+TEST(PmptwCache, FlushDropsEverything)
+{
+    PmptwCache cache(4);
+    cache.fill(0x1000, 0, LeafPmpte::uniform(Perm::rw()));
+    cache.flush();
+    EXPECT_FALSE(cache.lookup(0x1000, 0).has_value());
+}
+
+/**
+ * Property: after a random sequence of (possibly overlapping,
+ * huge/leaf-mixed) permission updates, the table agrees with a flat
+ * per-page oracle at every probed offset.
+ */
+TEST(PmpTableProperty, RandomUpdatesMatchFlatOracle)
+{
+    PhysMem mem(16_GiB);
+    PmpTable table(mem, bumpAllocator(64_MiB), 2);
+
+    constexpr uint64_t kSpanPages = 64 * 1024; // 256 MiB arena
+    std::vector<Perm> oracle(kSpanPages, Perm::none());
+
+    Rng rng(31337);
+    for (int update = 0; update < 120; ++update) {
+        const uint64_t start_page = rng.below(kSpanPages - 1);
+        const uint64_t len_pages =
+            1 + rng.below(std::min<uint64_t>(kSpanPages - start_page,
+                                             12288));
+        const Perm perm{rng.chance(0.9), rng.chance(0.5),
+                        rng.chance(0.3)};
+        const bool huge = rng.chance(0.3);
+        table.setPerm(start_page * kPageSize, len_pages * kPageSize,
+                      perm, huge);
+        for (uint64_t page = start_page;
+             page < start_page + len_pages; ++page) {
+            oracle[page] = perm;
+        }
+    }
+
+    for (int probe = 0; probe < 3000; ++probe) {
+        const uint64_t page = rng.below(kSpanPages);
+        const uint64_t offset = page * kPageSize;
+        const Perm expect = oracle[page];
+        if (table.valid(offset)) {
+            EXPECT_EQ(table.lookup(offset), expect)
+                << "page " << page;
+        } else {
+            EXPECT_EQ(expect, Perm::none()) << "page " << page;
+        }
+        // The hardware walker must agree too.
+        const PmptWalkResult walk =
+            walkPmpTable(mem, table.rootPa(), 2, offset);
+        if (walk.valid)
+            EXPECT_EQ(walk.perm, expect) << "page " << page;
+        else
+            EXPECT_EQ(expect, Perm::none()) << "page " << page;
+    }
+}
+
+/** Property: lookup() agrees with the walker for random offsets. */
+TEST(PmpTableProperty, LookupMatchesWalker)
+{
+    PhysMem mem(16_GiB);
+    PmpTable table(mem, bumpAllocator(64_MiB), 2);
+    table.setPerm(1_GiB, 2_MiB, Perm::rw());
+    table.setPerm(1_GiB + 2_MiB, 2_MiB, Perm::ro());
+    table.setPerm(3_GiB, 32_MiB, Perm::rwx(), true);
+
+    Rng rng(9);
+    for (int i = 0; i < 500; ++i) {
+        const uint64_t offset = pageAddr(rng.below(16_GiB / kPageSize));
+        const PmptWalkResult walk =
+            walkPmpTable(mem, table.rootPa(), 2, offset);
+        const Perm expect = table.lookup(offset);
+        if (walk.valid)
+            EXPECT_EQ(walk.perm, expect) << std::hex << offset;
+        else
+            EXPECT_EQ(expect, Perm::none()) << std::hex << offset;
+    }
+}
+
+} // namespace
+} // namespace hpmp

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * PTE encoding and page-table builder tests across Sv39/Sv48/Sv57,
+ * superpages and the contiguous-pool policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/frame_alloc.h"
+#include "pt/page_table.h"
+
+namespace hpmp
+{
+namespace
+{
+
+TEST(Pte, LeafEncoding)
+{
+    const Pte pte = Pte::leaf(0x12345000, Perm::rw(), true, true, false);
+    EXPECT_TRUE(pte.v());
+    EXPECT_TRUE(pte.r());
+    EXPECT_TRUE(pte.w());
+    EXPECT_FALSE(pte.x());
+    EXPECT_TRUE(pte.u());
+    EXPECT_TRUE(pte.a());
+    EXPECT_FALSE(pte.d());
+    EXPECT_EQ(pte.physAddr(), 0x12345000u);
+    EXPECT_TRUE(pte.isLeaf());
+    EXPECT_FALSE(pte.isPointer());
+}
+
+TEST(Pte, PointerEncoding)
+{
+    const Pte pte = Pte::pointer(0xabcde000);
+    EXPECT_TRUE(pte.isPointer());
+    EXPECT_FALSE(pte.isLeaf());
+    EXPECT_EQ(pte.physAddr(), 0xabcde000u);
+}
+
+TEST(Pte, VpnIndexing)
+{
+    // Sv39: VA 0x40201000 -> VPN[2]=1, VPN[1]=1, VPN[0]=1.
+    const Addr va = (1ULL << 30) | (1ULL << 21) | (1ULL << 12);
+    EXPECT_EQ(vpn(va, 2, 3), 1u);
+    EXPECT_EQ(vpn(va, 1, 3), 1u);
+    EXPECT_EQ(vpn(va, 0, 3), 1u);
+}
+
+TEST(Pte, ModeGeometry)
+{
+    EXPECT_EQ(ptLevels(PagingMode::Sv39), 3u);
+    EXPECT_EQ(ptLevels(PagingMode::Sv48), 4u);
+    EXPECT_EQ(ptLevels(PagingMode::Sv57), 5u);
+    EXPECT_EQ(vaBits(PagingMode::Sv39), 39u);
+    EXPECT_EQ(pageSizeAtLevel(0), 4096u);
+    EXPECT_EQ(pageSizeAtLevel(1), 2_MiB);
+    EXPECT_EQ(pageSizeAtLevel(2), 1_GiB);
+}
+
+class PageTableModes : public ::testing::TestWithParam<PagingMode>
+{
+};
+
+TEST_P(PageTableModes, MapTranslateUnmap)
+{
+    PhysMem mem(4_GiB);
+    PageTable pt(mem, bumpAllocator(16_MiB), GetParam());
+
+    const Addr va = 0x40001000;
+    ASSERT_TRUE(pt.map(va, 0x80000000, Perm::rw(), true));
+    auto pa = pt.translate(va + 0x123);
+    ASSERT_TRUE(pa.has_value());
+    EXPECT_EQ(*pa, 0x80000123u);
+
+    EXPECT_FALSE(pt.map(va, 0x90000000, Perm::rw(), true)); // taken
+    EXPECT_TRUE(pt.unmap(va));
+    EXPECT_FALSE(pt.translate(va).has_value());
+    EXPECT_FALSE(pt.unmap(va));
+}
+
+TEST_P(PageTableModes, PtPageCountMatchesLevels)
+{
+    PhysMem mem(4_GiB);
+    PageTable pt(mem, bumpAllocator(16_MiB), GetParam());
+    ASSERT_TRUE(pt.map(0x40000000, 0x80000000, Perm::rw(), true));
+    // Root + one table per non-root level.
+    EXPECT_EQ(pt.ptPages().size(), ptLevels(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, PageTableModes,
+                         ::testing::Values(PagingMode::Sv39,
+                                           PagingMode::Sv48,
+                                           PagingMode::Sv57));
+
+TEST(PageTable, SuperpageMapping)
+{
+    PhysMem mem(4_GiB);
+    PageTable pt(mem, bumpAllocator(16_MiB), PagingMode::Sv39);
+    ASSERT_TRUE(pt.map(0x40000000, 0x80000000, Perm::rwx(), true, 1));
+    auto pa = pt.translate(0x40000000 + 0x123456);
+    ASSERT_TRUE(pa.has_value());
+    EXPECT_EQ(*pa, 0x80123456u);
+    // Only root + one L1 table were needed.
+    EXPECT_EQ(pt.ptPages().size(), 2u);
+    // Mapping a 4K page inside the superpage fails.
+    EXPECT_FALSE(pt.map(0x40001000, 0x90000000, Perm::rw(), true));
+}
+
+TEST(PageTable, ContiguousPoolKeepsPtPagesTogether)
+{
+    PhysMem mem(4_GiB);
+    PageTable pt(mem, bumpAllocator(32_MiB), PagingMode::Sv39);
+    for (int i = 0; i < 64; ++i) {
+        ASSERT_TRUE(pt.map(0x40000000 + (Addr(i) << 21),
+                           0x80000000 + (Addr(i) << 21),
+                           Perm::rw(), true));
+    }
+    for (Addr page : pt.ptPages()) {
+        EXPECT_GE(page, 32_MiB);
+        EXPECT_LT(page, 34_MiB); // all within a small contiguous run
+    }
+}
+
+TEST(PageTable, LeafPteAddrFindsSlot)
+{
+    PhysMem mem(4_GiB);
+    PageTable pt(mem, bumpAllocator(16_MiB), PagingMode::Sv39);
+    ASSERT_TRUE(pt.map(0x40000000, 0x80000000, Perm::rw(), true));
+    auto slot = pt.leafPteAddr(0x40000000);
+    ASSERT_TRUE(slot.has_value());
+    const Pte pte{mem.read64(*slot)};
+    EXPECT_TRUE(pte.isLeaf());
+    EXPECT_EQ(pte.physAddr(), 0x80000000u);
+}
+
+TEST(PageTable, Sv39x4RootIsFourPages)
+{
+    PhysMem mem(4_GiB);
+    PageTable pt(mem, bumpAllocator(16_MiB), PagingMode::Sv39, 2);
+    EXPECT_EQ(pt.ptPages().size(), 4u);
+    // A guest-physical address above 512 GiB uses the widened root.
+    const Addr gpa = 600_GiB % (2048_GiB);
+    (void)gpa;
+    ASSERT_TRUE(pt.map(0x1000000000, 0x80000000, Perm::rw(), true));
+    auto pa = pt.translate(0x1000000000);
+    ASSERT_TRUE(pa.has_value());
+    EXPECT_EQ(*pa, 0x80000000u);
+}
+
+} // namespace
+} // namespace hpmp

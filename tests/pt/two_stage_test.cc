@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Two-stage (hypervisor) translation tests: the 16-reference 3D-walk
+ * of Fig. 8, G-stage TLB short-circuiting, and fault propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/frame_alloc.h"
+#include "pt/page_table.h"
+#include "pt/two_stage.h"
+
+namespace hpmp
+{
+namespace
+{
+
+class TwoStageTest : public ::testing::Test
+{
+  protected:
+    TwoStageTest()
+        : mem(16_GiB),
+          npt(mem, bumpAllocator(128_MiB), PagingMode::Sv39, 2),
+          gpt(mem, bumpAllocator(192_MiB), PagingMode::Sv39)
+    {
+        // Identity-map the guest-PT pool through the G-stage so the
+        // guest table can be built directly in simulated memory.
+        for (Addr gpa = 192_MiB; gpa < 224_MiB; gpa += kPageSize)
+            npt.map(gpa, gpa, Perm::rw(), true);
+    }
+
+    void
+    mapGuestPage(Addr gva, Addr gpa, Addr spa)
+    {
+        ASSERT_TRUE(gpt.map(gva, gpa, Perm::rwx(), true));
+        ASSERT_TRUE(npt.map(gpa, spa, Perm::rwx(), true));
+    }
+
+    TwoStageResult
+    walk(Addr gva, AccessType type = AccessType::Load,
+         const GStageTlbHooks *tlb = nullptr,
+         const VsPwcHooks *pwc = nullptr)
+    {
+        TwoStageConfig config;
+        return walkTwoStage(mem, gpt.rootPa(), npt.rootPa(), gva, type,
+                            PrivMode::Supervisor, config, tlb, pwc);
+    }
+
+    PhysMem mem;
+    PageTable npt;
+    PageTable gpt;
+};
+
+TEST_F(TwoStageTest, SixteenReferences)
+{
+    mapGuestPage(0x40000000, 0x10000000, 1_GiB);
+    const TwoStageResult result = walk(0x40000000);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.gpa, 0x10000000u);
+    EXPECT_EQ(result.spa, 1_GiB);
+
+    // Fig. 8: 4 G-stage walks x 3 NPT refs + 3 guest-PT refs + data.
+    unsigned npt_refs = 0, gpt_refs = 0, data_refs = 0;
+    for (const VirtRef &ref : result.refs) {
+        switch (ref.kind) {
+          case VirtRefKind::NptPage: ++npt_refs; break;
+          case VirtRefKind::GptPage: ++gpt_refs; break;
+          case VirtRefKind::Data: ++data_refs; break;
+        }
+    }
+    EXPECT_EQ(npt_refs, 12u);
+    EXPECT_EQ(gpt_refs, 3u);
+    EXPECT_EQ(data_refs, 1u);
+    EXPECT_EQ(result.refs.size(), 16u);
+    EXPECT_EQ(result.gstageWalks, 4u);
+}
+
+TEST_F(TwoStageTest, GStageTlbSkipsNptWalks)
+{
+    mapGuestPage(0x40000000, 0x10000000, 1_GiB);
+
+    std::map<Addr, Addr> gtlb;
+    GStageTlbHooks hooks;
+    hooks.lookup = [&](Addr gpa) -> std::optional<Addr> {
+        auto it = gtlb.find(gpa);
+        if (it == gtlb.end())
+            return std::nullopt;
+        return it->second;
+    };
+    hooks.fill = [&](Addr gpa, Addr spa) { gtlb[gpa] = spa; };
+
+    const TwoStageResult first = walk(0x40000000, AccessType::Load,
+                                      &hooks);
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first.gstageTlbHits, 0u);
+
+    const TwoStageResult second = walk(0x40000000, AccessType::Load,
+                                       &hooks);
+    ASSERT_TRUE(second.ok());
+    // All four G-stage walks now hit: only 3 guest-PT refs + data.
+    EXPECT_EQ(second.gstageTlbHits, 4u);
+    EXPECT_EQ(second.refs.size(), 4u);
+}
+
+TEST_F(TwoStageTest, VsPwcSkipsGuestLevels)
+{
+    mapGuestPage(0x40000000, 0x10000000, 1_GiB);
+    mapGuestPage(0x40001000, 0x10001000, 1_GiB + kPageSize);
+
+    std::map<std::pair<unsigned, Addr>, Pte> pwc_store;
+    VsPwcHooks pwc;
+    pwc.lookup = [&](unsigned level, Addr gva) -> std::optional<Pte> {
+        auto it = pwc_store.find(
+            {level, gva >> (kPageShift + 9 * level)});
+        if (it == pwc_store.end())
+            return std::nullopt;
+        return it->second;
+    };
+    pwc.fill = [&](unsigned level, Addr gva, Pte pte) {
+        pwc_store[{level, gva >> (kPageShift + 9 * level)}] = pte;
+    };
+
+    ASSERT_TRUE(walk(0x40000000, AccessType::Load, nullptr, &pwc).ok());
+    // Neighbouring page: L2/L1 gptes cached -> their G-stage walks and
+    // guest refs vanish; only the L0 gpte (3 NPT + 1 GPT) and the data
+    // (3 NPT + 1 data) remain.
+    const TwoStageResult second = walk(0x40001000, AccessType::Load,
+                                       nullptr, &pwc);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second.refs.size(), 8u);
+}
+
+TEST_F(TwoStageTest, GuestFaultWhenGpaUnmapped)
+{
+    // Guest PT maps the page, but the G-stage does not.
+    ASSERT_TRUE(gpt.map(0x40000000, 0x20000000, Perm::rwx(), true));
+    const TwoStageResult result = walk(0x40000000);
+    EXPECT_EQ(result.fault, Fault::GuestLoadPageFault);
+}
+
+TEST_F(TwoStageTest, GuestPageFaultWhenGvaUnmapped)
+{
+    const TwoStageResult result = walk(0x7000000000 & mask(39));
+    EXPECT_EQ(result.fault, Fault::LoadPageFault);
+}
+
+TEST_F(TwoStageTest, PwcHitWithAdUpdateFallsBackToGStageWalk)
+{
+    // Leaf created without A/D: a store through a PWC-cached leaf PTE
+    // must re-locate the PTE through the G-stage to write A/D.
+    ASSERT_TRUE(gpt.map(0x40000000, 0x10000000, Perm::rw(), true,
+                        0, /*accessed=*/false, /*dirty=*/false));
+    ASSERT_TRUE(npt.map(0x10000000, 1_GiB, Perm::rwx(), true));
+
+    std::map<std::pair<unsigned, Addr>, Pte> pwc_store;
+    VsPwcHooks pwc;
+    pwc.lookup = [&](unsigned level, Addr gva) -> std::optional<Pte> {
+        auto it = pwc_store.find(
+            {level, gva >> (kPageShift + 9 * level)});
+        if (it == pwc_store.end())
+            return std::nullopt;
+        return it->second;
+    };
+    pwc.fill = [&](unsigned level, Addr gva, Pte pte) {
+        pwc_store[{level, gva >> (kPageShift + 9 * level)}] = pte;
+    };
+
+    // First store performs the A/D update and caches the (now set)
+    // leaf. Clear D again directly in memory so the second store,
+    // served from the stale PWC copy, needs another update.
+    ASSERT_TRUE(walk(0x40000000, AccessType::Store, nullptr, &pwc).ok());
+    auto slot = gpt.leafPteAddr(0x40000000);
+    ASSERT_TRUE(slot.has_value());
+    Pte pte{mem.read64(*slot)};
+    pte.setD(false);
+    mem.write64(*slot, pte.raw);
+    pwc_store.clear();
+    ASSERT_TRUE(walk(0x40000000, AccessType::Load, nullptr, &pwc).ok());
+    // Now the PWC holds a clean-D leaf; the store must still succeed
+    // and set D in memory.
+    const TwoStageResult result =
+        walk(0x40000000, AccessType::Store, nullptr, &pwc);
+    ASSERT_TRUE(result.ok());
+    const Pte after{mem.read64(*slot)};
+    EXPECT_TRUE(after.d());
+}
+
+TEST_F(TwoStageTest, StoreChecksGuestWritePermission)
+{
+    ASSERT_TRUE(gpt.map(0x40000000, 0x10000000, Perm::ro(), true));
+    ASSERT_TRUE(npt.map(0x10000000, 1_GiB, Perm::rwx(), true));
+    EXPECT_EQ(walk(0x40000000, AccessType::Store).fault,
+              Fault::StorePageFault);
+}
+
+} // namespace
+} // namespace hpmp

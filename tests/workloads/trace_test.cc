@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Trace capture/replay tests: text round-trip, Runner recording,
+ * replay determinism and cross-scheme replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "workloads/env.h"
+#include "workloads/runner.h"
+#include "workloads/trace.h"
+
+namespace hpmp
+{
+namespace
+{
+
+TEST(Trace, TextRoundTrip)
+{
+    Trace trace;
+    trace.append(0x1000, AccessType::Load);
+    trace.append(0x2008, AccessType::Store);
+    trace.append(0x3000, AccessType::Fetch);
+
+    const std::string text = trace.toText();
+    EXPECT_NE(text.find("L 0x1000"), std::string::npos);
+    EXPECT_NE(text.find("S 0x2008"), std::string::npos);
+    EXPECT_NE(text.find("F 0x3000"), std::string::npos);
+
+    Trace parsed;
+    ASSERT_TRUE(parsed.fromText(text));
+    EXPECT_EQ(parsed.records(), trace.records());
+}
+
+TEST(Trace, ParserRejectsGarbageKeepsComments)
+{
+    Trace trace;
+    EXPECT_TRUE(trace.fromText("# comment\nL 0x10\n\nS 0x20\n"));
+    EXPECT_EQ(trace.size(), 2u);
+    EXPECT_FALSE(trace.fromText("X 0x10\n"));
+    EXPECT_FALSE(trace.fromText("L zzz\n"));
+}
+
+TEST(Trace, FileRoundTrip)
+{
+    Trace trace;
+    for (int i = 0; i < 100; ++i)
+        trace.append(0x40000000 + i * 64,
+                     i % 3 ? AccessType::Load : AccessType::Store);
+
+    const std::string path = "/tmp/hpmp_trace_test.txt";
+    ASSERT_TRUE(trace.save(path));
+    Trace loaded;
+    ASSERT_TRUE(loaded.load(path));
+    EXPECT_EQ(loaded.records(), trace.records());
+    std::remove(path.c_str());
+    EXPECT_FALSE(loaded.load("/nonexistent/path/trace.txt"));
+}
+
+TEST(Trace, RunnerRecordsAndReplayMatchesLiveRun)
+{
+    EnvConfig config;
+    config.scheme = IsolationScheme::PmpTable;
+    TeeEnv env(config);
+    auto as = env.hostKernel().createAddressSpace();
+    env.hostKernel().activate(*as, PrivMode::User);
+
+    // Live run with recording.
+    CoreModel live_model = env.makeCoreModel();
+    Runner runner(env.hostKernel(), *as, live_model);
+    Trace trace;
+    runner.setTrace(&trace);
+    const Addr buf = as->mmap(64 * kPageSize, Perm::rw(), true, true);
+    env.machine().coldReset();
+    for (int i = 0; i < 200; ++i)
+        runner.load(buf + (uint64_t(i) * 3067) % (64 * kPageSize - 8));
+    EXPECT_EQ(trace.size(), 200u);
+
+    // Replay on an identically prepared machine state.
+    env.machine().coldReset();
+    CoreModel replay_model = env.makeCoreModel();
+    const ReplayResult replay =
+        replayTrace(env.machine(), replay_model, trace);
+    EXPECT_EQ(replay.accesses, 200u);
+    EXPECT_EQ(replay.faults, 0u);
+    EXPECT_EQ(replay.cycles, uint64_t(0) + replay.cycles); // sanity
+    EXPECT_EQ(replay_model.cycles(), live_model.cycles());
+}
+
+TEST(Trace, CrossSchemeReplayShowsTableTax)
+{
+    // Capture once, replay against PMP vs PMPT machines: same access
+    // stream, different pmpte traffic.
+    Trace trace;
+    for (int i = 0; i < 64; ++i)
+        trace.append(0x40000000 + uint64_t(i) * 2_MiB,
+                     AccessType::Load);
+
+    ReplayResult results[2];
+    const IsolationScheme schemes[2] = {IsolationScheme::Pmp,
+                                        IsolationScheme::PmpTable};
+    for (int i = 0; i < 2; ++i) {
+        EnvConfig config;
+        config.scheme = schemes[i];
+        TeeEnv env(config);
+        auto as = env.hostKernel().createAddressSpace();
+        for (int p = 0; p < 64; ++p) {
+            as->mapAt(0x40000000 + uint64_t(p) * 2_MiB, kPageSize,
+                      Perm::rw(), true, true);
+        }
+        env.hostKernel().activate(*as, PrivMode::User);
+        env.machine().coldReset();
+        CoreModel model = env.makeCoreModel();
+        results[i] = replayTrace(env.machine(), model, trace);
+    }
+    EXPECT_EQ(results[0].faults, 0u);
+    EXPECT_EQ(results[1].faults, 0u);
+    EXPECT_EQ(results[0].pmptRefs, 0u);
+    EXPECT_GT(results[1].pmptRefs, 0u);
+    EXPECT_GT(results[1].cycles, results[0].cycles);
+}
+
+} // namespace
+} // namespace hpmp

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Workload-layer tests: environment assembly, enclave lifecycle,
+ * runner fault handling, SimArray round-trips and smoke tests of each
+ * workload model, including the cross-scheme ordering the paper's
+ * evaluation depends on (PMP <= HPMP <= PMPT).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/env.h"
+#include "workloads/gap.h"
+#include "workloads/lmbench.h"
+#include "workloads/redis.h"
+#include "workloads/runner.h"
+#include "workloads/rv8.h"
+#include "workloads/serverless.h"
+
+namespace hpmp
+{
+namespace
+{
+
+EnvConfig
+cfg(IsolationScheme scheme, CoreKind core = CoreKind::Rocket)
+{
+    EnvConfig c;
+    c.core = core;
+    c.scheme = scheme;
+    return c;
+}
+
+TEST(TeeEnv, EnclaveLifecycle)
+{
+    TeeEnv env(cfg(IsolationScheme::Hpmp));
+    auto enclave = env.createEnclave(8_MiB);
+    ASSERT_NE(enclave, nullptr);
+    EXPECT_GT(enclave->memSize, 8_MiB - 1);
+    EXPECT_NE(enclave->domain, 0u);
+
+    env.enterEnclave(*enclave, PrivMode::User);
+    EXPECT_EQ(env.monitor().currentDomain(), enclave->domain);
+
+    // The enclave can use its own memory...
+    const Addr va = enclave->as->mmap(kPageSize, Perm::rw(), true, true);
+    EXPECT_TRUE(env.machine().access(va, AccessType::Load).ok());
+
+    // ...but not the host's.
+    AccessOutcome out;
+    EXPECT_EQ(env.machine().checkPhys(TeeEnv::kHostBase + 64_MiB,
+                                      AccessType::Load, out),
+              Fault::LoadAccessFault);
+
+    env.exitToHost();
+    env.destroyEnclave(std::move(enclave));
+    EXPECT_EQ(env.monitor().currentDomain(), 0u);
+}
+
+TEST(TeeEnv, MeasuredEnclaveAttestation)
+{
+    EnvConfig c = cfg(IsolationScheme::Hpmp);
+    c.measureEnclaves = true;
+    TeeEnv env(c);
+    auto enclave = env.createEnclave(1_MiB);
+    EXPECT_NE(enclave->initialMeasurement, 0u);
+
+    const AttestationReport report = env.attestEnclave(*enclave, 42);
+    EXPECT_TRUE(env.monitor().attestor().verify(report, 42));
+    // Untouched enclave: the report matches the creation measurement.
+    EXPECT_EQ(report.measurement, enclave->initialMeasurement);
+
+    // Running code in the enclave changes its memory, and with it the
+    // next measurement.
+    env.enterEnclave(*enclave, PrivMode::User);
+    const Addr va = enclave->as->mmap(kPageSize, Perm::rw(), true, true);
+    env.machine().mem().write64(
+        *enclave->as->pageTable().translate(va), 0x777);
+    env.exitToHost();
+    const AttestationReport after = env.attestEnclave(*enclave, 43);
+    EXPECT_NE(after.measurement, enclave->initialMeasurement);
+
+    env.destroyEnclave(std::move(enclave));
+}
+
+TEST(Lmbench, DeterministicAcrossRuns)
+{
+    // Two fresh environments with the same configuration must produce
+    // bit-identical results (fixed RNG seeds; no wall-clock anywhere).
+    double us[2];
+    for (int i = 0; i < 2; ++i) {
+        TeeEnv env(cfg(IsolationScheme::PmpTable));
+        LmbenchSuite suite(env);
+        us[i] = suite.run("stat", 30);
+    }
+    EXPECT_DOUBLE_EQ(us[0], us[1]);
+}
+
+TEST(Runner, ServicesDemandFaults)
+{
+    TeeEnv env(cfg(IsolationScheme::Hpmp));
+    auto as = env.hostKernel().createAddressSpace();
+    env.hostKernel().activate(*as, PrivMode::User);
+
+    CoreModel model = env.makeCoreModel();
+    Runner runner(env.hostKernel(), *as, model);
+    const Addr va = as->mmap(8 * kPageSize, Perm::rw(), true, false);
+
+    runner.load(va);
+    runner.store(va + kPageSize);
+    EXPECT_EQ(runner.faultsServiced(), 2u);
+    EXPECT_EQ(as->pageFaults(), 2u);
+    EXPECT_GT(model.cycles(), 0u);
+}
+
+TEST(Runner, SimArrayRoundTrip)
+{
+    TeeEnv env(cfg(IsolationScheme::Hpmp));
+    auto as = env.hostKernel().createAddressSpace();
+    env.hostKernel().activate(*as, PrivMode::User);
+    CoreModel model = env.makeCoreModel();
+    Runner runner(env.hostKernel(), *as, model);
+
+    SimArray<uint64_t> arr(runner, 1000);
+    for (uint64_t i = 0; i < 1000; ++i)
+        arr.init(i, i * 3);
+    EXPECT_EQ(arr.get(500), 1500u);
+    arr.set(500, 77);
+    EXPECT_EQ(arr.get(500), 77u);
+
+    SimArray<uint32_t> small(runner, 10);
+    small.set(3, 0xabcd);
+    EXPECT_EQ(small.get(3), 0xabcdu);
+}
+
+TEST(Lmbench, SchemesOrderAsExpected)
+{
+    // stat is kernel-memory heavy: PMPT must cost more than PMP and
+    // HPMP must recover most of the gap.
+    double us[3];
+    const IsolationScheme schemes[3] = {IsolationScheme::Pmp,
+                                        IsolationScheme::Hpmp,
+                                        IsolationScheme::PmpTable};
+    for (int i = 0; i < 3; ++i) {
+        TeeEnv env(cfg(schemes[i]));
+        LmbenchSuite suite(env);
+        us[i] = suite.run("stat", 60);
+    }
+    EXPECT_LT(us[0], us[2]);          // PMP < PMPT
+    EXPECT_LE(us[1], us[2]);          // HPMP <= PMPT
+    EXPECT_LT(us[1] - us[0], us[2] - us[0]); // HPMP recovers
+}
+
+TEST(Lmbench, AllSyscallsRun)
+{
+    TeeEnv env(cfg(IsolationScheme::Hpmp));
+    LmbenchSuite suite(env);
+    for (const auto &name : lmbenchSyscalls()) {
+        const double us = suite.run(name, 6);
+        EXPECT_GT(us, 0.0) << name;
+    }
+    for (const auto &name : lmbenchExtendedSyscalls()) {
+        const double us = suite.run(name, 6);
+        EXPECT_GT(us, 0.0) << name;
+    }
+}
+
+TEST(Rv8, AppRunsAndSchemesOrder)
+{
+    const Rv8App app{"norx-mini", 50000000ULL, 0.34, 2_MiB,
+                     MemPattern::Mixed};
+    TeeEnv pmp(cfg(IsolationScheme::Pmp));
+    TeeEnv pmpt(cfg(IsolationScheme::PmpTable));
+    const double t_pmp = runRv8App(pmp, app, 30000);
+    const double t_pmpt = runRv8App(pmpt, app, 30000);
+    EXPECT_GT(t_pmp, 0.0);
+    EXPECT_GT(t_pmpt, t_pmp * 0.99); // table never meaningfully faster
+}
+
+TEST(Gap, KernelsRunOnKronGraph)
+{
+    TeeEnv env(cfg(IsolationScheme::Hpmp));
+    GapSuite suite(env, /*scale=*/10, /*degree=*/8);
+    EXPECT_GT(suite.graph().numVertices(), 0u);
+    EXPECT_GT(suite.graph().numEdges(), suite.graph().numVertices());
+    for (const auto &kernel : gapKernels())
+        EXPECT_GT(suite.run(kernel), 0.0) << kernel;
+}
+
+TEST(Serverless, InvocationAndChain)
+{
+    TeeEnv env(cfg(IsolationScheme::Hpmp));
+    FunctionModel fn = functionBenchApps()[4]; // Matmul (smallest)
+    const double latency = invokeFunction(env, fn, 4000);
+    EXPECT_GT(latency, 0.0);
+
+    const double chain32 = runImageChain(env, 16);
+    EXPECT_GT(chain32, 0.0);
+}
+
+TEST(Serverless, ColdStartCostsMoreUnderTable)
+{
+    FunctionModel fn = functionBenchApps()[4]; // Matmul
+    TeeEnv pmp(cfg(IsolationScheme::Pmp));
+    TeeEnv pmpt(cfg(IsolationScheme::PmpTable));
+    const double t_pmp = invokeFunction(pmp, fn, 4000);
+    const double t_pmpt = invokeFunction(pmpt, fn, 4000);
+    EXPECT_GT(t_pmpt, t_pmp);
+}
+
+TEST(Redis, CommandsRunAndListWalkHurtsTableMost)
+{
+    TeeEnv pmp(cfg(IsolationScheme::Pmp));
+    TeeEnv pmpt(cfg(IsolationScheme::PmpTable));
+    RedisBench bench_pmp(pmp, 1024);
+    RedisBench bench_pmpt(pmpt, 1024);
+
+    const double rps_pmp = bench_pmp.run("LRANGE_100", 300);
+    const double rps_pmpt = bench_pmpt.run("LRANGE_100", 300);
+    EXPECT_GT(rps_pmp, rps_pmpt); // table mode loses throughput
+
+    const double ping_pmp = bench_pmp.run("PING_INLINE", 300);
+    const double ping_pmpt = bench_pmpt.run("PING_INLINE", 300);
+    // PING carries almost no memory traffic: the gap must be smaller.
+    const double lrange_gap = rps_pmp / rps_pmpt;
+    const double ping_gap = ping_pmp / ping_pmpt;
+    EXPECT_GT(lrange_gap, ping_gap * 0.98);
+}
+
+TEST(Redis, AllCommandsSmoke)
+{
+    TeeEnv env(cfg(IsolationScheme::Hpmp));
+    RedisBench bench(env, 512);
+    for (const auto &command : redisCommands())
+        EXPECT_GT(bench.run(command, 40), 0.0) << command;
+}
+
+} // namespace
+} // namespace hpmp
