@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_refcounts.dir/fig02_refcounts.cc.o"
+  "CMakeFiles/bench_fig02_refcounts.dir/fig02_refcounts.cc.o.d"
+  "bench_fig02_refcounts"
+  "bench_fig02_refcounts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_refcounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

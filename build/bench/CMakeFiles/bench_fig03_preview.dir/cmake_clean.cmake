@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_preview.dir/fig03_preview.cc.o"
+  "CMakeFiles/bench_fig03_preview.dir/fig03_preview.cc.o.d"
+  "bench_fig03_preview"
+  "bench_fig03_preview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_preview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_virt_refcounts.dir/fig08_virt_refcounts.cc.o"
+  "CMakeFiles/bench_fig08_virt_refcounts.dir/fig08_virt_refcounts.cc.o.d"
+  "bench_fig08_virt_refcounts"
+  "bench_fig08_virt_refcounts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_virt_refcounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_suites.dir/fig11_suites.cc.o"
+  "CMakeFiles/bench_fig11_suites.dir/fig11_suites.cc.o.d"
+  "bench_fig11_suites"
+  "bench_fig11_suites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_suites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

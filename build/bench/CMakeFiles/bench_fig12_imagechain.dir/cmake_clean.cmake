@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_imagechain.dir/fig12_imagechain.cc.o"
+  "CMakeFiles/bench_fig12_imagechain.dir/fig12_imagechain.cc.o.d"
+  "bench_fig12_imagechain"
+  "bench_fig12_imagechain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_imagechain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_virt.dir/fig13_virt.cc.o"
+  "CMakeFiles/bench_fig13_virt.dir/fig13_virt.cc.o.d"
+  "bench_fig13_virt"
+  "bench_fig13_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_tee_ops.dir/fig14_tee_ops.cc.o"
+  "CMakeFiles/bench_fig14_tee_ops.dir/fig14_tee_ops.cc.o.d"
+  "bench_fig14_tee_ops"
+  "bench_fig14_tee_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_tee_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_pwc.dir/fig17_pwc.cc.o"
+  "CMakeFiles/bench_fig17_pwc.dir/fig17_pwc.cc.o.d"
+  "bench_fig17_pwc"
+  "bench_fig17_pwc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_pwc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

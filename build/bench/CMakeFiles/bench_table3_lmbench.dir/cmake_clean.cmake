@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_lmbench.dir/table3_lmbench.cc.o"
+  "CMakeFiles/bench_table3_lmbench.dir/table3_lmbench.cc.o.d"
+  "bench_table3_lmbench"
+  "bench_table3_lmbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_lmbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

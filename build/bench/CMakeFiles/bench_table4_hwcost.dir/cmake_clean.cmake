@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_hwcost.dir/table4_hwcost.cc.o"
+  "CMakeFiles/bench_table4_hwcost.dir/table4_hwcost.cc.o.d"
+  "bench_table4_hwcost"
+  "bench_table4_hwcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

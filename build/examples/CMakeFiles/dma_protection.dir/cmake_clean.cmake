@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dma_protection.dir/dma_protection.cpp.o"
+  "CMakeFiles/dma_protection.dir/dma_protection.cpp.o.d"
+  "dma_protection"
+  "dma_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dma_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

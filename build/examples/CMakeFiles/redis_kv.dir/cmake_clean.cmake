@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redis_kv.dir/redis_kv.cpp.o"
+  "CMakeFiles/redis_kv.dir/redis_kv.cpp.o.d"
+  "redis_kv"
+  "redis_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redis_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serverless_enclave.dir/serverless_enclave.cpp.o"
+  "CMakeFiles/serverless_enclave.dir/serverless_enclave.cpp.o.d"
+  "serverless_enclave"
+  "serverless_enclave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serverless_enclave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virt_walk.dir/virt_walk.cpp.o"
+  "CMakeFiles/virt_walk.dir/virt_walk.cpp.o.d"
+  "virt_walk"
+  "virt_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virt_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

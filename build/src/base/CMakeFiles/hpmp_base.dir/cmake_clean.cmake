@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpmp_base.dir/access.cc.o"
+  "CMakeFiles/hpmp_base.dir/access.cc.o.d"
+  "CMakeFiles/hpmp_base.dir/interval_set.cc.o"
+  "CMakeFiles/hpmp_base.dir/interval_set.cc.o.d"
+  "CMakeFiles/hpmp_base.dir/logging.cc.o"
+  "CMakeFiles/hpmp_base.dir/logging.cc.o.d"
+  "CMakeFiles/hpmp_base.dir/stats.cc.o"
+  "CMakeFiles/hpmp_base.dir/stats.cc.o.d"
+  "libhpmp_base.a"
+  "libhpmp_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpmp_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/core_model.cc" "src/core/CMakeFiles/hpmp_core.dir/core_model.cc.o" "gcc" "src/core/CMakeFiles/hpmp_core.dir/core_model.cc.o.d"
+  "/root/repo/src/core/machine.cc" "src/core/CMakeFiles/hpmp_core.dir/machine.cc.o" "gcc" "src/core/CMakeFiles/hpmp_core.dir/machine.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/core/CMakeFiles/hpmp_core.dir/params.cc.o" "gcc" "src/core/CMakeFiles/hpmp_core.dir/params.cc.o.d"
+  "/root/repo/src/core/pwc.cc" "src/core/CMakeFiles/hpmp_core.dir/pwc.cc.o" "gcc" "src/core/CMakeFiles/hpmp_core.dir/pwc.cc.o.d"
+  "/root/repo/src/core/tlb.cc" "src/core/CMakeFiles/hpmp_core.dir/tlb.cc.o" "gcc" "src/core/CMakeFiles/hpmp_core.dir/tlb.cc.o.d"
+  "/root/repo/src/core/virt_machine.cc" "src/core/CMakeFiles/hpmp_core.dir/virt_machine.cc.o" "gcc" "src/core/CMakeFiles/hpmp_core.dir/virt_machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hpmp/CMakeFiles/hpmp_hpmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmpt/CMakeFiles/hpmp_pmpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmp/CMakeFiles/hpmp_pmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/hpmp_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hpmp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hpmp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpmp_core.dir/core_model.cc.o"
+  "CMakeFiles/hpmp_core.dir/core_model.cc.o.d"
+  "CMakeFiles/hpmp_core.dir/machine.cc.o"
+  "CMakeFiles/hpmp_core.dir/machine.cc.o.d"
+  "CMakeFiles/hpmp_core.dir/params.cc.o"
+  "CMakeFiles/hpmp_core.dir/params.cc.o.d"
+  "CMakeFiles/hpmp_core.dir/pwc.cc.o"
+  "CMakeFiles/hpmp_core.dir/pwc.cc.o.d"
+  "CMakeFiles/hpmp_core.dir/tlb.cc.o"
+  "CMakeFiles/hpmp_core.dir/tlb.cc.o.d"
+  "CMakeFiles/hpmp_core.dir/virt_machine.cc.o"
+  "CMakeFiles/hpmp_core.dir/virt_machine.cc.o.d"
+  "libhpmp_core.a"
+  "libhpmp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpmp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

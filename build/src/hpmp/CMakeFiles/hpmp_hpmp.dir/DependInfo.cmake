@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpmp/hpmp_unit.cc" "src/hpmp/CMakeFiles/hpmp_hpmp.dir/hpmp_unit.cc.o" "gcc" "src/hpmp/CMakeFiles/hpmp_hpmp.dir/hpmp_unit.cc.o.d"
+  "/root/repo/src/hpmp/iopmp.cc" "src/hpmp/CMakeFiles/hpmp_hpmp.dir/iopmp.cc.o" "gcc" "src/hpmp/CMakeFiles/hpmp_hpmp.dir/iopmp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmp/CMakeFiles/hpmp_pmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmpt/CMakeFiles/hpmp_pmpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hpmp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hpmp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpmp_hpmp.dir/hpmp_unit.cc.o"
+  "CMakeFiles/hpmp_hpmp.dir/hpmp_unit.cc.o.d"
+  "CMakeFiles/hpmp_hpmp.dir/iopmp.cc.o"
+  "CMakeFiles/hpmp_hpmp.dir/iopmp.cc.o.d"
+  "libhpmp_hpmp.a"
+  "libhpmp_hpmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpmp_hpmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

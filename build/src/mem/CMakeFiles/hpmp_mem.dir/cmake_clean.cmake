@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpmp_mem.dir/cache.cc.o"
+  "CMakeFiles/hpmp_mem.dir/cache.cc.o.d"
+  "CMakeFiles/hpmp_mem.dir/dram.cc.o"
+  "CMakeFiles/hpmp_mem.dir/dram.cc.o.d"
+  "CMakeFiles/hpmp_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/hpmp_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/hpmp_mem.dir/phys_mem.cc.o"
+  "CMakeFiles/hpmp_mem.dir/phys_mem.cc.o.d"
+  "libhpmp_mem.a"
+  "libhpmp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpmp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

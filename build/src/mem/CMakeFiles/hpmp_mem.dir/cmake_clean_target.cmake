@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpmp_mem.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpmp_monitor.dir/merkle.cc.o"
+  "CMakeFiles/hpmp_monitor.dir/merkle.cc.o.d"
+  "CMakeFiles/hpmp_monitor.dir/secure_monitor.cc.o"
+  "CMakeFiles/hpmp_monitor.dir/secure_monitor.cc.o.d"
+  "libhpmp_monitor.a"
+  "libhpmp_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpmp_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

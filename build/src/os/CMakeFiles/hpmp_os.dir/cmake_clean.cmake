@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpmp_os.dir/address_space.cc.o"
+  "CMakeFiles/hpmp_os.dir/address_space.cc.o.d"
+  "CMakeFiles/hpmp_os.dir/kernel.cc.o"
+  "CMakeFiles/hpmp_os.dir/kernel.cc.o.d"
+  "CMakeFiles/hpmp_os.dir/page_alloc.cc.o"
+  "CMakeFiles/hpmp_os.dir/page_alloc.cc.o.d"
+  "libhpmp_os.a"
+  "libhpmp_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpmp_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpmp_pmp.dir/pmp.cc.o"
+  "CMakeFiles/hpmp_pmp.dir/pmp.cc.o.d"
+  "libhpmp_pmp.a"
+  "libhpmp_pmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpmp_pmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmpt/pmp_table.cc" "src/pmpt/CMakeFiles/hpmp_pmpt.dir/pmp_table.cc.o" "gcc" "src/pmpt/CMakeFiles/hpmp_pmpt.dir/pmp_table.cc.o.d"
+  "/root/repo/src/pmpt/pmpt_walker.cc" "src/pmpt/CMakeFiles/hpmp_pmpt.dir/pmpt_walker.cc.o" "gcc" "src/pmpt/CMakeFiles/hpmp_pmpt.dir/pmpt_walker.cc.o.d"
+  "/root/repo/src/pmpt/pmptw_cache.cc" "src/pmpt/CMakeFiles/hpmp_pmpt.dir/pmptw_cache.cc.o" "gcc" "src/pmpt/CMakeFiles/hpmp_pmpt.dir/pmptw_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/hpmp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hpmp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpmp_pmpt.dir/pmp_table.cc.o"
+  "CMakeFiles/hpmp_pmpt.dir/pmp_table.cc.o.d"
+  "CMakeFiles/hpmp_pmpt.dir/pmpt_walker.cc.o"
+  "CMakeFiles/hpmp_pmpt.dir/pmpt_walker.cc.o.d"
+  "CMakeFiles/hpmp_pmpt.dir/pmptw_cache.cc.o"
+  "CMakeFiles/hpmp_pmpt.dir/pmptw_cache.cc.o.d"
+  "libhpmp_pmpt.a"
+  "libhpmp_pmpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpmp_pmpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hpmp_pmpt.
+# This may be replaced when dependencies are built.

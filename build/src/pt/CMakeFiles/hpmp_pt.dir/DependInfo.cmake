@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pt/page_table.cc" "src/pt/CMakeFiles/hpmp_pt.dir/page_table.cc.o" "gcc" "src/pt/CMakeFiles/hpmp_pt.dir/page_table.cc.o.d"
+  "/root/repo/src/pt/two_stage.cc" "src/pt/CMakeFiles/hpmp_pt.dir/two_stage.cc.o" "gcc" "src/pt/CMakeFiles/hpmp_pt.dir/two_stage.cc.o.d"
+  "/root/repo/src/pt/walker.cc" "src/pt/CMakeFiles/hpmp_pt.dir/walker.cc.o" "gcc" "src/pt/CMakeFiles/hpmp_pt.dir/walker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/hpmp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hpmp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

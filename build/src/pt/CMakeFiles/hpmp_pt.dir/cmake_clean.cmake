@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpmp_pt.dir/page_table.cc.o"
+  "CMakeFiles/hpmp_pt.dir/page_table.cc.o.d"
+  "CMakeFiles/hpmp_pt.dir/two_stage.cc.o"
+  "CMakeFiles/hpmp_pt.dir/two_stage.cc.o.d"
+  "CMakeFiles/hpmp_pt.dir/walker.cc.o"
+  "CMakeFiles/hpmp_pt.dir/walker.cc.o.d"
+  "libhpmp_pt.a"
+  "libhpmp_pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpmp_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

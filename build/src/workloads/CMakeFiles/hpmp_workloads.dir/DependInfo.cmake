@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/env.cc" "src/workloads/CMakeFiles/hpmp_workloads.dir/env.cc.o" "gcc" "src/workloads/CMakeFiles/hpmp_workloads.dir/env.cc.o.d"
+  "/root/repo/src/workloads/gap.cc" "src/workloads/CMakeFiles/hpmp_workloads.dir/gap.cc.o" "gcc" "src/workloads/CMakeFiles/hpmp_workloads.dir/gap.cc.o.d"
+  "/root/repo/src/workloads/lmbench.cc" "src/workloads/CMakeFiles/hpmp_workloads.dir/lmbench.cc.o" "gcc" "src/workloads/CMakeFiles/hpmp_workloads.dir/lmbench.cc.o.d"
+  "/root/repo/src/workloads/redis.cc" "src/workloads/CMakeFiles/hpmp_workloads.dir/redis.cc.o" "gcc" "src/workloads/CMakeFiles/hpmp_workloads.dir/redis.cc.o.d"
+  "/root/repo/src/workloads/runner.cc" "src/workloads/CMakeFiles/hpmp_workloads.dir/runner.cc.o" "gcc" "src/workloads/CMakeFiles/hpmp_workloads.dir/runner.cc.o.d"
+  "/root/repo/src/workloads/rv8.cc" "src/workloads/CMakeFiles/hpmp_workloads.dir/rv8.cc.o" "gcc" "src/workloads/CMakeFiles/hpmp_workloads.dir/rv8.cc.o.d"
+  "/root/repo/src/workloads/serverless.cc" "src/workloads/CMakeFiles/hpmp_workloads.dir/serverless.cc.o" "gcc" "src/workloads/CMakeFiles/hpmp_workloads.dir/serverless.cc.o.d"
+  "/root/repo/src/workloads/trace.cc" "src/workloads/CMakeFiles/hpmp_workloads.dir/trace.cc.o" "gcc" "src/workloads/CMakeFiles/hpmp_workloads.dir/trace.cc.o.d"
+  "/root/repo/src/workloads/virt_env.cc" "src/workloads/CMakeFiles/hpmp_workloads.dir/virt_env.cc.o" "gcc" "src/workloads/CMakeFiles/hpmp_workloads.dir/virt_env.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/hpmp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/hpmp_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hpmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpmp/CMakeFiles/hpmp_hpmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmpt/CMakeFiles/hpmp_pmpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmp/CMakeFiles/hpmp_pmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/hpmp_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hpmp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hpmp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

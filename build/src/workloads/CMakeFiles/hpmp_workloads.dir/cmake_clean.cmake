@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpmp_workloads.dir/env.cc.o"
+  "CMakeFiles/hpmp_workloads.dir/env.cc.o.d"
+  "CMakeFiles/hpmp_workloads.dir/gap.cc.o"
+  "CMakeFiles/hpmp_workloads.dir/gap.cc.o.d"
+  "CMakeFiles/hpmp_workloads.dir/lmbench.cc.o"
+  "CMakeFiles/hpmp_workloads.dir/lmbench.cc.o.d"
+  "CMakeFiles/hpmp_workloads.dir/redis.cc.o"
+  "CMakeFiles/hpmp_workloads.dir/redis.cc.o.d"
+  "CMakeFiles/hpmp_workloads.dir/runner.cc.o"
+  "CMakeFiles/hpmp_workloads.dir/runner.cc.o.d"
+  "CMakeFiles/hpmp_workloads.dir/rv8.cc.o"
+  "CMakeFiles/hpmp_workloads.dir/rv8.cc.o.d"
+  "CMakeFiles/hpmp_workloads.dir/serverless.cc.o"
+  "CMakeFiles/hpmp_workloads.dir/serverless.cc.o.d"
+  "CMakeFiles/hpmp_workloads.dir/trace.cc.o"
+  "CMakeFiles/hpmp_workloads.dir/trace.cc.o.d"
+  "CMakeFiles/hpmp_workloads.dir/virt_env.cc.o"
+  "CMakeFiles/hpmp_workloads.dir/virt_env.cc.o.d"
+  "libhpmp_workloads.a"
+  "libhpmp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpmp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/tlb_pwc_test.cc" "tests/CMakeFiles/core_tlb_pwc_test.dir/core/tlb_pwc_test.cc.o" "gcc" "tests/CMakeFiles/core_tlb_pwc_test.dir/core/tlb_pwc_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/hpmp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/hpmp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/hpmp_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hpmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpmp/CMakeFiles/hpmp_hpmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmpt/CMakeFiles/hpmp_pmpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmp/CMakeFiles/hpmp_pmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/hpmp_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hpmp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hpmp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

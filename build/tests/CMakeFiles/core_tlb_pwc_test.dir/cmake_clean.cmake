@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tlb_pwc_test.dir/core/tlb_pwc_test.cc.o"
+  "CMakeFiles/core_tlb_pwc_test.dir/core/tlb_pwc_test.cc.o.d"
+  "core_tlb_pwc_test"
+  "core_tlb_pwc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tlb_pwc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_virt_test.dir/core/virt_machine_test.cc.o"
+  "CMakeFiles/core_virt_test.dir/core/virt_machine_test.cc.o.d"
+  "core_virt_test"
+  "core_virt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_virt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

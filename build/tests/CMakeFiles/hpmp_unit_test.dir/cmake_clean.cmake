@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpmp_unit_test.dir/hpmp/hpmp_unit_test.cc.o"
+  "CMakeFiles/hpmp_unit_test.dir/hpmp/hpmp_unit_test.cc.o.d"
+  "CMakeFiles/hpmp_unit_test.dir/hpmp/iopmp_test.cc.o"
+  "CMakeFiles/hpmp_unit_test.dir/hpmp/iopmp_test.cc.o.d"
+  "hpmp_unit_test"
+  "hpmp_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpmp_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_test.dir/monitor/hint_test.cc.o"
+  "CMakeFiles/monitor_test.dir/monitor/hint_test.cc.o.d"
+  "CMakeFiles/monitor_test.dir/monitor/merkle_test.cc.o"
+  "CMakeFiles/monitor_test.dir/monitor/merkle_test.cc.o.d"
+  "CMakeFiles/monitor_test.dir/monitor/monitor_test.cc.o"
+  "CMakeFiles/monitor_test.dir/monitor/monitor_test.cc.o.d"
+  "CMakeFiles/monitor_test.dir/monitor/share_attest_test.cc.o"
+  "CMakeFiles/monitor_test.dir/monitor/share_attest_test.cc.o.d"
+  "monitor_test"
+  "monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmp_test.dir/pmp/pmp_test.cc.o"
+  "CMakeFiles/pmp_test.dir/pmp/pmp_test.cc.o.d"
+  "pmp_test"
+  "pmp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

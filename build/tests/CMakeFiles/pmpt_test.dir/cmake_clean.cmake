@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmpt_test.dir/pmpt/pmpt_test.cc.o"
+  "CMakeFiles/pmpt_test.dir/pmpt/pmpt_test.cc.o.d"
+  "pmpt_test"
+  "pmpt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmpt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_test.dir/pt/page_table_test.cc.o"
+  "CMakeFiles/pt_test.dir/pt/page_table_test.cc.o.d"
+  "CMakeFiles/pt_test.dir/pt/two_stage_test.cc.o"
+  "CMakeFiles/pt_test.dir/pt/two_stage_test.cc.o.d"
+  "CMakeFiles/pt_test.dir/pt/walker_test.cc.o"
+  "CMakeFiles/pt_test.dir/pt/walker_test.cc.o.d"
+  "pt_test"
+  "pt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

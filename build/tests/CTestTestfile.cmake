@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(base_test "/root/repo/build/tests/base_test")
+set_tests_properties(base_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;hpmp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(mem_test "/root/repo/build/tests/mem_test")
+set_tests_properties(mem_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;16;hpmp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pt_test "/root/repo/build/tests/pt_test")
+set_tests_properties(pt_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;21;hpmp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pmp_test "/root/repo/build/tests/pmp_test")
+set_tests_properties(pmp_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;25;hpmp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pmpt_test "/root/repo/build/tests/pmpt_test")
+set_tests_properties(pmpt_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;26;hpmp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(hpmp_unit_test "/root/repo/build/tests/hpmp_unit_test")
+set_tests_properties(hpmp_unit_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;27;hpmp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_machine_test "/root/repo/build/tests/core_machine_test")
+set_tests_properties(core_machine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;28;hpmp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_model_test "/root/repo/build/tests/core_model_test")
+set_tests_properties(core_model_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;30;hpmp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_fuzz_test "/root/repo/build/tests/core_fuzz_test")
+set_tests_properties(core_fuzz_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;31;hpmp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_tlb_pwc_test "/root/repo/build/tests/core_tlb_pwc_test")
+set_tests_properties(core_tlb_pwc_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;32;hpmp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_virt_test "/root/repo/build/tests/core_virt_test")
+set_tests_properties(core_virt_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;33;hpmp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(monitor_test "/root/repo/build/tests/monitor_test")
+set_tests_properties(monitor_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;34;hpmp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(os_test "/root/repo/build/tests/os_test")
+set_tests_properties(os_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;36;hpmp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workloads_test "/root/repo/build/tests/workloads_test")
+set_tests_properties(workloads_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;37;hpmp_test;/root/repo/tests/CMakeLists.txt;0;")

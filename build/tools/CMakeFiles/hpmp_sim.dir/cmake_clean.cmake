@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpmp_sim.dir/hpmp_sim.cc.o"
+  "CMakeFiles/hpmp_sim.dir/hpmp_sim.cc.o.d"
+  "hpmp_sim"
+  "hpmp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpmp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
