@@ -1,14 +1,27 @@
 /**
  * @file
- * Simulator-throughput regression benchmarks (google-benchmark):
- * host-side cost of one simulated access per scheme and state, plus
- * PMP-table update throughput. These guard the engineering quality
- * of the simulator itself rather than reproducing a paper figure.
+ * Simulator-throughput regression benchmarks: host-side cost of one
+ * simulated access per scheme and state, plus PMP-table update
+ * throughput. These guard the engineering quality of the simulator
+ * itself rather than reproducing a paper figure.
+ *
+ * Two layers:
+ *   - google-benchmark micros (BM_*), run with the usual flags;
+ *   - a fixed JSON harness that replays a deterministic hot-set
+ *     pattern through the virtualized machine for each method of
+ *     Fig. 13 and writes BENCH_simperf.json (simulated Maccesses/s
+ *     and simulated cycles per access). `--json-only` skips the
+ *     micros.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+
+#include "base/rng.h"
 #include "bench/common.h"
+#include "workloads/virt_env.h"
 
 namespace hpmp::bench
 {
@@ -30,6 +43,32 @@ BM_AccessTlbHit(benchmark::State &state)
 BENCHMARK(BM_AccessTlbHit)
     ->Arg(int(IsolationScheme::Pmp))
     ->Arg(int(IsolationScheme::PmpTable))
+    ->Arg(int(IsolationScheme::Hpmp));
+
+/**
+ * TLB hits spread across a resident hot set: the seed's linear L1
+ * scan paid O(occupancy) here, the indexed TLB pays one probe.
+ */
+void
+BM_AccessTlbHitSpread(benchmark::State &state)
+{
+    MicroEnv env(rocketParams(),
+                 IsolationScheme(int(state.range(0))));
+    constexpr unsigned kHot = 24; // fits the 32-entry L1
+    const Addr base = env.mapPages(kHot);
+    Machine &m = env.machine();
+    for (unsigned i = 0; i < kHot; ++i)
+        (void)m.access(base + pageAddr(i), AccessType::Load);
+    unsigned i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            m.access(base + pageAddr(i), AccessType::Load));
+        i = (i + 1) % kHot;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AccessTlbHitSpread)
+    ->Arg(int(IsolationScheme::Pmp))
     ->Arg(int(IsolationScheme::Hpmp));
 
 void
@@ -78,7 +117,220 @@ BM_ColdWalk(benchmark::State &state)
 }
 BENCHMARK(BM_ColdWalk);
 
+/** One scheme's throughput measurement for BENCH_simperf.json. */
+struct SimperfResult
+{
+    const char *name;
+    double maccessesPerSec = 0.0;
+    double cyclesPerAccess = 0.0;
+    double tlbHitRate = 0.0;
+    uint64_t accesses = 0;
+};
+
+/** Geometry of one simperf replay pattern. */
+struct SimperfPattern
+{
+    const char *name;
+    unsigned hotPages;      //!< round-robin working set
+    unsigned coldPages;     //!< uniform excursion set (every 17th access)
+    bool pageTiedOffsets;   //!< one fixed data line per page (see below)
+};
+
+/**
+ * "resident": the working set (hot + excursion pages, assumed
+ * gva-contiguous) outgrows the 32-entry L1 TLB but stays inside the
+ * 1024-entry L2 TLB, so every access exercises the L1 lookup-miss +
+ * L2-hit + L1-promotion machinery — exactly the paths where the seed
+ * paid two linear scans of the fully-associative array per access and
+ * the indexed TLB pays O(1). Each page owns one fixed data line whose
+ * set index equals its page number mod 64, so the 256 working-set
+ * lines fill the Rocket 64-set x 4-way L1D exactly and the data side
+ * never misses: the measured host time is the translation machinery
+ * itself.
+ *
+ * "walk_heavy": the excursion set outgrows the L2 TLB, so a steady
+ * fraction of accesses performs the full 3D walk with its per-scheme
+ * physical checks — this is where cycles_per_access separates the
+ * four methods.
+ */
+constexpr SimperfPattern kPatterns[] = {
+    {"resident", 224, 32, true},
+    {"walk_heavy", 24, 4096, false},
+};
+
+/**
+ * Deterministic replay stream for one pattern: mostly round-robin
+ * over the hot set, every 17th access an excursion drawn uniformly
+ * from the cold set. Identical for every scheme and run.
+ */
+std::vector<AccessRequest>
+simperfRequests(const SimperfPattern &pattern, Addr hot_base,
+                Addr cold_base)
+{
+    constexpr unsigned kBatch = 1u << 16;
+    std::vector<AccessRequest> reqs;
+    reqs.reserve(kBatch);
+    Rng rng(7);
+    for (unsigned i = 0; i < kBatch; ++i) {
+        const AccessType type =
+            rng.chance(0.3) ? AccessType::Store : AccessType::Load;
+        const bool excursion = i % 17 == 16;
+        const unsigned page = excursion ? rng.below(pattern.coldPages)
+                                        : i % pattern.hotPages;
+        uint64_t offset;
+        if (pattern.pageTiedOffsets) {
+            // Page-global index assuming the cold region directly
+            // follows the hot one; its low 6 bits pick the page's
+            // dedicated L1D set.
+            const unsigned global =
+                excursion ? pattern.hotPages + page : page;
+            offset = uint64_t(global % 64) * 64 + 8 * (i % 8);
+        } else {
+            offset = 8 * (i % 512);
+        }
+        reqs.push_back({(excursion ? cold_base : hot_base) +
+                            pageAddr(page) + offset, type});
+    }
+    return reqs;
+}
+
+SimperfResult
+runSimperfScheme(VirtScheme scheme, const SimperfPattern &pattern,
+                 double min_seconds)
+{
+    VirtEnv env(CoreKind::Rocket, scheme);
+    const Addr hot = env.mapGuestPages(pattern.hotPages);
+    const Addr cold = env.mapGuestPages(pattern.coldPages);
+    const std::vector<AccessRequest> reqs =
+        simperfRequests(pattern, hot, cold);
+
+    VirtMachine &vm = env.vm();
+    vm.coldReset();
+    (void)vm.accessBatch(reqs); // warm TLBs, caches, tables
+
+    SimperfResult result{toString(scheme)};
+    uint64_t cycles = 0, hits = 0, faults = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    double elapsed = 0.0;
+    do {
+        const VirtBatchOutcome out = vm.accessBatch(reqs);
+        result.accesses += out.accesses;
+        cycles += out.cycles;
+        hits += out.tlbHits;
+        faults += out.faults;
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0).count();
+    } while (elapsed < min_seconds);
+
+    fatal_if(faults != 0, "simperf pattern faulted (%lu)",
+             (unsigned long)faults);
+    result.maccessesPerSec = double(result.accesses) / elapsed / 1e6;
+    result.cyclesPerAccess = double(cycles) / double(result.accesses);
+    result.tlbHitRate = double(hits) / double(result.accesses);
+    return result;
+}
+
+int
+writeSimperfJson(const char *path, double min_seconds,
+                 const char *only_pattern)
+{
+    const VirtScheme schemes[] = {VirtScheme::Pmp, VirtScheme::Pmpt,
+                                  VirtScheme::Hpmp, VirtScheme::HpmpGpt};
+
+    if (only_pattern) {
+        bool known = false;
+        for (const SimperfPattern &pattern : kPatterns)
+            known = known || std::strcmp(pattern.name, only_pattern) == 0;
+        if (!known) {
+            std::fprintf(stderr, "unknown --pattern=%s (have:",
+                         only_pattern);
+            for (const SimperfPattern &pattern : kPatterns)
+                std::fprintf(stderr, " %s", pattern.name);
+            std::fprintf(stderr, ")\n");
+            return 1;
+        }
+    }
+
+    std::FILE *out = std::fopen(path, "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return 1;
+    }
+    std::fprintf(out, "{\n  \"benchmark\": \"simperf\",\n"
+                      "  \"core\": \"rocket\",\n  \"patterns\": [\n");
+    bool first_pattern = true;
+    for (const SimperfPattern &pattern : kPatterns) {
+        if (only_pattern && std::strcmp(pattern.name, only_pattern) != 0)
+            continue;
+        banner(std::string("simperf ") + pattern.name +
+               ": simulated-access throughput");
+        row({"scheme", "Macc/s", "cyc/access", "TLB hit"});
+        std::fprintf(out,
+                     "%s    {\"name\": \"%s\", \"hot_pages\": %u, "
+                     "\"cold_pages\": %u, \"schemes\": [\n",
+                     first_pattern ? "" : ",\n", pattern.name,
+                     pattern.hotPages, pattern.coldPages);
+        first_pattern = false;
+        bool first = true;
+        for (const VirtScheme scheme : schemes) {
+            const SimperfResult r =
+                runSimperfScheme(scheme, pattern, min_seconds);
+            row({r.name, fmt("%.2f", r.maccessesPerSec),
+                 fmt("%.2f", r.cyclesPerAccess), pct(r.tlbHitRate)});
+            std::fprintf(out,
+                         "%s      {\"name\": \"%s\", "
+                         "\"maccesses_per_sec\": %.3f, "
+                         "\"cycles_per_access\": %.3f, "
+                         "\"tlb_hit_rate\": %.4f, "
+                         "\"accesses\": %lu}",
+                         first ? "" : ",\n", r.name, r.maccessesPerSec,
+                         r.cyclesPerAccess, r.tlbHitRate,
+                         (unsigned long)r.accesses);
+            first = false;
+        }
+        std::fprintf(out, "\n    ]}");
+    }
+    std::fprintf(out, "\n  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path);
+    return 0;
+}
+
 } // namespace
 } // namespace hpmp::bench
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool json_only = false;
+    double min_seconds = 0.25;
+    const char *only_pattern = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        bool consume = true;
+        if (std::strcmp(argv[i], "--json-only") == 0) {
+            json_only = true;
+        } else if (std::strcmp(argv[i], "--quick") == 0) {
+            min_seconds = 0.02;
+        } else if (std::strncmp(argv[i], "--pattern=", 10) == 0) {
+            only_pattern = argv[i] + 10;
+        } else {
+            consume = false;
+        }
+        if (consume) {
+            for (int j = i; j + 1 < argc; ++j)
+                argv[j] = argv[j + 1];
+            --argc;
+            --i;
+        }
+    }
+
+    if (!json_only) {
+        benchmark::Initialize(&argc, argv);
+        if (benchmark::ReportUnrecognizedArguments(argc, argv))
+            return 1;
+        benchmark::RunSpecifiedBenchmarks();
+        benchmark::Shutdown();
+    }
+    return hpmp::bench::writeSimperfJson("BENCH_simperf.json",
+                                         min_seconds, only_pattern);
+}

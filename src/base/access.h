@@ -9,11 +9,25 @@
 
 #include <cstdint>
 
+#include "base/addr.h"
+
 namespace hpmp
 {
 
 /** Kind of memory operation. */
 enum class AccessType : uint8_t { Load, Store, Fetch };
+
+/**
+ * One (address, type) access request: the unit of batched replay
+ * (Machine::accessBatch) and of recorded traces.
+ */
+struct AccessRequest
+{
+    Addr va = 0;
+    AccessType type = AccessType::Load;
+
+    bool operator==(const AccessRequest &) const = default;
+};
 
 /** RISC-V privilege mode of the requester. */
 enum class PrivMode : uint8_t { User, Supervisor, Machine };

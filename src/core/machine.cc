@@ -1,6 +1,7 @@
 #include "core/machine.h"
 
 #include "base/logging.h"
+#include "core/core_model.h"
 
 namespace hpmp
 {
@@ -112,6 +113,45 @@ Machine::access(Addr va, AccessType type)
     else if (out.fault != Fault::None)
         ++statPageFaults_;
     return out;
+}
+
+BatchOutcome
+Machine::accessBatch(std::span<const AccessRequest> reqs, CoreModel *model,
+                     bool stop_on_fault)
+{
+    BatchOutcome b;
+    for (const AccessRequest &req : reqs) {
+        const AccessOutcome out = accessInner(req.va, req.type);
+        ++b.completed;
+        ++b.accesses;
+        if (out.tlbHit)
+            ++b.tlbHits;
+        b.cycles += out.cycles;
+        b.ptRefs += out.ptRefs;
+        b.adRefs += out.adRefs;
+        b.pmptRefs += out.pmptRefs;
+        b.dataRefs += out.dataRefs;
+        b.pwcSkips += out.pwcSkips;
+        if (model)
+            model->addAccess(out);
+        if (!out.ok()) {
+            ++b.faults;
+            if (b.firstFault == Fault::None)
+                b.firstFault = out.fault;
+            if (isAccessFault(out.fault))
+                ++statAccessFaults_;
+            else
+                ++statPageFaults_;
+            if (stop_on_fault)
+                break;
+        }
+    }
+    statAccesses_ += b.accesses;
+    if (translationOn_)
+        statWalks_ += b.accesses - b.tlbHits;
+    statPtRefs_ += b.ptRefs + b.adRefs;
+    statPmptRefs_ += b.pmptRefs;
+    return b;
 }
 
 AccessOutcome

@@ -21,6 +21,7 @@
 #define HPMP_CORE_MACHINE_H
 
 #include <memory>
+#include <span>
 
 #include "base/stats.h"
 #include "core/params.h"
@@ -54,6 +55,33 @@ struct AccessOutcome
     }
 };
 
+/** Aggregate outcome of a batched replay (Machine::accessBatch). */
+struct BatchOutcome
+{
+    uint64_t accesses = 0;
+    uint64_t tlbHits = 0;
+    uint64_t faults = 0;
+    uint64_t cycles = 0;
+    uint64_t ptRefs = 0;
+    uint64_t adRefs = 0;
+    uint64_t pmptRefs = 0;
+    uint64_t dataRefs = 0;
+    uint64_t pwcSkips = 0;
+    /**
+     * Requests consumed, including the faulting one when
+     * `stop_on_fault` ended the batch early.
+     */
+    uint64_t completed = 0;
+    Fault firstFault = Fault::None;
+
+    uint64_t totalRefs() const
+    {
+        return ptRefs + adRefs + pmptRefs + dataRefs;
+    }
+};
+
+class CoreModel;
+
 /** One simulated hart plus its memory system. */
 class Machine
 {
@@ -79,6 +107,17 @@ class Machine
 
     /** Perform one load/store/fetch at virtual address va. */
     AccessOutcome access(Addr va, AccessType type);
+
+    /**
+     * Replay a span of requests in one dispatch, updating the
+     * "machine.*" counters in bulk. Each access is optionally charged
+     * to `model`; with `stop_on_fault` the batch ends at the first
+     * faulting request (already counted in `completed`), so callers
+     * can service the fault and resume with the remaining span.
+     */
+    BatchOutcome accessBatch(std::span<const AccessRequest> reqs,
+                             CoreModel *model = nullptr,
+                             bool stop_on_fault = false);
 
     /** sfence.vma rs1=x0: flush TLB and PWC. */
     void sfenceVma();

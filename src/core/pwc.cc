@@ -5,7 +5,8 @@ namespace hpmp
 
 Pwc::Pwc(unsigned num_entries)
     : numEntries_(num_entries),
-      entries_(num_entries)
+      index_(num_entries),
+      ptes_(num_entries)
 {
 }
 
@@ -14,13 +15,11 @@ Pwc::lookup(unsigned level, Addr va)
 {
     if (!enabled())
         return std::nullopt;
-    const uint64_t tag = tagFor(level, va);
-    for (auto &entry : entries_) {
-        if (entry.valid && entry.level == level && entry.tag == tag) {
-            entry.lru = ++lruClock_;
-            ++hits_;
-            return entry.pte;
-        }
+    const uint32_t slot = index_.find(keyFor(level, va));
+    if (slot != LruIndex::kNone) {
+        index_.touch(slot);
+        ++hits_;
+        return ptes_[slot];
     }
     ++misses_;
     return std::nullopt;
@@ -31,35 +30,29 @@ Pwc::fill(unsigned level, Addr va, Pte pte)
 {
     if (!enabled())
         return;
-    const uint64_t tag = tagFor(level, va);
-    Entry *victim = &entries_[0];
-    for (auto &entry : entries_) {
-        if (entry.valid && entry.level == level && entry.tag == tag) {
-            entry.pte = pte;
-            entry.lru = ++lruClock_;
-            return;
-        }
-        if (!entry.valid || (victim->valid && entry.lru < victim->lru))
-            victim = &entry;
-    }
-    *victim = Entry{true, level, tag, pte, ++lruClock_};
+    const uint64_t key = keyFor(level, va);
+    uint32_t slot = index_.find(key);
+    if (slot != LruIndex::kNone)
+        index_.touch(slot);
+    else
+        slot = index_.insert(key);
+    ptes_[slot] = pte;
 }
 
 void
 Pwc::invalidate(unsigned level, Addr va)
 {
-    const uint64_t tag = tagFor(level, va);
-    for (auto &entry : entries_) {
-        if (entry.valid && entry.level == level && entry.tag == tag)
-            entry.valid = false;
-    }
+    if (!enabled())
+        return;
+    const uint32_t slot = index_.find(keyFor(level, va));
+    if (slot != LruIndex::kNone)
+        index_.erase(slot);
 }
 
 void
 Pwc::flush()
 {
-    for (auto &entry : entries_)
-        entry.valid = false;
+    index_.clear();
 }
 
 } // namespace hpmp

@@ -7,6 +7,10 @@
  * the level-L entry — including, in protected schemes, the permission
  * check that reference would have needed, which is the interaction
  * Fig. 17 studies.
+ *
+ * Lookups are O(1): the (level, tag) keys live in an LruIndex hash
+ * rather than being scanned linearly, with unchanged hit/miss and
+ * true-LRU eviction behaviour.
  */
 
 #ifndef HPMP_CORE_PWC_H
@@ -17,6 +21,7 @@
 #include <vector>
 
 #include "base/addr.h"
+#include "base/indexed_lru.h"
 #include "base/stats.h"
 #include "pt/pte.h"
 
@@ -51,24 +56,16 @@ class Pwc
 
   private:
     static uint64_t
-    tagFor(unsigned level, Addr va)
+    keyFor(unsigned level, Addr va)
     {
-        // All VA bits that select the level-`level` entry and above.
-        return va >> (kPageShift + 9 * level);
+        // All VA bits that select the level-`level` entry and above,
+        // disambiguated by the level itself.
+        return ((va >> (kPageShift + 9 * level)) << 3) | level;
     }
 
-    struct Entry
-    {
-        bool valid = false;
-        unsigned level = 0;
-        uint64_t tag = 0;
-        Pte pte;
-        uint64_t lru = 0;
-    };
-
     unsigned numEntries_;
-    std::vector<Entry> entries_;
-    uint64_t lruClock_ = 0;
+    LruIndex index_;
+    std::vector<Pte> ptes_; //!< payloads, addressed by index_ slots
 
     Counter hits_;
     Counter misses_;

@@ -1,5 +1,7 @@
 #include "core/tlb.h"
 
+#include "base/bitfield.h"
+
 namespace hpmp
 {
 
@@ -7,52 +9,18 @@ Tlb::Tlb(unsigned l1_entries, unsigned l2_entries)
     : l1Entries_(l1_entries),
       l2Entries_(l2_entries),
       l1_(l1_entries),
-      l1Lru_(l1_entries, 0),
+      l1Index_(l1_entries),
       l2_(l2_entries)
 {
-}
-
-std::optional<TlbEntry>
-Tlb::lookup(Addr va, TlbHitLevel *level)
-{
-    const uint64_t vpn = pageNumber(va);
-
-    for (unsigned i = 0; i < l1Entries_; ++i) {
-        if (l1_[i].matches(va)) {
-            l1Lru_[i] = ++lruClock_;
-            ++l1Hits_;
-            if (level)
-                *level = TlbHitLevel::L1;
-            return l1_[i];
-        }
+    if (isPowerOf2(l2_entries)) {
+        l2Pow2_ = true;
+        l2Mask_ = l2_entries - 1;
     }
-
-    TlbEntry &slot = l2_[vpn % l2Entries_];
-    if (slot.valid && slot.level == 0 && slot.vpn == vpn) {
-        ++l2Hits_;
-        if (level)
-            *level = TlbHitLevel::L2;
-        // Promote into L1.
-        unsigned victim = 0;
-        for (unsigned i = 1; i < l1Entries_; ++i) {
-            if (!l1_[i].valid) { victim = i; break; }
-            if (l1Lru_[i] < l1Lru_[victim] && l1_[victim].valid)
-                victim = i;
-        }
-        l1_[victim] = slot;
-        l1Lru_[victim] = ++lruClock_;
-        return slot;
-    }
-
-    ++misses_;
-    if (level)
-        *level = TlbHitLevel::Miss;
-    return std::nullopt;
 }
 
 void
 Tlb::fill(Addr va, Addr pa_base, Perm perm, Perm phys_perm, bool user,
-          unsigned level)
+          unsigned level, Perm g_perm)
 {
     TlbEntry entry;
     entry.vpn = pageNumber(va) >> (9 * level);
@@ -60,22 +28,37 @@ Tlb::fill(Addr va, Addr pa_base, Perm perm, Perm phys_perm, bool user,
     entry.level = uint8_t(level);
     entry.perm = perm;
     entry.physPerm = phys_perm;
+    entry.gPerm = g_perm;
     entry.user = user;
     entry.valid = true;
 
-    unsigned victim = 0;
-    for (unsigned i = 0; i < l1Entries_; ++i) {
-        if (l1_[i].matches(va)) { victim = i; break; }
-        if (!l1_[i].valid) { victim = i; break; }
-        if (l1Lru_[i] < l1Lru_[victim])
-            victim = i;
+    // An existing entry that already translates va is replaced in
+    // place (a refill after the mapping changed under the TLB).
+    bool installed = false;
+    const uint64_t vpn = pageNumber(va);
+    for (unsigned lvl = 0; lvl < kMaxLeafLevels && !installed; ++lvl) {
+        if (levelCount_[lvl] == 0)
+            continue;
+        const uint32_t slot = l1Index_.find(keyFor(vpn >> (9 * lvl), lvl));
+        if (slot == LruIndex::kNone)
+            continue;
+        if (lvl == level) {
+            l1_[slot] = entry;
+            l1Index_.touch(slot);
+        } else {
+            decLevel(lvl);
+            l1_[slot].valid = false;
+            l1Index_.erase(slot);
+            installL1(entry);
+        }
+        installed = true;
     }
-    l1_[victim] = entry;
-    l1Lru_[victim] = ++lruClock_;
+    if (!installed)
+        installL1(entry);
 
     // The direct-mapped L2 only holds base pages.
     if (level == 0)
-        l2_[pageNumber(va) % l2Entries_] = entry;
+        l2_[l2SlotOf(pageNumber(va))] = entry;
 }
 
 void
@@ -83,6 +66,10 @@ Tlb::flushAll()
 {
     for (auto &entry : l1_)
         entry.valid = false;
+    l1Index_.clear();
+    for (unsigned lvl = 0; lvl < kMaxLeafLevels; ++lvl)
+        levelCount_[lvl] = 0;
+    levelMask_ = 0;
     for (auto &entry : l2_)
         entry.valid = false;
 }
@@ -90,12 +77,19 @@ Tlb::flushAll()
 void
 Tlb::flushPage(Addr va)
 {
-    for (auto &entry : l1_) {
-        if (entry.matches(va))
-            entry.valid = false;
+    const uint64_t vpn = pageNumber(va);
+    for (unsigned lvl = 0; lvl < kMaxLeafLevels; ++lvl) {
+        if (levelCount_[lvl] == 0)
+            continue;
+        const uint32_t slot = l1Index_.find(keyFor(vpn >> (9 * lvl), lvl));
+        if (slot != LruIndex::kNone) {
+            decLevel(lvl);
+            l1_[slot].valid = false;
+            l1Index_.erase(slot);
+        }
     }
-    TlbEntry &slot = l2_[pageNumber(va) % l2Entries_];
-    if (slot.valid && slot.level == 0 && slot.vpn == pageNumber(va))
+    TlbEntry &slot = l2_[l2SlotOf(vpn)];
+    if (slot.valid && slot.level == 0 && slot.vpn == vpn)
         slot.valid = false;
 }
 

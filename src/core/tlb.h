@@ -8,17 +8,23 @@
  * inlining", paper §2.2/§7): a hit therefore requires no PMP/PMPT
  * activity at all, which is why the permission table only costs on
  * TLB misses in all schemes.
+ *
+ * The L1's fully-associative *capacity* semantics (any VPN in any
+ * slot, true-LRU victim) are modelled with an O(1) per-level VPN hash
+ * index (LruIndex) instead of a linear scan, so the simulator's
+ * per-access hot path does constant work regardless of TLB size.
  */
 
 #ifndef HPMP_CORE_TLB_H
 #define HPMP_CORE_TLB_H
 
+#include <bit>
 #include <cstdint>
-#include <optional>
 #include <vector>
 
 #include "base/access.h"
 #include "base/addr.h"
+#include "base/indexed_lru.h"
 #include "base/stats.h"
 #include "pt/pte.h"
 
@@ -37,6 +43,11 @@ struct TlbEntry
     uint8_t level = 0;  //!< 0 = 4 KiB, 1 = 2 MiB, 2 = 1 GiB
     Perm perm;          //!< leaf PTE permission
     Perm physPerm;      //!< inlined physical (PMP/PMPT) permission
+    /**
+     * G-stage leaf permission for combined (two-stage) entries; rwx
+     * for single-stage translations, where no G-stage exists.
+     */
+    Perm gPerm = Perm::rwx();
     bool user = false;
     bool valid = false;
 
@@ -65,15 +76,51 @@ class Tlb
   public:
     Tlb(unsigned l1_entries, unsigned l2_entries);
 
-    /** Look up va; promotes L2 hits into L1. */
-    std::optional<TlbEntry> lookup(Addr va, TlbHitLevel *level = nullptr);
+    /**
+     * Look up va; promotes L2 hits into L1.
+     * @return the hit entry (owned by the TLB, valid until the next
+     *         fill/flush), or nullptr on a miss.
+     */
+    const TlbEntry *
+    lookup(Addr va, TlbHitLevel *level = nullptr)
+    {
+        const uint64_t vpn = pageNumber(va);
+
+        for (uint32_t mask = levelMask_; mask; mask &= mask - 1) {
+            const unsigned lvl = unsigned(std::countr_zero(mask));
+            const uint32_t slot =
+                l1Index_.find(keyFor(vpn >> (9 * lvl), lvl));
+            if (slot != LruIndex::kNone) {
+                l1Index_.touch(slot);
+                ++l1Hits_;
+                if (level)
+                    *level = TlbHitLevel::L1;
+                return &l1_[slot];
+            }
+        }
+
+        TlbEntry &slot = l2_[l2SlotOf(vpn)];
+        if (slot.valid && slot.level == 0 && slot.vpn == vpn) {
+            ++l2Hits_;
+            if (level)
+                *level = TlbHitLevel::L2;
+            // Promote into L1 (evicting the true-LRU entry if full).
+            const TlbEntry *promoted = installL1(slot);
+            return promoted ? promoted : &slot;
+        }
+
+        ++misses_;
+        if (level)
+            *level = TlbHitLevel::Miss;
+        return nullptr;
+    }
 
     /**
      * Install a translation. `pa_base` is the physical base of the
      * (possibly super-) page; level > 0 entries go to L1 only.
      */
     void fill(Addr va, Addr pa_base, Perm perm, Perm phys_perm,
-              bool user, unsigned level = 0);
+              bool user, unsigned level = 0, Perm g_perm = Perm::rwx());
 
     /** sfence.vma with rs1=x0: drop everything. */
     void flushAll();
@@ -87,12 +134,63 @@ class Tlb
     void resetStats();
 
   private:
+    /** Leaf levels a TLB entry can cache (Sv57 root leaf = level 4). */
+    static constexpr unsigned kMaxLeafLevels = 5;
+
+    static uint64_t
+    keyFor(uint64_t vpn_at_level, unsigned level)
+    {
+        return (vpn_at_level << 3) | level;
+    }
+
+    uint64_t
+    l2SlotOf(uint64_t vpn) const
+    {
+        return l2Pow2_ ? (vpn & l2Mask_) : vpn % l2Entries_;
+    }
+
+    /**
+     * Claim an L1 slot (evicting true-LRU if full) and install.
+     * @return the installed entry, or nullptr when the L1 has no slots.
+     */
+    const TlbEntry *
+    installL1(const TlbEntry &entry)
+    {
+        if (l1Entries_ == 0)
+            return nullptr;
+        const uint32_t slot =
+            l1Index_.insert(keyFor(entry.vpn, entry.level));
+        if (l1_[slot].valid)
+            decLevel(l1_[slot].level);
+        l1_[slot] = entry;
+        incLevel(entry.level);
+        return &l1_[slot];
+    }
+
+    void
+    incLevel(unsigned level)
+    {
+        ++levelCount_[level];
+        levelMask_ |= 1u << level;
+    }
+
+    void
+    decLevel(unsigned level)
+    {
+        if (--levelCount_[level] == 0)
+            levelMask_ &= ~(1u << level);
+    }
+
     unsigned l1Entries_;
     unsigned l2Entries_;
     std::vector<TlbEntry> l1_;
-    std::vector<uint64_t> l1Lru_;
+    LruIndex l1Index_;
+    /** Entries currently cached per level, to skip empty-level probes. */
+    unsigned levelCount_[kMaxLeafLevels] = {};
+    uint32_t levelMask_ = 0; //!< bit l set iff levelCount_[l] > 0
+    bool l2Pow2_ = false;
+    uint64_t l2Mask_ = 0;
     std::vector<TlbEntry> l2_; //!< direct mapped by vpn % l2Entries_
-    uint64_t lruClock_ = 0;
 
     Counter l1Hits_;
     Counter l2Hits_;

@@ -11,6 +11,37 @@ VirtMachine::VirtMachine(const MachineParams &params)
 {
     // The host side runs bare; all translation happens here.
     machine_.setBare();
+
+    stats_.add("accesses", &statAccesses_);
+    stats_.add("tlb_hits", &statTlbHits_);
+    stats_.add("walks", &statWalks_);
+    stats_.add("npt_refs", &statNptRefs_);
+    stats_.add("gpt_refs", &statGptRefs_);
+    stats_.add("data_refs", &statDataRefs_);
+    stats_.add("pmpt_refs", &statPmptRefs_);
+    stats_.add("gtlb_hits", &statGTlbHits_);
+    stats_.add("faults", &statFaults_);
+
+    gtlbHooks_.lookup =
+        [this](Addr gpa_page, AccessType t) -> std::optional<GStageHit> {
+        if (auto e = gStageTlb_.lookup(gpa_page)) {
+            // Enforce the cached G-stage leaf permission: a miss here
+            // routes the access to the full G-stage walk, which
+            // raises the proper guest page fault.
+            if (e->perm.allows(t))
+                return GStageHit{pageAddr(e->ppn), e->perm};
+        }
+        return std::nullopt;
+    };
+    gtlbHooks_.fill = [this](Addr gpa_page, Addr spa_page, Perm perm) {
+        gStageTlb_.fill(gpa_page, spa_page, perm, Perm::rwx(), true);
+    };
+    pwcHooks_.lookup = [this](unsigned level, Addr va) {
+        return vsPwc_.lookup(level, va);
+    };
+    pwcHooks_.fill = [this](unsigned level, Addr va, Pte pte) {
+        vsPwc_.fill(level, va, pte);
+    };
 }
 
 void
@@ -35,18 +66,78 @@ VirtMachine::coldReset()
     machine_.coldReset();
 }
 
+void
+VirtMachine::account(const VirtAccessOutcome &out)
+{
+    ++statAccesses_;
+    if (out.tlbHit)
+        ++statTlbHits_;
+    else
+        ++statWalks_;
+    statNptRefs_ += out.nptRefs;
+    statGptRefs_ += out.gptRefs;
+    statDataRefs_ += out.dataRefs;
+    statPmptRefs_ += out.pmptRefs;
+    statGTlbHits_ += out.gTlbHits;
+    if (!out.ok())
+        ++statFaults_;
+}
+
 VirtAccessOutcome
 VirtMachine::access(Addr gva, AccessType type)
+{
+    VirtAccessOutcome out = accessInner(gva, type);
+    account(out);
+    return out;
+}
+
+VirtBatchOutcome
+VirtMachine::accessBatch(std::span<const AccessRequest> reqs)
+{
+    VirtBatchOutcome batch;
+    for (const AccessRequest &req : reqs) {
+        const VirtAccessOutcome out = accessInner(req.va, req.type);
+        ++batch.accesses;
+        if (out.tlbHit)
+            ++batch.tlbHits;
+        if (!out.ok())
+            ++batch.faults;
+        batch.cycles += out.cycles;
+        batch.nptRefs += out.nptRefs;
+        batch.gptRefs += out.gptRefs;
+        batch.dataRefs += out.dataRefs;
+        batch.pmptRefs += out.pmptRefs;
+        batch.gTlbHits += out.gTlbHits;
+    }
+    statAccesses_ += batch.accesses;
+    statTlbHits_ += batch.tlbHits;
+    statWalks_ += batch.accesses - batch.tlbHits;
+    statNptRefs_ += batch.nptRefs;
+    statGptRefs_ += batch.gptRefs;
+    statDataRefs_ += batch.dataRefs;
+    statPmptRefs_ += batch.pmptRefs;
+    statGTlbHits_ += batch.gTlbHits;
+    statFaults_ += batch.faults;
+    return batch;
+}
+
+VirtAccessOutcome
+VirtMachine::accessInner(Addr gva, AccessType type)
 {
     VirtAccessOutcome out;
     const bool is_store = type == AccessType::Store;
     const bool is_fetch = type == AccessType::Fetch;
 
-    // Combined-TLB hit: inlined permissions, data reference only.
+    // Combined-TLB hit: inlined permissions, data reference only. The
+    // entry carries the real VS-stage U bit / permissions, the real
+    // G-stage leaf permission and the inlined physical permission, so
+    // the same checks fire as on the full-walk path.
     if (auto entry = combinedTlb_.lookup(gva)) {
         out.tlbHit = true;
         Pte shadow = Pte::leaf(0, entry->perm, entry->user, true, true);
         out.fault = checkLeafPerms(shadow, type, guestPriv_, true);
+        if (out.fault == Fault::None && !entry->gPerm.allows(type))
+            out.fault = guestPageFaultFor(type);
         if (out.fault == Fault::None && !entry->physPerm.allows(type))
             out.fault = accessFaultFor(type);
         if (out.fault != Fault::None)
@@ -58,28 +149,10 @@ VirtMachine::access(Addr gva, AccessType type)
     }
 
     // Full two-stage walk with the G-stage TLB and guest PWC hooks.
-    GStageTlbHooks gtlb_hooks;
-    gtlb_hooks.lookup = [this](Addr gpa_page) -> std::optional<Addr> {
-        if (auto e = gStageTlb_.lookup(gpa_page))
-            return pageAddr(e->ppn);
-        return std::nullopt;
-    };
-    gtlb_hooks.fill = [this](Addr gpa_page, Addr spa_page) {
-        gStageTlb_.fill(gpa_page, spa_page, Perm::rwx(), Perm::rwx(),
-                        true);
-    };
-    VsPwcHooks pwc_hooks;
-    pwc_hooks.lookup = [this](unsigned level, Addr va) {
-        return vsPwc_.lookup(level, va);
-    };
-    pwc_hooks.fill = [this](unsigned level, Addr va, Pte pte) {
-        vsPwc_.fill(level, va, pte);
-    };
-
     TwoStageConfig config;
     TwoStageResult walk =
         walkTwoStage(machine_.mem(), vsatpRoot_, hgatpRoot_, gva, type,
-                     guestPriv_, config, &gtlb_hooks, &pwc_hooks);
+                     guestPriv_, config, &gtlbHooks_, &pwcHooks_);
     out.gTlbHits = walk.gstageTlbHits;
 
     // Replay the supervisor-physical references: protection check
@@ -113,8 +186,13 @@ VirtMachine::access(Addr gva, AccessType type)
         return out;
     }
 
-    combinedTlb_.fill(gva, alignDown(walk.spa, kPageSize), walk.perm,
-                      machine_.physPermProbe(walk.spa), true);
+    // Cache the combined translation at the largest size both stages
+    // map contiguously, with the real leaf attributes.
+    const unsigned level = walk.combinedLeafLevel();
+    const uint64_t span = pageSizeAtLevel(level);
+    combinedTlb_.fill(gva, walk.spa - (gva & (span - 1)), walk.perm,
+                      machine_.physPermProbe(walk.spa), walk.user,
+                      level, walk.gPerm);
     return out;
 }
 

@@ -9,10 +9,17 @@
  * HPMP permission check and cache hierarchy. Separate combined and
  * G-stage TLBs plus a guest PWC give hfence.vvma / hfence.gvma their
  * distinct costs.
+ *
+ * Combined-TLB entries carry the real VS-stage leaf U bit and level
+ * and the real G-stage leaf permission, so a hit reproduces exactly
+ * the faults the full two-stage walk plus physical check would have
+ * raised (TLB inlining, §2.2/§7).
  */
 
 #ifndef HPMP_CORE_VIRT_MACHINE_H
 #define HPMP_CORE_VIRT_MACHINE_H
+
+#include <span>
 
 #include "core/machine.h"
 #include "pt/two_stage.h"
@@ -39,6 +46,25 @@ struct VirtAccessOutcome
     }
 };
 
+/** Aggregate outcome of a batched guest replay. */
+struct VirtBatchOutcome
+{
+    uint64_t accesses = 0;
+    uint64_t tlbHits = 0;
+    uint64_t faults = 0;
+    uint64_t cycles = 0;
+    uint64_t nptRefs = 0;
+    uint64_t gptRefs = 0;
+    uint64_t dataRefs = 0;
+    uint64_t pmptRefs = 0;
+    uint64_t gTlbHits = 0;
+
+    uint64_t totalRefs() const
+    {
+        return nptRefs + gptRefs + dataRefs + pmptRefs;
+    }
+};
+
 /** A guest hart running under the hypervisor extension. */
 class VirtMachine
 {
@@ -57,6 +83,13 @@ class VirtMachine
     /** One guest load/store/fetch (the hlv.d path of §8.6). */
     VirtAccessOutcome access(Addr gva, AccessType type);
 
+    /**
+     * Batched guest replay: one dispatch for the whole request span,
+     * with stats updated in bulk. Faulting accesses are counted and
+     * skipped, as in trace replay.
+     */
+    VirtBatchOutcome accessBatch(std::span<const AccessRequest> reqs);
+
     /** hfence.vvma: drop guest translations, keep G-stage ones. */
     void hfenceVvma();
 
@@ -66,15 +99,39 @@ class VirtMachine
     /** Cold caches + all TLBs. */
     void coldReset();
 
+    /** Aggregate counters ("virt_machine.*"). */
+    StatGroup &stats() { return stats_; }
+
   private:
+    /** The access path proper (stats wrappers live in access()). */
+    VirtAccessOutcome accessInner(Addr gva, AccessType type);
+
+    /** Add one outcome to the "virt_machine.*" counters. */
+    void account(const VirtAccessOutcome &out);
+
     Machine machine_;
     Tlb combinedTlb_;  //!< gva -> spa with inlined permissions
-    Tlb gStageTlb_;    //!< gpa page -> spa page
+    Tlb gStageTlb_;    //!< gpa page -> spa page, with G-stage perms
     Pwc vsPwc_;        //!< guest-PTE cache
 
     Addr vsatpRoot_ = 0;
     Addr hgatpRoot_ = 0;
     PrivMode guestPriv_ = PrivMode::Supervisor;
+
+    /** Walk hooks, built once (std::function setup is not free). */
+    GStageTlbHooks gtlbHooks_;
+    VsPwcHooks pwcHooks_;
+
+    StatGroup stats_{"virt_machine"};
+    Counter statAccesses_;
+    Counter statTlbHits_;
+    Counter statWalks_;
+    Counter statNptRefs_;
+    Counter statGptRefs_;
+    Counter statDataRefs_;
+    Counter statPmptRefs_;
+    Counter statGTlbHits_;
+    Counter statFaults_;
 };
 
 } // namespace hpmp

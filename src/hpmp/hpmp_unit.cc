@@ -19,6 +19,7 @@ HpmpUnit::programSegment(unsigned idx, Addr base, uint64_t size, Perm perm)
     regs_.setAddr(idx, PmpUnit::encodeNapot(base, size));
     regs_.setCfg(idx, PmpCfg::make(perm, PmpAddrMode::Napot));
     csrWrites_ += 2;
+    pmptwCache_.flush();
 }
 
 void
@@ -39,6 +40,7 @@ HpmpUnit::programTable(unsigned idx, Addr base, uint64_t size,
     regs_.setCfg(idx + 1, PmpCfg::make(Perm::none(), PmpAddrMode::Off));
     regs_.setAddr(idx + 1, PmptBaseReg::make(table_root, levels).raw);
     csrWrites_ += 4;
+    pmptwCache_.flush();
 }
 
 void
@@ -46,6 +48,7 @@ HpmpUnit::disable(unsigned idx)
 {
     regs_.disable(idx);
     csrWrites_ += 2;
+    pmptwCache_.flush();
 }
 
 HpmpCheckResult

@@ -52,7 +52,15 @@ class HpmpUnit
     PmpUnit &regs() { return regs_; }
     const PmpUnit &regs() const { return regs_; }
 
-    /** Program entry idx as a NAPOT segment-mode region. */
+    /**
+     * Program entry idx as a NAPOT segment-mode region.
+     *
+     * Reprogramming (this, programTable and disable) flushes the
+     * PMPTW-Cache so stale table permissions can never satisfy a later
+     * check. The monitor must still sfence.vma / hfence.gvma on harts
+     * whose TLBs may hold the old permission inlined (§7): the TLB's
+     * physPerm copy is not visible to this unit.
+     */
     void programSegment(unsigned idx, Addr base, uint64_t size, Perm perm);
 
     /**

@@ -18,34 +18,28 @@ Cache::Cache(const CacheParams &params)
     fatal_if(num_lines % params.assoc != 0,
              "%s: size/assoc mismatch", params.name.c_str());
     numSets_ = num_lines / params.assoc;
+    if (isPowerOf2(numSets_)) {
+        setsPow2_ = true;
+        setShift_ = log2i(numSets_);
+        setMask_ = numSets_ - 1;
+    }
     lines_.resize(num_lines);
 }
 
-bool
-Cache::access(Addr pa, bool is_write)
+void
+Cache::fillVictim(Line *base, uint64_t tag, bool is_write)
 {
-    const uint64_t set = setIndex(pa);
-    const uint64_t tag = tagOf(pa);
-    Line *base = &lines_[set * params_.assoc];
-
+    // Same victim choice as the historical single-pass scan: the last
+    // invalid unlocked way if any, else the lowest-LRU unlocked way.
     Line *victim = nullptr;
     for (unsigned way = 0; way < params_.assoc; ++way) {
         Line &line = base[way];
-        if (line.valid && line.tag == tag) {
-            line.lru = ++lruClock_;
-            line.dirty |= is_write;
-            ++hits_;
-            return true;
-        }
         if (line.locked)
             continue;
-        if (!victim || !line.valid ||
-            (victim->valid && line.lru < victim->lru)) {
-            if (!victim || victim->valid)
-                victim = &line;
-            else if (!line.valid)
-                victim = &line;
-        }
+        if (!line.valid)
+            victim = &line;
+        else if (!victim || (victim->valid && line.lru < victim->lru))
+            victim = &line;
     }
     panic_if(!victim, "all ways locked in set");
 
@@ -54,7 +48,6 @@ Cache::access(Addr pa, bool is_write)
     victim->tag = tag;
     victim->dirty = is_write;
     victim->lru = ++lruClock_;
-    return false;
 }
 
 bool
@@ -76,22 +69,22 @@ Cache::touch(Addr pa)
     const uint64_t set = setIndex(pa);
     const uint64_t tag = tagOf(pa);
     Line *base = &lines_[set * params_.assoc];
-    Line *victim = nullptr;
     for (unsigned way = 0; way < params_.assoc; ++way) {
         Line &line = base[way];
         if (line.valid && line.tag == tag) {
             line.lru = ++lruClock_;
             return;
         }
+    }
+    Line *victim = nullptr;
+    for (unsigned way = 0; way < params_.assoc; ++way) {
+        Line &line = base[way];
         if (line.locked)
             continue;
-        if (!victim || !line.valid ||
-            (victim->valid && line.lru < victim->lru)) {
-            if (!victim || victim->valid)
-                victim = &line;
-            else if (!line.valid)
-                victim = &line;
-        }
+        if (!line.valid)
+            victim = &line;
+        else if (!victim || (victim->valid && line.lru < victim->lru))
+            victim = &line;
     }
     panic_if(!victim, "all ways locked in set");
     victim->valid = true;

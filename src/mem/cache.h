@@ -41,7 +41,27 @@ class Cache
      * Look up (and on miss, fill) the line containing pa.
      * @return true on hit.
      */
-    bool access(Addr pa, bool is_write);
+    bool
+    access(Addr pa, bool is_write)
+    {
+        const uint64_t set = setIndex(pa);
+        const uint64_t tag = tagOf(pa);
+        Line *base = &lines_[set * params_.assoc];
+
+        // Hit scan first; victim selection only runs on a miss,
+        // keeping the (far more common) hit path tight.
+        for (unsigned way = 0; way < params_.assoc; ++way) {
+            Line &line = base[way];
+            if (line.valid && line.tag == tag) {
+                line.lru = ++lruClock_;
+                line.dirty |= is_write;
+                ++hits_;
+                return true;
+            }
+        }
+        fillVictim(base, tag, is_write);
+        return false;
+    }
 
     /** Look up without filling or LRU update (for tests / probes). */
     bool probe(Addr pa) const;
@@ -87,12 +107,32 @@ class Cache
     };
 
     uint64_t lineNumber(Addr pa) const { return pa >> lineShift_; }
-    uint64_t setIndex(Addr pa) const { return lineNumber(pa) % numSets_; }
-    uint64_t tagOf(Addr pa) const { return lineNumber(pa) / numSets_; }
+
+    /** Miss path of access(): pick a victim way and refill it. */
+    void fillVictim(Line *base, uint64_t tag, bool is_write);
+
+    // Set/tag split avoids a hardware division per lookup when the
+    // set count is a power of two (every Table 1 geometry is).
+    uint64_t
+    setIndex(Addr pa) const
+    {
+        return setsPow2_ ? (lineNumber(pa) & setMask_)
+                         : lineNumber(pa) % numSets_;
+    }
+
+    uint64_t
+    tagOf(Addr pa) const
+    {
+        return setsPow2_ ? (lineNumber(pa) >> setShift_)
+                         : lineNumber(pa) / numSets_;
+    }
 
     CacheParams params_;
     unsigned lineShift_;
     uint64_t numSets_;
+    bool setsPow2_ = false;
+    unsigned setShift_ = 0;
+    uint64_t setMask_ = 0;
     std::vector<Line> lines_; //!< numSets_ x assoc, row-major
     uint64_t lruClock_ = 0;
     uint64_t lockedLines_ = 0;

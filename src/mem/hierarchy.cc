@@ -13,16 +13,9 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyParams &params)
 }
 
 MemAccessResult
-MemoryHierarchy::access(Addr pa, bool is_write, bool is_fetch)
+MemoryHierarchy::accessBelowL1(Addr pa, bool is_write,
+                               MemAccessResult result)
 {
-    MemAccessResult result;
-    Cache &l1 = is_fetch ? *l1i_ : *l1d_;
-
-    result.cycles += l1.latency();
-    if (l1.access(pa, is_write)) {
-        result.servicedBy = MemLevel::L1;
-        return result;
-    }
     result.cycles += l2_->latency();
     if (l2_->access(pa, is_write)) {
         result.servicedBy = MemLevel::L2;

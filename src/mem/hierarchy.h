@@ -46,7 +46,19 @@ class MemoryHierarchy
     explicit MemoryHierarchy(const HierarchyParams &params);
 
     /** Timing access: looks up each level in turn, fills on the way. */
-    MemAccessResult access(Addr pa, bool is_write, bool is_fetch = false);
+    MemAccessResult
+    access(Addr pa, bool is_write, bool is_fetch = false)
+    {
+        MemAccessResult result;
+        Cache &l1 = is_fetch ? *l1i_ : *l1d_;
+
+        result.cycles += l1.latency();
+        if (l1.access(pa, is_write)) {
+            result.servicedBy = MemLevel::L1;
+            return result;
+        }
+        return accessBelowL1(pa, is_write, result);
+    }
 
     /** Make the line containing pa resident down to `deepest`. */
     void warmLine(Addr pa, MemLevel deepest = MemLevel::L1,
@@ -67,6 +79,10 @@ class MemoryHierarchy
     void resetStats();
 
   private:
+    /** L1-miss continuation of access(). */
+    MemAccessResult accessBelowL1(Addr pa, bool is_write,
+                                  MemAccessResult result);
+
     std::unique_ptr<Cache> l1i_;
     std::unique_ptr<Cache> l1d_;
     std::unique_ptr<Cache> l2_;

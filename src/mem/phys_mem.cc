@@ -18,19 +18,33 @@ PhysMem::checkRange(Addr addr, uint64_t len) const
 PhysMem::Page &
 PhysMem::pageFor(Addr addr)
 {
-    auto &slot = pages_[pageNumber(addr)];
+    const uint64_t pn = pageNumber(addr);
+    PageSlot &cached = pageCache_[pn & (kPageCacheSlots - 1)];
+    if (cached.pn == pn)
+        return *cached.page;
+
+    auto &slot = pages_[pn];
     if (!slot) {
         slot = std::make_unique<Page>();
         slot->fill(0);
     }
+    cached = {pn, slot.get()};
     return *slot;
 }
 
 const PhysMem::Page *
 PhysMem::pageForConst(Addr addr) const
 {
-    auto it = pages_.find(pageNumber(addr));
-    return it == pages_.end() ? nullptr : it->second.get();
+    const uint64_t pn = pageNumber(addr);
+    PageSlot &cached = pageCache_[pn & (kPageCacheSlots - 1)];
+    if (cached.pn == pn)
+        return cached.page;
+
+    auto it = pages_.find(pn);
+    if (it == pages_.end())
+        return nullptr;
+    cached = {pn, it->second.get()};
+    return it->second.get();
 }
 
 uint64_t

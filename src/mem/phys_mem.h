@@ -58,6 +58,20 @@ class PhysMem
 
     uint64_t size_;
     std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+
+    /**
+     * Direct-mapped cache of recently touched pages, skipping the
+     * hash-map lookup on the (very hot) read/write paths. Only backed
+     * pages are cached — a miss falls through to the map — and pages
+     * are never deallocated, so cached pointers cannot dangle.
+     */
+    struct PageSlot
+    {
+        uint64_t pn = ~0ULL;
+        Page *page = nullptr;
+    };
+    static constexpr size_t kPageCacheSlots = 256; //!< power of two
+    mutable std::array<PageSlot, kPageCacheSlots> pageCache_{};
 };
 
 } // namespace hpmp

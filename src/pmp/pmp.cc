@@ -33,6 +33,7 @@ PmpUnit::setAddr(unsigned idx, uint64_t value)
     // PmptBaseReg when the preceding config has T=1 (Fig. 6-b), so
     // the raw value is stored and interpretation happens at use.
     addr_[idx] = value;
+    regionsStale_ = true;
 }
 
 void
@@ -42,10 +43,32 @@ PmpUnit::setCfg(unsigned idx, uint8_t value)
     if (cfg(idx).l())
         return; // locked until reset
     cfg_[idx] = value;
+    regionsStale_ = true;
 }
 
 std::optional<PmpRegion>
 PmpUnit::region(unsigned idx) const
+{
+    if (regionsStale_)
+        refreshRegions();
+    return regions_[idx];
+}
+
+void
+PmpUnit::refreshRegions() const
+{
+    regions_.resize(numEntries_);
+    matchable_.clear();
+    for (unsigned i = 0; i < numEntries_; ++i) {
+        regions_[i] = decodeRegion(i);
+        if (regions_[i] && regions_[i]->size != 0)
+            matchable_.push_back(i);
+    }
+    regionsStale_ = false;
+}
+
+std::optional<PmpRegion>
+PmpUnit::decodeRegion(unsigned idx) const
 {
     const PmpCfg c = cfg(idx);
     switch (c.a()) {
@@ -86,13 +109,13 @@ PmpUnit::coversAll(unsigned idx, Addr pa, uint64_t size) const
 int
 PmpUnit::findMatch(Addr pa, uint64_t size) const
 {
-    for (unsigned i = 0; i < numEntries_; ++i) {
-        const auto reg = region(i);
-        if (!reg || reg->size == 0)
-            continue;
-        const bool overlap =
-            reg->base < pa + size && pa < reg->base + reg->size;
-        if (overlap)
+    if (regionsStale_)
+        refreshRegions();
+    // matchable_ holds the enabled entries in priority (index) order,
+    // so skipping OFF/empty entries preserves the static priority.
+    for (const unsigned i : matchable_) {
+        const PmpRegion &reg = *regions_[i];
+        if (reg.base < pa + size && pa < reg.base + reg.size)
             return static_cast<int>(i);
     }
     return -1;

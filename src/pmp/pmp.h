@@ -127,9 +127,25 @@ class PmpUnit
     }
 
   private:
+    /** Decode entry idx straight from the registers. */
+    std::optional<PmpRegion> decodeRegion(unsigned idx) const;
+
+    /** Re-decode every entry into the region cache. */
+    void refreshRegions() const;
+
     unsigned numEntries_;
     std::vector<uint64_t> addr_;
     std::vector<uint8_t> cfg_;
+
+    /**
+     * Lazily decoded regions, one per entry: matching runs on every
+     * simulated physical reference, so the NAPOT/TOR decode must not
+     * be redone per call. Any CSR write invalidates the whole cache
+     * (TOR entries read their neighbour's address register).
+     */
+    mutable std::vector<std::optional<PmpRegion>> regions_;
+    mutable std::vector<unsigned> matchable_; //!< enabled, index order
+    mutable bool regionsStale_ = true;
 };
 
 } // namespace hpmp

@@ -5,7 +5,8 @@ namespace hpmp
 
 PmptwCache::PmptwCache(unsigned num_entries)
     : numEntries_(num_entries),
-      entries_(num_entries)
+      index_(num_entries),
+      leaves_(num_entries)
 {
 }
 
@@ -14,14 +15,11 @@ PmptwCache::lookup(Addr root_pa, uint64_t offset)
 {
     if (!enabled())
         return std::nullopt;
-    const uint64_t granule = offset >> 16;
-    for (auto &entry : entries_) {
-        if (entry.valid && entry.rootPa == root_pa &&
-            entry.granule == granule) {
-            entry.lru = ++lruClock_;
-            ++hits_;
-            return entry.leaf.perm(unsigned(pmpt_geom::pageIndex(offset)));
-        }
+    const uint32_t slot = index_.find(root_pa, offset >> 16);
+    if (slot != LruIndex::kNone) {
+        index_.touch(slot);
+        ++hits_;
+        return leaves_[slot].perm(unsigned(pmpt_geom::pageIndex(offset)));
     }
     ++misses_;
     return std::nullopt;
@@ -33,31 +31,18 @@ PmptwCache::fill(Addr root_pa, uint64_t offset, LeafPmpte leaf)
     if (!enabled())
         return;
     const uint64_t granule = offset >> 16;
-    Entry *victim = &entries_[0];
-    for (auto &entry : entries_) {
-        if (entry.valid && entry.rootPa == root_pa &&
-            entry.granule == granule) {
-            entry.leaf = leaf;
-            entry.lru = ++lruClock_;
-            return;
-        }
-        if (!entry.valid ||
-            (victim->valid && entry.lru < victim->lru)) {
-            victim = &entry;
-        }
-    }
-    victim->valid = true;
-    victim->rootPa = root_pa;
-    victim->granule = granule;
-    victim->leaf = leaf;
-    victim->lru = ++lruClock_;
+    uint32_t slot = index_.find(root_pa, granule);
+    if (slot != LruIndex::kNone)
+        index_.touch(slot);
+    else
+        slot = index_.insert(root_pa, granule);
+    leaves_[slot] = leaf;
 }
 
 void
 PmptwCache::flush()
 {
-    for (auto &entry : entries_)
-        entry.valid = false;
+    index_.clear();
 }
 
 } // namespace hpmp

@@ -4,6 +4,10 @@
  * analogous to a page-walk cache (paper §8.9). A hit returns the
  * permission without any pmpte memory references. Disabled by default
  * in the paper's main experiments; Fig. 16 studies the benefit.
+ *
+ * Entries are indexed by (table root, 64 KiB granule) in an O(1)
+ * LruIndex hash instead of a linear scan; hit/miss statistics and
+ * true-LRU eviction order are unchanged.
  */
 
 #ifndef HPMP_PMPT_PMPTW_CACHE_H
@@ -13,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/indexed_lru.h"
 #include "base/stats.h"
 #include "pmpt/pmpte.h"
 
@@ -46,18 +51,9 @@ class PmptwCache
     void resetStats() { hits_.reset(); misses_.reset(); }
 
   private:
-    struct Entry
-    {
-        bool valid = false;
-        Addr rootPa = 0;
-        uint64_t granule = 0; //!< offset >> 16
-        LeafPmpte leaf;
-        uint64_t lru = 0;
-    };
-
     unsigned numEntries_;
-    std::vector<Entry> entries_;
-    uint64_t lruClock_ = 0;
+    LruIndex index_; //!< keyed (root_pa, offset >> 16)
+    std::vector<LeafPmpte> leaves_; //!< payloads, by index_ slot
 
     Counter hits_;
     Counter misses_;

@@ -9,18 +9,25 @@ namespace
 /**
  * G-stage translation of one guest-physical address. Appends the NPT
  * references performed and returns the supervisor-physical address,
- * or nullopt on a guest page fault.
+ * or nullopt on a guest page fault. `leaf_perm`/`leaf_level` (when
+ * non-null) receive the G-stage leaf permission and level — a hook
+ * hit reports level 0, the hook's caching granularity.
  */
 std::optional<Addr>
 gStageTranslate(PhysMem &mem, Addr hgatp_root, Addr gpa, AccessType type,
                 const TwoStageConfig &config, const GStageTlbHooks *tlb,
-                TwoStageResult &out)
+                TwoStageResult &out, Perm *leaf_perm = nullptr,
+                unsigned *leaf_level = nullptr)
 {
     const Addr gpa_page = alignDown(gpa, kPageSize);
     if (tlb && tlb->lookup) {
-        if (auto spa_page = tlb->lookup(gpa_page)) {
+        if (auto hit = tlb->lookup(gpa_page, type)) {
             ++out.gstageTlbHits;
-            return *spa_page + pageOffset(gpa);
+            if (leaf_perm)
+                *leaf_perm = hit->perm;
+            if (leaf_level)
+                *leaf_level = 0;
+            return hit->spaPage + pageOffset(gpa);
         }
     }
 
@@ -36,8 +43,12 @@ gStageTranslate(PhysMem &mem, Addr hgatp_root, Addr gpa, AccessType type,
         out.fault = guestPageFaultFor(type);
         return std::nullopt;
     }
+    if (leaf_perm)
+        *leaf_perm = walk.perm;
+    if (leaf_level)
+        *leaf_level = walk.leafLevel;
     if (tlb && tlb->fill)
-        tlb->fill(gpa_page, alignDown(walk.pa, kPageSize));
+        tlb->fill(gpa_page, alignDown(walk.pa, kPageSize), walk.perm);
     return walk.pa;
 }
 
@@ -124,10 +135,14 @@ walkTwoStage(PhysMem &mem, Addr vsatp_root, Addr hgatp_root, Addr gva,
             const uint64_t span = pageSizeAtLevel(lvl);
             result.gpa = pte.physAddr() + (gva & (span - 1));
             result.perm = pte.perm();
+            result.user = pte.u();
+            result.vsLeafLevel = lvl;
 
             // The final data access also translates through the G-stage.
             auto data_spa = gStageTranslate(mem, hgatp_root, result.gpa,
-                                            type, config, tlb, result);
+                                            type, config, tlb, result,
+                                            &result.gPerm,
+                                            &result.gLeafLevel);
             if (!data_spa)
                 return result;
             result.spa = *data_spa;

@@ -43,22 +43,52 @@ struct TwoStageResult
     Addr gpa = 0;  //!< final guest-physical address
     Addr spa = 0;  //!< final supervisor-physical address
     Perm perm;     //!< effective permission (VS-stage leaf)
+    Perm gPerm = Perm::rwx(); //!< G-stage leaf permission of the data
+                              //!< translation
+    bool user = false;        //!< VS-stage leaf U bit
+    unsigned vsLeafLevel = 0; //!< VS-stage leaf level (0 = 4 KiB)
+    /**
+     * G-stage leaf level of the data translation. 0 when served from
+     * the G-stage TLB hook, which caches at 4 KiB granularity.
+     */
+    unsigned gLeafLevel = 0;
     SmallVec<VirtRef, 40> refs;
     unsigned gstageWalks = 0;    //!< G-stage walks actually performed
     unsigned gstageTlbHits = 0;  //!< walks short-circuited by the hook
 
     bool ok() const { return fault == Fault::None; }
+
+    /**
+     * Largest page size a combined (gva -> spa) TLB entry may cache:
+     * both stages must map contiguously at that size.
+     */
+    unsigned
+    combinedLeafLevel() const
+    {
+        return vsLeafLevel < gLeafLevel ? vsLeafLevel : gLeafLevel;
+    }
+};
+
+/** One cached G-stage translation handed back by the lookup hook. */
+struct GStageHit
+{
+    Addr spaPage = 0; //!< supervisor-physical page base
+    Perm perm;        //!< G-stage leaf permission
 };
 
 /**
  * G-stage translation cache hooks (4 KiB granularity): lookup returns
- * the supervisor-physical page base for a guest-physical page base, or
- * nullopt; fill is invoked after each performed G-stage walk.
+ * the supervisor-physical page base and G-stage leaf permission for a
+ * guest-physical page base, or nullopt — including when the cached
+ * permission does not allow `type`, so the full (and correctly
+ * faulting) G-stage walk runs instead; fill is invoked after each
+ * performed G-stage walk with the real leaf permission.
  */
 struct GStageTlbHooks
 {
-    std::function<std::optional<Addr>(Addr gpa_page)> lookup;
-    std::function<void(Addr gpa_page, Addr spa_page)> fill;
+    std::function<std::optional<GStageHit>(Addr gpa_page,
+                                           AccessType type)> lookup;
+    std::function<void(Addr gpa_page, Addr spa_page, Perm perm)> fill;
 };
 
 /**

@@ -5,22 +5,6 @@
 namespace hpmp
 {
 
-Fault
-checkLeafPerms(const Pte &pte, AccessType type, PrivMode priv, bool sum_set)
-{
-    if (!pte.perm().allows(type))
-        return pageFaultFor(type);
-    if (priv == PrivMode::User && !pte.u())
-        return pageFaultFor(type);
-    if (priv == PrivMode::Supervisor && pte.u()) {
-        // S-mode fetches from U pages always fault; loads/stores fault
-        // unless SUM is set.
-        if (type == AccessType::Fetch || !sum_set)
-            return pageFaultFor(type);
-    }
-    return Fault::None;
-}
-
 WalkResult
 walkPageTable(PhysMem &mem, Addr root_pa, Addr va, AccessType type,
               PrivMode priv, const WalkConfig &config)

@@ -62,10 +62,25 @@ WalkResult walkPageTable(PhysMem &mem, Addr root_pa, Addr va,
 
 /**
  * Permission check of a leaf PTE against access type and privilege;
- * shared between the walker and the TLB hit path.
+ * shared between the walker and the TLB hit path (where it runs on
+ * every hit, hence inline).
  */
-Fault checkLeafPerms(const Pte &pte, AccessType type, PrivMode priv,
-                     bool sum_set);
+inline Fault
+checkLeafPerms(const Pte &pte, AccessType type, PrivMode priv,
+               bool sum_set)
+{
+    if (!pte.perm().allows(type))
+        return pageFaultFor(type);
+    if (priv == PrivMode::User && !pte.u())
+        return pageFaultFor(type);
+    if (priv == PrivMode::Supervisor && pte.u()) {
+        // S-mode fetches from U pages always fault; loads/stores fault
+        // unless SUM is set.
+        if (type == AccessType::Fetch || !sum_set)
+            return pageFaultFor(type);
+    }
+    return Fault::None;
+}
 
 } // namespace hpmp
 

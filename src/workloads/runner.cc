@@ -75,17 +75,65 @@ Runner::store64(Addr va, uint64_t value)
 }
 
 void
+Runner::runBatch(std::span<const AccessRequest> reqs)
+{
+    if (trace_) {
+        for (const AccessRequest &req : reqs)
+            trace_->append(req.va, req.type);
+    }
+
+    Machine &m = kernel_.machine();
+    std::span<const AccessRequest> rest = reqs;
+    while (!rest.empty()) {
+        const BatchOutcome out =
+            m.accessBatch(rest, &model_, /*stop_on_fault=*/true);
+        if (out.firstFault == Fault::None)
+            break;
+
+        // The faulting request is the last one the batch consumed:
+        // service it, charge the kernel path, retry once, resume.
+        const AccessRequest &req = rest[out.completed - 1];
+        if (!as_->handleFault(req.va, req.type)) {
+            panic("unhandled fault (%s) at va %#lx",
+                  toString(out.firstFault), req.va);
+        }
+        ++faults_;
+        model_.addInstructions(kFaultKernelInstrs);
+
+        const AccessOutcome retry = m.access(req.va, req.type);
+        panic_if(!retry.ok(), "fault persists at va %#lx: %s", req.va,
+                 toString(retry.fault));
+        model_.addAccess(retry);
+        rest = rest.subspan(out.completed);
+    }
+}
+
+namespace
+{
+
+std::vector<AccessRequest>
+streamRequests(Addr va, uint64_t len, AccessType type)
+{
+    std::vector<AccessRequest> reqs;
+    const Addr start = alignDown(va, 64);
+    reqs.reserve((va + len - start + 63) / 64);
+    for (Addr a = start; a < va + len; a += 64)
+        reqs.push_back({a, type});
+    return reqs;
+}
+
+} // namespace
+
+void
 Runner::streamRead(Addr va, uint64_t len)
 {
-    for (Addr a = alignDown(va, 64); a < va + len; a += 64)
-        load(a);
+    runBatch(streamRequests(va, len, AccessType::Load));
 }
 
 void
 Runner::streamWrite(Addr va, uint64_t len)
 {
-    for (Addr a = alignDown(va, 64); a < va + len; a += 64)
-        store(a);
+    runBatch(streamRequests(va, len, AccessType::Store));
 }
 
 } // namespace hpmp

@@ -12,6 +12,8 @@
 #ifndef HPMP_WORKLOADS_RUNNER_H
 #define HPMP_WORKLOADS_RUNNER_H
 
+#include <span>
+
 #include "core/core_model.h"
 #include "os/address_space.h"
 #include "os/kernel.h"
@@ -46,6 +48,13 @@ class Runner
     /** Stream over [va, va+len) at cache-line granularity. */
     void streamRead(Addr va, uint64_t len);
     void streamWrite(Addr va, uint64_t len);
+
+    /**
+     * Timed batched replay: one Machine::accessBatch dispatch per
+     * fault-free run of requests, with demand-paging faults serviced
+     * in between exactly as in the per-access path.
+     */
+    void runBatch(std::span<const AccessRequest> reqs);
 
     CoreModel &model() { return model_; }
     AddressSpace &as() { return *as_; }

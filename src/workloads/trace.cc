@@ -85,17 +85,13 @@ Trace::load(const std::string &path)
 ReplayResult
 replayTrace(Machine &machine, CoreModel &model, const Trace &trace)
 {
+    const BatchOutcome out = machine.accessBatch(trace.records(), &model);
     ReplayResult result;
-    for (const TraceRecord &rec : trace.records()) {
-        const AccessOutcome out = machine.access(rec.va, rec.type);
-        ++result.accesses;
-        model.addAccess(out);
-        result.cycles += out.cycles;
-        result.totalRefs += out.totalRefs();
-        result.pmptRefs += out.pmptRefs;
-        if (!out.ok())
-            ++result.faults;
-    }
+    result.accesses = out.accesses;
+    result.faults = out.faults;
+    result.cycles = out.cycles;
+    result.totalRefs = out.totalRefs();
+    result.pmptRefs = out.pmptRefs;
     return result;
 }
 

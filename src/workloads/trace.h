@@ -22,14 +22,8 @@
 namespace hpmp
 {
 
-/** One trace entry. */
-struct TraceRecord
-{
-    Addr va = 0;
-    AccessType type = AccessType::Load;
-
-    bool operator==(const TraceRecord &) const = default;
-};
+/** One trace entry: exactly one batched-replay request. */
+using TraceRecord = AccessRequest;
 
 /** An in-memory access trace. */
 class Trace

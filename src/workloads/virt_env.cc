@@ -89,7 +89,8 @@ VirtEnv::programScheme()
 }
 
 Addr
-VirtEnv::mapGuestPages(unsigned npages, uint64_t va_stride_pages)
+VirtEnv::mapGuestPages(unsigned npages, uint64_t va_stride_pages,
+                       bool user, Perm npt_perm)
 {
     const Addr base = nextGva_;
     for (unsigned i = 0; i < npages; ++i) {
@@ -98,9 +99,9 @@ VirtEnv::mapGuestPages(unsigned npages, uint64_t va_stride_pages)
         nextDataPage_ += kPageSize;
         fatal_if(nextDataPage_ > kDataBase + kDataSize,
                  "guest data region exhausted");
-        const bool mapped_g = gpt_->map(gva, gpa, Perm::rwx(), true);
+        const bool mapped_g = gpt_->map(gva, gpa, Perm::rwx(), user);
         panic_if(!mapped_g, "guest map collision at %#lx", gva);
-        const bool mapped_n = npt_->map(gpa, gpa, Perm::rwx(), true);
+        const bool mapped_n = npt_->map(gpa, gpa, npt_perm, true);
         panic_if(!mapped_n, "nested map collision at %#lx", gpa);
     }
     nextGva_ = base + pageAddr(uint64_t(npages) * va_stride_pages + 16);

@@ -46,8 +46,11 @@ class VirtEnv
      * Map `npages` guest pages starting at guestVaBase() and return
      * the base gva. Data pages are taken linearly from the data
      * region; `va_stride_pages` > 1 spreads the virtual addresses.
+     * `user` and `npt_perm` set the VS-stage U bit and the G-stage
+     * leaf permission (rwx/user by default).
      */
-    Addr mapGuestPages(unsigned npages, uint64_t va_stride_pages = 1);
+    Addr mapGuestPages(unsigned npages, uint64_t va_stride_pages = 1,
+                       bool user = true, Perm npt_perm = Perm::rwx());
 
     static constexpr Addr kGuestVaBase = 0x40000000;
 

@@ -17,12 +17,12 @@ TEST(Tlb, MissThenL1Hit)
 {
     Tlb tlb(4, 64);
     TlbHitLevel level;
-    EXPECT_FALSE(tlb.lookup(0x1000, &level).has_value());
+    EXPECT_EQ(tlb.lookup(0x1000, &level), nullptr);
     EXPECT_EQ(level, TlbHitLevel::Miss);
 
     tlb.fill(0x1000, 0x80001000, Perm::rw(), Perm::rwx(), true);
-    auto entry = tlb.lookup(0x1234, &level);
-    ASSERT_TRUE(entry.has_value());
+    const TlbEntry *entry = tlb.lookup(0x1234, &level);
+    ASSERT_NE(entry, nullptr);
     EXPECT_EQ(level, TlbHitLevel::L1);
     EXPECT_EQ(entry->ppn, 0x80001000u >> kPageShift);
     EXPECT_EQ(entry->perm, Perm::rw());
@@ -38,8 +38,8 @@ TEST(Tlb, L2BackstopsL1Eviction)
     tlb.fill(0x3000, 0x80003000, Perm::rw(), Perm::rwx(), true);
 
     TlbHitLevel level;
-    auto entry = tlb.lookup(0x1000, &level);
-    ASSERT_TRUE(entry.has_value());
+    const TlbEntry *entry = tlb.lookup(0x1000, &level);
+    ASSERT_NE(entry, nullptr);
     EXPECT_EQ(level, TlbHitLevel::L2); // evicted from L1, caught by L2
     // Promotion: the next lookup hits L1.
     tlb.lookup(0x1000, &level);
@@ -55,8 +55,8 @@ TEST(Tlb, DirectMappedL2Conflicts)
              true);
     tlb.fill(pageAddr(5), 0x80003000, Perm::rw(), Perm::rwx(), true);
     // First fill was evicted from both L1 (size 1) and its L2 slot.
-    EXPECT_FALSE(tlb.lookup(pageAddr(3)).has_value());
-    EXPECT_TRUE(tlb.lookup(pageAddr(3 + 16)).has_value());
+    EXPECT_EQ(tlb.lookup(pageAddr(3)), nullptr);
+    EXPECT_NE(tlb.lookup(pageAddr(3 + 16)), nullptr);
 }
 
 TEST(Tlb, FlushPageIsSelective)
@@ -65,10 +65,10 @@ TEST(Tlb, FlushPageIsSelective)
     tlb.fill(0x1000, 0x80001000, Perm::rw(), Perm::rwx(), true);
     tlb.fill(0x2000, 0x80002000, Perm::rw(), Perm::rwx(), true);
     tlb.flushPage(0x1000);
-    EXPECT_FALSE(tlb.lookup(0x1000).has_value());
-    EXPECT_TRUE(tlb.lookup(0x2000).has_value());
+    EXPECT_EQ(tlb.lookup(0x1000), nullptr);
+    EXPECT_NE(tlb.lookup(0x2000), nullptr);
     tlb.flushAll();
-    EXPECT_FALSE(tlb.lookup(0x2000).has_value());
+    EXPECT_EQ(tlb.lookup(0x2000), nullptr);
 }
 
 TEST(Tlb, SuperpageEntryCoversWholeRange)
@@ -77,17 +77,59 @@ TEST(Tlb, SuperpageEntryCoversWholeRange)
     // 2 MiB leaf: one entry serves every 4 KiB page inside it.
     tlb.fill(0x40000000, 0x80000000, Perm::rw(), Perm::rwx(), true,
              /*level=*/1);
-    auto a = tlb.lookup(0x40000000 + 0x1234);
-    auto b = tlb.lookup(0x40000000 + 0x1ff000 + 0x10);
-    ASSERT_TRUE(a.has_value());
-    ASSERT_TRUE(b.has_value());
+    const TlbEntry *a = tlb.lookup(0x40000000 + 0x1234);
+    ASSERT_NE(a, nullptr);
     EXPECT_EQ(a->translate(0x40000000 + 0x1234), 0x80001234u);
+    const TlbEntry *b = tlb.lookup(0x40000000 + 0x1ff000 + 0x10);
+    ASSERT_NE(b, nullptr);
     EXPECT_EQ(b->translate(0x40000000 + 0x1ff010), 0x801ff010u);
     // Outside the superpage: miss.
-    EXPECT_FALSE(tlb.lookup(0x40200000).has_value());
+    EXPECT_EQ(tlb.lookup(0x40200000), nullptr);
     // flushPage with any covered address drops the whole entry.
     tlb.flushPage(0x40001000);
-    EXPECT_FALSE(tlb.lookup(0x40000000).has_value());
+    EXPECT_EQ(tlb.lookup(0x40000000), nullptr);
+}
+
+TEST(Tlb, GigapageEntryTranslatesAndFlushes)
+{
+    Tlb tlb(4, 64);
+    // 1 GiB leaf at level 2.
+    tlb.fill(0x80000000, 0x100000000, Perm::rwx(), Perm::rwx(), false,
+             /*level=*/2);
+    const TlbEntry *e = tlb.lookup(0x80000000 + 0x12345678);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->level, 2);
+    EXPECT_FALSE(e->user);
+    EXPECT_EQ(e->translate(0x80000000 + 0x12345678),
+              0x100000000u + 0x12345678u);
+    // 1 GiB entries never live in the 4 KiB-only L2: after flushPage
+    // of any covered address nothing backstops the entry.
+    tlb.flushPage(0x80000000 + 0x3f000000);
+    EXPECT_EQ(tlb.lookup(0x80000000), nullptr);
+}
+
+TEST(Tlb, PromotionEvictsTrueLruVictim)
+{
+    Tlb tlb(2, 64);
+    const Addr a = pageAddr(1), b = pageAddr(2), c = pageAddr(3);
+    tlb.fill(a, 0x80001000, Perm::rw(), Perm::rwx(), true);
+    tlb.fill(b, 0x80002000, Perm::rw(), Perm::rwx(), true);
+    tlb.fill(c, 0x80003000, Perm::rw(), Perm::rwx(), true);
+    // L1 (2 entries) now holds {b, c}; a was evicted to the L2.
+
+    TlbHitLevel level;
+    tlb.lookup(b, &level);
+    EXPECT_EQ(level, TlbHitLevel::L1); // b is now MRU, c is LRU
+
+    // Promoting a from the L2 must evict the true-LRU entry c, not b.
+    tlb.lookup(a, &level);
+    EXPECT_EQ(level, TlbHitLevel::L2);
+    tlb.lookup(b, &level);
+    EXPECT_EQ(level, TlbHitLevel::L1);
+    tlb.lookup(a, &level);
+    EXPECT_EQ(level, TlbHitLevel::L1);
+    tlb.lookup(c, &level);
+    EXPECT_EQ(level, TlbHitLevel::L2); // only c fell back to the L2
 }
 
 TEST(Tlb, StatsCount)

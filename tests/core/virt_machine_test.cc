@@ -151,6 +151,62 @@ TEST(VirtMachine, StorePermissionInliningBlocksEscalation)
     EXPECT_TRUE(ok_store.tlbHit);
 }
 
+TEST(VirtMachine, CombinedTlbKeepsRealUserBit)
+{
+    // Regression: the combined TLB used to be filled with a hardcoded
+    // user=true, so a supervisor-only guest mapping became
+    // user-accessible on a TLB hit.
+    VirtEnv env(CoreKind::Rocket, VirtScheme::Pmp);
+    const Addr gva = env.mapGuestPages(1, 1, /*user=*/false);
+    env.vm().coldReset();
+
+    // Warm the combined TLB from supervisor mode.
+    ASSERT_TRUE(env.vm().access(gva, AccessType::Load).ok());
+
+    env.vm().setGuestPriv(PrivMode::User);
+    const VirtAccessOutcome out = env.vm().access(gva, AccessType::Load);
+    EXPECT_TRUE(out.tlbHit);
+    EXPECT_EQ(out.fault, Fault::LoadPageFault);
+
+    env.vm().setGuestPriv(PrivMode::Supervisor);
+    EXPECT_TRUE(env.vm().access(gva, AccessType::Load).ok());
+}
+
+TEST(VirtMachine, CombinedTlbEnforcesGStagePerm)
+{
+    // Regression: combined-TLB fills used to discard the G-stage leaf
+    // permission, so a store allowed by the VS stage but forbidden by
+    // the G stage succeeded on a TLB hit.
+    VirtEnv env(CoreKind::Rocket, VirtScheme::Pmp);
+    const Addr gva =
+        env.mapGuestPages(1, 1, /*user=*/true, /*npt_perm=*/Perm::ro());
+    env.vm().coldReset();
+
+    ASSERT_TRUE(env.vm().access(gva, AccessType::Load).ok());
+
+    const VirtAccessOutcome hit = env.vm().access(gva, AccessType::Store);
+    EXPECT_TRUE(hit.tlbHit);
+    EXPECT_EQ(hit.fault, Fault::GuestStorePageFault);
+}
+
+TEST(VirtMachine, GStageTlbEnforcesCachedPerm)
+{
+    // Regression: the G-stage TLB hook used to cache Perm::rwx(), so
+    // a short-circuited walk skipped the G-stage permission check.
+    VirtEnv env(CoreKind::Rocket, VirtScheme::Pmp);
+    const Addr gva =
+        env.mapGuestPages(1, 1, /*user=*/true, /*npt_perm=*/Perm::ro());
+    env.vm().coldReset();
+    ASSERT_TRUE(env.vm().access(gva, AccessType::Load).ok());
+
+    // Drop the combined TLB but keep the G-stage TLB: the store's
+    // walk consults the cached G-stage leaf and must still fault.
+    env.vm().hfenceVvma();
+    const VirtAccessOutcome out = env.vm().access(gva, AccessType::Store);
+    EXPECT_FALSE(out.tlbHit);
+    EXPECT_EQ(out.fault, Fault::GuestStorePageFault);
+}
+
 TEST(VirtMachine, GuestStoreCountsMatchLoads)
 {
     VirtEnv env(CoreKind::Rocket, VirtScheme::Hpmp);

@@ -117,6 +117,31 @@ TEST_F(HpmpUnitTest, TBitOnLastEntryReadsAsSegment)
     EXPECT_FALSE(res.viaTable);
 }
 
+TEST_F(HpmpUnitTest, ReprogramFlushesPmptwCache)
+{
+    // Regression: programSegment/programTable used to leave the
+    // PMPTW-Cache intact, so a permission revoked in the table kept
+    // hitting the stale cached leaf.
+    HpmpUnit cached(mem, 16, /*pmptw_entries=*/16);
+    table.setPerm(2_GiB, 64_KiB, Perm::rw());
+    cached.programTable(0, 0, 16_GiB, table.rootPa());
+
+    ASSERT_TRUE(cached.check(2_GiB, 8, AccessType::Load,
+                             PrivMode::User).ok());
+    auto res = cached.check(2_GiB, 8, AccessType::Load, PrivMode::User);
+    ASSERT_TRUE(res.ok());
+    EXPECT_TRUE(res.viaCache);
+
+    // Revoke in the (same-root) table and reprogram the entry: the
+    // next check must walk the table again and fault, not hit the
+    // stale cached leaf.
+    table.setPerm(2_GiB, 64_KiB, Perm::none());
+    cached.programTable(0, 0, 16_GiB, table.rootPa());
+    res = cached.check(2_GiB, 8, AccessType::Load, PrivMode::User);
+    EXPECT_FALSE(res.viaCache);
+    EXPECT_EQ(res.fault, Fault::LoadAccessFault);
+}
+
 TEST_F(HpmpUnitTest, MachineModeBypasses)
 {
     // No entries cover this address; M-mode must still succeed.

@@ -79,15 +79,17 @@ TEST_F(TwoStageTest, GStageTlbSkipsNptWalks)
 {
     mapGuestPage(0x40000000, 0x10000000, 1_GiB);
 
-    std::map<Addr, Addr> gtlb;
+    std::map<Addr, GStageHit> gtlb;
     GStageTlbHooks hooks;
-    hooks.lookup = [&](Addr gpa) -> std::optional<Addr> {
+    hooks.lookup = [&](Addr gpa, AccessType t) -> std::optional<GStageHit> {
         auto it = gtlb.find(gpa);
-        if (it == gtlb.end())
+        if (it == gtlb.end() || !it->second.perm.allows(t))
             return std::nullopt;
         return it->second;
     };
-    hooks.fill = [&](Addr gpa, Addr spa) { gtlb[gpa] = spa; };
+    hooks.fill = [&](Addr gpa, Addr spa, Perm perm) {
+        gtlb[gpa] = GStageHit{spa, perm};
+    };
 
     const TwoStageResult first = walk(0x40000000, AccessType::Load,
                                       &hooks);

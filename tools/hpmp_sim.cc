@@ -16,6 +16,7 @@
  * is used.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <set>
@@ -213,7 +214,10 @@ main(int argc, char **argv)
     machine.coldReset();
 
     CoreModel model(params);
+    const auto t0 = std::chrono::steady_clock::now();
     const ReplayResult result = replayTrace(machine, model, trace);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double host_sec = std::chrono::duration<double>(t1 - t0).count();
 
     std::printf("\n%s / %s, PWC %u, PMPTW-cache %u\n",
                 params.name.c_str(), toString(opts.scheme),
@@ -234,6 +238,11 @@ main(int argc, char **argv)
     std::printf("  TLB miss rate   %11.2f%%\n",
                 100.0 * double(machine.tlb().misses()) /
                     double(result.accesses));
+    if (host_sec > 0.0) {
+        std::printf("  replay rate     %12.2f Maccesses/s (host "
+                    "wall-clock)\n",
+                    double(result.accesses) / host_sec / 1e6);
+    }
     if (opts.dumpStats)
         std::printf("\n%s", machine.stats().dump().c_str());
     return 0;
