@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Deterministic fault-injection harness.
+ *
+ * Robustness code is only as good as the error paths that are actually
+ * executed, so every recoverable failure in the stack (monitor call
+ * aborts, HPMP programming faults, pmpte store failures, OS allocator
+ * exhaustion, pmpte bit flips) is guarded by a named *fault site*:
+ *
+ *     if (FAULT_POINT("monitor.add_gms"))
+ *         ... fail exactly as if the real fault had happened ...
+ *
+ * Sites fire only when the process-wide FaultInjector is enabled and
+ * armed, from an explicit deterministic plan: the Nth hit of a site,
+ * every hit with probability p (seeded RNG), an explicit hit schedule,
+ * or the Nth hit of *any* site (so fuzzers sweep new sites without
+ * being updated). With the injector disabled — the default, and the
+ * only state benchmarks ever see — FAULT_POINT compiles to one load
+ * and one branch on a bool, so the instrumented paths cost nothing.
+ *
+ * The injector is intentionally a process-wide singleton: the
+ * simulator is single-threaded and sites live in layers (PMP tables,
+ * allocators) that must stay ignorant of who is driving the test.
+ */
+
+#ifndef HPMP_BASE_FAULT_INJECT_H
+#define HPMP_BASE_FAULT_INJECT_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace hpmp
+{
+
+/**
+ * Exception thrown by a fired fault site in a layer that cannot return
+ * an error (register programming, pmpte stores). Transactional callers
+ * (the secure monitor) catch it, roll back, and surface a typed error;
+ * anything else propagating it is a test driving faults into an
+ * unprotected path on purpose.
+ */
+struct InjectedFault
+{
+    const char *site;
+};
+
+/** Process-wide deterministic fault injector. */
+class FaultInjector
+{
+  public:
+    static FaultInjector &instance();
+
+    /** Fast path: anything armed at all? Inlined into FAULT_POINT. */
+    bool enabled() const { return enabled_; }
+
+    /** Enable with a seed (governs probability plans and bit flips). */
+    void enable(uint64_t seed);
+
+    /** Disable and clear all plans, counters and the fired log. */
+    void disable();
+
+    /** Clear plans and counters but stay enabled with the same seed. */
+    void clearPlans();
+
+    /** Arm `site` to fire on its Nth hit from now (1-based). */
+    void armNth(const std::string &site, uint64_t nth);
+
+    /** Arm `site` to fire on each hit with probability p. */
+    void armProb(const std::string &site, double p);
+
+    /** Arm `site` to fire on an explicit list of hit numbers. */
+    void armSchedule(const std::string &site, std::vector<uint64_t> hits);
+
+    /**
+     * Arm the Nth hit of *any* site (1-based, counted across sites).
+     * This is how the chaos fuzzer reaches sites it does not know by
+     * name; it composes with per-site plans.
+     */
+    void armAnyNth(uint64_t nth);
+
+    /**
+     * Should the fault at `site` fire now? Counts the hit either way.
+     * Called through FAULT_POINT only when enabled.
+     */
+    bool shouldFire(const char *site);
+
+    /**
+     * Bit-flip helper for data corruption sites: when the site fires,
+     * returns `value` with one random bit flipped; otherwise returns
+     * it unchanged. Used to model single-event upsets in pmpte stores.
+     */
+    uint64_t maybeFlipBit(const char *site, uint64_t value);
+
+    /** Hits observed at a site since the last enable/clear. */
+    uint64_t hits(const std::string &site) const;
+
+    /** Total fault-site hits across all sites. */
+    uint64_t totalHits() const { return totalHits_; }
+
+    /** Sites that actually fired, in order (for fuzz diagnostics). */
+    const std::vector<std::string> &firedLog() const { return fired_; }
+
+    /** Every site name ever hit while enabled (coverage reporting). */
+    std::vector<std::string> sitesSeen() const;
+
+  private:
+    FaultInjector() = default;
+
+    /** Shared hit accounting; allow_any gates the armAnyNth plan. */
+    bool fireCheck(const char *site, bool allow_any);
+
+    struct Plan
+    {
+        uint64_t nth = 0;             //!< fire on this hit count (0 = off)
+        double prob = 0.0;            //!< fire with this probability
+        std::vector<uint64_t> sched;  //!< explicit hit numbers, sorted
+        uint64_t hitCount = 0;
+    };
+
+    Plan &plan(const std::string &site) { return plans_[site]; }
+
+    bool enabled_ = false;
+    Rng rng_;
+    std::map<std::string, Plan> plans_;
+    uint64_t anyNth_ = 0;
+    uint64_t totalHits_ = 0;
+    std::vector<std::string> fired_;
+};
+
+/**
+ * True when the named fault site must fail now. One load + one branch
+ * when the injector is disabled (the benchmark configuration).
+ */
+#define FAULT_POINT(site)                                        \
+    (::hpmp::FaultInjector::instance().enabled() &&              \
+     ::hpmp::FaultInjector::instance().shouldFire(site))
+
+} // namespace hpmp
+
+#endif // HPMP_BASE_FAULT_INJECT_H

@@ -18,8 +18,15 @@ namespace hpmp
 {
 
 /**
+ * Returned by a FrameAllocator that ran out of memory. Table builders
+ * treat it as a typed failure (the mapping call returns false) instead
+ * of aborting; infallible callers check for it explicitly.
+ */
+inline constexpr Addr kAllocFailed = ~Addr(0);
+
+/**
  * Allocates `npages` contiguous zeroed 4 KiB frames and returns the
- * base physical address of the run.
+ * base physical address of the run, or kAllocFailed on exhaustion.
  */
 using FrameAllocator = std::function<Addr(unsigned npages)>;
 

@@ -80,23 +80,7 @@ Machine::physPermProbe(Addr pa) const
 {
     if (priv_ == PrivMode::Machine)
         return Perm::rwx();
-
-    const PmpUnit &regs = hpmp_->regs();
-    const int idx = regs.findMatch(pa, 8);
-    if (idx < 0 || !regs.coversAll(unsigned(idx), pa, 8))
-        return Perm::none();
-
-    const PmpCfg cfg = regs.cfg(unsigned(idx));
-    const bool table_mode =
-        cfg.reservedT() && unsigned(idx) + 1 < regs.numEntries();
-    if (!table_mode)
-        return cfg.perm();
-
-    const auto region = regs.region(unsigned(idx));
-    const PmptBaseReg base_reg{regs.addr(unsigned(idx) + 1)};
-    const PmptWalkResult walk = walkPmpTable(
-        *mem_, base_reg.tablePa(), base_reg.levels(), pa - region->base);
-    return walk.valid ? walk.perm : Perm::none();
+    return hpmp_->probe(pa);
 }
 
 AccessOutcome

@@ -1,5 +1,6 @@
 #include "hpmp/hpmp_unit.h"
 
+#include "base/fault_inject.h"
 #include "base/logging.h"
 
 namespace hpmp
@@ -16,6 +17,11 @@ HpmpUnit::HpmpUnit(PhysMem &mem, unsigned num_entries,
 void
 HpmpUnit::programSegment(unsigned idx, Addr base, uint64_t size, Perm perm)
 {
+    // All programming sites fire before the first CSR write: a fault
+    // mid-sequence would leave a half-programmed entry, which is
+    // exactly the state the monitor's transactions must never expose.
+    if (FAULT_POINT("hpmp.program_segment"))
+        throw InjectedFault{"hpmp.program_segment"};
     regs_.setAddr(idx, PmpUnit::encodeNapot(base, size));
     regs_.setCfg(idx, PmpCfg::make(perm, PmpAddrMode::Napot));
     csrWrites_ += 2;
@@ -32,6 +38,8 @@ HpmpUnit::programTable(unsigned idx, Addr base, uint64_t size,
     fatal_if(size > pmpt_geom::coverage(levels),
              "region %#lx larger than table coverage %#lx",
              size, pmpt_geom::coverage(levels));
+    if (FAULT_POINT("hpmp.program_table"))
+        throw InjectedFault{"hpmp.program_table"};
     regs_.setAddr(idx, PmpUnit::encodeNapot(base, size));
     regs_.setCfg(idx, PmpCfg::make(Perm::none(), PmpAddrMode::Napot,
                                    /*lock=*/false, /*t=*/true));
@@ -46,6 +54,8 @@ HpmpUnit::programTable(unsigned idx, Addr base, uint64_t size,
 void
 HpmpUnit::disable(unsigned idx)
 {
+    if (FAULT_POINT("hpmp.disable"))
+        throw InjectedFault{"hpmp.disable"};
     regs_.disable(idx);
     csrWrites_ += 2;
     pmptwCache_.flush();
@@ -90,9 +100,12 @@ HpmpUnit::check(Addr pa, uint64_t size, AccessType type, PrivMode priv)
     const uint64_t offset = pa - region->base;
     const PmptBaseReg base_reg{regs_.addr(unsigned(idx) + 1)};
 
-    if (auto cached = pmptwCache_.lookup(base_reg.tablePa(), offset)) {
+    if (auto cached = pmptwCache_.lookupLeaf(base_reg.tablePa(), offset)) {
         result.viaCache = true;
-        if (!cached->allows(type))
+        const unsigned page = unsigned(pmpt_geom::pageIndex(offset));
+        // A reserved nibble bit must deny on a hit exactly as the
+        // walker does on a miss.
+        if (cached->reservedSet(page) || !cached->perm(page).allows(type))
             result.fault = accessFaultFor(type);
         return result;
     }
@@ -117,6 +130,42 @@ HpmpUnit::check(Addr pa, uint64_t size, AccessType type, PrivMode priv)
         }
     }
     return result;
+}
+
+Perm
+HpmpUnit::probe(Addr pa) const
+{
+    const int idx = regs_.findMatch(pa, 8);
+    if (idx < 0 || !regs_.coversAll(unsigned(idx), pa, 8))
+        return Perm::none();
+
+    const PmpCfg cfg = regs_.cfg(unsigned(idx));
+    const bool table_mode =
+        cfg.reservedT() && unsigned(idx) + 1 < regs_.numEntries();
+    if (!table_mode)
+        return cfg.perm();
+
+    const auto region = regs_.region(unsigned(idx));
+    panic_if(!region, "matching entry has no region");
+    const PmptBaseReg base_reg{regs_.addr(unsigned(idx) + 1)};
+    const PmptWalkResult walk = walkPmpTable(
+        mem_, base_reg.tablePa(), base_reg.levels(), pa - region->base);
+    return walk.valid ? walk.perm : Perm::none();
+}
+
+HpmpUnit::Snapshot
+HpmpUnit::takeSnapshot() const
+{
+    return {regs_.snapshot(), csrWrites_.value()};
+}
+
+void
+HpmpUnit::restoreSnapshot(const Snapshot &snap)
+{
+    regs_.restore(snap.regs);
+    csrWrites_.reset();
+    csrWrites_ += snap.csrWrites;
+    pmptwCache_.flush();
 }
 
 } // namespace hpmp

@@ -83,6 +83,26 @@ class HpmpUnit
     HpmpCheckResult check(Addr pa, uint64_t size, AccessType type,
                           PrivMode priv);
 
+    /**
+     * Functional S/U-view permission resolution for one page: same
+     * matching and table walk as check(), but with no statistics, no
+     * PMPTW-Cache access and no pmpte-reference accounting. Used for
+     * TLB permission inlining and by the invariant checker.
+     */
+    Perm probe(Addr pa) const;
+
+    /** Register-file + CSR-counter snapshot for monitor rollback. */
+    struct Snapshot
+    {
+        PmpUnit::Snapshot regs;
+        uint64_t csrWrites = 0;
+    };
+
+    Snapshot takeSnapshot() const;
+
+    /** Restore a snapshot taken from this unit; flushes the PMPTW-Cache. */
+    void restoreSnapshot(const Snapshot &snap);
+
     PmptwCache &pmptwCache() { return pmptwCache_; }
 
     /** Flush the PMPTW-Cache (entry/table update, domain switch). */

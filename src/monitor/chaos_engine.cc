@@ -1,0 +1,260 @@
+#include "monitor/chaos_engine.h"
+
+#include <algorithm>
+#include <iterator>
+#include <memory>
+#include <sstream>
+
+#include "base/fault_inject.h"
+#include "base/rng.h"
+#include "core/params.h"
+#include "monitor/invariants.h"
+#include "monitor/secure_monitor.h"
+
+namespace hpmp
+{
+
+namespace
+{
+
+/**
+ * Each domain draws its regions from a 64 MiB window keyed by its id,
+ * far above the monitor region. Windows bound PMP-table growth (a few
+ * leaf pages per domain) and make same-window collisions — rejected
+ * overlapping registrations — a regularly exercised path.
+ */
+constexpr Addr kWindowBase = 256_MiB;
+constexpr uint64_t kWindowSize = 64_MiB;
+constexpr unsigned kWindows = 10;
+constexpr unsigned kMaxDomains = 6;
+/**
+ * High enough that a domain's fast-GMS count regularly exceeds the
+ * Hpmp segment budget (numEntries - 3 = 13), so the demote-to-table
+ * degraded mode is exercised, not just unit-tested.
+ */
+constexpr unsigned kMaxGmsPerDomain = 24;
+constexpr DomainId kBogusDomain = 777777;
+
+Addr
+windowOf(DomainId id)
+{
+    return kWindowBase + (id % kWindows) * kWindowSize;
+}
+
+Perm
+randomPerm(Rng &rng)
+{
+    switch (rng.below(5)) {
+      case 0: return Perm::rw();
+      case 1: return Perm::ro();
+      case 2: return Perm::rx();
+      case 3: return Perm::none();
+      default: return Perm::rwx();
+    }
+}
+
+uint64_t
+randomNapotSize(Rng &rng)
+{
+    // 4 KiB .. 4 MiB, biased small so many regions fit one window.
+    static constexpr uint64_t sizes[] = {
+        4_KiB, 4_KiB, 8_KiB, 16_KiB, 64_KiB, 256_KiB, 1_MiB, 4_MiB,
+    };
+    return sizes[rng.below(std::size(sizes))];
+}
+
+} // namespace
+
+ChaosStats
+runChaos(const ChaosConfig &config)
+{
+    ChaosStats stats;
+    Rng rng(config.seed);
+
+    auto machine = std::make_unique<Machine>(rocketParams());
+    MonitorConfig mc;
+    mc.scheme = config.scheme;
+    SecureMonitor monitor(*machine, mc);
+    machine->setPriv(PrivMode::Supervisor);
+
+    FaultInjector &injector = FaultInjector::instance();
+    injector.enable(config.seed);
+
+    const char *op_name = "?";
+    auto fail = [&](unsigned index, const std::string &why) {
+        std::ostringstream os;
+        os << "seed " << config.seed << " op #" << index << " ("
+           << op_name << "): " << why;
+        stats.failed = true;
+        stats.failure = os.str();
+    };
+
+    // Helpers over the current population -----------------------------
+    auto live = [&]() { return monitor.domainIds(); };
+    auto pick_domain = [&](bool allow_bogus) -> DomainId {
+        if (allow_bogus && rng.chance(0.08))
+            return kBogusDomain;
+        const auto ids = live();
+        return ids[rng.below(ids.size())];
+    };
+    auto pick_gms_base = [&](DomainId id) -> Addr {
+        if (!monitor.domainExists(id))
+            return windowOf(id);
+        const auto &list = monitor.gmsOf(id);
+        if (list.empty() || rng.chance(0.1)) {
+            // A base that (usually) names no GMS.
+            return windowOf(id) + rng.below(16) * kPageSize;
+        }
+        return list[rng.below(list.size())].base;
+    };
+    auto random_gms = [&](DomainId id) -> Gms {
+        Gms gms;
+        gms.size = randomNapotSize(rng);
+        const Addr window = windowOf(id);
+        gms.base = window + rng.below(kWindowSize / gms.size) * gms.size;
+        gms.perm = randomPerm(rng);
+        gms.label = rng.chance(0.7) ? GmsLabel::Fast : GmsLabel::Slow;
+        // A taste of hostile input: misaligned bases, zero sizes and
+        // regions reaching into the monitor-private area. All must be
+        // rejected with a typed error and zero state change.
+        if (rng.chance(0.05))
+            gms.base += 0x100;
+        if (rng.chance(0.03))
+            gms.size = 0;
+        if (rng.chance(0.04))
+            gms.base = monitor.config().monitorBase +
+                       rng.below(monitor.config().monitorSize / kPageSize) *
+                           kPageSize;
+        return gms;
+    };
+
+    for (unsigned i = 0; i < config.ops && !stats.failed; ++i) {
+        // Arm a fault for this op with the configured probability: the
+        // Nth upcoming site hit, whatever site that turns out to be.
+        const bool armed = rng.chance(config.faultProb);
+        const bool digest_checked = armed || i % 8 == 0;
+        uint64_t pre_digest = 0;
+        if (digest_checked)
+            pre_digest = monitor.stateDigest(config.fullDigest);
+        if (armed)
+            injector.armAnyNth(1 + rng.below(8));
+
+        // ---- run one random operation -------------------------------
+        MonitorResult result;
+        const unsigned roll = unsigned(rng.below(100));
+        if (roll < 8) {
+            op_name = "createDomain";
+            if (live().size() < kMaxDomains)
+                monitor.createDomain();
+        } else if (roll < 14) {
+            op_name = "destroyDomain";
+            result = monitor.destroyDomain(pick_domain(true));
+        } else if (roll < 34) {
+            op_name = "addGms";
+            const DomainId id = pick_domain(true);
+            if (!monitor.domainExists(id) ||
+                monitor.gmsOf(id).size() < kMaxGmsPerDomain) {
+                result = monitor.addGms(id, random_gms(id));
+            }
+        } else if (roll < 42) {
+            op_name = "removeGms";
+            const DomainId id = pick_domain(true);
+            result = monitor.removeGms(id, pick_gms_base(id));
+        } else if (roll < 50) {
+            op_name = "setLabel";
+            const DomainId id = pick_domain(true);
+            result = monitor.setLabel(id, pick_gms_base(id),
+                                      rng.chance(0.5) ? GmsLabel::Fast
+                                                      : GmsLabel::Slow);
+        } else if (roll < 56) {
+            op_name = "setPerm";
+            const DomainId id = pick_domain(true);
+            result =
+                monitor.setPerm(id, pick_gms_base(id), randomPerm(rng));
+        } else if (roll < 62) {
+            op_name = "shareGms";
+            const DomainId owner = pick_domain(false);
+            const DomainId peer = pick_domain(true);
+            result = monitor.shareGms(owner, pick_gms_base(owner), peer,
+                                      randomPerm(rng));
+        } else if (roll < 72) {
+            op_name = "hintHotRegion";
+            const DomainId id = pick_domain(true);
+            Addr base = pick_gms_base(id);
+            uint64_t size = randomNapotSize(rng);
+            if (monitor.domainExists(id) && !monitor.gmsOf(id).empty() &&
+                rng.chance(0.8)) {
+                // A NAPOT subrange of an existing GMS (usually valid).
+                const auto &list = monitor.gmsOf(id);
+                const Gms &gms = list[rng.below(list.size())];
+                size = std::max<uint64_t>(gms.size >> rng.below(3),
+                                          kPageSize);
+                if (isPowerOf2(gms.size) && size <= gms.size) {
+                    base = gms.base +
+                           rng.below(gms.size / size) * size;
+                }
+            }
+            result = monitor.hintHotRegion(id, base, size);
+        } else if (roll < 86) {
+            op_name = "switchTo";
+            result = monitor.switchTo(pick_domain(true));
+        } else {
+            op_name = "attest";
+            const DomainId id = pick_domain(false);
+            const uint64_t nonce = rng.next();
+            try {
+                const AttestationReport report =
+                    monitor.attestDomain(id, nonce);
+                if (!monitor.attestor().verify(report, nonce)) {
+                    fail(i, "attestation report failed verification");
+                    break;
+                }
+            } catch (const InjectedFault &fault) {
+                result = MonitorResult::fail(
+                    MonitorError::InjectedFault,
+                    std::string("injected fault at ") + fault.site);
+            }
+        }
+        injector.clearPlans(); // disarm anything that did not fire
+
+        // ---- audit the outcome --------------------------------------
+        ++stats.ops;
+        if (result.ok) {
+            ++stats.okOps;
+            if (result.degraded)
+                ++stats.degradedOps;
+        } else {
+            ++stats.failedOps;
+            if (result.code == MonitorError::InjectedFault)
+                ++stats.injectedFaults;
+            if (result.code == MonitorError::None) {
+                fail(i, "failed without an error code: " + result.error);
+                break;
+            }
+            if (digest_checked) {
+                ++stats.rollbackChecks;
+                const uint64_t post =
+                    monitor.stateDigest(config.fullDigest);
+                if (post != pre_digest) {
+                    fail(i, std::string("state changed across a failed "
+                                        "call (") +
+                                toString(result.code) + ": " +
+                                result.error + ")");
+                    break;
+                }
+            }
+        }
+
+        ++stats.invariantChecks;
+        const std::string violation = checkIsolationInvariants(monitor);
+        if (!violation.empty()) {
+            fail(i, "invariant violated: " + violation);
+            break;
+        }
+    }
+
+    injector.disable();
+    return stats;
+}
+
+} // namespace hpmp

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Randomized domain-lifecycle fuzzer for the secure monitor.
+ *
+ * Drives thousands of random monitor calls — create/destroy domains,
+ * register/remove/relabel/share GMSs, hot-region hints, domain
+ * switches, attestation — through a monitor with fault injection
+ * armed, and checks after every single operation that
+ *
+ *  - the isolation invariants hold (monitor/invariants.h), and
+ *  - every failed call (validation failure or injected fault) left
+ *    the monitor + HPMP + PMP-table state bit-identical
+ *    (SecureMonitor::stateDigest), and
+ *  - every success that degraded (Hpmp fast-GMS demotion) says so.
+ *
+ * Everything is derived from one 64-bit seed, so any failure the CI
+ * chaos job finds is replayed exactly with `chaos_fuzz --seed N`.
+ */
+
+#ifndef HPMP_MONITOR_CHAOS_ENGINE_H
+#define HPMP_MONITOR_CHAOS_ENGINE_H
+
+#include <cstdint>
+#include <string>
+
+#include "hpmp/isolation.h"
+
+namespace hpmp
+{
+
+/** One fuzz campaign's parameters. */
+struct ChaosConfig
+{
+    uint64_t seed = 1;
+    unsigned ops = 1000;
+    IsolationScheme scheme = IsolationScheme::Hpmp;
+    /** Probability that an op runs with a fault armed at a random site. */
+    double faultProb = 0.25;
+    /**
+     * Hash the full PMP-table contents in the rollback oracle (the
+     * strongest check). Disable only if a campaign is too slow under
+     * sanitizers; metadata and entry-write counters are always hashed.
+     */
+    bool fullDigest = true;
+};
+
+/** Campaign outcome and coverage counters. */
+struct ChaosStats
+{
+    unsigned ops = 0;            //!< operations attempted
+    unsigned okOps = 0;          //!< operations that succeeded
+    unsigned failedOps = 0;      //!< typed failures (any cause)
+    unsigned injectedFaults = 0; //!< failures caused by the injector
+    unsigned degradedOps = 0;    //!< successes in degraded mode
+    unsigned rollbackChecks = 0; //!< digest-verified rollbacks
+    unsigned invariantChecks = 0;
+
+    bool failed = false;   //!< an invariant or rollback check tripped
+    std::string failure;   //!< description, mentions op index + seed
+};
+
+/** Run one campaign. Deterministic in config.seed. */
+ChaosStats runChaos(const ChaosConfig &config);
+
+} // namespace hpmp
+
+#endif // HPMP_MONITOR_CHAOS_ENGINE_H

@@ -39,6 +39,13 @@ struct Gms
      * GMS lists; exclusive ones may not overlap anything.
      */
     bool shared = false;
+    /**
+     * Monitor-maintained recency stamp, bumped whenever the OS labels
+     * the GMS fast (add/setLabel/hint). When fast GMSs outnumber the
+     * segment budget under Hpmp, the coldest stamp is the one demoted
+     * to table mode (graceful degradation instead of a failed call).
+     */
+    uint64_t heat = 0;
 };
 
 } // namespace hpmp

@@ -1,10 +1,210 @@
 #include "monitor/secure_monitor.h"
 
+#include <algorithm>
+
 #include "base/bitfield.h"
+#include "base/fault_inject.h"
 #include "base/logging.h"
 
 namespace hpmp
 {
+
+namespace
+{
+
+/**
+ * Internal control-flow exception for monitor-call failures discovered
+ * after mutation started. The transaction wrapper catches it, rolls
+ * back to the pre-call state and surfaces the typed error. Never
+ * escapes a monitor call.
+ */
+struct MonitorAbort
+{
+    MonitorError code;
+    std::string msg;
+};
+
+uint64_t
+digestFold(uint64_t h, uint64_t v)
+{
+    return (h ^ v) * 0x100000001b3ULL; // FNV-1a step
+}
+
+} // namespace
+
+const char *
+toString(MonitorError error)
+{
+    switch (error) {
+      case MonitorError::None: return "none";
+      case MonitorError::NoSuchDomain: return "no-such-domain";
+      case MonitorError::NoSuchGms: return "no-such-gms";
+      case MonitorError::BadArgument: return "bad-argument";
+      case MonitorError::OverlapDomain: return "overlap-domain";
+      case MonitorError::OverlapMonitor: return "overlap-monitor";
+      case MonitorError::PermExceedsOwner: return "perm-exceeds-owner";
+      case MonitorError::OutOfPmpEntries: return "out-of-pmp-entries";
+      case MonitorError::OutOfTableFrames: return "out-of-table-frames";
+      case MonitorError::InjectedFault: return "injected-fault";
+    }
+    return "?";
+}
+
+/**
+ * Transaction guard for one monitor call.
+ *
+ * On construction it snapshots every piece of state a call can touch:
+ * the scalar cursors, the HPMP register file (+ CSR-write counter),
+ * and per-domain GMS lists and PMP-table growth metadata. While the
+ * transaction is active every pmpte store is journaled (old value per
+ * slot), including stores into tables created mid-call. rollback()
+ * replays the journal in reverse and restores the snapshots, leaving
+ * monitor + HPMP + table state bit-identical to the pre-call state —
+ * SecureMonitor::stateDigest() is the test oracle for that claim.
+ */
+struct SecureMonitor::Txn
+{
+    explicit Txn(SecureMonitor &m) : m_(m)
+    {
+        panic_if(m_.activeTxn_, "nested monitor transaction");
+        m_.beginOp();
+        current_ = m_.current_;
+        next_ = m_.next_;
+        tableFrameNext_ = m_.tableFrameNext_;
+        tableWritesTotal_ = m_.tableWritesTotal_;
+        heatClock_ = m_.heatClock_;
+        hpmpSnap_ = m_.machine_.hpmp().takeSnapshot();
+        for (auto &[id, dom] : m_.domains_) {
+            domSnaps_.push_back(
+                {id, dom.gmsList, dom.table != nullptr,
+                 dom.table ? dom.table->tablePages().size() : 0,
+                 dom.table ? dom.table->entryWrites() : 0});
+            if (dom.table)
+                dom.table->setJournal(&journal_);
+        }
+        m_.activeTxn_ = this;
+    }
+
+    ~Txn()
+    {
+        // An exception escaping the call body (only injected faults in
+        // layers below the monitor can cause this) still rolls back.
+        if (!done_)
+            rollback();
+        for (auto &[id, dom] : m_.domains_) {
+            if (dom.table)
+                dom.table->setJournal(nullptr);
+        }
+        m_.activeTxn_ = nullptr;
+    }
+
+    /** Keep an erased domain so rollback can reinsert it intact. */
+    void
+    stashErased(DomainId id, Domain &&dom)
+    {
+        stashed_.emplace_back(id, std::move(dom));
+    }
+
+    MonitorResult
+    commit(bool flushed, bool degraded = false)
+    {
+        done_ = true;
+        MonitorResult result;
+        result.cycles = m_.opCycles(flushed);
+        result.degraded = degraded;
+        return result;
+    }
+
+    MonitorResult
+    abort(MonitorError code, std::string msg)
+    {
+        rollback();
+        done_ = true;
+        return MonitorResult::fail(code, std::move(msg));
+    }
+
+    PmpTable::Journal journal_;
+
+  private:
+    struct DomainSnap
+    {
+        DomainId id;
+        std::vector<Gms> gmsList;
+        bool hadTable;
+        size_t tablePages;
+        uint64_t entryWrites;
+    };
+
+    void
+    rollback()
+    {
+        // 1. Undo pmpte stores newest-first: restores surviving tables
+        //    and returns pages allocated mid-call to all-zero bytes.
+        for (auto it = journal_.rbegin(); it != journal_.rend(); ++it)
+            m_.machine_.mem().write64(it->slot, it->oldValue);
+        journal_.clear();
+
+        // 2. Reinsert domains the call erased.
+        for (auto &[id, dom] : stashed_)
+            m_.domains_[id] = std::move(dom);
+        stashed_.clear();
+
+        // 3. Restore per-domain state; drop tables created mid-call
+        //    (their frames are reclaimed by the cursor restore in 4).
+        for (auto &snap : domSnaps_) {
+            auto it = m_.domains_.find(snap.id);
+            panic_if(it == m_.domains_.end(),
+                     "rollback lost domain %u", snap.id);
+            Domain &dom = it->second;
+            dom.gmsList = snap.gmsList;
+            if (!snap.hadTable) {
+                dom.table.reset();
+            } else {
+                dom.table->rollbackMeta(snap.tablePages,
+                                        snap.entryWrites);
+            }
+        }
+
+        // 4. Scalars, then the register file (flushes the PMPTW-Cache).
+        m_.current_ = current_;
+        m_.next_ = next_;
+        m_.tableFrameNext_ = tableFrameNext_;
+        m_.tableWritesTotal_ = tableWritesTotal_;
+        m_.heatClock_ = heatClock_;
+        m_.machine_.hpmp().restoreSnapshot(hpmpSnap_);
+
+        // 5. Nothing ran between the mid-call programming and this
+        //    restore, but mirror the hardware contract anyway: any
+        //    isolation-state change ends with TLB synchronization.
+        m_.machine_.sfenceVma();
+    }
+
+    SecureMonitor &m_;
+    bool done_ = false;
+    DomainId current_;
+    DomainId next_;
+    Addr tableFrameNext_;
+    uint64_t tableWritesTotal_;
+    uint64_t heatClock_;
+    HpmpUnit::Snapshot hpmpSnap_;
+    std::vector<DomainSnap> domSnaps_;
+    std::vector<std::pair<DomainId, Domain>> stashed_;
+};
+
+template <typename Fn>
+MonitorResult
+SecureMonitor::transact(Fn &&body)
+{
+    Txn txn(*this);
+    try {
+        return body(txn);
+    } catch (const MonitorAbort &abort) {
+        return txn.abort(abort.code, abort.msg);
+    } catch (const InjectedFault &fault) {
+        return txn.abort(MonitorError::InjectedFault,
+                         std::string("injected fault at ") + fault.site);
+    }
+}
 
 SecureMonitor::SecureMonitor(Machine &machine, const MonitorConfig &config)
     : machine_(machine),
@@ -46,12 +246,52 @@ SecureMonitor::domain(DomainId id) const
     return it->second;
 }
 
+SecureMonitor::Domain *
+SecureMonitor::findDomain(DomainId id)
+{
+    auto it = domains_.find(id);
+    if (it == domains_.end() || !it->second.alive)
+        return nullptr;
+    return &it->second;
+}
+
+bool
+SecureMonitor::domainExists(DomainId id) const
+{
+    auto it = domains_.find(id);
+    return it != domains_.end() && it->second.alive;
+}
+
+std::vector<DomainId>
+SecureMonitor::domainIds() const
+{
+    std::vector<DomainId> ids;
+    for (const auto &[id, dom] : domains_) {
+        if (dom.alive)
+            ids.push_back(id);
+    }
+    return ids;
+}
+
+const PmpTable *
+SecureMonitor::tablePeek(DomainId id) const
+{
+    auto it = domains_.find(id);
+    return it == domains_.end() ? nullptr : it->second.table.get();
+}
+
 Addr
 SecureMonitor::allocTableFrame(unsigned npages)
 {
+    if (FAULT_POINT("monitor.alloc_pmpte")) {
+        throw MonitorAbort{MonitorError::InjectedFault,
+                           "injected fault at monitor.alloc_pmpte"};
+    }
     const Addr base = tableFrameNext_;
-    fatal_if(base + npages * kPageSize > tableFrameEnd_,
-             "monitor out of PMP-table frames");
+    if (base + npages * kPageSize > tableFrameEnd_) {
+        throw MonitorAbort{MonitorError::OutOfTableFrames,
+                           "monitor out of PMP-table frames"};
+    }
     tableFrameNext_ += npages * kPageSize;
     return base;
 }
@@ -65,6 +305,10 @@ SecureMonitor::tableOf(DomainId id)
             machine_.mem(),
             [this](unsigned npages) { return allocTableFrame(npages); },
             config_.pmptLevels);
+        // A table created mid-transaction journals its stores too, so
+        // the replay below is rolled back along with everything else.
+        if (activeTxn_)
+            dom.table->setJournal(&activeTxn_->journal_);
         // Replay existing GMSs into the fresh table.
         for (const Gms &gms : dom.gmsList)
             writeGmsToTable(dom, gms);
@@ -138,28 +382,52 @@ SecureMonitor::createDomain()
 MonitorResult
 SecureMonitor::destroyDomain(DomainId id)
 {
-    if (id == 0)
-        return MonitorResult::fail("cannot destroy the host domain");
+    if (id == 0) {
+        return MonitorResult::fail(MonitorError::BadArgument,
+                                   "cannot destroy the host domain");
+    }
     auto it = domains_.find(id);
     if (it == domains_.end() || !it->second.alive)
-        return MonitorResult::fail("no such domain");
-    beginOp();
-    if (it->second.table)
-        tableWritesTotal_ += it->second.table->entryWrites();
-    domains_.erase(it);
-    if (current_ == id)
-        current_ = 0;
-    MonitorResult result;
-    result.cycles = opCycles(false);
-    return result;
+        return MonitorResult::fail(MonitorError::NoSuchDomain,
+                                   "no such domain");
+    return transact([&](Txn &txn) {
+        if (FAULT_POINT("monitor.destroy_domain")) {
+            throw MonitorAbort{MonitorError::InjectedFault,
+                               "injected fault at monitor.destroy_domain"};
+        }
+        if (it->second.table)
+            tableWritesTotal_ += it->second.table->entryWrites();
+        txn.stashErased(id, std::move(it->second));
+        domains_.erase(it);
+        bool flushed = false;
+        bool degraded = false;
+        if (current_ == id) {
+            // Fall back to the host and reprogram immediately: the
+            // destroyed domain's layout must not stay live in the
+            // registers until the next explicit switch.
+            current_ = 0;
+            degraded = applyLayout();
+            flushed = true;
+        }
+        return txn.commit(flushed, degraded);
+    });
 }
 
 MonitorResult
 SecureMonitor::addGms(DomainId id, const Gms &gms)
 {
-    Domain &dom = domain(id);
+    Domain *dom = findDomain(id);
+    if (!dom)
+        return MonitorResult::fail(MonitorError::NoSuchDomain,
+                                   "no such domain");
     if (gms.size == 0 || gms.base % kPageSize || gms.size % kPageSize)
-        return MonitorResult::fail("GMS must be page-granular");
+        return MonitorResult::fail(MonitorError::BadArgument,
+                                   "GMS must be page-granular");
+    if (gms.base + gms.size < gms.base ||
+        gms.base + gms.size > machine_.params().physMemBytes) {
+        return MonitorResult::fail(MonitorError::BadArgument,
+                                   "GMS beyond physical memory");
+    }
 
     // No overlap with any domain's existing GMSs: memory ownership is
     // exclusive (the host must release regions before granting them).
@@ -167,122 +435,151 @@ SecureMonitor::addGms(DomainId id, const Gms &gms)
         for (const Gms &existing : other.gmsList) {
             if (existing.base < gms.base + gms.size &&
                 gms.base < existing.base + existing.size) {
-                return MonitorResult::fail("GMS overlaps a domain region");
+                return MonitorResult::fail(MonitorError::OverlapDomain,
+                                           "GMS overlaps a domain region");
             }
         }
     }
     // The monitor region is never handed out.
     if (gms.base < config_.monitorBase + config_.monitorSize &&
         config_.monitorBase < gms.base + gms.size) {
-        return MonitorResult::fail("GMS overlaps the monitor");
+        return MonitorResult::fail(MonitorError::OverlapMonitor,
+                                   "GMS overlaps the monitor");
     }
 
-    beginOp();
-    dom.gmsList.push_back(gms);
-
-    // Cache-based management: every GMS always enters the table (when
-    // the scheme has one); segments only mirror the fast ones.
-    if (config_.scheme == IsolationScheme::PmpTable ||
-        config_.scheme == IsolationScheme::Hpmp) {
-        tableOf(id);
-        writeGmsToTable(dom, dom.gmsList.back());
-    }
-
-    bool flushed = false;
-    std::string error;
-    uint64_t layout_cycles = 0;
-    if (id == current_) {
-        if (!applyLayout(layout_cycles, error)) {
-            dom.gmsList.pop_back();
-            return MonitorResult::fail(error);
+    return transact([&](Txn &txn) {
+        if (FAULT_POINT("monitor.add_gms")) {
+            throw MonitorAbort{MonitorError::InjectedFault,
+                               "injected fault at monitor.add_gms"};
         }
-        flushed = true;
-    }
-    MonitorResult result;
-    result.cycles = opCycles(flushed);
-    return result;
+        dom->gmsList.push_back(gms);
+        if (gms.label == GmsLabel::Fast)
+            dom->gmsList.back().heat = ++heatClock_;
+
+        // Cache-based management: every GMS always enters the table
+        // (when the scheme has one); segments only mirror the fast
+        // ones.
+        if (config_.scheme == IsolationScheme::PmpTable ||
+            config_.scheme == IsolationScheme::Hpmp) {
+            tableOf(id);
+            writeGmsToTable(*dom, dom->gmsList.back());
+        }
+
+        bool flushed = false;
+        bool degraded = false;
+        if (id == current_) {
+            degraded = applyLayout();
+            flushed = true;
+        }
+        return txn.commit(flushed, degraded);
+    });
 }
 
 MonitorResult
 SecureMonitor::removeGms(DomainId id, Addr base)
 {
-    Domain &dom = domain(id);
-    auto it = dom.gmsList.begin();
-    for (; it != dom.gmsList.end(); ++it) {
+    Domain *dom = findDomain(id);
+    if (!dom)
+        return MonitorResult::fail(MonitorError::NoSuchDomain,
+                                   "no such domain");
+    auto it = dom->gmsList.begin();
+    for (; it != dom->gmsList.end(); ++it) {
         if (it->base == base)
             break;
     }
-    if (it == dom.gmsList.end())
-        return MonitorResult::fail("no GMS at this base");
+    if (it == dom->gmsList.end())
+        return MonitorResult::fail(MonitorError::NoSuchGms,
+                                   "no GMS at this base");
 
-    beginOp();
-    if (dom.table)
-        dom.table->setPerm(it->base, it->size, Perm::none());
-    dom.gmsList.erase(it);
+    return transact([&](Txn &txn) {
+        if (FAULT_POINT("monitor.remove_gms")) {
+            throw MonitorAbort{MonitorError::InjectedFault,
+                               "injected fault at monitor.remove_gms"};
+        }
+        if (dom->table)
+            dom->table->setPerm(it->base, it->size, Perm::none());
+        dom->gmsList.erase(it);
 
-    bool flushed = false;
-    if (id == current_) {
-        uint64_t layout_cycles = 0;
-        std::string error;
-        if (!applyLayout(layout_cycles, error))
-            return MonitorResult::fail(error);
-        flushed = true;
-    }
-    MonitorResult result;
-    result.cycles = opCycles(flushed);
-    return result;
+        bool flushed = false;
+        bool degraded = false;
+        if (id == current_) {
+            degraded = applyLayout();
+            flushed = true;
+        }
+        return txn.commit(flushed, degraded);
+    });
 }
 
 MonitorResult
 SecureMonitor::setLabel(DomainId id, Addr base, GmsLabel label)
 {
-    Domain &dom = domain(id);
-    for (Gms &gms : dom.gmsList) {
-        if (gms.base == base) {
-            beginOp();
+    Domain *dom = findDomain(id);
+    if (!dom)
+        return MonitorResult::fail(MonitorError::NoSuchDomain,
+                                   "no such domain");
+    for (Gms &gms : dom->gmsList) {
+        if (gms.base != base)
+            continue;
+        return transact([&](Txn &txn) {
+            if (FAULT_POINT("monitor.set_label")) {
+                throw MonitorAbort{MonitorError::InjectedFault,
+                                   "injected fault at monitor.set_label"};
+            }
             gms.label = label;
+            if (label == GmsLabel::Fast)
+                gms.heat = ++heatClock_;
             // Labels only affect which GMSs sit in segment entries:
             // registers change, tables do not (§5, cache-based mgmt).
             bool flushed = false;
+            bool degraded = false;
             if (id == current_) {
-                uint64_t layout_cycles = 0;
-                std::string error;
-                if (!applyLayout(layout_cycles, error))
-                    return MonitorResult::fail(error);
+                degraded = applyLayout();
                 flushed = true;
             }
-            MonitorResult result;
-            result.cycles = opCycles(flushed);
-            return result;
-        }
+            return txn.commit(flushed, degraded);
+        });
     }
-    return MonitorResult::fail("no GMS at this base");
+    return MonitorResult::fail(MonitorError::NoSuchGms,
+                               "no GMS at this base");
 }
 
 MonitorResult
 SecureMonitor::setPerm(DomainId id, Addr base, Perm perm)
 {
-    Domain &dom = domain(id);
-    for (Gms &gms : dom.gmsList) {
-        if (gms.base == base) {
-            beginOp();
+    Domain *dom = findDomain(id);
+    if (!dom)
+        return MonitorResult::fail(MonitorError::NoSuchDomain,
+                                   "no such domain");
+    for (Gms &gms : dom->gmsList) {
+        if (gms.base != base)
+            continue;
+        if (gms.shared) {
+            // Narrowing the owner's copy would leave peers holding a
+            // wider permission than the owner — revoke the share
+            // first, then change the permission.
+            return MonitorResult::fail(
+                MonitorError::BadArgument,
+                "cannot change the permission of a shared GMS");
+        }
+        return transact([&](Txn &txn) {
+            if (FAULT_POINT("monitor.set_perm")) {
+                throw MonitorAbort{MonitorError::InjectedFault,
+                                   "injected fault at monitor.set_perm"};
+            }
             gms.perm = perm;
-            if (dom.table)
-                writeGmsToTable(dom, gms);
+            if (dom->table)
+                writeGmsToTable(*dom, gms);
             bool flushed = false;
+            bool degraded = false;
             if (id == current_) {
-                uint64_t layout_cycles = 0;
-                std::string error;
-                if (!applyLayout(layout_cycles, error))
-                    return MonitorResult::fail(error);
+                degraded = applyLayout();
                 flushed = true;
             }
-            MonitorResult result;
-            result.cycles = opCycles(flushed);
-            return result;
-        }
+            return txn.commit(flushed, degraded);
+        });
     }
-    return MonitorResult::fail("no GMS at this base");
+    return MonitorResult::fail(MonitorError::NoSuchGms,
+                               "no GMS at this base");
 }
 
 MonitorResult
@@ -290,49 +587,58 @@ SecureMonitor::shareGms(DomainId owner, Addr base, DomainId peer,
                         Perm perm)
 {
     if (owner == peer)
-        return MonitorResult::fail("cannot share with self");
-    Domain &own = domain(owner);
-    Domain &dst = domain(peer);
+        return MonitorResult::fail(MonitorError::BadArgument,
+                                   "cannot share with self");
+    Domain *own = findDomain(owner);
+    Domain *dst = findDomain(peer);
+    if (!own || !dst)
+        return MonitorResult::fail(MonitorError::NoSuchDomain,
+                                   "no such domain");
 
-    for (Gms &gms : own.gmsList) {
+    for (Gms &gms : own->gmsList) {
         if (gms.base != base)
             continue;
         if ((perm.r && !gms.perm.r) || (perm.w && !gms.perm.w) ||
             (perm.x && !gms.perm.x)) {
             return MonitorResult::fail(
+                MonitorError::PermExceedsOwner,
                 "shared permission exceeds the owner's");
         }
-        for (const Gms &existing : dst.gmsList) {
+        for (const Gms &existing : dst->gmsList) {
             if (existing.base < gms.base + gms.size &&
                 gms.base < existing.base + existing.size) {
                 return MonitorResult::fail(
+                    MonitorError::OverlapDomain,
                     "peer already maps an overlapping region");
             }
         }
-        beginOp();
-        gms.shared = true;
-        Gms shared_view = gms;
-        shared_view.perm = perm;
-        shared_view.label = GmsLabel::Slow;
-        dst.gmsList.push_back(shared_view);
-        if (config_.scheme == IsolationScheme::PmpTable ||
-            config_.scheme == IsolationScheme::Hpmp) {
-            tableOf(peer);
-            writeGmsToTable(dst, dst.gmsList.back());
-        }
-        bool flushed = false;
-        if (peer == current_ || owner == current_) {
-            uint64_t layout_cycles = 0;
-            std::string error;
-            if (!applyLayout(layout_cycles, error))
-                return MonitorResult::fail(error);
-            flushed = true;
-        }
-        MonitorResult result;
-        result.cycles = opCycles(flushed);
-        return result;
+        return transact([&](Txn &txn) {
+            if (FAULT_POINT("monitor.share_gms")) {
+                throw MonitorAbort{MonitorError::InjectedFault,
+                                   "injected fault at monitor.share_gms"};
+            }
+            gms.shared = true;
+            Gms shared_view = gms;
+            shared_view.perm = perm;
+            shared_view.label = GmsLabel::Slow;
+            shared_view.heat = 0;
+            dst->gmsList.push_back(shared_view);
+            if (config_.scheme == IsolationScheme::PmpTable ||
+                config_.scheme == IsolationScheme::Hpmp) {
+                tableOf(peer);
+                writeGmsToTable(*dst, dst->gmsList.back());
+            }
+            bool flushed = false;
+            bool degraded = false;
+            if (peer == current_ || owner == current_) {
+                degraded = applyLayout();
+                flushed = true;
+            }
+            return txn.commit(flushed, degraded);
+        });
     }
-    return MonitorResult::fail("no GMS at this base");
+    return MonitorResult::fail(MonitorError::NoSuchGms,
+                               "no GMS at this base");
 }
 
 MerkleHash
@@ -350,6 +656,10 @@ SecureMonitor::measureDomain(DomainId id) const
 AttestationReport
 SecureMonitor::attestDomain(DomainId id, uint64_t nonce) const
 {
+    // Attestation is read-only: an injected fault aborts the call
+    // before any measurement leaks, with nothing to roll back.
+    if (FAULT_POINT("monitor.attest"))
+        throw InjectedFault{"monitor.attest"};
     return attestor_.sign(measureDomain(id), nonce);
 }
 
@@ -357,64 +667,85 @@ MonitorResult
 SecureMonitor::hintHotRegion(DomainId id, Addr base, uint64_t size)
 {
     if (!isPowerOf2(size) || size < kPageSize || base % size != 0)
-        return MonitorResult::fail("hot region must be NAPOT");
+        return MonitorResult::fail(MonitorError::BadArgument,
+                                   "hot region must be NAPOT");
 
-    Domain &dom = domain(id);
-    for (size_t i = 0; i < dom.gmsList.size(); ++i) {
-        Gms covering = dom.gmsList[i];
+    Domain *dom = findDomain(id);
+    if (!dom)
+        return MonitorResult::fail(MonitorError::NoSuchDomain,
+                                   "no such domain");
+    for (size_t i = 0; i < dom->gmsList.size(); ++i) {
+        Gms covering = dom->gmsList[i];
         if (!(covering.base <= base &&
               base + size <= covering.base + covering.size)) {
             continue;
         }
+        if (covering.shared) {
+            // Splitting would desynchronize the owner's view from the
+            // peers' (they keep the unsplit region), breaking the
+            // shared-region auditing invariant.
+            return MonitorResult::fail(
+                MonitorError::BadArgument,
+                "cannot split a shared GMS");
+        }
         if (covering.base == base && covering.size == size)
             return setLabel(id, base, GmsLabel::Fast);
 
-        beginOp();
-        // Split into [left][hot][right]; permissions unchanged, so
-        // the table is untouched (registers only — the cheap path).
-        dom.gmsList.erase(dom.gmsList.begin() + long(i));
-        if (covering.base < base) {
-            dom.gmsList.push_back(Gms{covering.base,
-                                      base - covering.base,
-                                      covering.perm, covering.label});
-        }
-        dom.gmsList.push_back(Gms{base, size, covering.perm,
-                                  GmsLabel::Fast});
-        const Addr end = base + size;
-        const Addr cov_end = covering.base + covering.size;
-        if (end < cov_end) {
-            dom.gmsList.push_back(Gms{end, cov_end - end,
-                                      covering.perm, covering.label});
-        }
+        return transact([&](Txn &txn) {
+            if (FAULT_POINT("monitor.hint")) {
+                throw MonitorAbort{MonitorError::InjectedFault,
+                                   "injected fault at monitor.hint"};
+            }
+            // Split into [left][hot][right]; permissions unchanged, so
+            // the table is untouched (registers only — the cheap path).
+            dom->gmsList.erase(dom->gmsList.begin() + long(i));
+            if (covering.base < base) {
+                dom->gmsList.push_back(Gms{covering.base,
+                                           base - covering.base,
+                                           covering.perm, covering.label,
+                                           covering.shared,
+                                           covering.heat});
+            }
+            dom->gmsList.push_back(Gms{base, size, covering.perm,
+                                       GmsLabel::Fast, covering.shared,
+                                       ++heatClock_});
+            const Addr end = base + size;
+            const Addr cov_end = covering.base + covering.size;
+            if (end < cov_end) {
+                dom->gmsList.push_back(Gms{end, cov_end - end,
+                                           covering.perm, covering.label,
+                                           covering.shared,
+                                           covering.heat});
+            }
 
-        bool flushed = false;
-        if (id == current_) {
-            uint64_t layout_cycles = 0;
-            std::string error;
-            if (!applyLayout(layout_cycles, error))
-                return MonitorResult::fail(error);
-            flushed = true;
-        }
-        MonitorResult result;
-        result.cycles = opCycles(flushed);
-        return result;
+            bool flushed = false;
+            bool degraded = false;
+            if (id == current_) {
+                degraded = applyLayout();
+                flushed = true;
+            }
+            return txn.commit(flushed, degraded);
+        });
     }
-    return MonitorResult::fail("no GMS covers the hot region");
+    return MonitorResult::fail(MonitorError::NoSuchGms,
+                               "no GMS covers the hot region");
 }
 
 MonitorResult
 SecureMonitor::switchTo(DomainId id)
 {
-    domain(id); // validates
-    beginOp();
-    current_ = id;
-    uint64_t layout_cycles = 0;
-    std::string error;
-    if (!applyLayout(layout_cycles, error))
-        return MonitorResult::fail(error);
-    MonitorResult result;
-    result.cycles = opCycles(true);
-    return result;
+    if (!findDomain(id))
+        return MonitorResult::fail(MonitorError::NoSuchDomain,
+                                   "no such domain");
+    return transact([&](Txn &txn) {
+        if (FAULT_POINT("monitor.switch")) {
+            throw MonitorAbort{MonitorError::InjectedFault,
+                               "injected fault at monitor.switch"};
+        }
+        current_ = id;
+        const bool degraded = applyLayout();
+        return txn.commit(true, degraded);
+    });
 }
 
 const std::vector<Gms> &
@@ -424,23 +755,21 @@ SecureMonitor::gmsOf(DomainId id) const
 }
 
 bool
-SecureMonitor::applyLayout(uint64_t &cycles, std::string &error)
+SecureMonitor::applyLayout()
 {
     HpmpUnit &unit = machine_.hpmp();
     const unsigned entries = unit.regs().numEntries();
     Domain &dom = domain(current_);
+    bool degraded = false;
 
     // Entry 0 stays on the monitor region; everything else is ours.
     unsigned next_entry = 1;
-    auto program_segment = [&](const Gms &gms) -> bool {
-        if (next_entry >= entries)
-            return false;
-        if (!isPowerOf2(gms.size) || gms.size < 8 ||
-            gms.base % gms.size != 0) {
-            return false; // not NAPOT-representable
-        }
+    auto napot_ok = [](const Gms &gms) {
+        return isPowerOf2(gms.size) && gms.size >= 8 &&
+               gms.base % gms.size == 0;
+    };
+    auto program_segment = [&](const Gms &gms) {
         unit.programSegment(next_entry++, gms.base, gms.size, gms.perm);
-        return true;
     };
 
     switch (config_.scheme) {
@@ -448,16 +777,22 @@ SecureMonitor::applyLayout(uint64_t &cycles, std::string &error)
         break;
       case IsolationScheme::Pmp:
         for (const Gms &gms : dom.gmsList) {
-            if (!program_segment(gms)) {
-                error = "no available PMP entry (or non-NAPOT GMS)";
-                return false;
+            if (!napot_ok(gms)) {
+                throw MonitorAbort{
+                    MonitorError::BadArgument,
+                    "non-NAPOT GMS cannot use a segment entry"};
             }
+            if (next_entry >= entries) {
+                throw MonitorAbort{MonitorError::OutOfPmpEntries,
+                                   "no available PMP entry"};
+            }
+            program_segment(gms);
         }
         break;
       case IsolationScheme::PmpTable: {
         if (next_entry + 1 >= entries) {
-            error = "no entries left for the PMP table";
-            return false;
+            throw MonitorAbort{MonitorError::OutOfPmpEntries,
+                               "no entries left for the PMP table"};
         }
         PmpTable &table = tableOf(current_);
         unit.programTable(next_entry, 0, machine_.params().physMemBytes,
@@ -467,18 +802,40 @@ SecureMonitor::applyLayout(uint64_t &cycles, std::string &error)
       }
       case IsolationScheme::Hpmp: {
         // Fast GMSs first (higher priority = acts as a cache of the
-        // table); then one table-mode pair covering everything.
-        for (const Gms &gms : dom.gmsList) {
-            if (gms.label != GmsLabel::Fast)
-                continue;
-            if (next_entry + 2 >= entries)
-                break; // out of fast slots: the table still covers it
-            if (!program_segment(gms))
-                continue; // non-NAPOT fast GMS: hint ignored
+        // table); then one table-mode pair covering everything. When
+        // there are more fast GMSs than segment entries, demote the
+        // coldest to table mode — the region stays protected (the
+        // table always covers it), checks just get slower. This is
+        // the documented degraded mode; callers see result.degraded.
+        std::vector<size_t> fast;
+        for (size_t i = 0; i < dom.gmsList.size(); ++i) {
+            if (dom.gmsList[i].label == GmsLabel::Fast &&
+                napot_ok(dom.gmsList[i])) {
+                fast.push_back(i);
+            }
         }
+        const unsigned budget = segmentBudget();
+        if (fast.size() > budget) {
+            std::sort(fast.begin(), fast.end(),
+                      [&dom](size_t a, size_t b) {
+                          const Gms &ga = dom.gmsList[a];
+                          const Gms &gb = dom.gmsList[b];
+                          if (ga.heat != gb.heat)
+                              return ga.heat > gb.heat;
+                          return a < b;
+                      });
+            for (size_t k = budget; k < fast.size(); ++k) {
+                dom.gmsList[fast[k]].label = GmsLabel::Slow;
+                degraded = true;
+            }
+            fast.resize(budget);
+            std::sort(fast.begin(), fast.end());
+        }
+        for (size_t idx : fast)
+            program_segment(dom.gmsList[idx]);
         if (next_entry + 1 >= entries) {
-            error = "no entries left for the PMP table";
-            return false;
+            throw MonitorAbort{MonitorError::OutOfPmpEntries,
+                               "no entries left for the PMP table"};
         }
         PmpTable &table = tableOf(current_);
         unit.programTable(next_entry, 0, machine_.params().physMemBytes,
@@ -499,8 +856,55 @@ SecureMonitor::applyLayout(uint64_t &cycles, std::string &error)
     // Any isolation-state change requires TLB + PMPTW synchronization.
     machine_.sfenceVma();
     unit.flushCache();
-    cycles = 0; // accounted via CSR/table write deltas by the caller
-    return true;
+    return degraded;
+}
+
+uint64_t
+SecureMonitor::stateDigest(bool include_table_contents) const
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    h = digestFold(h, current_);
+    h = digestFold(h, next_);
+    h = digestFold(h, tableFrameNext_);
+    h = digestFold(h, tableWritesTotal_);
+    h = digestFold(h, heatClock_);
+
+    const HpmpUnit &unit = machine_.hpmp();
+    h = digestFold(h, unit.csrWrites());
+    const PmpUnit &regs = unit.regs();
+    for (unsigned i = 0; i < regs.numEntries(); ++i) {
+        h = digestFold(h, regs.addr(i));
+        h = digestFold(h, regs.cfg(i).raw);
+    }
+
+    for (const auto &[id, dom] : domains_) {
+        h = digestFold(h, id);
+        h = digestFold(h, dom.alive);
+        for (const Gms &gms : dom.gmsList) {
+            h = digestFold(h, gms.base);
+            h = digestFold(h, gms.size);
+            h = digestFold(h, uint64_t(gms.perm.r) | uint64_t(gms.perm.w) << 1 |
+                                  uint64_t(gms.perm.x) << 2);
+            h = digestFold(h, uint64_t(gms.label));
+            h = digestFold(h, gms.shared);
+            h = digestFold(h, gms.heat);
+        }
+        if (dom.table) {
+            h = digestFold(h, dom.table->rootPa());
+            h = digestFold(h, dom.table->levels());
+            h = digestFold(h, dom.table->entryWrites());
+            h = digestFold(h, dom.table->tablePages().size());
+            if (include_table_contents) {
+                for (const Addr page : dom.table->tablePages()) {
+                    for (unsigned i = 0; i < kPageSize / 8; ++i) {
+                        h = digestFold(
+                            h, machine_.mem().read64(page + i * 8));
+                    }
+                }
+            }
+        }
+    }
+    return h;
 }
 
 } // namespace hpmp

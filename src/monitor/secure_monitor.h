@@ -51,17 +51,51 @@ struct MonitorCosts
     unsigned flushCycles = 24;      //!< sfence.vma + PMPTW flush
 };
 
+/**
+ * Typed monitor-call failure causes. Every failing call returns one of
+ * these alongside the human-readable message, and guarantees the
+ * monitor + HPMP + PMP-table state is bit-identical to before the
+ * call (transactional rollback; see DESIGN.md "Error-handling
+ * contract").
+ */
+enum class MonitorError : uint8_t
+{
+    None = 0,
+    NoSuchDomain,     //!< domain id unknown or already destroyed
+    NoSuchGms,        //!< no GMS at the given base in that domain
+    BadArgument,      //!< granularity/NAPOT/self-share violations
+    OverlapDomain,    //!< region overlaps another domain's memory
+    OverlapMonitor,   //!< region overlaps the monitor-private region
+    PermExceedsOwner, //!< shared permission wider than the owner's
+    OutOfPmpEntries,  //!< segment entries exhausted (Penglai-PMP)
+    OutOfTableFrames, //!< monitor-private PMP-table frames exhausted
+    InjectedFault,    //!< a fault-injection site fired mid-call
+};
+
+const char *toString(MonitorError error);
+
 /** Result of a monitor call. */
 struct MonitorResult
 {
     bool ok = true;
     uint64_t cycles = 0;
+    MonitorError code = MonitorError::None;
     std::string error;
+    /**
+     * The call succeeded in a documented degraded mode: under Hpmp,
+     * segment-entry exhaustion demotes the coldest fast GMS to table
+     * mode (it stays protected, only slower) instead of failing.
+     */
+    bool degraded = false;
 
     static MonitorResult
-    fail(std::string why)
+    fail(MonitorError code, std::string why)
     {
-        return {false, 0, std::move(why)};
+        MonitorResult r;
+        r.ok = false;
+        r.code = code;
+        r.error = std::move(why);
+        return r;
     }
 };
 
@@ -154,8 +188,34 @@ class SecureMonitor
     /** GMSs of a domain (for tests and the OS view). */
     const std::vector<Gms> &gmsOf(DomainId id) const;
 
+    /** Ids of all live domains, ascending (for the invariant checker). */
+    std::vector<DomainId> domainIds() const;
+
+    /** True iff the domain id exists and is alive. */
+    bool domainExists(DomainId id) const;
+
+    /** The domain's PMP Table, or nullptr if none was created yet. */
+    const PmpTable *tablePeek(DomainId id) const;
+
+    const MonitorConfig &config() const { return config_; }
+
     /** Number of segment entries available to fast GMSs. */
     unsigned segmentBudget() const;
+
+    /**
+     * Fold the monitor's complete security-relevant state — domain
+     * map, GMS lists, HPMP registers, CSR-write counter, table-frame
+     * cursor and every pmpte of every domain's PMP Table — into one
+     * 64-bit digest. Two equal digests mean bit-identical state; the
+     * chaos fuzzer uses this to prove that failed calls rolled back
+     * completely.
+     *
+     * @param include_table_contents hash every pmpte word too. This is
+     *        the strongest (and default) form; pass false for a cheap
+     *        digest covering metadata only when hashing whole tables
+     *        per operation is too slow (sanitizer fuzz runs).
+     */
+    uint64_t stateDigest(bool include_table_contents = true) const;
 
     /** The machine this monitor controls. */
     Machine &machine() { return machine_; }
@@ -168,8 +228,23 @@ class SecureMonitor
         bool alive = true;
     };
 
+    /**
+     * Transaction guard: snapshots all mutable monitor + HPMP state on
+     * entry, journals pmpte stores, and restores everything
+     * bit-identically on rollback. Defined in the .cc.
+     */
+    struct Txn;
+    friend struct Txn;
+
+    /** Run one monitor call transactionally: roll back on any abort. */
+    template <typename Fn> MonitorResult transact(Fn &&body);
+
     Domain &domain(DomainId id);
     const Domain &domain(DomainId id) const;
+
+    /** Like domain(), but returns nullptr instead of panicking: the
+     *  domain id is OS-controlled input, not an internal invariant. */
+    Domain *findDomain(DomainId id);
 
     /** Frames for PMP tables come from the monitor-private region. */
     Addr allocTableFrame(unsigned npages);
@@ -181,11 +256,13 @@ class SecureMonitor
     void writeGmsToTable(Domain &dom, const Gms &gms);
 
     /**
-     * Reprogram the HPMP registers for the current domain according
-     * to the configured scheme. @return false if the scheme cannot
-     * represent the domain (PMP out of entries).
+     * Reprogram the HPMP registers for the current domain according to
+     * the configured scheme. Throws MonitorAbort when the scheme
+     * cannot represent the domain (PMP out of entries).
+     * @return true when the layout had to degrade (Hpmp demoted the
+     *         coldest fast GMS to table mode).
      */
-    bool applyLayout(uint64_t &cycles, std::string &error);
+    bool applyLayout();
 
     /** Account cycles for CSR/table writes since the last snapshot. */
     void beginOp();
@@ -199,6 +276,8 @@ class SecureMonitor
     DomainId current_ = 0;
     Addr tableFrameNext_;
     Addr tableFrameEnd_;
+    Txn *activeTxn_ = nullptr;
+    uint64_t heatClock_ = 0; //!< recency stamps for fast-GMS demotion
 
     uint64_t csrSnapshot_ = 0;
     uint64_t tableWriteSnapshot_ = 0;

@@ -29,10 +29,20 @@ AddressSpace::~AddressSpace()
 Addr
 AddressSpace::mmap(uint64_t len, Perm perm, bool user, bool populate)
 {
+    const auto va = tryMmap(len, perm, user, populate);
+    fatal_if(!va, "mmap of %#lx bytes: out of memory", len);
+    return *va;
+}
+
+std::optional<Addr>
+AddressSpace::tryMmap(uint64_t len, Perm perm, bool user, bool populate)
+{
+    // A fresh address never overlaps, so mapAt can only fail on
+    // allocator exhaustion — and it unwinds itself, so mmapNext_ is
+    // the only thing left to (not) advance.
     const Addr va = mmapNext_;
-    mmapNext_ = alignUp(mmapNext_ + len + kPageSize, kPageSize);
-    const bool ok = mapAt(va, len, perm, user, populate);
-    panic_if(!ok, "mmap at fresh address failed");
+    if (!mapAt(va, len, perm, user, populate))
+        return std::nullopt;
     return va;
 }
 
@@ -50,22 +60,44 @@ AddressSpace::mapAt(Addr va, uint64_t len, Perm perm, bool user,
     Vma vma{va, len, perm, user};
     vmas_[va] = vma;
     if (populate) {
-        for (Addr page = va; page < va + len; page += kPageSize)
-            populatePage(vma, page);
+        for (Addr page = va; page < va + len; page += kPageSize) {
+            if (populatePage(vma, page))
+                continue;
+            // Out of memory mid-population: unwind the pages already
+            // populated and the VMA so the call has no effect.
+            for (Addr undo = va; undo < page; undo += kPageSize) {
+                const auto pa = pt_.translate(undo);
+                panic_if(!pa, "populated page %#lx not mapped", undo);
+                pt_.unmap(undo);
+                kernel_.freeData(alignDown(*pa, kPageSize), 1);
+                present_.erase(pageNumber(undo));
+            }
+            vmas_.erase(va);
+            return false;
+        }
     }
     if (va + len > mmapNext_)
         mmapNext_ = alignUp(va + len + kPageSize, kPageSize);
     return true;
 }
 
-void
+bool
 AddressSpace::populatePage(const Vma &vma, Addr page_va)
 {
     auto frame = kernel_.allocData(1);
-    fatal_if(!frame, "out of memory populating %#lx", page_va);
-    const bool ok = pt_.map(page_va, *frame, vma.perm, vma.user);
-    panic_if(!ok, "double map at %#lx", page_va);
+    if (!frame)
+        return false; // data frames exhausted
+    if (!pt_.map(page_va, *frame, vma.perm, vma.user)) {
+        // map() fails either because a PT frame could not be
+        // allocated (typed OOM — give the data frame back) or because
+        // a leaf already exists, which present_ tracking rules out.
+        panic_if(pt_.translate(page_va).has_value(),
+                 "double map at %#lx", page_va);
+        kernel_.freeData(*frame, 1);
+        return false;
+    }
     present_.insert(pageNumber(page_va));
+    return true;
 }
 
 bool
@@ -97,23 +129,30 @@ AddressSpace::munmap(Addr va, uint64_t len)
     return true;
 }
 
-bool
-AddressSpace::handleFault(Addr va, AccessType type)
+AddressSpace::FaultHandleStatus
+AddressSpace::tryHandleFault(Addr va, AccessType type)
 {
     (void)type;
     auto it = vmas_.upper_bound(va);
     if (it == vmas_.begin())
-        return false;
+        return FaultHandleStatus::BadAddress;
     --it;
     const Vma &vma = it->second;
     if (va >= vma.base + vma.len)
-        return false;
+        return FaultHandleStatus::BadAddress;
     const Addr page = alignDown(va, kPageSize);
     if (present_.count(pageNumber(page)))
-        return false; // not a demand-paging fault
-    populatePage(vma, page);
+        return FaultHandleStatus::BadAddress; // not demand paging
+    if (!populatePage(vma, page))
+        return FaultHandleStatus::OutOfMemory;
     ++faults_;
-    return true;
+    return FaultHandleStatus::Handled;
+}
+
+bool
+AddressSpace::handleFault(Addr va, AccessType type)
+{
+    return tryHandleFault(va, type) == FaultHandleStatus::Handled;
 }
 
 bool

@@ -37,12 +37,26 @@ class AddressSpace
      * Map `len` bytes of anonymous memory at a kernel-chosen address.
      * With populate, frames are allocated and mapped eagerly;
      * otherwise pages fault in on first touch.
-     * @return the chosen virtual base address.
+     * @return the chosen virtual base address; memory exhaustion is
+     *         fatal (legacy workload API — use tryMmap for the typed
+     *         failure).
      */
     Addr mmap(uint64_t len, Perm perm, bool user = true,
               bool populate = true);
 
-    /** Map at a fixed address. @return false if it overlaps a VMA. */
+    /**
+     * Like mmap, but allocator exhaustion (data frames or PT frames)
+     * is reported instead of fatal: returns nullopt and leaves the
+     * address space exactly as it was — any pages populated before
+     * the failure are unwound.
+     */
+    std::optional<Addr> tryMmap(uint64_t len, Perm perm,
+                                bool user = true, bool populate = true);
+
+    /**
+     * Map at a fixed address. @return false if it overlaps a VMA or
+     * if populating ran out of memory (partial work is unwound).
+     */
     bool mapAt(Addr va, uint64_t len, Perm perm, bool user,
                bool populate);
 
@@ -56,7 +70,21 @@ class AddressSpace
      */
     bool mapFrameAt(Addr va, Addr pa, Perm perm, bool user);
 
-    /** Demand-paging entry point. @return false if va is unmapped. */
+    /** Why a demand-paging fault could not be handled. */
+    enum class FaultHandleStatus
+    {
+        Handled,     //!< page populated, retry the access
+        BadAddress,  //!< no VMA covers va (or already populated)
+        OutOfMemory, //!< typed allocator exhaustion, nothing changed
+    };
+
+    /** Demand-paging entry point with a typed outcome. */
+    FaultHandleStatus tryHandleFault(Addr va, AccessType type);
+
+    /**
+     * Legacy demand-paging entry point.
+     * @return true iff the fault was handled (OOM reads as unhandled).
+     */
     bool handleFault(Addr va, AccessType type);
 
     /** True iff the page containing va has a frame. */
@@ -74,8 +102,12 @@ class AddressSpace
         bool user = true;
     };
 
-    /** Allocate and map one page of the given VMA. */
-    void populatePage(const Vma &vma, Addr page_va);
+    /**
+     * Allocate and map one page of the given VMA.
+     * @return false on allocator exhaustion (data or PT frames), with
+     *         any allocated frame returned to the pool.
+     */
+    bool populatePage(const Vma &vma, Addr page_va);
 
     Kernel &kernel_;
     PageTable pt_;

@@ -1,6 +1,7 @@
 #include "os/kernel.h"
 
 #include "base/bitfield.h"
+#include "base/fault_inject.h"
 #include "base/logging.h"
 #include "os/address_space.h"
 
@@ -70,17 +71,24 @@ Kernel::freeData(Addr addr, unsigned npages)
 Addr
 Kernel::allocPtFrames(unsigned npages)
 {
-    if (ptAlloc_) {
+    // "os.pt_pool_miss" simulates pool exhaustion without filling the
+    // pool first: the request takes the same fallback path a full pool
+    // would (paper §6 — PT pages not in the contiguous pool are still
+    // protected, via the table instead of the fast segment).
+    const bool pool_miss = FAULT_POINT("os.pt_pool_miss");
+    if (ptAlloc_ && !pool_miss) {
         if (auto frame = ptAlloc_->alloc(npages))
             return *frame;
         warn("PT pool exhausted; falling back to the data allocator");
     }
-    // Baseline: PT pages come from the general allocator. Allocate
-    // from the top so data placement matches the pool configuration;
-    // under scatter mode they spread like everything else.
+    // Baseline / fallback: PT pages come from the general allocator.
+    // Allocate from the top so data placement matches the pool
+    // configuration; under scatter mode they spread like everything
+    // else.
     auto frame = config_.scatterData ? dataAlloc_->alloc(npages)
                                      : dataAlloc_->allocTop(npages);
-    fatal_if(!frame, "out of physical memory for PT pages");
+    if (!frame)
+        return kAllocFailed; // typed exhaustion, caller unwinds
     return *frame;
 }
 

@@ -63,7 +63,13 @@ class Kernel
     std::optional<Addr> allocData(unsigned npages);
     void freeData(Addr base, unsigned npages);
 
-    /** Allocate page-table frames (pool when configured). */
+    /**
+     * Allocate page-table frames: from the contiguous pool when
+     * configured, falling back to the general allocator on pool
+     * exhaustion (§6 — such PT pages are protected through the table
+     * instead of the pool's fast segment).
+     * @return frame base, or kAllocFailed when memory is exhausted.
+     */
     Addr allocPtFrames(unsigned npages);
 
     /** Return one PT frame to whichever allocator owns it. */

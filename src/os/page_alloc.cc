@@ -1,6 +1,7 @@
 #include "os/page_alloc.h"
 
 #include "base/bitfield.h"
+#include "base/fault_inject.h"
 #include "base/logging.h"
 
 namespace hpmp
@@ -18,6 +19,11 @@ PageAllocator::PageAllocator(Addr base, uint64_t size)
 std::optional<Addr>
 PageAllocator::alloc(unsigned npages, uint64_t align)
 {
+    // Injected exhaustion: callers must treat it exactly like the
+    // pool genuinely running dry.
+    if (FAULT_POINT("os.page_alloc"))
+        return std::nullopt;
+
     const uint64_t bytes = uint64_t(npages) * kPageSize;
 
     if (scatter_ && npages == 1 && align <= kPageSize) {
@@ -48,6 +54,9 @@ PageAllocator::alloc(unsigned npages, uint64_t align)
 std::optional<Addr>
 PageAllocator::allocTop(unsigned npages)
 {
+    if (FAULT_POINT("os.page_alloc"))
+        return std::nullopt;
+
     const uint64_t bytes = uint64_t(npages) * kPageSize;
     const auto &ivals = free_.intervals();
     for (auto it = ivals.rbegin(); it != ivals.rend(); ++it) {

@@ -126,6 +126,28 @@ class PmpUnit
         setAddr(idx, 0);
     }
 
+    /** Raw register-file snapshot for transactional rollback. */
+    struct Snapshot
+    {
+        std::vector<uint64_t> addr;
+        std::vector<uint8_t> cfg;
+    };
+
+    Snapshot snapshot() const { return {addr_, cfg_}; }
+
+    /**
+     * Restore a snapshot taken from this unit, bypassing WARL/lock
+     * semantics (the monitor rolls back its own programming; this is
+     * not a CSR write the S-mode software could issue).
+     */
+    void
+    restore(const Snapshot &snap)
+    {
+        addr_ = snap.addr;
+        cfg_ = snap.cfg;
+        regionsStale_ = true;
+    }
+
   private:
     /** Decode entry idx straight from the registers. */
     std::optional<PmpRegion> decodeRegion(unsigned idx) const;

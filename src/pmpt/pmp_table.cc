@@ -1,5 +1,6 @@
 #include "pmpt/pmp_table.h"
 
+#include "base/fault_inject.h"
 #include "base/logging.h"
 
 namespace hpmp
@@ -22,8 +23,26 @@ PmpTable::PmpTable(PhysMem &mem, FrameAllocator alloc, unsigned levels)
 void
 PmpTable::writeEntry(Addr slot, uint64_t value)
 {
+    // Fires *before* the store so an aborted transaction never has a
+    // half-visible pmpte; "pmpt.write_entry.flip" models a single-event
+    // upset in the store itself (it commits, corrupted).
+    if (FAULT_POINT("pmpt.write_entry"))
+        throw InjectedFault{"pmpt.write_entry"};
+    value = FaultInjector::instance().maybeFlipBit(
+        "pmpt.write_entry.flip", value);
+    if (journal_)
+        journal_->push_back({slot, mem_.read64(slot)});
     mem_.write64(slot, value);
     ++entryWrites_;
+}
+
+void
+PmpTable::rollbackMeta(size_t npages, uint64_t entry_writes)
+{
+    panic_if(npages > tablePages_.size() || npages == 0,
+             "rollback to an impossible table size");
+    tablePages_.resize(npages);
+    entryWrites_ = entry_writes;
 }
 
 Addr

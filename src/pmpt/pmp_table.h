@@ -65,6 +65,33 @@ class PmpTable
     /** Physical pages holding table nodes (root first). */
     const std::vector<Addr> &tablePages() const { return tablePages_; }
 
+    /**
+     * Undo journal for transactional monitor calls: while installed,
+     * every pmpte store records (slot, previous value) so an aborted
+     * call can restore the table bit-identically. The caller owns the
+     * vector and replays it in reverse via undoWrite().
+     */
+    struct JournalEntry
+    {
+        Addr slot = 0;
+        uint64_t oldValue = 0;
+    };
+    using Journal = std::vector<JournalEntry>;
+
+    void setJournal(Journal *journal) { journal_ = journal; }
+
+    /** Restore one journaled store (no entry-write accounting). */
+    void undoWrite(const JournalEntry &e) { mem_.write64(e.slot, e.oldValue); }
+
+    /**
+     * Roll table-growth metadata back to a snapshot taken before a
+     * failed transaction: drop node pages allocated since (their
+     * contents have already been restored through the journal and the
+     * frames themselves are reclaimed by the caller's frame allocator)
+     * and restore the entry-write counter.
+     */
+    void rollbackMeta(size_t npages, uint64_t entry_writes);
+
   private:
     /** Write one pmpte and account for it. */
     void writeEntry(Addr slot, uint64_t value);
@@ -87,6 +114,7 @@ class PmpTable
     Addr rootPa_;
     std::vector<Addr> tablePages_;
     uint64_t entryWrites_ = 0;
+    Journal *journal_ = nullptr;
 };
 
 } // namespace hpmp

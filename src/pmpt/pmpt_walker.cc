@@ -11,13 +11,37 @@ walkPmpTable(const PhysMem &mem, Addr root_pa, unsigned levels,
 {
     PmptWalkResult result;
 
+    // An unsupported depth can only come from a corrupted PmptBaseReg
+    // (reserved Mode values): deny, don't interpret.
+    if (levels < 2 || levels > 4) {
+        result.malformed = true;
+        return result;
+    }
+
+    // A pmpte reference outside physical memory is a malformed pointer
+    // chain, not a simulator bug: the slot is derived from table
+    // contents, which fault injection (or real-world corruption) can
+    // reach. PhysMem panics on out-of-range reads, so bound-check
+    // every slot before touching it.
+    auto slot_ok = [&mem](Addr slot) {
+        return slot + 8 > slot && slot + 8 <= mem.size();
+    };
+
     Addr node = root_pa;
     for (unsigned level = levels - 1; level >= 1; --level) {
         const Addr slot = node + indexAt(offset, level) * 8;
+        if (!slot_ok(slot)) {
+            result.malformed = true;
+            return result;
+        }
         result.refs.push_back({slot, level});
         const RootPmpte e{mem.read64(slot)};
         if (!e.v())
             return result; // invalid: access fails (paper §4.3)
+        if (e.reservedSet()) {
+            result.malformed = true;
+            return result;
+        }
         if (e.isHuge()) {
             result.valid = true;
             result.perm = e.perm();
@@ -28,10 +52,21 @@ walkPmpTable(const PhysMem &mem, Addr root_pa, unsigned levels,
     }
 
     const Addr slot = node + indexAt(offset, 0) * 8;
+    if (!slot_ok(slot)) {
+        result.malformed = true;
+        return result;
+    }
     result.refs.push_back({slot, 0});
     const LeafPmpte leaf{mem.read64(slot)};
+    const unsigned page = unsigned(pageIndex(offset));
+    if (leaf.reservedSet(page)) {
+        // Only the offending page's nibble is malformed; accesses to
+        // its 15 siblings through the same leaf still resolve.
+        result.malformed = true;
+        return result;
+    }
     result.valid = true;
-    result.perm = leaf.perm(unsigned(pageIndex(offset)));
+    result.perm = leaf.perm(page);
     return result;
 }
 

@@ -33,6 +33,15 @@ struct PmptWalkResult
     bool valid = false;   //!< invalid entry encountered -> access fails
     Perm perm;            //!< permission for the page (none if !valid)
     bool hugeHit = false; //!< resolved by a huge (non-leaf) pmpte
+    /**
+     * The walk hit a malformed pmpte: reserved bits set, a pointer
+     * outside physical memory, or an unsupported table depth. Table
+     * contents are monitor-written but reachable by injected bit flips
+     * (and, in a real deployment, by DRAM corruption), so malformed
+     * encodings deny the access instead of killing the simulator;
+     * valid is always false when this is set.
+     */
+    bool malformed = false;
     SmallVec<PmptRef, 4> refs;
 };
 

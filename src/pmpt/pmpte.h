@@ -107,6 +107,21 @@ struct RootPmpte
 
     Addr tablePa() const { return bits(raw, 48, 5) << kPageShift; }
 
+    /**
+     * Reserved bits that must be zero (Fig. 6-c): bit 4 and bits
+     * 63:49 always; a huge leaf additionally has no pointer field, so
+     * its PPN bits 48:5 must be zero too. A set reserved bit marks a
+     * malformed pmpte — the walker raises an access fault on the
+     * offending access rather than interpreting it.
+     */
+    bool
+    reservedSet() const
+    {
+        if (bits(raw, 4) || bits(raw, 63, 49))
+            return true;
+        return isHuge() && bits(raw, 48, 5) != 0;
+    }
+
     static RootPmpte
     pointer(Addr table_pa)
     {
@@ -139,6 +154,13 @@ struct LeafPmpte
     {
         const uint64_t nib = bits(raw, page_index * 4 + 3, page_index * 4);
         return Perm{bool(nib & 1), bool(nib & 2), bool(nib & 4)};
+    }
+
+    /** Reserved bit 3 of the page's nibble (Fig. 6-d) is set. */
+    bool
+    reservedSet(unsigned page_index) const
+    {
+        return bits(raw, page_index * 4 + 3);
     }
 
     void

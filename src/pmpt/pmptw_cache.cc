@@ -13,13 +13,21 @@ PmptwCache::PmptwCache(unsigned num_entries)
 std::optional<Perm>
 PmptwCache::lookup(Addr root_pa, uint64_t offset)
 {
+    if (const auto leaf = lookupLeaf(root_pa, offset))
+        return leaf->perm(unsigned(pmpt_geom::pageIndex(offset)));
+    return std::nullopt;
+}
+
+std::optional<LeafPmpte>
+PmptwCache::lookupLeaf(Addr root_pa, uint64_t offset)
+{
     if (!enabled())
         return std::nullopt;
     const uint32_t slot = index_.find(root_pa, offset >> 16);
     if (slot != LruIndex::kNone) {
         index_.touch(slot);
         ++hits_;
-        return leaves_[slot].perm(unsigned(pmpt_geom::pageIndex(offset)));
+        return leaves_[slot];
     }
     ++misses_;
     return std::nullopt;

@@ -40,6 +40,13 @@ class PmptwCache
      */
     std::optional<Perm> lookup(Addr root_pa, uint64_t offset);
 
+    /**
+     * Like lookup, but returns the whole cached leaf pmpte so the
+     * checker can see reserved nibble bits: a malformed permission
+     * must fault on a cache hit exactly as it does on a walk.
+     */
+    std::optional<LeafPmpte> lookupLeaf(Addr root_pa, uint64_t offset);
+
     /** Install the leaf pmpte covering offset after a walk. */
     void fill(Addr root_pa, uint64_t offset, LeafPmpte leaf);
 

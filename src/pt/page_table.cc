@@ -14,6 +14,8 @@ PageTable::PageTable(PhysMem &mem, FrameAllocator alloc, PagingMode mode,
 {
     const unsigned root_pages = 1u << root_extra_bits;
     rootPa_ = alloc_(root_pages);
+    fatal_if(rootPa_ == kAllocFailed,
+             "out of memory for the page-table root");
     panic_if(pageOffset(rootPa_) != 0, "unaligned root frame");
     for (unsigned i = 0; i < root_pages; ++i) {
         mem_.zeroPage(rootPa_ + i * kPageSize);
@@ -42,6 +44,8 @@ PageTable::map(Addr va, Addr pa, Perm perm, bool user, unsigned level,
         Pte pte{mem_.read64(slot)};
         if (!pte.v()) {
             const Addr frame = alloc_(1);
+            if (frame == kAllocFailed)
+                return false; // no frame for the intermediate table
             mem_.zeroPage(frame);
             ptPages_.push_back(frame);
             pte = Pte::pointer(frame);

@@ -46,7 +46,9 @@ class PageTable
      * By default leaves are created with A=D=1 so that hardware A/D
      * updates do not perturb reference counts; pass accessed=false to
      * exercise the update path.
-     * @return false if the mapping would overwrite an existing leaf.
+     * @return false if the mapping would overwrite an existing leaf,
+     *         or if the frame allocator failed (kAllocFailed) while
+     *         growing an intermediate table level.
      */
     bool map(Addr va, Addr pa, Perm perm, bool user, unsigned level = 0,
              bool accessed = true, bool dirty = true);

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * FaultInjector tests: plan semantics (Nth hit, probability,
+ * schedule, any-site), one-shot behavior, the disabled fast path and
+ * the bit-flip corruption helper's armAnyNth opt-out.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "base/fault_inject.h"
+
+namespace hpmp
+{
+namespace
+{
+
+/** Every test leaves the process-wide injector disabled. */
+class FaultInjectTest : public ::testing::Test
+{
+  protected:
+    FaultInjectTest() { injector.enable(42); }
+    ~FaultInjectTest() override { injector.disable(); }
+
+    FaultInjector &injector = FaultInjector::instance();
+};
+
+TEST(FaultInjectDisabled, NeverFires)
+{
+    FaultInjector &injector = FaultInjector::instance();
+    injector.disable();
+    EXPECT_FALSE(injector.enabled());
+    EXPECT_FALSE(FAULT_POINT("some.site"));
+    // Disabled hits are not even counted.
+    EXPECT_EQ(injector.totalHits(), 0u);
+}
+
+TEST_F(FaultInjectTest, NthHitFiresOnceThenDisarms)
+{
+    injector.armNth("a", 3);
+    EXPECT_FALSE(FAULT_POINT("a"));
+    EXPECT_FALSE(FAULT_POINT("a"));
+    EXPECT_TRUE(FAULT_POINT("a"));
+    EXPECT_FALSE(FAULT_POINT("a")); // one-shot
+    EXPECT_EQ(injector.hits("a"), 4u);
+}
+
+TEST_F(FaultInjectTest, NthIsRelativeToArmingTime)
+{
+    EXPECT_FALSE(FAULT_POINT("a"));
+    EXPECT_FALSE(FAULT_POINT("a"));
+    injector.armNth("a", 1); // the *next* hit, not the first ever
+    EXPECT_TRUE(FAULT_POINT("a"));
+}
+
+TEST_F(FaultInjectTest, SitesAreIndependent)
+{
+    injector.armNth("a", 1);
+    EXPECT_FALSE(FAULT_POINT("b"));
+    EXPECT_TRUE(FAULT_POINT("a"));
+}
+
+TEST_F(FaultInjectTest, ScheduleFiresOnListedHits)
+{
+    injector.armSchedule("s", {2, 4});
+    EXPECT_FALSE(FAULT_POINT("s"));
+    EXPECT_TRUE(FAULT_POINT("s"));
+    EXPECT_FALSE(FAULT_POINT("s"));
+    EXPECT_TRUE(FAULT_POINT("s"));
+    EXPECT_FALSE(FAULT_POINT("s"));
+}
+
+TEST_F(FaultInjectTest, ProbabilityExtremes)
+{
+    injector.armProb("always", 1.0);
+    injector.armProb("never", 0.0);
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_TRUE(FAULT_POINT("always"));
+        EXPECT_FALSE(FAULT_POINT("never"));
+    }
+}
+
+TEST_F(FaultInjectTest, AnyNthCountsAcrossSites)
+{
+    injector.armAnyNth(3);
+    EXPECT_FALSE(FAULT_POINT("a"));
+    EXPECT_FALSE(FAULT_POINT("b"));
+    EXPECT_TRUE(FAULT_POINT("c")); // third hit of any site
+    EXPECT_FALSE(FAULT_POINT("a")); // one-shot
+}
+
+TEST_F(FaultInjectTest, ClearPlansKeepsInjectorEnabled)
+{
+    injector.armNth("a", 1);
+    injector.clearPlans();
+    EXPECT_TRUE(injector.enabled());
+    EXPECT_FALSE(FAULT_POINT("a"));
+}
+
+TEST_F(FaultInjectTest, FiredLogRecordsOrder)
+{
+    injector.armNth("x", 1);
+    injector.armNth("y", 1);
+    EXPECT_TRUE(FAULT_POINT("y"));
+    EXPECT_TRUE(FAULT_POINT("x"));
+    ASSERT_EQ(injector.firedLog().size(), 2u);
+    EXPECT_EQ(injector.firedLog()[0], "y");
+    EXPECT_EQ(injector.firedLog()[1], "x");
+}
+
+TEST_F(FaultInjectTest, FlipBitFlipsExactlyOneBitWhenArmedByName)
+{
+    injector.armNth("flip", 1);
+    const uint64_t value = 0x0123456789abcdefULL;
+    const uint64_t flipped = injector.maybeFlipBit("flip", value);
+    EXPECT_EQ(std::popcount(value ^ flipped), 1);
+    // One-shot: the next store commits unmodified.
+    EXPECT_EQ(injector.maybeFlipBit("flip", value), value);
+}
+
+TEST_F(FaultInjectTest, FlipBitIgnoresAnyNthArming)
+{
+    // armAnyNth sweeps fail-stop sites; silent-corruption sites must
+    // only fire when armed by name, or a fuzzer auditing state would
+    // corrupt the very state it audits.
+    injector.armAnyNth(1);
+    const uint64_t value = 0xdeadbeefULL;
+    EXPECT_EQ(injector.maybeFlipBit("flip", value), value);
+    // The any-site plan stays armed for the next fail-stop site.
+    EXPECT_TRUE(FAULT_POINT("a"));
+}
+
+TEST_F(FaultInjectTest, SitesSeenReportsCoverage)
+{
+    (void)FAULT_POINT("cov.a");
+    (void)FAULT_POINT("cov.b");
+    const auto seen = injector.sitesSeen();
+    EXPECT_NE(std::find(seen.begin(), seen.end(), "cov.a"), seen.end());
+    EXPECT_NE(std::find(seen.begin(), seen.end(), "cov.b"), seen.end());
+}
+
+} // namespace
+} // namespace hpmp

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Command-line driver for the monitor chaos fuzzer.
+ *
+ * Runs randomized domain-lifecycle campaigns (monitor/chaos_engine.h)
+ * with fault injection armed and the isolation invariants checked
+ * after every operation. Deterministic per seed: any failure printed
+ * here is replayed exactly with
+ *
+ *     chaos_fuzz --seed <N> --scheme <s> --ops <n>
+ *
+ * Exit status 0 when every campaign is clean, 1 on the first failure
+ * (the failing seed and replay line are printed), 2 on bad usage.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "monitor/chaos_engine.h"
+
+namespace
+{
+
+using hpmp::ChaosConfig;
+using hpmp::ChaosStats;
+using hpmp::IsolationScheme;
+
+struct Options
+{
+    std::vector<uint64_t> seeds{1, 2, 3, 4, 5, 6, 7, 8};
+    unsigned ops = 1000;
+    double faultProb = 0.25;
+    bool fullDigest = true;
+    std::vector<IsolationScheme> schemes{IsolationScheme::Hpmp};
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--seed N | --seeds N,M,...] [--ops N]\n"
+        "          [--scheme pmp|pmpt|hpmp|all] [--fault-prob P]\n"
+        "          [--light-digest]\n",
+        argv0);
+}
+
+bool
+parseSchemes(const std::string &arg, std::vector<IsolationScheme> &out)
+{
+    out.clear();
+    if (arg == "pmp") {
+        out = {IsolationScheme::Pmp};
+    } else if (arg == "pmpt") {
+        out = {IsolationScheme::PmpTable};
+    } else if (arg == "hpmp") {
+        out = {IsolationScheme::Hpmp};
+    } else if (arg == "all") {
+        out = {IsolationScheme::Pmp, IsolationScheme::PmpTable,
+               IsolationScheme::Hpmp};
+    } else {
+        return false;
+    }
+    return true;
+}
+
+std::vector<uint64_t>
+parseSeedList(const std::string &arg)
+{
+    std::vector<uint64_t> seeds;
+    size_t pos = 0;
+    while (pos < arg.size()) {
+        size_t used = 0;
+        seeds.push_back(std::stoull(arg.substr(pos), &used));
+        pos += used;
+        if (pos < arg.size() && arg[pos] == ',')
+            ++pos;
+    }
+    return seeds;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--seed") {
+            opts.seeds = {std::strtoull(value(), nullptr, 0)};
+        } else if (arg == "--seeds") {
+            opts.seeds = parseSeedList(value());
+        } else if (arg == "--ops") {
+            opts.ops = unsigned(std::strtoul(value(), nullptr, 0));
+        } else if (arg == "--fault-prob") {
+            opts.faultProb = std::strtod(value(), nullptr);
+        } else if (arg == "--light-digest") {
+            opts.fullDigest = false;
+        } else if (arg == "--scheme") {
+            if (!parseSchemes(value(), opts.schemes)) {
+                usage(argv[0]);
+                return 2;
+            }
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (opts.seeds.empty() || opts.ops == 0) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    unsigned total_ops = 0;
+    unsigned total_faults = 0;
+    unsigned total_degraded = 0;
+    for (const IsolationScheme scheme : opts.schemes) {
+        for (const uint64_t seed : opts.seeds) {
+            ChaosConfig config;
+            config.seed = seed;
+            config.ops = opts.ops;
+            config.scheme = scheme;
+            config.faultProb = opts.faultProb;
+            config.fullDigest = opts.fullDigest;
+
+            const ChaosStats stats = hpmp::runChaos(config);
+            std::printf(
+                "chaos scheme=%-4s seed=%-3lu ops=%u ok=%u failed=%u "
+                "injected=%u degraded=%u rollback-checks=%u %s\n",
+                toString(scheme), (unsigned long)seed, stats.ops,
+                stats.okOps, stats.failedOps, stats.injectedFaults,
+                stats.degradedOps, stats.rollbackChecks,
+                stats.failed ? "FAIL" : "PASS");
+            if (stats.failed) {
+                std::printf("FAILING SEED: %lu\n", (unsigned long)seed);
+                std::printf("  %s\n", stats.failure.c_str());
+                std::printf("replay: chaos_fuzz --seed %lu --scheme %s "
+                            "--ops %u --fault-prob %g%s\n",
+                            (unsigned long)seed,
+                            scheme == IsolationScheme::Pmp ? "pmp"
+                            : scheme == IsolationScheme::PmpTable
+                                ? "pmpt"
+                                : "hpmp",
+                            opts.ops, opts.faultProb,
+                            opts.fullDigest ? "" : " --light-digest");
+                return 1;
+            }
+            total_ops += stats.ops;
+            total_faults += stats.injectedFaults;
+            total_degraded += stats.degradedOps;
+        }
+    }
+    std::printf("chaos: all campaigns clean (%u ops, %u injected faults, "
+                "%u degraded-mode ops)\n",
+                total_ops, total_faults, total_degraded);
+    return 0;
+}
