@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "base/logging.h"
+#include "base/stats.h"
 #include "core/machine.h"
 #include "hpmp/isolation.h"
 #include "pmpt/pmp_table.h"
@@ -23,6 +24,63 @@
 
 namespace hpmp::bench
 {
+
+/**
+ * --stats-json=FILE collector for the bench harnesses: each measured
+ * cell (one machine, one scheme/mode point) is captured as a named
+ * stats-registry dump and the whole run is written as one JSON
+ * document at destruction. With no --stats-json argument every call
+ * is a no-op, so bench stdout stays byte-identical.
+ */
+class StatsSink
+{
+  public:
+    StatsSink(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg.rfind("--stats-json=", 0) == 0)
+                path_ = arg.substr(std::string("--stats-json=").size());
+        }
+    }
+
+    ~StatsSink()
+    {
+        if (path_.empty())
+            return;
+        std::string out = "{\n  \"captures\": {\n";
+        out += body_;
+        out += "\n  }\n}\n";
+        std::FILE *f = std::fopen(path_.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+            return;
+        }
+        std::fwrite(out.data(), 1, out.size(), f);
+        std::fclose(f);
+        std::fprintf(stderr, "stats written to %s\n", path_.c_str());
+    }
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** Capture anything with registerStats(StatRegistry&). */
+    template <class M>
+    void
+    capture(const std::string &label, M &m)
+    {
+        if (path_.empty())
+            return;
+        StatRegistry registry;
+        m.registerStats(registry);
+        if (!body_.empty())
+            body_ += ",\n";
+        body_ += "    \"" + label + "\": " + registry.dumpJson();
+    }
+
+  private:
+    std::string path_;
+    std::string body_;
+};
 
 /** Print a header like "=== Figure 10: ... ===". */
 inline void

@@ -10,11 +10,12 @@
 #include "workloads/virt_env.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hpmp;
     using namespace hpmp::bench;
 
+    StatsSink sink(argc, argv);
     banner("Figure 8 / Section 6: 3D-walk reference counts "
            "(Sv39 guest, Sv39x4 nested, 2-level PMP Table)");
     row({"", "NPT", "GPT", "data", "pmpte", "total"});
@@ -29,6 +30,7 @@ main()
             env.vm().access(gva, AccessType::Load);
         if (!out.ok())
             fatal("virt access faulted: %s", toString(out.fault));
+        sink.capture(toString(scheme), env.vm());
         row({toString(scheme), std::to_string(out.nptRefs),
              std::to_string(out.gptRefs), std::to_string(out.dataRefs),
              std::to_string(out.pmptRefs),

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Reference attribution: who issued each memory reference?
+ *
+ * The paper's evaluation is an attribution argument — Fig. 2/8 count
+ * references per origin (data, PT level k, NPT level k, pmpte
+ * root/leaf), Fig. 10 breaks down where walk latency goes. Instead of
+ * each bench recomputing these from AccessOutcome fields, the access
+ * engines tag every reference they replay with a RefOrigin and feed
+ * one RefAttribution per machine: a per-origin count plus a per-origin
+ * latency Distribution, registered under the machine's stat group as
+ * "ref.<origin>.count" / "ref.<origin>.cycles". Figures then read
+ * straight out of the registry (or its --stats-json dump).
+ */
+
+#ifndef HPMP_BASE_ATTRIBUTION_H
+#define HPMP_BASE_ATTRIBUTION_H
+
+#include <cstdint>
+#include <string>
+
+#include "base/stats.h"
+
+namespace hpmp
+{
+
+/** Origin of one physical memory reference. */
+enum class RefOrigin : uint8_t
+{
+    Data = 0,   //!< the data/instruction reference itself
+    AdUpdate,   //!< hardware A/D-bit read-modify-write
+    PtL0,       //!< single-stage page-table read, level 0 (leaf)
+    PtL1,
+    PtL2,
+    PtL3,
+    PtL4,
+    GptL0,      //!< guest-PT page read (two-stage), level 0 (leaf)
+    GptL1,
+    GptL2,
+    GptL3,
+    NptL0,      //!< nested-PT page read (two-stage), level 0 (leaf)
+    NptL1,
+    NptL2,
+    NptL3,
+    PmpteRoot,  //!< permission-table root/upper-level pmpte read
+    PmpteMid,   //!< intermediate pmpte read (3/4-level tables)
+    PmpteLeaf,  //!< leaf pmpte read
+    NumOrigins,
+};
+
+inline const char *
+toString(RefOrigin origin)
+{
+    switch (origin) {
+      case RefOrigin::Data: return "data";
+      case RefOrigin::AdUpdate: return "ad";
+      case RefOrigin::PtL0: return "pt_l0";
+      case RefOrigin::PtL1: return "pt_l1";
+      case RefOrigin::PtL2: return "pt_l2";
+      case RefOrigin::PtL3: return "pt_l3";
+      case RefOrigin::PtL4: return "pt_l4";
+      case RefOrigin::GptL0: return "gpt_l0";
+      case RefOrigin::GptL1: return "gpt_l1";
+      case RefOrigin::GptL2: return "gpt_l2";
+      case RefOrigin::GptL3: return "gpt_l3";
+      case RefOrigin::NptL0: return "npt_l0";
+      case RefOrigin::NptL1: return "npt_l1";
+      case RefOrigin::NptL2: return "npt_l2";
+      case RefOrigin::NptL3: return "npt_l3";
+      case RefOrigin::PmpteRoot: return "pmpte_root";
+      case RefOrigin::PmpteMid: return "pmpte_mid";
+      case RefOrigin::PmpteLeaf: return "pmpte_leaf";
+      case RefOrigin::NumOrigins: break;
+    }
+    return "?";
+}
+
+/** PT-page read at walk level `level` (clamped to the Sv57 root). */
+inline RefOrigin
+ptOrigin(unsigned level)
+{
+    return RefOrigin(unsigned(RefOrigin::PtL0) + (level > 4 ? 4 : level));
+}
+
+inline RefOrigin
+gptOrigin(unsigned level)
+{
+    return RefOrigin(unsigned(RefOrigin::GptL0) + (level > 3 ? 3 : level));
+}
+
+inline RefOrigin
+nptOrigin(unsigned level)
+{
+    return RefOrigin(unsigned(RefOrigin::NptL0) + (level > 3 ? 3 : level));
+}
+
+/**
+ * pmpte read at PMPTW level `level` (levels-1 = root, 0 = leaf, per
+ * PmptRef): root and leaf get their own origins, anything between is
+ * "mid". A huge root pmpte resolving the walk is still a root read.
+ */
+inline RefOrigin
+pmptOrigin(unsigned level, unsigned levels)
+{
+    if (level == 0)
+        return RefOrigin::PmpteLeaf;
+    if (level + 1 >= levels)
+        return RefOrigin::PmpteRoot;
+    return RefOrigin::PmpteMid;
+}
+
+/**
+ * Per-origin reference accounting for one access engine. Constructed
+ * against the engine's StatGroup; record() is on the per-reference
+ * path, so it is one counter increment and one histogram sample.
+ */
+class RefAttribution
+{
+  public:
+    explicit RefAttribution(StatGroup &group)
+    {
+        for (unsigned i = 0; i < kN; ++i) {
+            const std::string base =
+                std::string("ref.") + toString(RefOrigin(i));
+            group.add(base + ".count", &counts_[i]);
+            group.add(base + ".cycles", &cycles_[i]);
+        }
+    }
+
+    void
+    record(RefOrigin origin, uint64_t cycles)
+    {
+        const unsigned i = unsigned(origin);
+        ++counts_[i];
+        cycles_[i].sample(cycles);
+    }
+
+    uint64_t count(RefOrigin origin) const
+    {
+        return counts_[unsigned(origin)].value();
+    }
+
+    const Distribution &cycles(RefOrigin origin) const
+    {
+        return cycles_[unsigned(origin)];
+    }
+
+    /** References recorded across all origins. */
+    uint64_t
+    total() const
+    {
+        uint64_t sum = 0;
+        for (const Counter &c : counts_)
+            sum += c.value();
+        return sum;
+    }
+
+  private:
+    static constexpr unsigned kN = unsigned(RefOrigin::NumOrigins);
+
+    Counter counts_[kN];
+    Distribution cycles_[kN];
+};
+
+} // namespace hpmp
+
+#endif // HPMP_BASE_ATTRIBUTION_H

@@ -1,0 +1,143 @@
+#include "base/trace.h"
+
+#include <cstdarg>
+
+namespace hpmp
+{
+
+const char *
+toString(TraceFlag flag)
+{
+    switch (flag) {
+      case TraceFlag::Walk: return "Walk";
+      case TraceFlag::Hpmp: return "Hpmp";
+      case TraceFlag::Pmpt: return "Pmpt";
+      case TraceFlag::Monitor: return "Monitor";
+      case TraceFlag::Fault: return "Fault";
+      case TraceFlag::Tlb: return "Tlb";
+      case TraceFlag::NumFlags: break;
+    }
+    return "?";
+}
+
+TraceRing::TraceRing(size_t capacity)
+    : events_(capacity),
+      capacity_(capacity)
+{
+}
+
+void
+TraceRing::setCapacity(size_t capacity)
+{
+    capacity_ = capacity;
+    events_.assign(capacity, TraceEvent{});
+    head_ = 0;
+    size_ = 0;
+    recorded_ = 0;
+}
+
+const TraceEvent &
+TraceRing::at(size_t i) const
+{
+    // With a full ring head_ points at the oldest event; before that
+    // the oldest is slot 0.
+    const size_t oldest = size_ == capacity_ ? head_ : 0;
+    return events_[(oldest + i) % capacity_];
+}
+
+void
+TraceRing::clear()
+{
+    head_ = 0;
+    size_ = 0;
+    recorded_ = 0;
+}
+
+std::string
+TraceRing::dumpChromeJson() const
+{
+    std::string out = "{\"traceEvents\": [\n";
+    for (size_t i = 0; i < size_; ++i) {
+        const TraceEvent &e = at(i);
+        if (i)
+            out += ",\n";
+        char buf[256];
+        std::snprintf(
+            buf, sizeof(buf),
+            "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+            "\"ts\": %llu, \"dur\": %llu, \"pid\": 0, \"tid\": 0, "
+            "\"args\": {\"a0\": %llu, \"a1\": %llu}}",
+            e.name, toString(e.flag), (unsigned long long)e.tick,
+            (unsigned long long)e.dur, (unsigned long long)e.a0,
+            (unsigned long long)e.a1);
+        out += buf;
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+bool
+TraceRing::writeChromeJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const std::string json = dumpChromeJson();
+    const bool ok =
+        std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+bool
+Tracer::enableByName(const std::string &names)
+{
+    size_t pos = 0;
+    while (pos < names.size()) {
+        size_t comma = names.find(',', pos);
+        if (comma == std::string::npos)
+            comma = names.size();
+        const std::string name = names.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty())
+            continue;
+        if (name == "All" || name == "all") {
+            for (unsigned i = 0; i < unsigned(TraceFlag::NumFlags); ++i)
+                enable(TraceFlag(i));
+            continue;
+        }
+        bool found = false;
+        for (unsigned i = 0; i < unsigned(TraceFlag::NumFlags); ++i) {
+            if (name == toString(TraceFlag(i))) {
+                enable(TraceFlag(i));
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return false;
+    }
+    return true;
+}
+
+void
+Tracer::print(TraceFlag flag, const char *fmt, ...)
+{
+    ++printed_;
+    if (silenced_)
+        return;
+    std::FILE *out = out_ ? out_ : stderr;
+    std::fprintf(out, "%s: ", toString(flag));
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(out, fmt, args);
+    va_end(args);
+}
+
+} // namespace hpmp

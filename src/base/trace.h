@@ -1,0 +1,249 @@
+/**
+ * @file
+ * gem5-DPRINTF-style debug tracer with runtime-selectable flags and a
+ * bounded in-memory event ring.
+ *
+ * Call sites name a debug flag and pay one load + one branch when the
+ * flag is off:
+ *
+ *     DPRINTF(Walk, "walk va=%#lx refs=%u\n", va, refs);
+ *     TRACE_EVENT(Monitor, tick, cycles, "addGms", id, base);
+ *
+ * Flags (Walk, Hpmp, Pmpt, Monitor, Fault, Tlb) are enabled at runtime
+ * by name ("--trace=Walk,Tlb" in the tools, Tracer::enableByName in
+ * tests). TRACE_EVENT additionally records into a bounded ring that
+ * can be dumped as chrome://tracing JSON for a window of accesses —
+ * the "why did this access cost what it did" view.
+ *
+ * Building with -DHPMP_TRACING=OFF (cmake) defines HPMP_TRACE_ENABLED=0:
+ * both macros compile to nothing, trace.cc drops out of the build, and
+ * the binaries contain no tracer symbols at all. The release CI job
+ * asserts exactly that, so observability stays free when off.
+ */
+
+#ifndef HPMP_BASE_TRACE_H
+#define HPMP_BASE_TRACE_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#ifndef HPMP_TRACE_ENABLED
+#define HPMP_TRACE_ENABLED 1
+#endif
+
+namespace hpmp
+{
+
+/** Debug-trace categories, one bit each. */
+enum class TraceFlag : uint8_t
+{
+    Walk = 0, //!< page-table / two-stage walks and their references
+    Hpmp,     //!< HPMP register programming and checks
+    Pmpt,     //!< PMP-table builds and PMPTW walks
+    Monitor,  //!< monitor calls, layouts, rollbacks
+    Fault,    //!< fault-injection sites firing
+    Tlb,      //!< TLB/PWC/PMPTW-cache fills and flushes
+    NumFlags,
+};
+
+/** One recorded event (chrome://tracing "complete" event). */
+struct TraceEvent
+{
+    uint64_t tick = 0;  //!< start, simulated cycles
+    uint64_t dur = 0;   //!< duration, simulated cycles
+    uint64_t a0 = 0;    //!< free-form args (address, id, count...)
+    uint64_t a1 = 0;
+    const char *name = ""; //!< must be a string literal
+    TraceFlag flag = TraceFlag::Walk;
+};
+
+#if HPMP_TRACE_ENABLED
+
+const char *toString(TraceFlag flag);
+
+/**
+ * Bounded ring of trace events: recording never allocates after
+ * construction and overflow drops the oldest events, so it is safe to
+ * leave recording on across a long run and dump only the final window.
+ */
+class TraceRing
+{
+  public:
+    explicit TraceRing(size_t capacity = 4096);
+
+    /** Resize (drops current contents). Capacity 0 disables recording. */
+    void setCapacity(size_t capacity);
+    size_t capacity() const { return capacity_; }
+
+    void
+    record(const TraceEvent &event)
+    {
+        if (capacity_ == 0)
+            return;
+        events_[head_] = event;
+        head_ = (head_ + 1) % capacity_;
+        if (size_ < capacity_)
+            ++size_;
+        ++recorded_;
+    }
+
+    /** Events currently held (<= capacity). */
+    size_t size() const { return size_; }
+    /** Events recorded since the last clear, including dropped ones. */
+    uint64_t recorded() const { return recorded_; }
+    /** Events lost to overflow. */
+    uint64_t dropped() const { return recorded_ - size_; }
+
+    /** The i-th oldest retained event (0 = oldest). */
+    const TraceEvent &at(size_t i) const;
+
+    void clear();
+
+    /** Render the retained window as chrome://tracing JSON. */
+    std::string dumpChromeJson() const;
+
+    /** Write dumpChromeJson() to a file. @return false on I/O failure. */
+    bool writeChromeJson(const std::string &path) const;
+
+  private:
+    std::vector<TraceEvent> events_;
+    size_t capacity_;
+    size_t head_ = 0; //!< next slot to write
+    size_t size_ = 0;
+    uint64_t recorded_ = 0;
+};
+
+/** Process-wide tracer: flag mask, sink, and the event ring. */
+class Tracer
+{
+  public:
+    static Tracer &instance();
+
+    bool
+    enabled(TraceFlag flag) const
+    {
+        return mask_ & (1u << unsigned(flag));
+    }
+
+    /** Anything at all enabled? Gates tick bookkeeping in hot loops. */
+    bool anyEnabled() const { return mask_ != 0; }
+
+    void enable(TraceFlag flag) { mask_ |= 1u << unsigned(flag); }
+    void disable(TraceFlag flag) { mask_ &= ~(1u << unsigned(flag)); }
+    void disableAll() { mask_ = 0; }
+
+    /**
+     * Enable a comma-separated flag list ("Walk,Tlb"; "All" turns on
+     * everything). @return false if any name is unknown.
+     */
+    bool enableByName(const std::string &names);
+
+    /** printf to the trace sink, prefixed with the flag name. */
+    void print(TraceFlag flag, const char *fmt, ...)
+        __attribute__((format(printf, 3, 4)));
+
+    /** Lines printed since construction (tests assert on this). */
+    uint64_t printed() const { return printed_; }
+
+    /**
+     * Redirect output (default stderr); nullptr silences printing
+     * while printed() keeps counting (for tests).
+     */
+    void setOutput(std::FILE *out) { out_ = out; silenced_ = !out; }
+
+    TraceRing &ring() { return ring_; }
+
+  private:
+    Tracer() = default;
+
+    uint32_t mask_ = 0;
+    uint64_t printed_ = 0;
+    std::FILE *out_ = nullptr; //!< nullptr = stderr unless silenced
+    bool silenced_ = false;
+    TraceRing ring_;
+};
+
+/** Debug print, compiled out entirely with HPMP_TRACING=OFF. */
+#define DPRINTF(flag, ...)                                              \
+    do {                                                                \
+        if (::hpmp::Tracer::instance().enabled(                          \
+                ::hpmp::TraceFlag::flag)) {                             \
+            ::hpmp::Tracer::instance().print(::hpmp::TraceFlag::flag,    \
+                                            __VA_ARGS__);               \
+        }                                                               \
+    } while (0)
+
+/** Record one ring event when `flag` is enabled. */
+#define TRACE_EVENT(flag, tick, dur, name, a0, a1)                      \
+    do {                                                                \
+        if (::hpmp::Tracer::instance().enabled(                          \
+                ::hpmp::TraceFlag::flag)) {                             \
+            ::hpmp::Tracer::instance().ring().record(                    \
+                {(tick), (dur), (a0), (a1), (name),                     \
+                 ::hpmp::TraceFlag::flag});                             \
+        }                                                               \
+    } while (0)
+
+#else // !HPMP_TRACE_ENABLED
+
+/**
+ * Tracing compiled out: macros vanish and the classes collapse to
+ * inline no-op stubs so tools keep compiling (their --trace options
+ * simply report tracing as unavailable). trace.cc is not built, so no
+ * tracer symbol reaches the binaries.
+ */
+inline const char *toString(TraceFlag) { return "?"; }
+
+class TraceRing
+{
+  public:
+    constexpr explicit TraceRing(size_t = 0) {}
+    void setCapacity(size_t) {}
+    size_t capacity() const { return 0; }
+    void record(const TraceEvent &) {}
+    size_t size() const { return 0; }
+    uint64_t recorded() const { return 0; }
+    uint64_t dropped() const { return 0; }
+    void clear() {}
+    std::string dumpChromeJson() const { return "{\"traceEvents\": []}\n"; }
+    bool writeChromeJson(const std::string &) const { return false; }
+};
+
+class Tracer
+{
+  public:
+    static Tracer &
+    instance()
+    {
+        static Tracer tracer;
+        return tracer;
+    }
+
+    bool enabled(TraceFlag) const { return false; }
+    bool anyEnabled() const { return false; }
+    void enable(TraceFlag) {}
+    void disable(TraceFlag) {}
+    void disableAll() {}
+    bool enableByName(const std::string &) { return false; }
+    uint64_t printed() const { return 0; }
+    void setOutput(std::FILE *) {}
+    TraceRing &ring() { return ring_; }
+
+  private:
+    TraceRing ring_;
+};
+
+#define DPRINTF(flag, ...)                                              \
+    do {                                                                \
+    } while (0)
+#define TRACE_EVENT(flag, tick, dur, name, a0, a1)                      \
+    do {                                                                \
+    } while (0)
+
+#endif // HPMP_TRACE_ENABLED
+
+} // namespace hpmp
+
+#endif // HPMP_BASE_TRACE_H

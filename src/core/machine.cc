@@ -1,6 +1,7 @@
 #include "core/machine.h"
 
 #include "base/logging.h"
+#include "base/trace.h"
 #include "core/core_model.h"
 
 namespace hpmp
@@ -21,6 +22,21 @@ Machine::Machine(const MachineParams &params)
     stats_.add("pmpt_refs", &statPmptRefs_);
     stats_.add("page_faults", &statPageFaults_);
     stats_.add("access_faults", &statAccessFaults_);
+    stats_.add("walk_cycles", &statWalkCycles_);
+    tlb_->registerStats(tlbStats_);
+    pwc_->registerStats(pwcStats_);
+    hpmp_->registerStats(hpmpStats_);
+    hpmp_->pmptwCache().registerStats(pmptwStats_);
+}
+
+void
+Machine::registerStats(StatRegistry &registry)
+{
+    registry.add(&stats_);
+    registry.add(&tlbStats_);
+    registry.add(&pwcStats_);
+    registry.add(&hpmpStats_);
+    registry.add(&pmptwStats_);
 }
 
 namespace
@@ -65,9 +81,16 @@ Fault
 Machine::checkPhys(Addr pa, AccessType type, AccessOutcome &out)
 {
     HpmpCheckResult check = hpmp_->check(pa, 8, type, priv_);
+    // The walker emits its references root-first, so the first ref's
+    // level tells us how deep this table is (for root/mid/leaf
+    // attribution). A PMPTW-Cache hit emits no references at all.
+    const unsigned levels =
+        check.pmptRefs.empty() ? 0 : check.pmptRefs[0].level + 1;
     for (const PmptRef &ref : check.pmptRefs) {
-        out.cycles += params_.pmptwStepCycles;
-        out.cycles += hier_->access(ref.pa, false).cycles;
+        const uint64_t ref_cycles =
+            params_.pmptwStepCycles + hier_->access(ref.pa, false).cycles;
+        out.cycles += ref_cycles;
+        attr_.record(pmptOrigin(ref.level, levels), ref_cycles);
         ++out.pmptRefs;
     }
     if (check.viaCache)
@@ -88,8 +111,10 @@ Machine::access(Addr va, AccessType type)
 {
     AccessOutcome out = accessInner(va, type);
     ++statAccesses_;
-    if (!out.tlbHit && translationOn_)
+    if (!out.tlbHit && translationOn_) {
         ++statWalks_;
+        statWalkCycles_.sample(out.cycles);
+    }
     statPtRefs_ += out.ptRefs + out.adRefs;
     statPmptRefs_ += out.pmptRefs;
     if (isAccessFault(out.fault))
@@ -110,6 +135,8 @@ Machine::accessBatch(std::span<const AccessRequest> reqs, CoreModel *model,
         ++b.accesses;
         if (out.tlbHit)
             ++b.tlbHits;
+        else if (translationOn_)
+            statWalkCycles_.sample(out.cycles);
         b.cycles += out.cycles;
         b.ptRefs += out.ptRefs;
         b.adRefs += out.adRefs;
@@ -151,7 +178,10 @@ Machine::accessInner(Addr va, AccessType type)
         out.fault = checkPhys(va, type, out);
         if (out.fault != Fault::None)
             return out;
-        out.cycles += hier_->access(va, is_store, is_fetch).cycles;
+        const uint64_t data_cycles =
+            hier_->access(va, is_store, is_fetch).cycles;
+        out.cycles += data_cycles;
+        attr_.record(RefOrigin::Data, data_cycles);
         out.dataRefs = 1;
         return out;
     }
@@ -173,7 +203,10 @@ Machine::accessInner(Addr va, AccessType type)
             return out;
 
         const Addr pa = entry->translate(va);
-        out.cycles += hier_->access(pa, is_store, is_fetch).cycles;
+        const uint64_t data_cycles =
+            hier_->access(pa, is_store, is_fetch).cycles;
+        out.cycles += data_cycles;
+        attr_.record(RefOrigin::Data, data_cycles);
         out.dataRefs = 1;
         return out;
     }
@@ -199,10 +232,13 @@ Machine::accessInner(Addr va, AccessType type)
         if (out.fault != Fault::None)
             return out;
 
-        out.cycles += hier_->access(ref.pa, ref.write).cycles;
+        const uint64_t ref_cycles = hier_->access(ref.pa, ref.write).cycles;
+        out.cycles += ref_cycles;
         if (ref.write) {
+            attr_.record(RefOrigin::AdUpdate, ref_cycles);
             ++out.adRefs;
         } else {
+            attr_.record(ptOrigin(ref.level), ref_cycles);
             ++out.ptRefs;
             const Pte pte{mem_->read64(ref.pa)};
             if (pte.v())
@@ -219,8 +255,17 @@ Machine::accessInner(Addr va, AccessType type)
     out.fault = checkPhys(walk.pa, type, out);
     if (out.fault != Fault::None)
         return out;
-    out.cycles += hier_->access(walk.pa, is_store, is_fetch).cycles;
+    const uint64_t data_cycles =
+        hier_->access(walk.pa, is_store, is_fetch).cycles;
+    out.cycles += data_cycles;
+    attr_.record(RefOrigin::Data, data_cycles);
     out.dataRefs = 1;
+
+    DPRINTF(Walk, "va=%#lx pa=%#lx pt=%u ad=%u pmpt=%u cycles=%lu\n",
+            va, walk.pa, out.ptRefs, out.adRefs, out.pmptRefs,
+            (unsigned long)out.cycles);
+    TRACE_EVENT(Walk, statAccesses_.value(), out.cycles, "walk", va,
+                walk.pa);
 
     const uint64_t span = pageSizeAtLevel(walk.leafLevel);
     tlb_->fill(va, walk.pa - (va & (span - 1)), walk.perm,

@@ -23,6 +23,7 @@
 #include <memory>
 #include <span>
 
+#include "base/attribution.h"
 #include "base/stats.h"
 #include "core/params.h"
 #include "core/pwc.h"
@@ -141,6 +142,17 @@ class Machine
     /** Aggregate counters ("machine.*"): accesses, walks, faults... */
     StatGroup &stats() { return stats_; }
 
+    /** Per-origin reference counts/latencies ("machine.ref.*"). */
+    const RefAttribution &refAttr() const { return attr_; }
+    RefAttribution &refAttr() { return attr_; }
+
+    /**
+     * Register every stat group of this machine and its components
+     * ("machine", "machine.tlb", "machine.pwc", "machine.hpmp",
+     * "machine.hpmp.pmptw_cache") with a registry for dumping.
+     */
+    void registerStats(StatRegistry &registry);
+
   private:
     MachineParams params_;
     std::unique_ptr<PhysMem> mem_;
@@ -158,12 +170,18 @@ class Machine
     AccessOutcome accessInner(Addr va, AccessType type);
 
     StatGroup stats_{"machine"};
+    StatGroup tlbStats_{"machine.tlb"};
+    StatGroup pwcStats_{"machine.pwc"};
+    StatGroup hpmpStats_{"machine.hpmp"};
+    StatGroup pmptwStats_{"machine.hpmp.pmptw_cache"};
     Counter statAccesses_;
     Counter statWalks_;
     Counter statPtRefs_;
     Counter statPmptRefs_;
     Counter statPageFaults_;
     Counter statAccessFaults_;
+    Distribution statWalkCycles_; //!< end-to-end cycles of TLB-miss accesses
+    RefAttribution attr_{stats_};
 
     static constexpr unsigned kL2TlbPenalty = 2;
 };

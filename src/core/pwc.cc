@@ -1,5 +1,8 @@
 #include "core/pwc.h"
 
+#include "base/fault_inject.h"
+#include "base/trace.h"
+
 namespace hpmp
 {
 
@@ -30,6 +33,10 @@ Pwc::fill(unsigned level, Addr va, Pte pte)
 {
     if (!enabled())
         return;
+    // Benign to drop: the walker re-reads the PTE on the next miss.
+    if (FAULT_POINT("pwc.fill"))
+        return;
+    DPRINTF(Tlb, "pwc fill level=%u va=%#lx\n", level, va);
     const uint64_t key = keyFor(level, va);
     uint32_t slot = index_.find(key);
     if (slot != LruIndex::kNone)
@@ -53,6 +60,18 @@ void
 Pwc::flush()
 {
     index_.clear();
+}
+
+void
+Pwc::registerStats(StatGroup &group)
+{
+    group.add("hits", &hits_);
+    group.add("misses", &misses_);
+    hitRate_ = Formula([this]() {
+        const double total = double(hits_.value() + misses_.value());
+        return total ? double(hits_.value()) / total : 0.0;
+    });
+    group.add("hit_rate", &hitRate_);
 }
 
 } // namespace hpmp

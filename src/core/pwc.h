@@ -54,6 +54,9 @@ class Pwc
     uint64_t misses() const { return misses_.value(); }
     void resetStats() { hits_.reset(); misses_.reset(); }
 
+    /** Register hits/misses and hit_rate into `group`. */
+    void registerStats(StatGroup &group);
+
   private:
     static uint64_t
     keyFor(unsigned level, Addr va)
@@ -69,6 +72,7 @@ class Pwc
 
     Counter hits_;
     Counter misses_;
+    Formula hitRate_;
 };
 
 } // namespace hpmp

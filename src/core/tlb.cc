@@ -1,6 +1,8 @@
 #include "core/tlb.h"
 
 #include "base/bitfield.h"
+#include "base/fault_inject.h"
+#include "base/trace.h"
 
 namespace hpmp
 {
@@ -22,6 +24,12 @@ void
 Tlb::fill(Addr va, Addr pa_base, Perm perm, Perm phys_perm, bool user,
           unsigned level, Perm g_perm)
 {
+    // A dropped fill is benign — the next access just misses again —
+    // which is exactly why the fuzzer is allowed to drop them.
+    if (FAULT_POINT("tlb.fill"))
+        return;
+    DPRINTF(Tlb, "fill va=%#lx pa=%#lx level=%u\n", va, pa_base, level);
+
     TlbEntry entry;
     entry.vpn = pageNumber(va) >> (9 * level);
     entry.ppn = pageNumber(pa_base);
@@ -64,6 +72,7 @@ Tlb::fill(Addr va, Addr pa_base, Perm perm, Perm phys_perm, bool user,
 void
 Tlb::flushAll()
 {
+    DPRINTF(Tlb, "flushAll\n");
     for (auto &entry : l1_)
         entry.valid = false;
     l1Index_.clear();
@@ -99,6 +108,21 @@ Tlb::resetStats()
     l1Hits_.reset();
     l2Hits_.reset();
     misses_.reset();
+}
+
+void
+Tlb::registerStats(StatGroup &group)
+{
+    group.add("l1_hits", &l1Hits_);
+    group.add("l2_hits", &l2Hits_);
+    group.add("misses", &misses_);
+    hitRate_ = Formula([this]() {
+        const double total =
+            double(l1Hits_.value() + l2Hits_.value() + misses_.value());
+        return total ? double(l1Hits_.value() + l2Hits_.value()) / total
+                     : 0.0;
+    });
+    group.add("hit_rate", &hitRate_);
 }
 
 } // namespace hpmp

@@ -133,6 +133,9 @@ class Tlb
     uint64_t misses() const { return misses_.value(); }
     void resetStats();
 
+    /** Register l1_hits/l2_hits/misses and hit_rate into `group`. */
+    void registerStats(StatGroup &group);
+
   private:
     /** Leaf levels a TLB entry can cache (Sv57 root leaf = level 4). */
     static constexpr unsigned kMaxLeafLevels = 5;
@@ -195,6 +198,7 @@ class Tlb
     Counter l1Hits_;
     Counter l2Hits_;
     Counter misses_;
+    Formula hitRate_;
 };
 
 } // namespace hpmp

@@ -1,5 +1,7 @@
 #include "core/virt_machine.h"
 
+#include "base/trace.h"
+
 namespace hpmp
 {
 
@@ -21,6 +23,10 @@ VirtMachine::VirtMachine(const MachineParams &params)
     stats_.add("pmpt_refs", &statPmptRefs_);
     stats_.add("gtlb_hits", &statGTlbHits_);
     stats_.add("faults", &statFaults_);
+    stats_.add("walk_cycles", &statWalkCycles_);
+    combinedTlb_.registerStats(tlbStats_);
+    gStageTlb_.registerStats(gtlbStats_);
+    vsPwc_.registerStats(vsPwcStats_);
 
     gtlbHooks_.lookup =
         [this](Addr gpa_page, AccessType t) -> std::optional<GStageHit> {
@@ -67,13 +73,25 @@ VirtMachine::coldReset()
 }
 
 void
+VirtMachine::registerStats(StatRegistry &registry)
+{
+    registry.add(&stats_);
+    registry.add(&tlbStats_);
+    registry.add(&gtlbStats_);
+    registry.add(&vsPwcStats_);
+    machine_.registerStats(registry);
+}
+
+void
 VirtMachine::account(const VirtAccessOutcome &out)
 {
     ++statAccesses_;
-    if (out.tlbHit)
+    if (out.tlbHit) {
         ++statTlbHits_;
-    else
+    } else {
         ++statWalks_;
+        statWalkCycles_.sample(out.cycles);
+    }
     statNptRefs_ += out.nptRefs;
     statGptRefs_ += out.gptRefs;
     statDataRefs_ += out.dataRefs;
@@ -100,6 +118,8 @@ VirtMachine::accessBatch(std::span<const AccessRequest> reqs)
         ++batch.accesses;
         if (out.tlbHit)
             ++batch.tlbHits;
+        else
+            statWalkCycles_.sample(out.cycles);
         if (!out.ok())
             ++batch.faults;
         batch.cycles += out.cycles;
@@ -143,7 +163,10 @@ VirtMachine::accessInner(Addr gva, AccessType type)
         if (out.fault != Fault::None)
             return out;
         const Addr spa = entry->translate(gva);
-        out.cycles += machine_.hier().access(spa, is_store, is_fetch).cycles;
+        const uint64_t data_cycles =
+            machine_.hier().access(spa, is_store, is_fetch).cycles;
+        out.cycles += data_cycles;
+        attr_.record(RefOrigin::Data, data_cycles);
         out.dataRefs = 1;
         return out;
     }
@@ -170,14 +193,24 @@ VirtMachine::accessInner(Addr gva, AccessType type)
         if (out.fault != Fault::None)
             return out;
 
-        out.cycles +=
+        const uint64_t ref_cycles =
             machine_.hier().access(ref.spa, ref.write,
                                    ref.kind == VirtRefKind::Data &&
                                        is_fetch).cycles;
+        out.cycles += ref_cycles;
         switch (ref.kind) {
-          case VirtRefKind::NptPage: ++out.nptRefs; break;
-          case VirtRefKind::GptPage: ++out.gptRefs; break;
-          case VirtRefKind::Data: ++out.dataRefs; break;
+          case VirtRefKind::NptPage:
+            attr_.record(nptOrigin(ref.level), ref_cycles);
+            ++out.nptRefs;
+            break;
+          case VirtRefKind::GptPage:
+            attr_.record(gptOrigin(ref.level), ref_cycles);
+            ++out.gptRefs;
+            break;
+          case VirtRefKind::Data:
+            attr_.record(RefOrigin::Data, ref_cycles);
+            ++out.dataRefs;
+            break;
         }
     }
 
@@ -185,6 +218,13 @@ VirtMachine::accessInner(Addr gva, AccessType type)
         out.fault = walk.fault;
         return out;
     }
+
+    DPRINTF(Walk,
+            "3D gva=%#lx spa=%#lx npt=%u gpt=%u pmpt=%u cycles=%lu\n",
+            gva, walk.spa, out.nptRefs, out.gptRefs, out.pmptRefs,
+            (unsigned long)out.cycles);
+    TRACE_EVENT(Walk, statAccesses_.value(), out.cycles, "3d_walk", gva,
+                walk.spa);
 
     // Cache the combined translation at the largest size both stages
     // map contiguously, with the real leaf attributes.

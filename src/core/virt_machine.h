@@ -102,6 +102,15 @@ class VirtMachine
     /** Aggregate counters ("virt_machine.*"). */
     StatGroup &stats() { return stats_; }
 
+    /** Per-origin guest reference counts/latencies ("virt_machine.ref.*"). */
+    const RefAttribution &refAttr() const { return attr_; }
+
+    /**
+     * Register this machine's groups ("virt_machine", its TLB/PWC
+     * children) plus the wrapped host machine's groups with a registry.
+     */
+    void registerStats(StatRegistry &registry);
+
   private:
     /** The access path proper (stats wrappers live in access()). */
     VirtAccessOutcome accessInner(Addr gva, AccessType type);
@@ -123,6 +132,9 @@ class VirtMachine
     VsPwcHooks pwcHooks_;
 
     StatGroup stats_{"virt_machine"};
+    StatGroup tlbStats_{"virt_machine.tlb"};
+    StatGroup gtlbStats_{"virt_machine.gtlb"};
+    StatGroup vsPwcStats_{"virt_machine.vs_pwc"};
     Counter statAccesses_;
     Counter statTlbHits_;
     Counter statWalks_;
@@ -132,6 +144,8 @@ class VirtMachine
     Counter statPmptRefs_;
     Counter statGTlbHits_;
     Counter statFaults_;
+    Distribution statWalkCycles_; //!< end-to-end cycles of 3D-walk accesses
+    RefAttribution attr_{stats_};
 };
 
 } // namespace hpmp

@@ -2,6 +2,7 @@
 
 #include "base/fault_inject.h"
 #include "base/logging.h"
+#include "base/trace.h"
 
 namespace hpmp
 {
@@ -22,6 +23,9 @@ HpmpUnit::programSegment(unsigned idx, Addr base, uint64_t size, Perm perm)
     // exactly the state the monitor's transactions must never expose.
     if (FAULT_POINT("hpmp.program_segment"))
         throw InjectedFault{"hpmp.program_segment"};
+    DPRINTF(Hpmp, "programSegment idx=%u base=%#lx size=%#lx perm=%c%c%c\n",
+            idx, base, size, perm.r ? 'r' : '-', perm.w ? 'w' : '-',
+            perm.x ? 'x' : '-');
     regs_.setAddr(idx, PmpUnit::encodeNapot(base, size));
     regs_.setCfg(idx, PmpCfg::make(perm, PmpAddrMode::Napot));
     csrWrites_ += 2;
@@ -40,6 +44,9 @@ HpmpUnit::programTable(unsigned idx, Addr base, uint64_t size,
              size, pmpt_geom::coverage(levels));
     if (FAULT_POINT("hpmp.program_table"))
         throw InjectedFault{"hpmp.program_table"};
+    DPRINTF(Hpmp,
+            "programTable idx=%u base=%#lx size=%#lx root=%#lx levels=%u\n",
+            idx, base, size, table_root, levels);
     regs_.setAddr(idx, PmpUnit::encodeNapot(base, size));
     regs_.setCfg(idx, PmpCfg::make(Perm::none(), PmpAddrMode::Napot,
                                    /*lock=*/false, /*t=*/true));
@@ -56,6 +63,7 @@ HpmpUnit::disable(unsigned idx)
 {
     if (FAULT_POINT("hpmp.disable"))
         throw InjectedFault{"hpmp.disable"};
+    DPRINTF(Hpmp, "disable idx=%u\n", idx);
     regs_.disable(idx);
     csrWrites_ += 2;
     pmptwCache_.flush();
@@ -71,14 +79,19 @@ HpmpUnit::check(Addr pa, uint64_t size, AccessType type, PrivMode priv)
     if (priv == PrivMode::Machine)
         return result;
 
+    ++checks_;
     const int idx = regs_.findMatch(pa, size);
     result.entry = idx;
     if (idx < 0) {
         result.fault = accessFaultFor(type);
+        ++denials_;
+        DPRINTF(Hpmp, "deny pa=%#lx: no matching entry\n", pa);
         return result;
     }
     if (!regs_.coversAll(unsigned(idx), pa, size)) {
         result.fault = accessFaultFor(type);
+        ++denials_;
+        DPRINTF(Hpmp, "deny pa=%#lx: partial match at entry %d\n", pa, idx);
         return result;
     }
 
@@ -89,8 +102,11 @@ HpmpUnit::check(Addr pa, uint64_t size, AccessType type, PrivMode priv)
         cfg.reservedT() && unsigned(idx) + 1 < regs_.numEntries();
 
     if (!table_mode) {
-        if (!cfg.perm().allows(type))
+        ++segmentChecks_;
+        if (!cfg.perm().allows(type)) {
             result.fault = accessFaultFor(type);
+            ++denials_;
+        }
         return result;
     }
 
@@ -102,19 +118,27 @@ HpmpUnit::check(Addr pa, uint64_t size, AccessType type, PrivMode priv)
 
     if (auto cached = pmptwCache_.lookupLeaf(base_reg.tablePa(), offset)) {
         result.viaCache = true;
+        ++cacheResolved_;
         const unsigned page = unsigned(pmpt_geom::pageIndex(offset));
         // A reserved nibble bit must deny on a hit exactly as the
         // walker does on a miss.
-        if (cached->reservedSet(page) || !cached->perm(page).allows(type))
+        if (cached->reservedSet(page) || !cached->perm(page).allows(type)) {
             result.fault = accessFaultFor(type);
+            ++denials_;
+        }
         return result;
     }
 
     PmptWalkResult walk = walkPmpTable(mem_, base_reg.tablePa(),
                                        base_reg.levels(), offset);
+    ++tableWalks_;
+    DPRINTF(Pmpt, "walk root=%#lx offset=%#lx refs=%u valid=%d\n",
+            base_reg.tablePa(), offset, unsigned(walk.refs.size()),
+            int(walk.valid));
     result.pmptRefs = walk.refs;
     if (!walk.valid || !walk.perm.allows(type)) {
         result.fault = accessFaultFor(type);
+        ++denials_;
         return result;
     }
 
@@ -151,6 +175,21 @@ HpmpUnit::probe(Addr pa) const
     const PmptWalkResult walk = walkPmpTable(
         mem_, base_reg.tablePa(), base_reg.levels(), pa - region->base);
     return walk.valid ? walk.perm : Perm::none();
+}
+
+void
+HpmpUnit::registerStats(StatGroup &group)
+{
+    group.add("csr_writes", &csrWrites_);
+    group.add("checks", &checks_);
+    group.add("segment_checks", &segmentChecks_);
+    group.add("table_walks", &tableWalks_);
+    group.add("cache_resolved", &cacheResolved_);
+    group.add("denials", &denials_);
+    segmentShare_ = Formula::ratio(segmentChecks_, checks_);
+    cacheShare_ = Formula::ratio(cacheResolved_, checks_);
+    group.add("segment_share", &segmentShare_);
+    group.add("cache_share", &cacheShare_);
 }
 
 HpmpUnit::Snapshot

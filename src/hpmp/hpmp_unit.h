@@ -16,6 +16,7 @@
 #ifndef HPMP_HPMP_HPMP_UNIT_H
 #define HPMP_HPMP_HPMP_UNIT_H
 
+#include "base/stats.h"
 #include "mem/phys_mem.h"
 #include "pmp/pmp.h"
 #include "pmpt/pmp_table.h"
@@ -112,11 +113,26 @@ class HpmpUnit
     uint64_t csrWrites() const { return csrWrites_.value(); }
     void resetCsrWrites() { csrWrites_.reset(); }
 
+    /**
+     * Register this unit's counters (checks, segment/table/cache
+     * resolution split, denials, csr_writes) and derived rates into
+     * `group`. The PMPTW-Cache registers separately
+     * (pmptwCache().registerStats) so it can live in a child group.
+     */
+    void registerStats(StatGroup &group);
+
   private:
     PhysMem &mem_;
     PmpUnit regs_;
     PmptwCache pmptwCache_;
     Counter csrWrites_;
+    Counter checks_;          //!< S/U checks performed (M-mode bypasses)
+    Counter segmentChecks_;   //!< resolved by a segment entry, zero refs
+    Counter tableWalks_;      //!< resolved by a full PMPTW walk
+    Counter cacheResolved_;   //!< resolved by the PMPTW-Cache
+    Counter denials_;         //!< checks that faulted
+    Formula segmentShare_;
+    Formula cacheShare_;
 };
 
 } // namespace hpmp

@@ -1,6 +1,8 @@
 #include "hpmp/iopmp.h"
 
+#include "base/fault_inject.h"
 #include "base/logging.h"
+#include "base/trace.h"
 
 namespace hpmp
 {
@@ -25,10 +27,25 @@ IopmpUnit::master(MasterId id)
 HpmpCheckResult
 IopmpUnit::check(MasterId id, Addr pa, uint64_t size, AccessType type)
 {
+    // A glitched IOPMP lookup fails closed: the beat is denied as an
+    // access fault, never silently let through.
+    if (FAULT_POINT("iopmp.check")) {
+        HpmpCheckResult denied;
+        denied.fault = type == AccessType::Store
+                           ? Fault::StoreAccessFault
+                           : Fault::LoadAccessFault;
+        ++denials_;
+        DPRINTF(Fault, "iopmp.check injected deny master=%u pa=%#lx\n",
+                id, pa);
+        return denied;
+    }
     HpmpCheckResult result =
         master(id).check(pa, size, type, PrivMode::User);
-    if (!result.ok())
+    if (!result.ok()) {
         ++denials_;
+        DPRINTF(Hpmp, "iopmp deny master=%u pa=%#lx type=%u\n", id, pa,
+                unsigned(type));
+    }
     return result;
 }
 

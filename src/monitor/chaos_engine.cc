@@ -7,6 +7,7 @@
 
 #include "base/fault_inject.h"
 #include "base/rng.h"
+#include "base/stats.h"
 #include "core/params.h"
 #include "monitor/invariants.h"
 #include "monitor/secure_monitor.h"
@@ -202,17 +203,14 @@ runChaos(const ChaosConfig &config)
             op_name = "attest";
             const DomainId id = pick_domain(false);
             const uint64_t nonce = rng.next();
-            try {
-                const AttestationReport report =
-                    monitor.attestDomain(id, nonce);
-                if (!monitor.attestor().verify(report, nonce)) {
+            const auto report = monitor.attestDomain(id, nonce);
+            if (report.ok) {
+                if (!monitor.attestor().verify(report.value, nonce)) {
                     fail(i, "attestation report failed verification");
                     break;
                 }
-            } catch (const InjectedFault &fault) {
-                result = MonitorResult::fail(
-                    MonitorError::InjectedFault,
-                    std::string("injected fault at ") + fault.site);
+            } else {
+                result = MonitorResult::fail(report.code, report.error);
             }
         }
         injector.clearPlans(); // disarm anything that did not fire
@@ -254,6 +252,13 @@ runChaos(const ChaosConfig &config)
     }
 
     injector.disable();
+
+    if (config.statsJsonOut) {
+        StatRegistry registry;
+        monitor.registerStats(registry);
+        machine->registerStats(registry);
+        *config.statsJsonOut = registry.dumpJson();
+    }
     return stats;
 }
 

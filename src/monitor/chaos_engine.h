@@ -42,6 +42,12 @@ struct ChaosConfig
      * sanitizers; metadata and entry-write counters are always hashed.
      */
     bool fullDigest = true;
+    /**
+     * When set, receives the campaign's full stats-registry JSON
+     * (monitor + machine observability counters) captured just before
+     * the campaign's machine is torn down.
+     */
+    std::string *statsJsonOut = nullptr;
 };
 
 /** Campaign outcome and coverage counters. */

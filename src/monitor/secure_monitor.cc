@@ -5,6 +5,7 @@
 #include "base/bitfield.h"
 #include "base/fault_inject.h"
 #include "base/logging.h"
+#include "base/trace.h"
 
 namespace hpmp
 {
@@ -195,15 +196,53 @@ template <typename Fn>
 MonitorResult
 SecureMonitor::transact(Fn &&body)
 {
-    Txn txn(*this);
-    try {
-        return body(txn);
-    } catch (const MonitorAbort &abort) {
-        return txn.abort(abort.code, abort.msg);
-    } catch (const InjectedFault &fault) {
-        return txn.abort(MonitorError::InjectedFault,
-                         std::string("injected fault at ") + fault.site);
+    MonitorResult result;
+    bool rolled_back = false;
+    {
+        Txn txn(*this);
+        try {
+            result = body(txn);
+        } catch (const MonitorAbort &abort) {
+            result = txn.abort(abort.code, abort.msg);
+            rolled_back = true;
+        } catch (const InjectedFault &fault) {
+            result = txn.abort(MonitorError::InjectedFault,
+                               std::string("injected fault at ") +
+                                   fault.site);
+            rolled_back = true;
+        }
     }
+    noteResult(result.ok, result.code, result.cycles, result.degraded,
+               rolled_back);
+    return result;
+}
+
+void
+SecureMonitor::noteResult(bool ok, MonitorError code, uint64_t cycles,
+                          bool degraded, bool rolled_back) const
+{
+    ++statCalls_;
+    if (ok) {
+        ++statOk_;
+        statCallCycles_.sample(cycles);
+    } else {
+        ++statFailed_;
+        ++statErrors_[unsigned(code) < 10 ? unsigned(code) : 0];
+        DPRINTF(Monitor, "call failed: %s\n", toString(code));
+    }
+    if (rolled_back)
+        ++statRollbacks_;
+    if (degraded)
+        ++statDegraded_;
+    TRACE_EVENT(Monitor, statCalls_.value(), cycles, "monitor_call",
+                uint64_t(code), uint64_t(degraded));
+}
+
+MonitorResult
+SecureMonitor::failCall(MonitorError code, std::string why) const
+{
+    noteResult(false, code, 0, false, false);
+    return MonitorResult::fail(code, std::move(why));
 }
 
 SecureMonitor::SecureMonitor(Machine &machine, const MonitorConfig &config)
@@ -213,6 +252,20 @@ SecureMonitor::SecureMonitor(Machine &machine, const MonitorConfig &config)
     fatal_if(!isPowerOf2(config.monitorSize) ||
                  config.monitorBase % config.monitorSize,
              "monitor region must be NAPOT");
+
+    stats_.add("calls", &statCalls_);
+    stats_.add("ok", &statOk_);
+    stats_.add("failed", &statFailed_);
+    stats_.add("rollbacks", &statRollbacks_);
+    stats_.add("degraded", &statDegraded_);
+    stats_.add("demotions", &statDemotions_);
+    stats_.add("call_cycles", &statCallCycles_);
+    stats_.add("csr_writes_per_call", &statCsrPerCall_);
+    stats_.add("table_writes_per_call", &statTableWritesPerCall_);
+    for (unsigned e = 1; e < 10; ++e) {
+        stats_.add(std::string("errors.") + toString(MonitorError(e)),
+                   &statErrors_[e]);
+    }
     // PMP Table frames are carved from the top of the monitor region.
     tableFrameEnd_ = config.monitorBase + config.monitorSize;
     tableFrameNext_ = tableFrameEnd_ - config.monitorSize / 2;
@@ -362,6 +415,8 @@ SecureMonitor::opCycles(bool flushed)
             table_writes += dom.table->entryWrites();
     }
     const uint64_t table_delta = table_writes - tableWriteSnapshot_;
+    statCsrPerCall_.sample(csr_delta);
+    statTableWritesPerCall_.sample(table_delta);
 
     uint64_t cycles = config_.costs.trapCycles;
     cycles += csr_delta * config_.costs.csrWriteCycles;
@@ -383,12 +438,12 @@ MonitorResult
 SecureMonitor::destroyDomain(DomainId id)
 {
     if (id == 0) {
-        return MonitorResult::fail(MonitorError::BadArgument,
+        return failCall(MonitorError::BadArgument,
                                    "cannot destroy the host domain");
     }
     auto it = domains_.find(id);
     if (it == domains_.end() || !it->second.alive)
-        return MonitorResult::fail(MonitorError::NoSuchDomain,
+        return failCall(MonitorError::NoSuchDomain,
                                    "no such domain");
     return transact([&](Txn &txn) {
         if (FAULT_POINT("monitor.destroy_domain")) {
@@ -418,14 +473,14 @@ SecureMonitor::addGms(DomainId id, const Gms &gms)
 {
     Domain *dom = findDomain(id);
     if (!dom)
-        return MonitorResult::fail(MonitorError::NoSuchDomain,
+        return failCall(MonitorError::NoSuchDomain,
                                    "no such domain");
     if (gms.size == 0 || gms.base % kPageSize || gms.size % kPageSize)
-        return MonitorResult::fail(MonitorError::BadArgument,
+        return failCall(MonitorError::BadArgument,
                                    "GMS must be page-granular");
     if (gms.base + gms.size < gms.base ||
         gms.base + gms.size > machine_.params().physMemBytes) {
-        return MonitorResult::fail(MonitorError::BadArgument,
+        return failCall(MonitorError::BadArgument,
                                    "GMS beyond physical memory");
     }
 
@@ -435,7 +490,7 @@ SecureMonitor::addGms(DomainId id, const Gms &gms)
         for (const Gms &existing : other.gmsList) {
             if (existing.base < gms.base + gms.size &&
                 gms.base < existing.base + existing.size) {
-                return MonitorResult::fail(MonitorError::OverlapDomain,
+                return failCall(MonitorError::OverlapDomain,
                                            "GMS overlaps a domain region");
             }
         }
@@ -443,7 +498,7 @@ SecureMonitor::addGms(DomainId id, const Gms &gms)
     // The monitor region is never handed out.
     if (gms.base < config_.monitorBase + config_.monitorSize &&
         config_.monitorBase < gms.base + gms.size) {
-        return MonitorResult::fail(MonitorError::OverlapMonitor,
+        return failCall(MonitorError::OverlapMonitor,
                                    "GMS overlaps the monitor");
     }
 
@@ -480,7 +535,7 @@ SecureMonitor::removeGms(DomainId id, Addr base)
 {
     Domain *dom = findDomain(id);
     if (!dom)
-        return MonitorResult::fail(MonitorError::NoSuchDomain,
+        return failCall(MonitorError::NoSuchDomain,
                                    "no such domain");
     auto it = dom->gmsList.begin();
     for (; it != dom->gmsList.end(); ++it) {
@@ -488,7 +543,7 @@ SecureMonitor::removeGms(DomainId id, Addr base)
             break;
     }
     if (it == dom->gmsList.end())
-        return MonitorResult::fail(MonitorError::NoSuchGms,
+        return failCall(MonitorError::NoSuchGms,
                                    "no GMS at this base");
 
     return transact([&](Txn &txn) {
@@ -515,7 +570,7 @@ SecureMonitor::setLabel(DomainId id, Addr base, GmsLabel label)
 {
     Domain *dom = findDomain(id);
     if (!dom)
-        return MonitorResult::fail(MonitorError::NoSuchDomain,
+        return failCall(MonitorError::NoSuchDomain,
                                    "no such domain");
     for (Gms &gms : dom->gmsList) {
         if (gms.base != base)
@@ -539,7 +594,7 @@ SecureMonitor::setLabel(DomainId id, Addr base, GmsLabel label)
             return txn.commit(flushed, degraded);
         });
     }
-    return MonitorResult::fail(MonitorError::NoSuchGms,
+    return failCall(MonitorError::NoSuchGms,
                                "no GMS at this base");
 }
 
@@ -548,7 +603,7 @@ SecureMonitor::setPerm(DomainId id, Addr base, Perm perm)
 {
     Domain *dom = findDomain(id);
     if (!dom)
-        return MonitorResult::fail(MonitorError::NoSuchDomain,
+        return failCall(MonitorError::NoSuchDomain,
                                    "no such domain");
     for (Gms &gms : dom->gmsList) {
         if (gms.base != base)
@@ -557,7 +612,7 @@ SecureMonitor::setPerm(DomainId id, Addr base, Perm perm)
             // Narrowing the owner's copy would leave peers holding a
             // wider permission than the owner — revoke the share
             // first, then change the permission.
-            return MonitorResult::fail(
+            return failCall(
                 MonitorError::BadArgument,
                 "cannot change the permission of a shared GMS");
         }
@@ -578,7 +633,7 @@ SecureMonitor::setPerm(DomainId id, Addr base, Perm perm)
             return txn.commit(flushed, degraded);
         });
     }
-    return MonitorResult::fail(MonitorError::NoSuchGms,
+    return failCall(MonitorError::NoSuchGms,
                                "no GMS at this base");
 }
 
@@ -587,12 +642,12 @@ SecureMonitor::shareGms(DomainId owner, Addr base, DomainId peer,
                         Perm perm)
 {
     if (owner == peer)
-        return MonitorResult::fail(MonitorError::BadArgument,
+        return failCall(MonitorError::BadArgument,
                                    "cannot share with self");
     Domain *own = findDomain(owner);
     Domain *dst = findDomain(peer);
     if (!own || !dst)
-        return MonitorResult::fail(MonitorError::NoSuchDomain,
+        return failCall(MonitorError::NoSuchDomain,
                                    "no such domain");
 
     for (Gms &gms : own->gmsList) {
@@ -600,14 +655,14 @@ SecureMonitor::shareGms(DomainId owner, Addr base, DomainId peer,
             continue;
         if ((perm.r && !gms.perm.r) || (perm.w && !gms.perm.w) ||
             (perm.x && !gms.perm.x)) {
-            return MonitorResult::fail(
+            return failCall(
                 MonitorError::PermExceedsOwner,
                 "shared permission exceeds the owner's");
         }
         for (const Gms &existing : dst->gmsList) {
             if (existing.base < gms.base + gms.size &&
                 gms.base < existing.base + existing.size) {
-                return MonitorResult::fail(
+                return failCall(
                     MonitorError::OverlapDomain,
                     "peer already maps an overlapping region");
             }
@@ -637,42 +692,61 @@ SecureMonitor::shareGms(DomainId owner, Addr base, DomainId peer,
             return txn.commit(flushed, degraded);
         });
     }
-    return MonitorResult::fail(MonitorError::NoSuchGms,
+    return failCall(MonitorError::NoSuchGms,
                                "no GMS at this base");
 }
 
-MerkleHash
+MonitorValue<MerkleHash>
 SecureMonitor::measureDomain(DomainId id) const
 {
-    const Domain &dom = domain(id);
-    MerkleHash acc = 0x4d4541535552u; // "MEASUR"
-    for (const Gms &gms : dom.gmsList) {
-        acc = Attestor::fold(
-            acc, Attestor::measure(machine_.mem(), gms.base, gms.size));
+    auto it = domains_.find(id);
+    if (it == domains_.end() || !it->second.alive) {
+        noteResult(false, MonitorError::NoSuchDomain, 0, false, false);
+        return MonitorValue<MerkleHash>::fail(MonitorError::NoSuchDomain,
+                                              "no such domain");
     }
-    return acc;
+    MonitorValue<MerkleHash> result;
+    result.value = 0x4d4541535552u; // "MEASUR"
+    for (const Gms &gms : it->second.gmsList) {
+        result.value = Attestor::fold(
+            result.value,
+            Attestor::measure(machine_.mem(), gms.base, gms.size));
+    }
+    noteResult(true, MonitorError::None, 0, false, false);
+    return result;
 }
 
-AttestationReport
+MonitorValue<AttestationReport>
 SecureMonitor::attestDomain(DomainId id, uint64_t nonce) const
 {
-    // Attestation is read-only: an injected fault aborts the call
+    // Attestation is read-only: an injected fault fails the call
     // before any measurement leaks, with nothing to roll back.
-    if (FAULT_POINT("monitor.attest"))
-        throw InjectedFault{"monitor.attest"};
-    return attestor_.sign(measureDomain(id), nonce);
+    if (FAULT_POINT("monitor.attest")) {
+        noteResult(false, MonitorError::InjectedFault, 0, false, false);
+        return MonitorValue<AttestationReport>::fail(
+            MonitorError::InjectedFault,
+            "injected fault at monitor.attest");
+    }
+    const MonitorValue<MerkleHash> measure = measureDomain(id);
+    if (!measure.ok) {
+        return MonitorValue<AttestationReport>::fail(measure.code,
+                                                     measure.error);
+    }
+    MonitorValue<AttestationReport> result;
+    result.value = attestor_.sign(measure.value, nonce);
+    return result;
 }
 
 MonitorResult
 SecureMonitor::hintHotRegion(DomainId id, Addr base, uint64_t size)
 {
     if (!isPowerOf2(size) || size < kPageSize || base % size != 0)
-        return MonitorResult::fail(MonitorError::BadArgument,
+        return failCall(MonitorError::BadArgument,
                                    "hot region must be NAPOT");
 
     Domain *dom = findDomain(id);
     if (!dom)
-        return MonitorResult::fail(MonitorError::NoSuchDomain,
+        return failCall(MonitorError::NoSuchDomain,
                                    "no such domain");
     for (size_t i = 0; i < dom->gmsList.size(); ++i) {
         Gms covering = dom->gmsList[i];
@@ -684,7 +758,7 @@ SecureMonitor::hintHotRegion(DomainId id, Addr base, uint64_t size)
             // Splitting would desynchronize the owner's view from the
             // peers' (they keep the unsplit region), breaking the
             // shared-region auditing invariant.
-            return MonitorResult::fail(
+            return failCall(
                 MonitorError::BadArgument,
                 "cannot split a shared GMS");
         }
@@ -727,7 +801,7 @@ SecureMonitor::hintHotRegion(DomainId id, Addr base, uint64_t size)
             return txn.commit(flushed, degraded);
         });
     }
-    return MonitorResult::fail(MonitorError::NoSuchGms,
+    return failCall(MonitorError::NoSuchGms,
                                "no GMS covers the hot region");
 }
 
@@ -735,7 +809,7 @@ MonitorResult
 SecureMonitor::switchTo(DomainId id)
 {
     if (!findDomain(id))
-        return MonitorResult::fail(MonitorError::NoSuchDomain,
+        return failCall(MonitorError::NoSuchDomain,
                                    "no such domain");
     return transact([&](Txn &txn) {
         if (FAULT_POINT("monitor.switch")) {
@@ -743,6 +817,7 @@ SecureMonitor::switchTo(DomainId id)
                                "injected fault at monitor.switch"};
         }
         current_ = id;
+        DPRINTF(Monitor, "switchTo domain=%u\n", id);
         const bool degraded = applyLayout();
         return txn.commit(true, degraded);
     });
@@ -827,6 +902,9 @@ SecureMonitor::applyLayout()
             for (size_t k = budget; k < fast.size(); ++k) {
                 dom.gmsList[fast[k]].label = GmsLabel::Slow;
                 degraded = true;
+                ++statDemotions_;
+                DPRINTF(Monitor, "demote coldest GMS base=%#lx to table\n",
+                        dom.gmsList[fast[k]].base);
             }
             fast.resize(budget);
             std::sort(fast.begin(), fast.end());

@@ -99,6 +99,30 @@ struct MonitorResult
     }
 };
 
+/**
+ * Result of a value-returning monitor call (measurement, attestation).
+ * The value is only meaningful when ok — a bad domain id from the
+ * untrusted OS is a typed error, not a monitor panic.
+ */
+template <typename T>
+struct MonitorValue
+{
+    bool ok = true;
+    MonitorError code = MonitorError::None;
+    std::string error;
+    T value{};
+
+    static MonitorValue
+    fail(MonitorError code, std::string why)
+    {
+        MonitorValue r;
+        r.ok = false;
+        r.code = code;
+        r.error = std::move(why);
+        return r;
+    }
+};
+
 /** Monitor configuration. */
 struct MonitorConfig
 {
@@ -160,12 +184,18 @@ class SecureMonitor
 
     /**
      * Measure a domain: fold the Merkle roots of all its GMS regions
-     * (enclave measurement for attestation).
+     * (enclave measurement for attestation). Fails with NoSuchDomain
+     * on a bad id — the id is OS-controlled input.
      */
-    MerkleHash measureDomain(DomainId id) const;
+    MonitorValue<MerkleHash> measureDomain(DomainId id) const;
 
-    /** Produce a signed attestation report for a domain. */
-    AttestationReport attestDomain(DomainId id, uint64_t nonce) const;
+    /**
+     * Produce a signed attestation report for a domain. Read-only:
+     * fails (typed, nothing to roll back) on a bad id or when a fault
+     * site fires mid-call.
+     */
+    MonitorValue<AttestationReport> attestDomain(DomainId id,
+                                                 uint64_t nonce) const;
 
     /** The monitor's attestation identity (verification side). */
     const Attestor &attestor() const { return attestor_; }
@@ -220,6 +250,16 @@ class SecureMonitor
     /** The machine this monitor controls. */
     Machine &machine() { return machine_; }
 
+    /**
+     * Monitor-call counters ("monitor.*"): calls, ok/failed split,
+     * rollbacks, degraded commits, demote-coldest events, per-call
+     * cycle and CSR-write distributions.
+     */
+    StatGroup &stats() { return stats_; }
+
+    /** Register the "monitor" group with a registry. */
+    void registerStats(StatRegistry &registry) { registry.add(&stats_); }
+
   private:
     struct Domain
     {
@@ -268,6 +308,18 @@ class SecureMonitor
     void beginOp();
     uint64_t opCycles(bool flushed);
 
+    /**
+     * Fold one finished call into the "monitor.*" counters. const (and
+     * the counters mutable) because the read-only calls — measurement,
+     * attestation — fail in const context too.
+     */
+    void noteResult(bool ok, MonitorError code, uint64_t cycles,
+                    bool degraded, bool rolled_back) const;
+
+    /** Fail before any mutation (validation): counted, nothing to
+     *  roll back. */
+    MonitorResult failCall(MonitorError code, std::string why) const;
+
     Machine &machine_;
     MonitorConfig config_;
     Attestor attestor_{0x5ec0de};
@@ -282,6 +334,18 @@ class SecureMonitor
     uint64_t csrSnapshot_ = 0;
     uint64_t tableWriteSnapshot_ = 0;
     uint64_t tableWritesTotal_ = 0; //!< across destroyed tables
+
+    StatGroup stats_{"monitor"};
+    mutable Counter statCalls_;
+    mutable Counter statOk_;
+    mutable Counter statFailed_;
+    mutable Counter statRollbacks_;     //!< failed calls that rolled back
+    mutable Counter statDegraded_;      //!< calls committed degraded
+    Counter statDemotions_;             //!< fast GMSs demoted to table mode
+    mutable Counter statErrors_[10];    //!< per-MonitorError failure counts
+    mutable Distribution statCallCycles_;    //!< cycles per committed call
+    mutable Distribution statCsrPerCall_;    //!< CSR writes per committed call
+    mutable Distribution statTableWritesPerCall_; //!< pmpte stores per call
 };
 
 } // namespace hpmp

@@ -1,5 +1,7 @@
 #include "pmpt/pmp_table.h"
 
+#include <algorithm>
+
 #include "base/fault_inject.h"
 #include "base/logging.h"
 
@@ -138,6 +140,13 @@ PmpTable::setPerm(uint64_t offset, uint64_t len, Perm perm,
     setPermIn(rootPa_, levels_ - 1, 0, offset, len, perm, allow_huge);
 }
 
+bool
+PmpTable::isTablePage(Addr pa) const
+{
+    return std::find(tablePages_.begin(), tablePages_.end(), pa) !=
+           tablePages_.end();
+}
+
 Perm
 PmpTable::lookup(uint64_t offset) const
 {
@@ -149,6 +158,14 @@ PmpTable::lookup(uint64_t offset) const
             return Perm::none();
         if (e.isHuge())
             return e.perm();
+        if (!isTablePage(e.tablePa())) {
+            // A pointer into memory this table never allocated means
+            // the pmpte was corrupted: report it, don't chase it.
+            ++corruptPointers_;
+            warn("corrupt pointer pmpte at %#lx -> %#lx (level %u)",
+                 slot, e.tablePa(), level);
+            return Perm::none();
+        }
         node = e.tablePa();
     }
     const LeafPmpte leaf{mem_.read64(node + indexAt(offset, 0) * 8)};
@@ -166,6 +183,12 @@ PmpTable::valid(uint64_t offset) const
             return false;
         if (e.isHuge())
             return true;
+        if (!isTablePage(e.tablePa())) {
+            ++corruptPointers_;
+            warn("corrupt pointer pmpte at %#lx -> %#lx (level %u)",
+                 slot, e.tablePa(), level);
+            return false;
+        }
         node = e.tablePa();
     }
     return true;

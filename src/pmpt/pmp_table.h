@@ -62,6 +62,17 @@ class PmpTable
     uint64_t entryWrites() const { return entryWrites_; }
     void resetEntryWrites() { entryWrites_ = 0; }
 
+    /**
+     * Corrupted pointer pmptes seen by lookup()/valid(): pointers whose
+     * target is not a page this table ever allocated. Such entries are
+     * reported (counted + warned) and treated as invalid rather than
+     * chased into arbitrary memory.
+     */
+    uint64_t corruptPointers() const { return corruptPointers_; }
+
+    /** Whether pa is a node page owned by this table. */
+    bool isTablePage(Addr pa) const;
+
     /** Physical pages holding table nodes (root first). */
     const std::vector<Addr> &tablePages() const { return tablePages_; }
 
@@ -114,6 +125,8 @@ class PmpTable
     Addr rootPa_;
     std::vector<Addr> tablePages_;
     uint64_t entryWrites_ = 0;
+    // mutable: const read paths (lookup/valid) report corruption.
+    mutable uint64_t corruptPointers_ = 0;
     Journal *journal_ = nullptr;
 };
 

@@ -1,5 +1,7 @@
 #include "pmpt/pmptw_cache.h"
 
+#include "base/fault_inject.h"
+
 namespace hpmp
 {
 
@@ -38,6 +40,9 @@ PmptwCache::fill(Addr root_pa, uint64_t offset, LeafPmpte leaf)
 {
     if (!enabled())
         return;
+    // Benign to drop: the next check walks the table again.
+    if (FAULT_POINT("pmptw_cache.fill"))
+        return;
     const uint64_t granule = offset >> 16;
     uint32_t slot = index_.find(root_pa, granule);
     if (slot != LruIndex::kNone)
@@ -51,6 +56,18 @@ void
 PmptwCache::flush()
 {
     index_.clear();
+}
+
+void
+PmptwCache::registerStats(StatGroup &group)
+{
+    group.add("hits", &hits_);
+    group.add("misses", &misses_);
+    hitRate_ = Formula([this]() {
+        const double total = double(hits_.value() + misses_.value());
+        return total ? double(hits_.value()) / total : 0.0;
+    });
+    group.add("hit_rate", &hitRate_);
 }
 
 } // namespace hpmp

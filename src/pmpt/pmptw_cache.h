@@ -57,6 +57,9 @@ class PmptwCache
     uint64_t misses() const { return misses_.value(); }
     void resetStats() { hits_.reset(); misses_.reset(); }
 
+    /** Register hits/misses and hit_rate into `group`. */
+    void registerStats(StatGroup &group);
+
   private:
     unsigned numEntries_;
     LruIndex index_; //!< keyed (root_pa, offset >> 16)
@@ -64,6 +67,7 @@ class PmptwCache
 
     Counter hits_;
     Counter misses_;
+    Formula hitRate_;
 };
 
 } // namespace hpmp

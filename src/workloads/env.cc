@@ -88,8 +88,10 @@ TeeEnv::createEnclave(uint64_t mem_bytes, uint64_t *create_cycles)
     enclave->as = enclave->kernel->createAddressSpace();
 
     if (config_.measureEnclaves) {
-        enclave->initialMeasurement =
-            monitor_->measureDomain(enclave->domain);
+        const auto measure = monitor_->measureDomain(enclave->domain);
+        panic_if(!measure.ok, "measureDomain failed: %s",
+                 measure.error.c_str());
+        enclave->initialMeasurement = measure.value;
     }
 
     if (create_cycles) {
@@ -121,7 +123,11 @@ TeeEnv::destroyEnclave(std::unique_ptr<Enclave> enclave,
 AttestationReport
 TeeEnv::attestEnclave(const Enclave &enclave, uint64_t nonce) const
 {
-    return monitor_->attestDomain(enclave.domain, nonce);
+    const auto report = monitor_->attestDomain(enclave.domain, nonce);
+    // The env always attests enclaves it created, so a typed failure
+    // here is a harness bug, not OS input.
+    panic_if(!report.ok, "attestDomain failed: %s", report.error.c_str());
+    return report.value;
 }
 
 uint64_t

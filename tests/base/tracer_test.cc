@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Debug-tracer tests: bounded ring overflow semantics, chrome-trace
+ * JSON rendering, and runtime flag selection. Guarded so a
+ * -DHPMP_TRACING=OFF build (where the tracer is inline no-ops)
+ * still compiles and trivially passes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/trace.h"
+
+namespace hpmp
+{
+namespace
+{
+
+#if HPMP_TRACE_ENABLED
+
+TEST(TraceRing, OverflowDropsOldest)
+{
+    TraceRing ring(4);
+    for (uint64_t i = 0; i < 6; ++i)
+        ring.record({i, 1, 0, 0, "ev", TraceFlag::Walk});
+
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.recorded(), 6u);
+    EXPECT_EQ(ring.dropped(), 2u);
+    // Events 0 and 1 were dropped; the window is [2, 5] oldest-first.
+    for (size_t i = 0; i < ring.size(); ++i)
+        EXPECT_EQ(ring.at(i).tick, i + 2);
+
+    ring.clear();
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_EQ(ring.recorded(), 0u);
+    EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceRing, ZeroCapacityDisablesRecording)
+{
+    TraceRing ring(0);
+    ring.record({1, 1, 0, 0, "ev", TraceFlag::Walk});
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_EQ(ring.recorded(), 0u);
+}
+
+TEST(TraceRing, ChromeJsonHoldsTheRetainedWindow)
+{
+    TraceRing ring(2);
+    ring.record({10, 3, 0xabc, 7, "walk", TraceFlag::Walk});
+    ring.record({20, 5, 0xdef, 8, "monitor_call", TraceFlag::Monitor});
+    const std::string json = ring.dumpChromeJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"walk\""), std::string::npos);
+    EXPECT_NE(json.find("\"monitor_call\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\": 10"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\": 5"), std::string::npos);
+}
+
+class TraceFixture : public ::testing::Test
+{
+  protected:
+    TraceFixture()
+    {
+        Tracer::instance().disableAll();
+        Tracer::instance().setOutput(nullptr); // count, don't spam
+        printedBefore_ = Tracer::instance().printed();
+    }
+
+    ~TraceFixture() override
+    {
+        Tracer::instance().disableAll();
+        Tracer::instance().setOutput(stderr);
+    }
+
+    uint64_t printedSince() const
+    {
+        return Tracer::instance().printed() - printedBefore_;
+    }
+
+    uint64_t printedBefore_ = 0;
+};
+
+TEST_F(TraceFixture, FlagsGatePrinting)
+{
+    DPRINTF(Walk, "disabled: not printed\n");
+    EXPECT_EQ(printedSince(), 0u);
+
+    Tracer::instance().enable(TraceFlag::Walk);
+    DPRINTF(Walk, "enabled: printed %d\n", 1);
+    DPRINTF(Tlb, "other flag: not printed\n");
+    EXPECT_EQ(printedSince(), 1u);
+}
+
+TEST_F(TraceFixture, EnableByNameParsesLists)
+{
+    EXPECT_TRUE(Tracer::instance().enableByName("Walk,Tlb"));
+    EXPECT_TRUE(Tracer::instance().enabled(TraceFlag::Walk));
+    EXPECT_TRUE(Tracer::instance().enabled(TraceFlag::Tlb));
+    EXPECT_FALSE(Tracer::instance().enabled(TraceFlag::Monitor));
+
+    Tracer::instance().disableAll();
+    EXPECT_TRUE(Tracer::instance().enableByName("All"));
+    for (unsigned f = 0; f < unsigned(TraceFlag::NumFlags); ++f)
+        EXPECT_TRUE(Tracer::instance().enabled(TraceFlag(f)));
+
+    EXPECT_FALSE(Tracer::instance().enableByName("NoSuchFlag"));
+}
+
+TEST_F(TraceFixture, TraceEventRecordsIntoTheRing)
+{
+    TraceRing &ring = Tracer::instance().ring();
+    ring.clear();
+
+    TRACE_EVENT(Monitor, 1, 2, "off", 0, 0);
+    EXPECT_EQ(ring.recorded(), 0u); // flag off: no recording
+
+    Tracer::instance().enable(TraceFlag::Monitor);
+    TRACE_EVENT(Monitor, 5, 2, "on", 0xaa, 0xbb);
+    ASSERT_EQ(ring.recorded(), 1u);
+    EXPECT_EQ(ring.at(0).tick, 5u);
+    EXPECT_EQ(ring.at(0).a0, 0xaau);
+    ring.clear();
+}
+
+#else // !HPMP_TRACE_ENABLED
+
+TEST(TraceDisabled, MacrosAndStubsAreInert)
+{
+    DPRINTF(Walk, "never printed\n");
+    TRACE_EVENT(Walk, 1, 1, "never", 0, 0);
+    EXPECT_FALSE(Tracer::instance().anyEnabled());
+    EXPECT_EQ(Tracer::instance().ring().recorded(), 0u);
+}
+
+#endif // HPMP_TRACE_ENABLED
+
+} // namespace
+} // namespace hpmp

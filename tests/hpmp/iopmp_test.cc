@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/fault_inject.h"
 #include "base/frame_alloc.h"
 #include "core/params.h"
 #include "hpmp/iopmp.h"
@@ -109,6 +110,24 @@ TEST_F(IopmpTest, WriteToReadOnlyDmaWindowDenied)
     const auto result = dma.transfer(6_GiB + 1_MiB, 6_GiB, 256);
     EXPECT_FALSE(result.ok);
     EXPECT_EQ(result.faultAddr, 6_GiB);
+}
+
+TEST_F(IopmpTest, InjectedCheckFaultFailsClosed)
+{
+    // A glitched IOPMP lookup denies the beat even though the window
+    // would have allowed it — the check fails closed, never open.
+    FaultInjector &injector = FaultInjector::instance();
+    injector.enable(7);
+    injector.armNth("iopmp.check", 1);
+    const uint64_t denials_before = iopmp.denials();
+    const HpmpCheckResult denied =
+        iopmp.check(0, 4_GiB, 64, AccessType::Store);
+    EXPECT_EQ(denied.fault, Fault::StoreAccessFault);
+    EXPECT_EQ(iopmp.denials(), denials_before + 1);
+    injector.disable();
+
+    // With the injector disarmed the same beat passes again.
+    EXPECT_TRUE(iopmp.check(0, 4_GiB, 64, AccessType::Store).ok());
 }
 
 } // namespace

@@ -230,9 +230,13 @@ TEST_F(RobustnessTest, AttestFaultLeavesStateUntouched)
     FaultInjector &injector = FaultInjector::instance();
     injector.enable(7);
     injector.armNth("monitor.attest", 1);
-    EXPECT_THROW(monitor->attestDomain(0, 0x1234), InjectedFault);
+    const auto attested = monitor->attestDomain(0, 0x1234);
+    ASSERT_FALSE(attested.ok);
+    EXPECT_EQ(attested.code, MonitorError::InjectedFault);
     injector.disable();
     EXPECT_EQ(monitor->stateDigest(), before);
+    // The failure is visible in the monitor's own counters.
+    EXPECT_GE(monitor->stats().get("errors.injected-fault"), 1u);
 }
 
 TEST_F(RobustnessTest, PmpSegmentExhaustionFailsTyped)

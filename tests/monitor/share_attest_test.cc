@@ -113,19 +113,27 @@ TEST_F(ShareTest, AttestationRoundTrip)
 {
     machine->mem().write64(4_GiB + 8, 0x1234);
     const uint64_t nonce = 77;
-    const AttestationReport report = monitor->attestDomain(a, nonce);
+    const auto attested = monitor->attestDomain(a, nonce);
+    ASSERT_TRUE(attested.ok);
+    const AttestationReport report = attested.value;
     EXPECT_TRUE(monitor->attestor().verify(report, nonce));
     EXPECT_FALSE(monitor->attestor().verify(report, nonce + 1));
 
     // Tampering with the measured memory changes the measurement.
     machine->mem().write64(4_GiB + 8, 0x9999);
-    const AttestationReport after = monitor->attestDomain(a, nonce);
-    EXPECT_NE(after.measurement, report.measurement);
+    const auto after = monitor->attestDomain(a, nonce);
+    ASSERT_TRUE(after.ok);
+    EXPECT_NE(after.value.measurement, report.measurement);
 
     // A forged report with a doctored measurement fails verification.
     AttestationReport forged = report;
     forged.measurement ^= 1;
     EXPECT_FALSE(monitor->attestor().verify(forged, nonce));
+
+    // A bad domain id is a typed error, not a panic.
+    const auto bad = monitor->attestDomain(999, nonce);
+    ASSERT_FALSE(bad.ok);
+    EXPECT_EQ(bad.code, MonitorError::NoSuchDomain);
 }
 
 TEST_F(ShareTest, MeasurementIdentifiesContentNotDomain)
@@ -137,9 +145,17 @@ TEST_F(ShareTest, MeasurementIdentifiesContentNotDomain)
                                  GmsLabel::Slow})
                     .ok);
     // a's region and c's region are both all-zero now.
-    EXPECT_EQ(monitor->measureDomain(a), monitor->measureDomain(c));
+    EXPECT_EQ(monitor->measureDomain(a).value,
+              monitor->measureDomain(c).value);
     machine->mem().write64(8_GiB, 5);
-    EXPECT_NE(monitor->measureDomain(a), monitor->measureDomain(c));
+    EXPECT_NE(monitor->measureDomain(a).value,
+              monitor->measureDomain(c).value);
+
+    // Measuring a destroyed domain fails typed.
+    ASSERT_TRUE(monitor->destroyDomain(c).ok);
+    const auto gone = monitor->measureDomain(c);
+    ASSERT_FALSE(gone.ok);
+    EXPECT_EQ(gone.code, MonitorError::NoSuchDomain);
 }
 
 } // namespace

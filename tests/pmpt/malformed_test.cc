@@ -115,6 +115,32 @@ TEST_F(MalformedPmpteTest, PointerOutsidePhysMemDeniesAccess)
     EXPECT_FALSE(result.valid);
 }
 
+TEST_F(MalformedPmpteTest, BuilderLookupReportsCorruptPointerChain)
+{
+    // The builder's functional lookup()/valid() bounds-check pointer
+    // pmptes against the node pages the table actually owns: a
+    // corrupted pointer — even one aimed at valid, non-table memory —
+    // is reported and treated as invalid, never chased.
+    const Addr slot = rootSlot(1_GiB);
+    mem.write64(slot, RootPmpte::pointer(2_GiB).raw);
+    EXPECT_EQ(table.lookup(1_GiB), Perm::none());
+    EXPECT_FALSE(table.valid(1_GiB));
+    EXPECT_EQ(table.corruptPointers(), 2u);
+
+    // A chain leading out of physical memory entirely must also be
+    // caught here, before the read would fault the simulator.
+    mem.write64(slot, RootPmpte::pointer(32_GiB).raw);
+    EXPECT_EQ(table.lookup(1_GiB), Perm::none());
+    EXPECT_FALSE(table.valid(1_GiB));
+    EXPECT_EQ(table.corruptPointers(), 4u);
+
+    // Untouched offsets (other root slots) are unaffected.
+    table.setPerm(2_GiB, 64_KiB, Perm::ro());
+    EXPECT_EQ(table.lookup(2_GiB), Perm::ro());
+    EXPECT_TRUE(table.valid(2_GiB));
+    EXPECT_EQ(table.corruptPointers(), 4u);
+}
+
 TEST_F(MalformedPmpteTest, UnsupportedTableDepthDeniesAccess)
 {
     // A corrupted PmptBaseReg Mode field can claim depths the walker

@@ -36,6 +36,7 @@ struct Options
     double faultProb = 0.25;
     bool fullDigest = true;
     std::vector<IsolationScheme> schemes{IsolationScheme::Hpmp};
+    std::string statsJson; //!< per-campaign stats JSON file; "" = off
 };
 
 void
@@ -45,7 +46,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--seed N | --seeds N,M,...] [--ops N]\n"
         "          [--scheme pmp|pmpt|hpmp|all] [--fault-prob P]\n"
-        "          [--light-digest]\n",
+        "          [--light-digest] [--stats-json FILE]\n",
         argv0);
 }
 
@@ -108,6 +109,8 @@ main(int argc, char **argv)
             opts.faultProb = std::strtod(value(), nullptr);
         } else if (arg == "--light-digest") {
             opts.fullDigest = false;
+        } else if (arg == "--stats-json") {
+            opts.statsJson = value();
         } else if (arg == "--scheme") {
             if (!parseSchemes(value(), opts.schemes)) {
                 usage(argv[0]);
@@ -126,6 +129,7 @@ main(int argc, char **argv)
     unsigned total_ops = 0;
     unsigned total_faults = 0;
     unsigned total_degraded = 0;
+    std::string campaigns_json;
     for (const IsolationScheme scheme : opts.schemes) {
         for (const uint64_t seed : opts.seeds) {
             ChaosConfig config;
@@ -134,8 +138,22 @@ main(int argc, char **argv)
             config.scheme = scheme;
             config.faultProb = opts.faultProb;
             config.fullDigest = opts.fullDigest;
+            std::string campaign_stats;
+            if (!opts.statsJson.empty())
+                config.statsJsonOut = &campaign_stats;
 
             const ChaosStats stats = hpmp::runChaos(config);
+            if (!opts.statsJson.empty()) {
+                if (!campaigns_json.empty())
+                    campaigns_json += ",\n";
+                campaigns_json += "    {\"scheme\": \"";
+                campaigns_json += toString(scheme);
+                campaigns_json += "\", \"seed\": ";
+                campaigns_json += std::to_string(seed);
+                campaigns_json += ", \"stats\": ";
+                campaigns_json += campaign_stats;
+                campaigns_json += "}";
+            }
             std::printf(
                 "chaos scheme=%-4s seed=%-3lu ops=%u ok=%u failed=%u "
                 "injected=%u degraded=%u rollback-checks=%u %s\n",
@@ -165,5 +183,18 @@ main(int argc, char **argv)
     std::printf("chaos: all campaigns clean (%u ops, %u injected faults, "
                 "%u degraded-mode ops)\n",
                 total_ops, total_faults, total_degraded);
+    if (!opts.statsJson.empty()) {
+        std::FILE *f = std::fopen(opts.statsJson.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opts.statsJson.c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n  \"campaigns\": [\n%s\n  ]\n}\n",
+                     campaigns_json.c_str());
+        std::fclose(f);
+        std::printf("chaos: stats written to %s\n",
+                    opts.statsJson.c_str());
+    }
     return 0;
 }

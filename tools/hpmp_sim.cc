@@ -24,6 +24,8 @@
 
 #include "base/frame_alloc.h"
 #include "base/rng.h"
+#include "base/stats.h"
+#include "base/trace.h"
 #include "core/core_model.h"
 #include "pmpt/pmp_table.h"
 #include "pt/page_table.h"
@@ -42,6 +44,9 @@ struct Options
     unsigned pwcEntries = 8;
     unsigned pmptwEntries = 0;
     bool dumpStats = false;
+    std::string statsJson;  //!< full registry JSON dump file
+    std::string debugFlags; //!< tracer flags ("Walk,Tlb", "All")
+    std::string traceOut;   //!< chrome://tracing ring dump file
 };
 
 void
@@ -55,7 +60,12 @@ usage(const char *argv0)
         "                     isolation scheme (default hpmp)\n"
         "  --pwc N            page-walk-cache entries (default 8)\n"
         "  --pmptw-cache N    PMPTW-cache entries (default 0 = off)\n"
-        "  --stats            dump raw machine counters\n",
+        "  --stats            dump raw machine counters\n"
+        "  --stats-json FILE  write the full stats registry as JSON\n"
+        "  --debug FLAGS      enable debug tracing (Walk,Hpmp,Pmpt,\n"
+        "                     Monitor,Fault,Tlb or All)\n"
+        "  --trace-out FILE   write the trace-event ring as\n"
+        "                     chrome://tracing JSON\n",
         argv0);
 }
 
@@ -108,6 +118,21 @@ parse(int argc, char **argv, Options &opts)
             opts.pmptwEntries = unsigned(std::strtoul(v, nullptr, 0));
         } else if (arg == "--stats") {
             opts.dumpStats = true;
+        } else if (arg == "--stats-json") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.statsJson = v;
+        } else if (arg == "--debug") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.debugFlags = v;
+        } else if (arg == "--trace-out") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.traceOut = v;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             std::exit(0);
@@ -149,6 +174,24 @@ main(int argc, char **argv)
     if (!parse(argc, argv, opts)) {
         usage(argv[0]);
         return 1;
+    }
+
+    if (!opts.debugFlags.empty() || !opts.traceOut.empty()) {
+#if HPMP_TRACE_ENABLED
+        // --trace-out with no --debug records every category.
+        const std::string &flags =
+            opts.debugFlags.empty() ? "All" : opts.debugFlags;
+        if (!Tracer::instance().enableByName(flags)) {
+            std::fprintf(stderr, "unknown debug flag in '%s'\n",
+                         flags.c_str());
+            return 1;
+        }
+#else
+        std::fprintf(stderr, "tracing was compiled out "
+                             "(-DHPMP_TRACING=OFF); --debug/--trace-out "
+                             "are unavailable\n");
+        return 1;
+#endif
     }
 
     Trace trace;
@@ -245,5 +288,32 @@ main(int argc, char **argv)
     }
     if (opts.dumpStats)
         std::printf("\n%s", machine.stats().dump().c_str());
+    if (!opts.statsJson.empty()) {
+        StatRegistry registry;
+        machine.registerStats(registry);
+        if (!registry.writeJsonFile(opts.statsJson)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opts.statsJson.c_str());
+            return 1;
+        }
+        std::printf("stats JSON written to %s\n", opts.statsJson.c_str());
+    }
+#if HPMP_TRACE_ENABLED
+    // With tracing compiled out --trace-out already exited above, so
+    // this block must not odr-use the stub tracer: the release binary
+    // is asserted to carry no tracer symbol at all.
+    if (!opts.traceOut.empty()) {
+        TraceRing &ring = Tracer::instance().ring();
+        if (!ring.writeChromeJson(opts.traceOut)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opts.traceOut.c_str());
+            return 1;
+        }
+        std::printf("trace window written to %s (%lu events, "
+                    "%lu dropped)\n",
+                    opts.traceOut.c_str(), (unsigned long)ring.size(),
+                    (unsigned long)ring.dropped());
+    }
+#endif
     return 0;
 }
