@@ -55,7 +55,23 @@ class FaultInjector
     static FaultInjector &instance();
 
     /** Fast path: anything armed at all? Inlined into FAULT_POINT. */
-    bool enabled() const { return enabled_; }
+    bool enabled() const { return enabled_ && suspend_ == 0; }
+
+    /**
+     * RAII suppression for instrumentation code (the stale-translation
+     * checker's oracle probes, chaos interleaving probes): while any
+     * guard lives, sites neither fire nor count hits, so observer
+     * accesses cannot perturb armed plans meant for the workload.
+     * Nests.
+     */
+    class SuspendGuard
+    {
+      public:
+        SuspendGuard() { ++instance().suspend_; }
+        ~SuspendGuard() { --instance().suspend_; }
+        SuspendGuard(const SuspendGuard &) = delete;
+        SuspendGuard &operator=(const SuspendGuard &) = delete;
+    };
 
     /** Enable with a seed (governs probability plans and bit flips). */
     void enable(uint64_t seed);
@@ -124,6 +140,7 @@ class FaultInjector
     Plan &plan(const std::string &site) { return plans_[site]; }
 
     bool enabled_ = false;
+    unsigned suspend_ = 0; //!< nesting depth of live SuspendGuards
     Rng rng_;
     std::map<std::string, Plan> plans_;
     uint64_t anyNth_ = 0;

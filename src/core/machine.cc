@@ -8,13 +8,34 @@ namespace hpmp
 {
 
 Machine::Machine(const MachineParams &params)
+    : Machine(params, std::make_unique<PhysMem>(params.physMemBytes),
+              nullptr, "machine", 0)
+{
+}
+
+Machine::Machine(const MachineParams &params, PhysMem &shared_mem,
+                 const std::string &stat_prefix, unsigned hart_id)
+    : Machine(params, nullptr, &shared_mem, stat_prefix, hart_id)
+{
+}
+
+Machine::Machine(const MachineParams &params, std::unique_ptr<PhysMem> owned,
+                 PhysMem *shared, const std::string &stat_prefix,
+                 unsigned hart_id)
     : params_(params),
-      mem_(std::make_unique<PhysMem>(params.physMemBytes)),
+      ownedMem_(std::move(owned)),
+      mem_(shared ? shared : ownedMem_.get()),
       hier_(std::make_unique<MemoryHierarchy>(params.hier)),
       hpmp_(std::make_unique<HpmpUnit>(*mem_, params.hpmpEntries,
                                        params.pmptwEntries)),
       tlb_(std::make_unique<Tlb>(params.l1TlbEntries, params.l2TlbEntries)),
-      pwc_(std::make_unique<Pwc>(params.pwcEntries))
+      pwc_(std::make_unique<Pwc>(params.pwcEntries)),
+      hartId_(hart_id),
+      stats_(stat_prefix),
+      tlbStats_(stat_prefix + ".tlb"),
+      pwcStats_(stat_prefix + ".pwc"),
+      hpmpStats_(stat_prefix + ".hpmp"),
+      pmptwStats_(stat_prefix + ".hpmp.pmptw_cache")
 {
     stats_.add("accesses", &statAccesses_);
     stats_.add("walks", &statWalks_);
@@ -60,6 +81,8 @@ Machine::setSatp(Addr root_pa, PagingMode mode)
     satpRoot_ = root_pa;
     mode_ = mode;
     sfenceVma();
+    if (satpFenceHook_)
+        satpFenceHook_(*this);
 }
 
 void

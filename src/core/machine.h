@@ -20,8 +20,10 @@
 #ifndef HPMP_CORE_MACHINE_H
 #define HPMP_CORE_MACHINE_H
 
+#include <functional>
 #include <memory>
 #include <span>
+#include <string>
 
 #include "base/attribution.h"
 #include "base/stats.h"
@@ -89,6 +91,17 @@ class Machine
   public:
     explicit Machine(const MachineParams &params);
 
+    /**
+     * SMP hart constructor: the machine shares `shared_mem` with its
+     * sibling harts (per-hart TLB/PWC/HPMP/caches stay private) and
+     * names its stat groups `<stat_prefix>`, `<stat_prefix>.tlb`, ...
+     * Hart 0 of an SmpSystem uses the default "machine" prefix so a
+     * single-hart system dumps byte-identical stats to a standalone
+     * Machine.
+     */
+    Machine(const MachineParams &params, PhysMem &shared_mem,
+            const std::string &stat_prefix, unsigned hart_id);
+
     const MachineParams &params() const { return params_; }
 
     PhysMem &mem() { return *mem_; }
@@ -97,8 +110,27 @@ class Machine
     Tlb &tlb() { return *tlb_; }
     Pwc &pwc() { return *pwc_; }
 
-    /** Point the MMU at a page table (satp write implies sfence). */
+    /**
+     * Point the MMU at a page table. A satp write implies a local
+     * sfence.vma; when a remote-fence hook is installed (SmpSystem)
+     * the write is also routed through it so sibling harts' cached
+     * shared-PT state is fenced and accounted, never silently stale.
+     */
     void setSatp(Addr root_pa, PagingMode mode);
+
+    /**
+     * Hook invoked after the local fence of every setSatp, with this
+     * machine as the writing hart. Installed by SmpSystem; standalone
+     * machines have none and pay nothing.
+     */
+    using SatpFenceHook = std::function<void(Machine &)>;
+    void setSatpFenceHook(SatpFenceHook hook)
+    {
+        satpFenceHook_ = std::move(hook);
+    }
+
+    /** Hart index within an SmpSystem (0 for standalone machines). */
+    unsigned hartId() const { return hartId_; }
 
     /** Disable translation (bare / M-mode style direct physical). */
     void setBare() { translationOn_ = false; }
@@ -154,8 +186,13 @@ class Machine
     void registerStats(StatRegistry &registry);
 
   private:
+    Machine(const MachineParams &params, std::unique_ptr<PhysMem> owned,
+            PhysMem *shared, const std::string &stat_prefix,
+            unsigned hart_id);
+
     MachineParams params_;
-    std::unique_ptr<PhysMem> mem_;
+    std::unique_ptr<PhysMem> ownedMem_; //!< null when DRAM is shared
+    PhysMem *mem_;
     std::unique_ptr<MemoryHierarchy> hier_;
     std::unique_ptr<HpmpUnit> hpmp_;
     std::unique_ptr<Tlb> tlb_;
@@ -165,15 +202,17 @@ class Machine
     Addr satpRoot_ = 0;
     PagingMode mode_ = PagingMode::Sv39;
     PrivMode priv_ = PrivMode::Supervisor;
+    unsigned hartId_ = 0;
+    SatpFenceHook satpFenceHook_;
 
     /** The access path proper (stats wrapper lives in access()). */
     AccessOutcome accessInner(Addr va, AccessType type);
 
-    StatGroup stats_{"machine"};
-    StatGroup tlbStats_{"machine.tlb"};
-    StatGroup pwcStats_{"machine.pwc"};
-    StatGroup hpmpStats_{"machine.hpmp"};
-    StatGroup pmptwStats_{"machine.hpmp.pmptw_cache"};
+    StatGroup stats_;
+    StatGroup tlbStats_;
+    StatGroup pwcStats_;
+    StatGroup hpmpStats_;
+    StatGroup pmptwStats_;
     Counter statAccesses_;
     Counter statWalks_;
     Counter statPtRefs_;

@@ -1,0 +1,159 @@
+#include "core/smp.h"
+
+#include "base/fault_inject.h"
+#include "base/logging.h"
+#include "base/trace.h"
+
+namespace hpmp
+{
+
+const char *
+toString(IpiPhase phase)
+{
+    switch (phase) {
+      case IpiPhase::WindowBegin: return "window-begin";
+      case IpiPhase::Posted: return "posted";
+      case IpiPhase::Delivered: return "delivered";
+      case IpiPhase::Acked: return "acked";
+      case IpiPhase::WindowEnd: return "window-end";
+      case IpiPhase::SatpFence: return "satp-fence";
+    }
+    return "?";
+}
+
+SmpSystem::SmpSystem(const MachineParams &mp, const SmpParams &sp)
+    : params_(sp),
+      mem_(std::make_unique<PhysMem>(mp.physMemBytes)),
+      schedRng_(sp.schedSeed)
+{
+    fatal_if(sp.harts == 0, "an SmpSystem needs at least one hart");
+    harts_.reserve(sp.harts);
+    for (unsigned h = 0; h < sp.harts; ++h) {
+        // Hart 0 keeps the standalone "machine" prefix so a one-hart
+        // system dumps byte-identical stats to a plain Machine.
+        const std::string prefix =
+            h == 0 ? "machine" : "hart" + std::to_string(h) + ".machine";
+        harts_.push_back(std::make_unique<Machine>(mp, *mem_, prefix, h));
+        harts_.back()->setSatpFenceHook(
+            [this](Machine &writer) { satpShootdown(writer); });
+    }
+
+    stats_.add("satp_shootdowns", &statSatpShootdowns_);
+    stats_.add("satp_remote_fences", &statSatpRemoteFences_);
+    stats_.add("satp_ipi_retries", &statSatpIpiRetries_);
+    stats_.add("lock_acquisitions", &statLockAcquisitions_);
+    stats_.add("lock_contended", &statLockContended_);
+    stats_.add("sched_picks", &statSchedPicks_);
+    stats_.add("hook_steps", &statHookSteps_);
+}
+
+void
+SmpSystem::setCurrentHart(unsigned h)
+{
+    fatal_if(h >= numHarts(), "hart %u out of range (%u harts)", h,
+             numHarts());
+    currentHart_ = h;
+}
+
+unsigned
+SmpSystem::pickHart()
+{
+    ++statSchedPicks_;
+    if (params_.roundRobin) {
+        const unsigned h = rrNext_;
+        rrNext_ = (rrNext_ + 1) % numHarts();
+        return h;
+    }
+    return unsigned(schedRng_.below(numHarts()));
+}
+
+void
+SmpSystem::runInterleaved(std::vector<HartTask> tasks)
+{
+    fatal_if(tasks.size() != harts_.size(),
+             "runInterleaved wants one task per hart (%zu vs %zu)",
+             tasks.size(), harts_.size());
+    std::vector<bool> alive(tasks.size(), true);
+    unsigned remaining = unsigned(tasks.size());
+    const unsigned saved = currentHart_;
+    while (remaining > 0) {
+        const unsigned h = pickHart();
+        if (!alive[h])
+            continue;
+        currentHart_ = h;
+        if (!tasks[h](*harts_[h])) {
+            alive[h] = false;
+            --remaining;
+        }
+    }
+    currentHart_ = saved;
+}
+
+void
+SmpSystem::notifyStep(const IpiEvent &event)
+{
+    TRACE_EVENT(Monitor, event.seq, 0, "ipi-step",
+                (uint64_t(event.srcHart) << 32) | event.dstHart,
+                uint64_t(event.phase));
+    if (!hook_)
+        return;
+    ++statHookSteps_;
+    hook_->onIpiStep(event);
+}
+
+bool
+SmpSystem::tryAcquireMonitorLock(unsigned hart)
+{
+    if (lockHeld_) {
+        ++statLockContended_;
+        return false;
+    }
+    lockHeld_ = true;
+    lockOwner_ = hart;
+    ++statLockAcquisitions_;
+    return true;
+}
+
+void
+SmpSystem::releaseMonitorLock(unsigned hart)
+{
+    panic_if(!lockHeld_, "releasing a monitor lock nobody holds");
+    panic_if(lockOwner_ != hart,
+             "hart %u releasing the monitor lock held by hart %u", hart,
+             lockOwner_);
+    lockHeld_ = false;
+}
+
+void
+SmpSystem::satpShootdown(Machine &writer)
+{
+    if (numHarts() == 1)
+        return;
+    ++statSatpShootdowns_;
+    const uint64_t seq = nextIpiSeq();
+    for (unsigned h = 0; h < numHarts(); ++h) {
+        if (&hart(h) == &writer)
+            continue;
+        // A lost satp IPI is retried, never skipped: leaving a hart's
+        // shared-PT cached state unfenced would be the exact bug this
+        // path exists to prevent. Retries are counted so campaigns can
+        // assert the fault actually fired; the bound keeps a
+        // probability-1.0 plan from spinning.
+        for (unsigned attempt = 0;
+             attempt < 8 && FAULT_POINT("smp.satp_ipi"); ++attempt)
+            ++statSatpIpiRetries_;
+        hart(h).sfenceVma();
+        ++statSatpRemoteFences_;
+        notifyStep({IpiPhase::SatpFence, writer.hartId(), h, seq});
+    }
+}
+
+void
+SmpSystem::registerStats(StatRegistry &registry)
+{
+    registry.add(&stats_);
+    for (auto &m : harts_)
+        m->registerStats(registry);
+}
+
+} // namespace hpmp

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * SMP machine model: N harts over one physical memory.
+ *
+ * SmpSystem owns N Machines that share a single PhysMem (and with it
+ * the DRAM-resident page tables and PMP Tables) while keeping every
+ * per-hart structure private: TLB, PWC, HPMP register file and
+ * PMPTW-Cache, L1/L2 caches. That split is exactly what makes remote
+ * fences a correctness problem — a monitor mutation reprograms the
+ * *initiating* hart's view synchronously, but every other hart keeps
+ * serving translations from its own cached state until an IPI reaches
+ * it (the shootdown window, DESIGN.md §9).
+ *
+ * Everything here is deterministic: the interleaving scheduler is a
+ * seeded xoshiro stream (or strict round-robin), so any concurrency
+ * failure replays exactly from {seed, hart count, op count}.
+ *
+ * A single-hart SmpSystem is bit-identical to a standalone Machine:
+ * hart 0 keeps the "machine" stat prefix, remote loops are empty, and
+ * no IPI cost or stat moves.
+ */
+
+#ifndef HPMP_CORE_SMP_H
+#define HPMP_CORE_SMP_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/stats.h"
+#include "core/machine.h"
+
+namespace hpmp
+{
+
+/**
+ * Steps of the modelled IPI/remote-fence protocol, published to the
+ * interleave hook so checkers can inject victim-hart accesses at every
+ * boundary of the shootdown window.
+ */
+enum class IpiPhase : uint8_t
+{
+    WindowBegin, //!< initiator committed new state; no IPI sent yet
+    Posted,      //!< IPI posted to dstHart, not yet delivered
+    Delivered,   //!< dstHart ran its fence handler (synced + flushed)
+    Acked,       //!< dstHart's ack observed by the initiator
+    WindowEnd,   //!< all harts fenced and acked; window closed
+    SatpFence,   //!< remote fence from a satp write (no layout change)
+};
+
+const char *toString(IpiPhase phase);
+
+/** One step of a shootdown, as seen by the interleave hook. */
+struct IpiEvent
+{
+    IpiPhase phase = IpiPhase::WindowBegin;
+    unsigned srcHart = 0; //!< initiating hart
+    unsigned dstHart = 0; //!< target hart (== srcHart for window marks)
+    uint64_t seq = 0;     //!< shootdown sequence number, monotonic
+};
+
+/**
+ * Observer interleaved into every IPI protocol step. The monitor (and
+ * the satp fence path) call this *mid-window*, which is the whole
+ * point: implementations drive accesses on other harts while some of
+ * them are still unfenced, to hunt stale-translation grants.
+ */
+class InterleaveHook
+{
+  public:
+    virtual ~InterleaveHook() = default;
+    virtual void onIpiStep(const IpiEvent &event) = 0;
+};
+
+struct SmpParams
+{
+    unsigned harts = 1;
+    uint64_t schedSeed = 1;  //!< seed of the interleaving stream
+    bool roundRobin = false; //!< strict RR instead of the seeded stream
+};
+
+class SmpSystem
+{
+  public:
+    SmpSystem(const MachineParams &mp, const SmpParams &sp);
+
+    unsigned numHarts() const { return unsigned(harts_.size()); }
+    Machine &hart(unsigned h) { return *harts_.at(h); }
+    const Machine &hart(unsigned h) const { return *harts_.at(h); }
+    PhysMem &mem() { return *mem_; }
+    const SmpParams &params() const { return params_; }
+
+    /**
+     * The hart executing now — monitor calls attribute their work (and
+     * skip the self-IPI) to this hart. Pure bookkeeping: the caller
+     * drives one hart at a time, this records which.
+     */
+    unsigned currentHart() const { return currentHart_; }
+    void setCurrentHart(unsigned h);
+
+    /** Scheduler: next hart in the deterministic interleaving. */
+    unsigned pickHart();
+
+    /** The scheduler's stream, for hooks that need more decisions. */
+    Rng &schedRng() { return schedRng_; }
+
+    /**
+     * Run one closure per hart, interleaved by the scheduler until
+     * every task has returned false ("done"). Each invocation runs one
+     * *step* of the task on its hart; currentHart() tracks the choice.
+     */
+    using HartTask = std::function<bool(Machine &)>;
+    void runInterleaved(std::vector<HartTask> tasks);
+
+    /** Install (or clear, with nullptr) the interleave observer. */
+    void setInterleaveHook(InterleaveHook *hook) { hook_ = hook; }
+    InterleaveHook *interleaveHook() { return hook_; }
+
+    /** Publish one protocol step to the hook (monitor/satp paths). */
+    void notifyStep(const IpiEvent &event);
+
+    /** Next shootdown sequence number (monotonic, shared). */
+    uint64_t nextIpiSeq() { return ++ipiSeq_; }
+
+    /**
+     * The global monitor lock: one monitor call in flight at a time.
+     * tryAcquire fails (and counts the contention) when another hart
+     * holds it — the caller surfaces MonitorError::LockContended
+     * without touching any state.
+     */
+    bool tryAcquireMonitorLock(unsigned hart);
+    void releaseMonitorLock(unsigned hart);
+    bool monitorLocked() const { return lockHeld_; }
+    unsigned lockOwner() const { return lockOwner_; }
+
+    /** "smp" group: satp shootdowns, lock traffic, hook steps. */
+    StatGroup &stats() { return stats_; }
+
+    /**
+     * Register the "smp" group plus every hart's groups ("machine",
+     * "hart<N>.machine", ...) with a registry for dumping.
+     */
+    void registerStats(StatRegistry &registry);
+
+  private:
+    /** Remote-fence handler for a satp write on hart `writer`. */
+    void satpShootdown(Machine &writer);
+
+    SmpParams params_;
+    std::unique_ptr<PhysMem> mem_;
+    std::vector<std::unique_ptr<Machine>> harts_;
+    Rng schedRng_;
+    unsigned rrNext_ = 0;
+    unsigned currentHart_ = 0;
+    InterleaveHook *hook_ = nullptr;
+    uint64_t ipiSeq_ = 0;
+
+    bool lockHeld_ = false;
+    unsigned lockOwner_ = 0;
+
+    StatGroup stats_{"smp"};
+    Counter statSatpShootdowns_;   //!< satp writes that fenced siblings
+    Counter statSatpRemoteFences_; //!< per-hart remote fences performed
+    Counter statSatpIpiRetries_;   //!< lost satp IPIs re-sent (never skipped)
+    Counter statLockAcquisitions_;
+    Counter statLockContended_;
+    Counter statSchedPicks_;
+    Counter statHookSteps_;
+};
+
+} // namespace hpmp
+
+#endif // HPMP_CORE_SMP_H

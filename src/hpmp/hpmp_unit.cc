@@ -16,6 +16,91 @@ HpmpUnit::HpmpUnit(PhysMem &mem, unsigned num_entries,
 }
 
 void
+LayoutImage::segment(unsigned idx, Addr base, uint64_t size, Perm perm)
+{
+    addr.at(idx) = PmpUnit::encodeNapot(base, size);
+    cfg.at(idx) = PmpCfg::make(perm, PmpAddrMode::Napot);
+}
+
+void
+LayoutImage::table(unsigned idx, Addr base, uint64_t size, Addr table_root,
+                   unsigned levels)
+{
+    fatal_if(idx + 1 >= entries(),
+             "the last HPMP entry cannot be in table mode (no successor "
+             "to hold the table base)");
+    fatal_if(size > pmpt_geom::coverage(levels),
+             "region %#lx larger than table coverage %#lx",
+             size, pmpt_geom::coverage(levels));
+    addr.at(idx) = PmpUnit::encodeNapot(base, size);
+    cfg.at(idx) = PmpCfg::make(Perm::none(), PmpAddrMode::Napot,
+                               /*lock=*/false, /*t=*/true);
+    cfg.at(idx + 1) = PmpCfg::make(Perm::none(), PmpAddrMode::Off);
+    addr.at(idx + 1) = PmptBaseReg::make(table_root, levels).raw;
+}
+
+unsigned
+HpmpUnit::applyImage(const LayoutImage &img)
+{
+    fatal_if(img.entries() != regs_.numEntries(),
+             "layout image has %u entries, unit has %u", img.entries(),
+             regs_.numEntries());
+
+    // Pass 1: fire the per-entry programming fault sites for every
+    // entry that will change, before the first CSR write — an injected
+    // fault must never leave a half-applied image (the transactional
+    // fail-before-mutation contract).
+    for (unsigned i = 0; i < img.entries(); ++i) {
+        if (img.addr[i] == regs_.addr(i) && img.cfg[i] == regs_.cfg(i).raw)
+            continue;
+        const PmpCfg want{img.cfg[i]};
+        if (want.reservedT() ||
+            (want.a() == PmpAddrMode::Off && img.addr[i] != 0)) {
+            // Table head or the successor base register it consumes.
+            if (FAULT_POINT("hpmp.program_table"))
+                throw InjectedFault{"hpmp.program_table"};
+        } else if (want.a() == PmpAddrMode::Off) {
+            if (FAULT_POINT("hpmp.disable"))
+                throw InjectedFault{"hpmp.disable"};
+        } else {
+            if (FAULT_POINT("hpmp.program_segment"))
+                throw InjectedFault{"hpmp.program_segment"};
+        }
+    }
+
+    unsigned writes = 0;
+    for (unsigned i = 0; i < img.entries(); ++i) {
+        if (img.addr[i] != regs_.addr(i)) {
+            regs_.setAddr(i, img.addr[i]);
+            ++writes;
+        }
+        if (img.cfg[i] != regs_.cfg(i).raw) {
+            regs_.setCfg(i, img.cfg[i]);
+            ++writes;
+        }
+    }
+    if (writes > 0) {
+        DPRINTF(Hpmp, "applyImage: %u CSR writes\n", writes);
+        csrWrites_ += writes;
+        pmptwCache_.flush();
+    }
+    return writes;
+}
+
+unsigned
+HpmpUnit::syncRegsFrom(const HpmpUnit &src)
+{
+    LayoutImage img(regs_.numEntries());
+    fatal_if(src.regs_.numEntries() != regs_.numEntries(),
+             "syncRegsFrom across differently sized register files");
+    for (unsigned i = 0; i < img.entries(); ++i) {
+        img.addr[i] = src.regs_.addr(i);
+        img.cfg[i] = src.regs_.cfg(i).raw;
+    }
+    return applyImage(img);
+}
+
+void
 HpmpUnit::programSegment(unsigned idx, Addr base, uint64_t size, Perm perm)
 {
     // All programming sites fire before the first CSR write: a fault

@@ -26,6 +26,38 @@
 namespace hpmp
 {
 
+/**
+ * A complete desired register-file image, built entry by entry with
+ * the same encodings programSegment/programTable use. The monitor
+ * composes one per applyLayout and HpmpUnit::applyImage diffs it
+ * against the live registers, writing only the CSRs that changed —
+ * the paper's incremental reprogramming path (steady-state domain
+ * switches touch ~2 CSRs instead of all 32).
+ */
+struct LayoutImage
+{
+    std::vector<uint64_t> addr;
+    std::vector<uint8_t> cfg;
+
+    /** All entries start OFF/zero, i.e. "disabled" is the default. */
+    explicit LayoutImage(unsigned entries)
+        : addr(entries, 0), cfg(entries, 0)
+    {
+    }
+
+    unsigned entries() const { return unsigned(addr.size()); }
+
+    /** Entry idx as a NAPOT segment region (see programSegment). */
+    void segment(unsigned idx, Addr base, uint64_t size, Perm perm);
+
+    /**
+     * Entry idx as a NAPOT table-mode region; consumes entry idx+1 for
+     * the PmptBaseReg exactly like programTable.
+     */
+    void table(unsigned idx, Addr base, uint64_t size, Addr table_root,
+               unsigned levels = 2);
+};
+
 /** Outcome of one HPMP permission check. */
 struct HpmpCheckResult
 {
@@ -75,6 +107,27 @@ class HpmpUnit
 
     /** Turn entry idx off. */
     void disable(unsigned idx);
+
+    /**
+     * Diff `img` against the live registers and write only the CSRs
+     * that differ. Fault-injection sites fire per *changed* entry
+     * (hpmp.program_segment / hpmp.program_table / hpmp.disable by the
+     * entry's desired kind) before the first write, so an injected
+     * fault can never leave a half-applied image. Flushes the
+     * PMPTW-Cache iff anything changed; callers that mutated table
+     * *contents* must still flush explicitly.
+     *
+     * @return CSR writes performed (also added to csrWrites()).
+     */
+    unsigned applyImage(const LayoutImage &img);
+
+    /**
+     * Make this unit's registers identical to `src`'s, paying one CSR
+     * write per differing register (the modelled cost of the IPI
+     * handler re-programming its hart during a remote shootdown).
+     * @return CSR writes performed.
+     */
+    unsigned syncRegsFrom(const HpmpUnit &src);
 
     /**
      * Check one physical access. Machine-mode accesses bypass the

@@ -11,9 +11,20 @@ IopmpUnit::IopmpUnit(PhysMem &mem, unsigned num_masters,
                      unsigned entries_per_master)
 {
     fatal_if(num_masters == 0, "IOPMP needs at least one master");
+    stats_.add("checks", &checks_);
+    stats_.add("denials", &denials_);
     for (unsigned i = 0; i < num_masters; ++i) {
         masters_.push_back(
             std::make_unique<HpmpUnit>(mem, entries_per_master, 0));
+        // Per-master groups: each source ID gets the full HpmpUnit
+        // counter set plus its PMPTW-cache as a child group.
+        const std::string prefix = "iopmp.master" + std::to_string(i);
+        masterStats_.push_back(std::make_unique<StatGroup>(prefix));
+        masters_.back()->registerStats(*masterStats_.back());
+        masterStats_.push_back(
+            std::make_unique<StatGroup>(prefix + ".pmptw_cache"));
+        masters_.back()->pmptwCache().registerStats(
+            *masterStats_.back());
     }
 }
 
@@ -27,6 +38,7 @@ IopmpUnit::master(MasterId id)
 HpmpCheckResult
 IopmpUnit::check(MasterId id, Addr pa, uint64_t size, AccessType type)
 {
+    ++checks_;
     // A glitched IOPMP lookup fails closed: the beat is denied as an
     // access fault, never silently let through.
     if (FAULT_POINT("iopmp.check")) {
@@ -54,6 +66,14 @@ IopmpUnit::flushCaches()
 {
     for (auto &m : masters_)
         m->flushCache();
+}
+
+void
+IopmpUnit::registerStats(StatRegistry &registry)
+{
+    registry.add(&stats_);
+    for (auto &g : masterStats_)
+        registry.add(g.get());
 }
 
 DmaEngine::TransferResult

@@ -53,10 +53,25 @@ class IopmpUnit
     void flushCaches();
 
     uint64_t denials() const { return denials_.value(); }
+    uint64_t checks() const { return checks_.value(); }
+
+    /** "iopmp" aggregate group (checks, denials). */
+    StatGroup &stats() { return stats_; }
+
+    /**
+     * Register the aggregate "iopmp" group plus one group per master
+     * ("iopmp.master<N>" with the full HpmpUnit counter set and its
+     * "iopmp.master<N>.pmptw_cache" child) with a registry.
+     */
+    void registerStats(StatRegistry &registry);
 
   private:
     std::vector<std::unique_ptr<HpmpUnit>> masters_;
+    Counter checks_;  //!< DMA beats checked (all masters)
     Counter denials_;
+
+    StatGroup stats_{"iopmp"};
+    std::vector<std::unique_ptr<StatGroup>> masterStats_;
 };
 
 /**

@@ -9,8 +9,13 @@
 #include "base/rng.h"
 #include "base/stats.h"
 #include "core/params.h"
+#include "core/smp.h"
+#include "hpmp/iopmp.h"
 #include "monitor/invariants.h"
 #include "monitor/secure_monitor.h"
+#include "monitor/stale_checker.h"
+#include "os/address_space.h"
+#include "os/kernel.h"
 
 namespace hpmp
 {
@@ -64,11 +69,89 @@ randomNapotSize(Rng &rng)
     return sizes[rng.below(std::size(sizes))];
 }
 
+/**
+ * Multi-hart campaign geometry: each hart's kernel (OS layer) owns a
+ * NAPOT region far above the chaos windows, so domain-lifecycle chaos
+ * and OS traffic collide only where the ops make them collide.
+ */
+constexpr Addr kKernelMemBase = 2_GiB;
+constexpr uint64_t kKernelMemBytes = 32_MiB;
+constexpr uint64_t kKernelMemStride = 64_MiB;
+/** Watch mappings live above the mmap arena so they are never unmapped. */
+constexpr Addr kWatchVaBase = 0x7f000000;
+
+/**
+ * Interleave hook of the multi-hart campaign: runs the stale checker
+ * at every IPI step and, from inside the shootdown window, fires
+ * nested monitor calls from victim harts — every one of them must
+ * bounce off the global monitor lock with LockContended and zero state
+ * change.
+ */
+class ChaosIpiHook : public InterleaveHook
+{
+  public:
+    ChaosIpiHook(SmpSystem &smp, SecureMonitor &monitor,
+                 StaleChecker &checker, Rng &rng)
+        : smp_(smp), monitor_(monitor), checker_(checker), rng_(rng)
+    {
+    }
+
+    void
+    onIpiStep(const IpiEvent &event) override
+    {
+        checker_.onIpiStep(event);
+        if (failed_)
+            return;
+        // Posted/Delivered steps always run inside a monitor
+        // transaction (the satp fence path does not take the lock, so
+        // its SatpFence steps are not probed).
+        if (event.phase != IpiPhase::Posted &&
+            event.phase != IpiPhase::Delivered) {
+            return;
+        }
+        if (!rng_.chance(0.12))
+            return;
+        const unsigned saved = smp_.currentHart();
+        smp_.setCurrentHart(event.dstHart);
+        const MonitorResult r =
+            monitor_.switchTo(monitor_.currentDomain());
+        smp_.setCurrentHart(saved);
+        if (r.ok || r.code != MonitorError::LockContended) {
+            failed_ = true;
+            why_ = "nested monitor call from hart " +
+                   std::to_string(event.dstHart) +
+                   " inside the shootdown window did not bounce with "
+                   "lock-contended (got " +
+                   std::string(r.ok ? "ok" : toString(r.code)) + ")";
+            return;
+        }
+        ++contended_;
+    }
+
+    bool failed() const { return failed_; }
+    const std::string &failure() const { return why_; }
+    uint64_t contended() const { return contended_; }
+
+  private:
+    SmpSystem &smp_;
+    SecureMonitor &monitor_;
+    StaleChecker &checker_;
+    Rng &rng_;
+    uint64_t contended_ = 0;
+    bool failed_ = false;
+    std::string why_;
+};
+
+ChaosStats runChaosSmp(const ChaosConfig &config);
+
 } // namespace
 
 ChaosStats
 runChaos(const ChaosConfig &config)
 {
+    if (config.harts > 1)
+        return runChaosSmp(config);
+
     ChaosStats stats;
     Rng rng(config.seed);
 
@@ -261,5 +344,424 @@ runChaos(const ChaosConfig &config)
     }
     return stats;
 }
+
+namespace
+{
+
+/**
+ * The multi-hart campaign. Same domain-lifecycle op mix as the
+ * single-hart fuzzer, plus: every op initiates from a random hart,
+ * IPI shootdowns run with the stale-translation checker and
+ * nested-call lock probes interleaved into every protocol step,
+ * rollback is verified per hart, hart register files are checked for
+ * convergence outside windows, and (with osLayer) per-hart kernels
+ * drive mmap/munmap/touch/demand-fault and DMA traffic under the same
+ * injection plans.
+ */
+ChaosStats
+runChaosSmp(const ChaosConfig &config)
+{
+    ChaosStats stats;
+    stats.harts = config.harts;
+    Rng rng(config.seed);
+
+    SmpParams sp;
+    sp.harts = config.harts;
+    sp.schedSeed = config.seed * 0x9E3779B97F4A7C15ULL + config.harts;
+    SmpSystem smp(rocketParams(), sp);
+    MonitorConfig mc;
+    mc.scheme = config.scheme;
+    SecureMonitor monitor(smp, mc);
+    for (unsigned h = 0; h < config.harts; ++h)
+        smp.hart(h).setPriv(PrivMode::Supervisor);
+
+    // ---- OS layer: one kernel + address space per hart -------------
+    std::vector<DomainId> kernelDomain(config.harts, 0);
+    std::vector<std::unique_ptr<Kernel>> kernels;
+    std::vector<std::unique_ptr<AddressSpace>> spaces;
+    // Per-hart [base, len) regions currently mmapped (touch targets).
+    std::vector<std::vector<std::pair<Addr, uint64_t>>> mapped(
+        config.harts);
+    if (config.osLayer) {
+        for (unsigned h = 0; h < config.harts; ++h) {
+            kernelDomain[h] = monitor.createDomain();
+            KernelConfig kc;
+            kernels.push_back(std::make_unique<Kernel>(
+                monitor, kernelDomain[h],
+                kKernelMemBase + h * kKernelMemStride, kKernelMemBytes,
+                kc));
+            spaces.push_back(kernels.back()->createAddressSpace());
+        }
+    }
+
+    // ---- stale-translation watches ---------------------------------
+    // Two watched accesses per hart: a chaos-window page (permission
+    // churns with GMS registration and domain switches) and either the
+    // hart's kernel data page (flips on switches to/from its domain)
+    // or a second window page in bare mode.
+    StaleChecker checker(smp, monitor);
+    unsigned wi = 0;
+    for (unsigned h = 0; h < config.harts; ++h) {
+        for (unsigned k = 0; k < 2; ++k) {
+            StaleWatch w;
+            w.hart = h;
+            w.type = (wi % 2) ? AccessType::Store : AccessType::Load;
+            if (k == 0) {
+                w.pa = windowOf(h % kWindows) + (1 + h) * kPageSize;
+            } else if (config.osLayer) {
+                w.pa = kKernelMemBase + h * kKernelMemStride +
+                       kernels[h]->config().ptPoolBytes;
+            } else {
+                w.pa = windowOf((h + 3) % kWindows) + (2 + h) * kPageSize;
+            }
+            if (config.osLayer) {
+                w.va = kWatchVaBase + wi * kPageSize;
+                const bool mapped_ok =
+                    spaces[h]->mapFrameAt(w.va, w.pa, Perm::rwx(), false);
+                panic_if(!mapped_ok, "watch mapping failed");
+            } else {
+                w.va = w.pa; // bare harts access physically
+            }
+            checker.addWatch(w);
+            ++wi;
+        }
+    }
+
+    // Point every hart's MMU at its own address space. Runs through
+    // Machine::setSatp, i.e. the remote-fence accounting path.
+    if (config.osLayer) {
+        for (unsigned h = 0; h < config.harts; ++h) {
+            smp.setCurrentHart(h);
+            smp.hart(h).setSatp(spaces[h]->rootPa(),
+                                kernels[h]->config().pagingMode);
+        }
+        smp.setCurrentHart(0);
+    }
+
+    ChaosIpiHook hook(smp, monitor, checker, rng);
+    smp.setInterleaveHook(&hook);
+
+    // ---- DMA masters behind a two-master IOPMP ---------------------
+    IopmpUnit iopmp(smp.mem(), 2);
+    iopmp.master(0).programSegment(0, windowOf(0), kWindowSize,
+                                   Perm::rw());
+    iopmp.master(1).programSegment(0, windowOf(1), kWindowSize,
+                                   Perm::rw());
+    DmaEngine dma0(iopmp, smp.hart(0).hier(), 0);
+    DmaEngine dma1(iopmp, smp.hart(0).hier(), 1);
+
+    FaultInjector &injector = FaultInjector::instance();
+    injector.enable(config.seed);
+
+    const char *op_name = "?";
+    auto fail = [&](unsigned index, const std::string &why) {
+        std::ostringstream os;
+        os << "seed " << config.seed << " harts " << config.harts
+           << " op #" << index << " (" << op_name << "): " << why;
+        stats.failed = true;
+        stats.failure = os.str();
+    };
+
+    // Helpers over the current population (same shapes as the
+    // single-hart campaign).
+    auto live = [&]() { return monitor.domainIds(); };
+    const size_t max_domains =
+        kMaxDomains + 1 + (config.osLayer ? config.harts : 0);
+    auto pick_domain = [&](bool allow_bogus) -> DomainId {
+        if (allow_bogus && rng.chance(0.08))
+            return kBogusDomain;
+        const auto ids = live();
+        return ids[rng.below(ids.size())];
+    };
+    auto pick_gms_base = [&](DomainId id) -> Addr {
+        if (!monitor.domainExists(id))
+            return windowOf(id);
+        const auto &list = monitor.gmsOf(id);
+        if (list.empty() || rng.chance(0.1))
+            return windowOf(id) + rng.below(16) * kPageSize;
+        return list[rng.below(list.size())].base;
+    };
+    auto random_gms = [&](DomainId id) -> Gms {
+        Gms gms;
+        gms.size = randomNapotSize(rng);
+        const Addr window = windowOf(id);
+        gms.base = window + rng.below(kWindowSize / gms.size) * gms.size;
+        gms.perm = randomPerm(rng);
+        gms.label = rng.chance(0.7) ? GmsLabel::Fast : GmsLabel::Slow;
+        if (rng.chance(0.05))
+            gms.base += 0x100;
+        if (rng.chance(0.03))
+            gms.size = 0;
+        if (rng.chance(0.04))
+            gms.base = monitor.config().monitorBase +
+                       rng.below(monitor.config().monitorSize / kPageSize) *
+                           kPageSize;
+        return gms;
+    };
+
+    std::vector<uint64_t> pre(config.harts, 0);
+    for (unsigned i = 0; i < config.ops && !stats.failed; ++i) {
+        // Every op initiates from a random hart: the monitor must
+        // program the canonical unit and converge everyone else no
+        // matter who trapped in.
+        const unsigned initiator = unsigned(rng.below(config.harts));
+        smp.setCurrentHart(initiator);
+
+        const bool armed = rng.chance(config.faultProb);
+        const bool digest_checked = armed || i % 8 == 0;
+        if (digest_checked) {
+            for (unsigned h = 0; h < config.harts; ++h)
+                pre[h] = monitor.hartStateDigest(h, config.fullDigest);
+        }
+        if (armed)
+            injector.armAnyNth(1 + rng.below(8));
+
+        // ---- run one random operation -------------------------------
+        MonitorResult result;
+        const unsigned roll = unsigned(rng.below(100));
+        if (roll < 6) {
+            op_name = "createDomain";
+            if (live().size() < max_domains)
+                monitor.createDomain();
+        } else if (roll < 12) {
+            op_name = "destroyDomain";
+            result = monitor.destroyDomain(pick_domain(true));
+        } else if (roll < 28) {
+            op_name = "addGms";
+            const DomainId id = pick_domain(true);
+            if (!monitor.domainExists(id) ||
+                monitor.gmsOf(id).size() < kMaxGmsPerDomain) {
+                result = monitor.addGms(id, random_gms(id));
+            }
+        } else if (roll < 35) {
+            op_name = "removeGms";
+            const DomainId id = pick_domain(true);
+            result = monitor.removeGms(id, pick_gms_base(id));
+        } else if (roll < 41) {
+            op_name = "setLabel";
+            const DomainId id = pick_domain(true);
+            result = monitor.setLabel(id, pick_gms_base(id),
+                                      rng.chance(0.5) ? GmsLabel::Fast
+                                                      : GmsLabel::Slow);
+        } else if (roll < 47) {
+            op_name = "setPerm";
+            const DomainId id = pick_domain(true);
+            result =
+                monitor.setPerm(id, pick_gms_base(id), randomPerm(rng));
+        } else if (roll < 52) {
+            op_name = "shareGms";
+            const DomainId owner = pick_domain(false);
+            const DomainId peer = pick_domain(true);
+            result = monitor.shareGms(owner, pick_gms_base(owner), peer,
+                                      randomPerm(rng));
+        } else if (roll < 60) {
+            op_name = "hintHotRegion";
+            const DomainId id = pick_domain(true);
+            Addr base = pick_gms_base(id);
+            uint64_t size = randomNapotSize(rng);
+            if (monitor.domainExists(id) && !monitor.gmsOf(id).empty() &&
+                rng.chance(0.8)) {
+                const auto &list = monitor.gmsOf(id);
+                const Gms &gms = list[rng.below(list.size())];
+                size = std::max<uint64_t>(gms.size >> rng.below(3),
+                                          kPageSize);
+                if (isPowerOf2(gms.size) && size <= gms.size)
+                    base = gms.base + rng.below(gms.size / size) * size;
+            }
+            result = monitor.hintHotRegion(id, base, size);
+        } else if (roll < 74) {
+            op_name = "switchTo";
+            result = monitor.switchTo(pick_domain(true));
+        } else if (roll < 80) {
+            op_name = "attest";
+            const DomainId id = pick_domain(false);
+            const uint64_t nonce = rng.next();
+            const auto report = monitor.attestDomain(id, nonce);
+            if (report.ok) {
+                if (!monitor.attestor().verify(report.value, nonce)) {
+                    fail(i, "attestation report failed verification");
+                    break;
+                }
+            } else {
+                result = MonitorResult::fail(report.code, report.error);
+            }
+        } else if (roll < 88 && config.osLayer) {
+            ++stats.osOps;
+            AddressSpace &as = *spaces[initiator];
+            auto &regions = mapped[initiator];
+            switch (rng.below(4)) {
+              case 0: {
+                op_name = "os.mmap";
+                const uint64_t len = (1 + rng.below(8)) * kPageSize;
+                const auto va = as.tryMmap(len, Perm::rw(), true,
+                                           rng.chance(0.7));
+                if (va)
+                    regions.push_back({*va, len});
+                break;
+              }
+              case 1: {
+                op_name = "os.munmap";
+                if (!regions.empty()) {
+                    const size_t idx = rng.below(regions.size());
+                    as.munmap(regions[idx].first, regions[idx].second);
+                    // munmap fences through the canonical machine;
+                    // fence the hart that actually ran it too.
+                    smp.hart(initiator).sfenceVma();
+                    regions.erase(regions.begin() + ptrdiff_t(idx));
+                }
+                break;
+              }
+              default: {
+                op_name = "os.touch";
+                if (monitor.currentDomain() != kernelDomain[initiator])
+                    result = monitor.switchTo(kernelDomain[initiator]);
+                if (result.ok && !regions.empty()) {
+                    const auto &[base, len] =
+                        regions[rng.below(regions.size())];
+                    for (unsigned t = 0; t < 4; ++t) {
+                        const Addr va =
+                            base + rng.below(len / kPageSize) * kPageSize;
+                        const AccessType type = rng.chance(0.5)
+                                                    ? AccessType::Load
+                                                    : AccessType::Store;
+                        Machine &m = smp.hart(initiator);
+                        const auto out = m.access(va, type);
+                        if (out.fault == pageFaultFor(type) &&
+                            as.handleFault(va, type)) {
+                            m.access(va, type);
+                        }
+                    }
+                }
+                break;
+              }
+            }
+        } else if (roll < 94) {
+            op_name = "dma";
+            ++stats.dmaOps;
+            const unsigned master = unsigned(rng.below(2));
+            const Addr window = windowOf(master);
+            const Addr src = window + rng.below(64) * kPageSize;
+            const Addr dst =
+                window + kWindowSize / 2 + rng.below(64) * kPageSize;
+            DmaEngine &dma = master == 0 ? dma0 : dma1;
+            dma.transfer(src, dst, 256 + rng.below(4) * 256);
+            if (rng.chance(0.25))
+                iopmp.flushCaches();
+        } else if (config.osLayer) {
+            // satp rewrite: the remote-fence path that is not a
+            // monitor call (satellite of the shootdown protocol).
+            op_name = "os.satp";
+            ++stats.osOps;
+            smp.hart(initiator).setSatp(
+                spaces[initiator]->rootPa(),
+                kernels[initiator]->config().pagingMode);
+        } else {
+            op_name = "switchTo";
+            result = monitor.switchTo(pick_domain(true));
+        }
+        injector.clearPlans(); // disarm anything that did not fire
+
+        // ---- audit the outcome --------------------------------------
+        ++stats.ops;
+        if (result.ok) {
+            ++stats.okOps;
+            if (result.degraded)
+                ++stats.degradedOps;
+        } else {
+            ++stats.failedOps;
+            if (result.code == MonitorError::InjectedFault)
+                ++stats.injectedFaults;
+            if (result.code == MonitorError::None) {
+                fail(i, "failed without an error code: " + result.error);
+                break;
+            }
+            if (digest_checked) {
+                ++stats.rollbackChecks;
+                bool mismatched = false;
+                for (unsigned h = 0; h < config.harts && !mismatched;
+                     ++h) {
+                    const uint64_t post =
+                        monitor.hartStateDigest(h, config.fullDigest);
+                    if (post != pre[h]) {
+                        fail(i, std::string("hart ") +
+                                    std::to_string(h) +
+                                    " state changed across a failed "
+                                    "call (" +
+                                    toString(result.code) + ": " +
+                                    result.error + ")");
+                        mismatched = true;
+                    }
+                }
+                if (mismatched)
+                    break;
+            }
+        }
+
+        // Convergence: outside a shootdown window every hart's view —
+        // its own register file over the shared tables — must be
+        // identical, success or rollback.
+        if (i % 4 == 0) {
+            ++stats.convergenceChecks;
+            const uint64_t d0 =
+                monitor.hartStateDigest(0, config.fullDigest);
+            for (unsigned h = 1; h < config.harts; ++h) {
+                if (monitor.hartStateDigest(h, config.fullDigest) != d0) {
+                    fail(i, std::string("hart ") + std::to_string(h) +
+                                " diverged from hart 0 outside a "
+                                "shootdown window");
+                    break;
+                }
+            }
+            if (stats.failed)
+                break;
+        }
+
+        // The stale checker may have tripped mid-window; either way a
+        // quiescent sweep must be clean after every op.
+        if (!checker.failed())
+            checker.checkQuiescent();
+        if (checker.failed()) {
+            fail(i, checker.failure());
+            break;
+        }
+        if (hook.failed()) {
+            fail(i, hook.failure());
+            break;
+        }
+
+        ++stats.invariantChecks;
+        const std::string violation = checkIsolationInvariants(monitor);
+        if (!violation.empty()) {
+            fail(i, "invariant violated: " + violation);
+            break;
+        }
+    }
+
+    injector.disable();
+    smp.setInterleaveHook(nullptr);
+
+    stats.ipiShootdowns = monitor.stats().get("ipi_shootdowns");
+    stats.ipiLost = monitor.stats().get("ipi_lost");
+    stats.lockContended = hook.contended();
+    stats.staleProbes = checker.probesRun();
+    stats.preAckStaleHits = checker.preAckStaleHits();
+
+    if (config.statsJsonOut) {
+        StatRegistry registry;
+        monitor.registerStats(registry);
+        smp.registerStats(registry);
+        checker.registerStats(registry);
+        iopmp.registerStats(registry);
+        for (unsigned h = 0; h < unsigned(kernels.size()); ++h) {
+            kernels[h]->registerStats(
+                registry, h == 0 ? "os"
+                                 : "hart" + std::to_string(h) + ".os");
+        }
+        *config.statsJsonOut = registry.dumpJson();
+    }
+    return stats;
+}
+
+} // namespace
 
 } // namespace hpmp

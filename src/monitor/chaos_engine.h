@@ -43,6 +43,25 @@ struct ChaosConfig
      */
     bool fullDigest = true;
     /**
+     * Harts in the system. 1 (the default) runs the classic
+     * single-machine campaign, byte-for-byte identical to before the
+     * SMP model existed. >1 runs the multi-hart campaign: monitor
+     * calls from random harts, IPI shootdowns with fault injection in
+     * delivery/ack, a stale-translation checker interleaved into every
+     * protocol step, nested-call lock-contention probes, and per-hart
+     * rollback digests.
+     */
+    unsigned harts = 1;
+    /**
+     * Multi-hart only: drive an OS layer too — a per-hart kernel
+     * (own domain, contiguous PT pool) with an address space per
+     * hart, random mmap/munmap/touch/demand-fault traffic, and DMA
+     * transfers checked by a two-master IOPMP. Exercises the
+     * os.page_alloc / os.pt_pool_miss fault sites under the same
+     * injection plans as the monitor calls.
+     */
+    bool osLayer = false;
+    /**
      * When set, receives the campaign's full stats-registry JSON
      * (monitor + machine observability counters) captured just before
      * the campaign's machine is torn down.
@@ -61,11 +80,25 @@ struct ChaosStats
     unsigned rollbackChecks = 0; //!< digest-verified rollbacks
     unsigned invariantChecks = 0;
 
+    // Multi-hart campaigns only (zero in single-hart runs):
+    unsigned harts = 1;            //!< harts the campaign ran with
+    uint64_t ipiShootdowns = 0;    //!< layout changes that IPI'd siblings
+    uint64_t ipiLost = 0;          //!< injected IPI losses (failed closed)
+    uint64_t lockContended = 0;    //!< nested calls bounced off the lock
+    uint64_t staleProbes = 0;      //!< stale-checker accesses driven
+    uint64_t preAckStaleHits = 0;  //!< stale grants inside the window
+    uint64_t convergenceChecks = 0; //!< all-hart digest comparisons
+    uint64_t osOps = 0;            //!< OS-layer operations performed
+    uint64_t dmaOps = 0;           //!< DMA transfers attempted
+
     bool failed = false;   //!< an invariant or rollback check tripped
     std::string failure;   //!< description, mentions op index + seed
 };
 
-/** Run one campaign. Deterministic in config.seed. */
+/**
+ * Run one campaign. Deterministic in config.seed (and, for multi-hart
+ * configs, config.harts — the interleaving derives from both).
+ */
 ChaosStats runChaos(const ChaosConfig &config);
 
 } // namespace hpmp

@@ -6,6 +6,7 @@
 #include "base/fault_inject.h"
 #include "base/logging.h"
 #include "base/trace.h"
+#include "core/smp.h"
 
 namespace hpmp
 {
@@ -47,6 +48,7 @@ toString(MonitorError error)
       case MonitorError::OutOfPmpEntries: return "out-of-pmp-entries";
       case MonitorError::OutOfTableFrames: return "out-of-table-frames";
       case MonitorError::InjectedFault: return "injected-fault";
+      case MonitorError::LockContended: return "lock-contended";
     }
     return "?";
 }
@@ -75,6 +77,15 @@ struct SecureMonitor::Txn
         tableWritesTotal_ = m_.tableWritesTotal_;
         heatClock_ = m_.heatClock_;
         hpmpSnap_ = m_.machine_.hpmp().takeSnapshot();
+        // Multi-hart: a failing call may abort after partial
+        // shootdowns, so rollback must be able to restore *every*
+        // hart's register file, not just the canonical one.
+        if (m_.smp_) {
+            for (unsigned h = 1; h < m_.smp_->numHarts(); ++h) {
+                remoteSnaps_.push_back(
+                    m_.smp_->hart(h).hpmp().takeSnapshot());
+            }
+        }
         for (auto &[id, dom] : m_.domains_) {
             domSnaps_.push_back(
                 {id, dom.gmsList, dom.table != nullptr,
@@ -173,11 +184,33 @@ struct SecureMonitor::Txn
         m_.tableWritesTotal_ = tableWritesTotal_;
         m_.heatClock_ = heatClock_;
         m_.machine_.hpmp().restoreSnapshot(hpmpSnap_);
+        if (m_.smp_) {
+            for (unsigned h = 1; h < m_.smp_->numHarts(); ++h) {
+                m_.smp_->hart(h).hpmp().restoreSnapshot(
+                    remoteSnaps_[h - 1]);
+            }
+        }
 
         // 5. Nothing ran between the mid-call programming and this
         //    restore, but mirror the hardware contract anyway: any
-        //    isolation-state change ends with TLB synchronization.
+        //    isolation-state change ends with TLB synchronization —
+        //    on every hart, since partial shootdowns may have synced
+        //    (and now un-synced) some of them.
         m_.machine_.sfenceVma();
+        if (m_.smp_) {
+            for (unsigned h = 1; h < m_.smp_->numHarts(); ++h)
+                m_.smp_->hart(h).sfenceVma();
+            if (m_.ipiWindowOpen_) {
+                // The aborted shootdown's window closes here: every
+                // hart is back on (and fenced to) the pre-call state,
+                // which is what checkers verify at window-end.
+                m_.ipiWindowOpen_ = false;
+                m_.smp_->notifyStep({IpiPhase::WindowEnd,
+                                     m_.smp_->currentHart(),
+                                     m_.smp_->currentHart(),
+                                     m_.ipiWindowSeq_});
+            }
+        }
     }
 
     SecureMonitor &m_;
@@ -188,6 +221,7 @@ struct SecureMonitor::Txn
     uint64_t tableWritesTotal_;
     uint64_t heatClock_;
     HpmpUnit::Snapshot hpmpSnap_;
+    std::vector<HpmpUnit::Snapshot> remoteSnaps_; //!< harts 1..N-1
     std::vector<DomainSnap> domSnaps_;
     std::vector<std::pair<DomainId, Domain>> stashed_;
 };
@@ -196,6 +230,15 @@ template <typename Fn>
 MonitorResult
 SecureMonitor::transact(Fn &&body)
 {
+    // Multi-hart: one monitor call in flight at a time. A hart whose
+    // trap races another hart's transaction bounces with a typed
+    // error before any snapshot or mutation.
+    const unsigned initiator = smp_ ? smp_->currentHart() : 0;
+    if (smp_ && !smp_->tryAcquireMonitorLock(initiator)) {
+        return failCall(MonitorError::LockContended,
+                        "monitor lock held by hart " +
+                            std::to_string(smp_->lockOwner()));
+    }
     MonitorResult result;
     bool rolled_back = false;
     {
@@ -212,6 +255,8 @@ SecureMonitor::transact(Fn &&body)
             rolled_back = true;
         }
     }
+    if (smp_)
+        smp_->releaseMonitorLock(initiator);
     noteResult(result.ok, result.code, result.cycles, result.degraded,
                rolled_back);
     return result;
@@ -227,7 +272,8 @@ SecureMonitor::noteResult(bool ok, MonitorError code, uint64_t cycles,
         statCallCycles_.sample(cycles);
     } else {
         ++statFailed_;
-        ++statErrors_[unsigned(code) < 10 ? unsigned(code) : 0];
+        ++statErrors_[unsigned(code) < kNumMonitorErrors ? unsigned(code)
+                                                         : 0];
         DPRINTF(Monitor, "call failed: %s\n", toString(code));
     }
     if (rolled_back)
@@ -262,7 +308,12 @@ SecureMonitor::SecureMonitor(Machine &machine, const MonitorConfig &config)
     stats_.add("call_cycles", &statCallCycles_);
     stats_.add("csr_writes_per_call", &statCsrPerCall_);
     stats_.add("table_writes_per_call", &statTableWritesPerCall_);
-    for (unsigned e = 1; e < 10; ++e) {
+    stats_.add("ipi_shootdowns", &statIpiShootdowns_);
+    stats_.add("ipi_sent", &statIpiSent_);
+    stats_.add("ipi_acked", &statIpiAcked_);
+    stats_.add("ipi_lost", &statIpiLost_);
+    stats_.add("ipi_cycles", &statIpiCycles_);
+    for (unsigned e = 1; e < kNumMonitorErrors; ++e) {
         stats_.add(std::string("errors.") + toString(MonitorError(e)),
                    &statErrors_[e]);
     }
@@ -279,6 +330,20 @@ SecureMonitor::SecureMonitor(Machine &machine, const MonitorConfig &config)
     const DomainId host = createDomain();
     panic_if(host != 0, "host must be domain 0");
     current_ = 0;
+}
+
+SecureMonitor::SecureMonitor(SmpSystem &smp, const MonitorConfig &config)
+    : SecureMonitor(smp.hart(0), config)
+{
+    smp_ = &smp;
+    // Boot-time convergence: every hart starts with the canonical
+    // register file (entry 0 = the monitor region), not just hart 0.
+    // No IPI accounting — this is reset, not a runtime shootdown.
+    for (unsigned h = 1; h < smp.numHarts(); ++h) {
+        smp.hart(h).hpmp().syncRegsFrom(machine_.hpmp());
+        smp.hart(h).sfenceVma();
+        smp.hart(h).hpmp().flushCache();
+    }
 }
 
 SecureMonitor::Domain &
@@ -396,6 +461,7 @@ SecureMonitor::segmentBudget() const
 void
 SecureMonitor::beginOp()
 {
+    pendingIpiCycles_ = 0;
     csrSnapshot_ = machine_.hpmp().csrWrites();
     uint64_t table_writes = tableWritesTotal_;
     for (const auto &[id, dom] : domains_) {
@@ -423,6 +489,10 @@ SecureMonitor::opCycles(bool flushed)
     cycles += table_delta * config_.costs.tableWriteCycles;
     if (flushed)
         cycles += config_.costs.flushCycles;
+    if (pendingIpiCycles_ > 0) {
+        cycles += pendingIpiCycles_;
+        statIpiCycles_.sample(pendingIpiCycles_);
+    }
     return cycles;
 }
 
@@ -837,14 +907,23 @@ SecureMonitor::applyLayout()
     Domain &dom = domain(current_);
     bool degraded = false;
 
+    // Build the complete desired register image, then diff it against
+    // the live registers: only changed CSRs are written (the paper's
+    // incremental path — a steady-state switch between domains with
+    // mostly shared layout costs ~2 CSR writes, not all 32). Entries
+    // not claimed below default to OFF, which subsumes the old
+    // disable-stale-entries pass.
+    LayoutImage img(entries);
+
     // Entry 0 stays on the monitor region; everything else is ours.
+    img.segment(0, config_.monitorBase, config_.monitorSize, Perm::none());
     unsigned next_entry = 1;
     auto napot_ok = [](const Gms &gms) {
         return isPowerOf2(gms.size) && gms.size >= 8 &&
                gms.base % gms.size == 0;
     };
-    auto program_segment = [&](const Gms &gms) {
-        unit.programSegment(next_entry++, gms.base, gms.size, gms.perm);
+    auto image_segment = [&](const Gms &gms) {
+        img.segment(next_entry++, gms.base, gms.size, gms.perm);
     };
 
     switch (config_.scheme) {
@@ -861,7 +940,7 @@ SecureMonitor::applyLayout()
                 throw MonitorAbort{MonitorError::OutOfPmpEntries,
                                    "no available PMP entry"};
             }
-            program_segment(gms);
+            image_segment(gms);
         }
         break;
       case IsolationScheme::PmpTable: {
@@ -870,8 +949,8 @@ SecureMonitor::applyLayout()
                                "no entries left for the PMP table"};
         }
         PmpTable &table = tableOf(current_);
-        unit.programTable(next_entry, 0, machine_.params().physMemBytes,
-                          table.rootPa(), table.levels());
+        img.table(next_entry, 0, machine_.params().physMemBytes,
+                  table.rootPa(), table.levels());
         next_entry += 2;
         break;
       }
@@ -910,35 +989,116 @@ SecureMonitor::applyLayout()
             std::sort(fast.begin(), fast.end());
         }
         for (size_t idx : fast)
-            program_segment(dom.gmsList[idx]);
+            image_segment(dom.gmsList[idx]);
         if (next_entry + 1 >= entries) {
             throw MonitorAbort{MonitorError::OutOfPmpEntries,
                                "no entries left for the PMP table"};
         }
         PmpTable &table = tableOf(current_);
-        unit.programTable(next_entry, 0, machine_.params().physMemBytes,
-                          table.rootPa(), table.levels());
+        img.table(next_entry, 0, machine_.params().physMemBytes,
+                  table.rootPa(), table.levels());
         next_entry += 2;
         break;
       }
     }
 
-    // Disable stale entries from the previous layout.
-    for (unsigned i = next_entry; i < entries; ++i) {
-        if (unit.regs().cfg(i).a() != PmpAddrMode::Off ||
-            unit.regs().addr(i) != 0) {
-            unit.disable(i);
-        }
+    unit.applyImage(img);
+
+    // Any isolation-state change requires TLB + PMPTW synchronization
+    // on the hart that executed it — even a zero-write diff, because
+    // table *contents* may have changed under an unchanged root.
+    if (!smp_) {
+        machine_.sfenceVma();
+        unit.flushCache();
+        return degraded;
     }
 
-    // Any isolation-state change requires TLB + PMPTW synchronization.
-    machine_.sfenceVma();
-    unit.flushCache();
+    // Multi-hart: fence the initiating hart synchronously (its trap
+    // returns to the new state), then shoot down everyone else.
+    Machine &initiator = smp_->hart(smp_->currentHart());
+    if (&initiator != &machine_) {
+        initiator.hpmp().syncRegsFrom(machine_.hpmp());
+        pendingIpiCycles_ += config_.costs.remoteFenceCycles;
+    }
+    initiator.sfenceVma();
+    initiator.hpmp().flushCache();
+    machine_.hpmp().flushCache();
+    remoteShootdown();
     return degraded;
+}
+
+void
+SecureMonitor::remoteShootdown()
+{
+    if (!smp_ || smp_->numHarts() == 1)
+        return;
+    const unsigned initiator = smp_->currentHart();
+    const uint64_t seq = smp_->nextIpiSeq();
+    ++statIpiShootdowns_;
+    pendingIpiCycles_ += config_.costs.ipiPostCycles;
+    ipiWindowOpen_ = true;
+    ipiWindowSeq_ = seq;
+    smp_->notifyStep({IpiPhase::WindowBegin, initiator, initiator, seq});
+
+    for (unsigned h = 0; h < smp_->numHarts(); ++h) {
+        if (h == initiator)
+            continue;
+        ++statIpiSent_;
+        smp_->notifyStep({IpiPhase::Posted, initiator, h, seq});
+        // A lost or glitched IPI can never leave hart h running on the
+        // old state while the call commits the new one: the call fails
+        // closed and the cross-hart rollback re-fences every hart back
+        // to the pre-call state.
+        if (FAULT_POINT("smp.ipi_deliver")) {
+            ++statIpiLost_;
+            throw MonitorAbort{
+                MonitorError::InjectedFault,
+                "lost IPI to hart " + std::to_string(h) +
+                    " (smp.ipi_deliver): call fails closed"};
+        }
+        Machine &dst = smp_->hart(h);
+        dst.hpmp().syncRegsFrom(machine_.hpmp());
+        dst.sfenceVma();
+        dst.hpmp().flushCache();
+        smp_->notifyStep({IpiPhase::Delivered, initiator, h, seq});
+        if (FAULT_POINT("smp.ipi_ack")) {
+            ++statIpiLost_;
+            throw MonitorAbort{
+                MonitorError::InjectedFault,
+                "lost IPI ack from hart " + std::to_string(h) +
+                    " (smp.ipi_ack): call fails closed"};
+        }
+        pendingIpiCycles_ +=
+            config_.costs.ipiAckCycles + config_.costs.remoteFenceCycles;
+        ++statIpiAcked_;
+        smp_->notifyStep({IpiPhase::Acked, initiator, h, seq});
+    }
+
+    ipiWindowOpen_ = false;
+    smp_->notifyStep({IpiPhase::WindowEnd, initiator, initiator, seq});
 }
 
 uint64_t
 SecureMonitor::stateDigest(bool include_table_contents) const
+{
+    return digestWith(machine_.hpmp(), include_table_contents);
+}
+
+uint64_t
+SecureMonitor::hartStateDigest(unsigned hart,
+                               bool include_table_contents) const
+{
+    if (!smp_) {
+        panic_if(hart != 0,
+                 "hartStateDigest(%u) on a single-machine monitor", hart);
+        return digestWith(machine_.hpmp(), include_table_contents);
+    }
+    return digestWith(smp_->hart(hart).hpmp(), include_table_contents);
+}
+
+uint64_t
+SecureMonitor::digestWith(const HpmpUnit &unit,
+                          bool include_table_contents) const
 {
     uint64_t h = 0xcbf29ce484222325ULL;
     h = digestFold(h, current_);
@@ -947,7 +1107,6 @@ SecureMonitor::stateDigest(bool include_table_contents) const
     h = digestFold(h, tableWritesTotal_);
     h = digestFold(h, heatClock_);
 
-    const HpmpUnit &unit = machine_.hpmp();
     h = digestFold(h, unit.csrWrites());
     const PmpUnit &regs = unit.regs();
     for (unsigned i = 0; i < regs.numEntries(); ++i) {

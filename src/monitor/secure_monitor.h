@@ -49,6 +49,10 @@ struct MonitorCosts
     unsigned csrWriteCycles = 4;    //!< one pmpaddr/pmpcfg write
     unsigned tableWriteCycles = 10; //!< one pmpte store (uncached)
     unsigned flushCycles = 24;      //!< sfence.vma + PMPTW flush
+    // Remote-fence (IPI) protocol, multi-hart systems only (§9):
+    unsigned ipiPostCycles = 80;     //!< software-interrupt post, per call
+    unsigned ipiAckCycles = 120;     //!< delivery + ack round trip, per hart
+    unsigned remoteFenceCycles = 24; //!< fence executed in the IPI handler
 };
 
 /**
@@ -70,7 +74,11 @@ enum class MonitorError : uint8_t
     OutOfPmpEntries,  //!< segment entries exhausted (Penglai-PMP)
     OutOfTableFrames, //!< monitor-private PMP-table frames exhausted
     InjectedFault,    //!< a fault-injection site fired mid-call
+    LockContended,    //!< another hart holds the global monitor lock
 };
+
+/** Number of MonitorError values (sizes the per-error counters). */
+constexpr unsigned kNumMonitorErrors = 11;
 
 const char *toString(MonitorError error);
 
@@ -139,11 +147,25 @@ struct MonitorConfig
     MonitorCosts costs;
 };
 
+class SmpSystem;
+
 /** The machine-mode secure monitor. */
 class SecureMonitor
 {
   public:
     SecureMonitor(Machine &machine, const MonitorConfig &config);
+
+    /**
+     * Multi-hart monitor: controls every hart of `smp`. Hart 0's HPMP
+     * unit is the canonical register file the monitor programs
+     * directly; sibling harts converge to it through the modelled
+     * IPI/remote-fence protocol (shootdowns at the end of every
+     * layout-changing call, costed into MonitorResult.cycles and the
+     * monitor.ipi_* stats). Calls take the global monitor lock; a
+     * second hart calling mid-transaction gets LockContended. With one
+     * hart this is bit-identical to the Machine constructor.
+     */
+    SecureMonitor(SmpSystem &smp, const MonitorConfig &config);
 
     IsolationScheme scheme() const { return config_.scheme; }
 
@@ -247,8 +269,21 @@ class SecureMonitor
      */
     uint64_t stateDigest(bool include_table_contents = true) const;
 
+    /**
+     * stateDigest as seen from one hart: the shared monitor metadata
+     * and tables folded with *that hart's* HPMP register file. After a
+     * successful layout-changing call all hart digests agree; after a
+     * failed call each hart must equal its own pre-call digest (the
+     * cross-hart rollback contract).
+     */
+    uint64_t hartStateDigest(unsigned hart,
+                             bool include_table_contents = true) const;
+
     /** The machine this monitor controls. */
     Machine &machine() { return machine_; }
+
+    /** The SMP system, or nullptr for a single-machine monitor. */
+    SmpSystem *smp() { return smp_; }
 
     /**
      * Monitor-call counters ("monitor.*"): calls, ok/failed split,
@@ -304,6 +339,20 @@ class SecureMonitor
      */
     bool applyLayout();
 
+    /**
+     * Fence the initiating hart and IPI-shootdown every other hart so
+     * all of them converge to the canonical register file. Runs inside
+     * the transaction: a lost IPI or ack (FAULT_POINT smp.ipi_deliver
+     * / smp.ipi_ack) throws, the call fails closed and the cross-hart
+     * rollback restores and re-fences every hart. No-op without an
+     * SmpSystem or with one hart.
+     */
+    void remoteShootdown();
+
+    /** stateDigest seen through a specific hart's register file. */
+    uint64_t digestWith(const HpmpUnit &unit,
+                        bool include_table_contents) const;
+
     /** Account cycles for CSR/table writes since the last snapshot. */
     void beginOp();
     uint64_t opCycles(bool flushed);
@@ -321,6 +370,7 @@ class SecureMonitor
     MonitorResult failCall(MonitorError code, std::string why) const;
 
     Machine &machine_;
+    SmpSystem *smp_ = nullptr; //!< set by the SmpSystem constructor
     MonitorConfig config_;
     Attestor attestor_{0x5ec0de};
     std::map<DomainId, Domain> domains_;
@@ -335,6 +385,10 @@ class SecureMonitor
     uint64_t tableWriteSnapshot_ = 0;
     uint64_t tableWritesTotal_ = 0; //!< across destroyed tables
 
+    uint64_t pendingIpiCycles_ = 0; //!< IPI cost of the call in flight
+    bool ipiWindowOpen_ = false;    //!< shootdown window in progress
+    uint64_t ipiWindowSeq_ = 0;     //!< seq of the open window
+
     StatGroup stats_{"monitor"};
     mutable Counter statCalls_;
     mutable Counter statOk_;
@@ -342,10 +396,15 @@ class SecureMonitor
     mutable Counter statRollbacks_;     //!< failed calls that rolled back
     mutable Counter statDegraded_;      //!< calls committed degraded
     Counter statDemotions_;             //!< fast GMSs demoted to table mode
-    mutable Counter statErrors_[10];    //!< per-MonitorError failure counts
+    mutable Counter statErrors_[kNumMonitorErrors]; //!< per-error failures
     mutable Distribution statCallCycles_;    //!< cycles per committed call
     mutable Distribution statCsrPerCall_;    //!< CSR writes per committed call
     mutable Distribution statTableWritesPerCall_; //!< pmpte stores per call
+    Counter statIpiShootdowns_; //!< layout changes that ran the protocol
+    Counter statIpiSent_;       //!< IPIs posted to remote harts
+    Counter statIpiAcked_;      //!< delivery + ack round trips completed
+    Counter statIpiLost_;       //!< injected IPI losses (call failed closed)
+    Distribution statIpiCycles_; //!< IPI cycles per shootdown-bearing call
 };
 
 } // namespace hpmp

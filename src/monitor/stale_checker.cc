@@ -1,0 +1,210 @@
+#include "monitor/stale_checker.h"
+
+#include <cstdio>
+
+#include "base/fault_inject.h"
+#include "base/logging.h"
+
+namespace hpmp
+{
+
+namespace
+{
+
+const char *
+typeName(AccessType type)
+{
+    switch (type) {
+      case AccessType::Load: return "load";
+      case AccessType::Store: return "store";
+      case AccessType::Fetch: return "fetch";
+    }
+    return "?";
+}
+
+} // namespace
+
+StaleChecker::StaleChecker(SmpSystem &smp, SecureMonitor &monitor)
+    : smp_(smp), monitor_(monitor), acked_(smp.numHarts(), false)
+{
+    stats_.add("probes", &statProbes_);
+    stats_.add("windows", &statWindows_);
+    stats_.add("pre_ack_stale_hits", &preAckStaleHits_);
+    stats_.add("post_ack_violations", &postAckViolations_);
+    stats_.add("stale_denies", &statStaleDenies_);
+    stats_.add("page_fault_skips", &statPageFaultSkips_);
+    stats_.add("quiescent_checks", &statQuiescentChecks_);
+}
+
+bool
+StaleChecker::canonicalAllows(const StaleWatch &watch) const
+{
+    return monitor_.machine().hpmp().probe(watch.pa).allows(watch.type);
+}
+
+bool
+StaleChecker::fenced(unsigned hart) const
+{
+    if (!windowOpen_)
+        return true; // outside a window every hart must be converged
+    return hart == windowInitiator_ || acked_[hart];
+}
+
+StaleChecker::ProbeResult
+StaleChecker::probeWatch(const StaleWatch &watch)
+{
+    // The checker is instrumentation: its probes must neither trip
+    // fault sites nor consume hits from the campaign's plan.
+    FaultInjector::SuspendGuard guard;
+    ++statProbes_;
+
+    Machine &hart = smp_.hart(watch.hart);
+    ProbeResult res;
+    res.regGrant = hart.hpmp().probe(watch.pa).allows(watch.type);
+    if (!watch.accessPath)
+        return res;
+
+    const AccessOutcome out = hart.access(watch.va, watch.type);
+    switch (out.fault) {
+      case Fault::None:
+        res.access = AccessVerdict::Grant;
+        break;
+      case Fault::LoadAccessFault:
+      case Fault::StoreAccessFault:
+      case Fault::FetchAccessFault:
+        res.access = AccessVerdict::Deny;
+        break;
+      default:
+        // A page fault says nothing about physical permissions: the
+        // watch's mapping is absent on this hart right now. Void the
+        // access-level verdict (the register-level one still counts).
+        res.access = AccessVerdict::PageFault;
+        ++statPageFaultSkips_;
+        break;
+    }
+    return res;
+}
+
+void
+StaleChecker::recordViolation(const StaleWatch &watch, const char *level,
+                              const char *direction, const char *where,
+                              uint64_t seq)
+{
+    ++postAckViolations_;
+    if (failed_)
+        return; // keep the first, most proximate diagnosis
+    failed_ = true;
+    failure_ = std::string("stale-translation violation at ") + where +
+               " (seq " + std::to_string(seq) + "): hart " +
+               std::to_string(watch.hart) + " " + direction + " " +
+               typeName(watch.type) + " at pa 0x";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llx",
+                  static_cast<unsigned long long>(watch.pa));
+    failure_ += buf;
+    failure_ += std::string(" against the canonical state (") + level +
+                " level)";
+}
+
+void
+StaleChecker::sweep(bool strict, const char *where, uint64_t seq)
+{
+    for (size_t i = 0; i < watches_.size(); ++i) {
+        const StaleWatch &w = watches_[i];
+        // Mid-window the oracle is the WindowBegin capture (the state
+        // the call committed before fencing); strict sweeps re-ask the
+        // canonical unit so an aborted call is judged against the
+        // *restored* state.
+        const bool allow = strict || oracle_.empty()
+                               ? canonicalAllows(w)
+                               : oracle_[i];
+        const bool hartFenced = fenced(w.hart);
+        const ProbeResult res = probeWatch(w);
+
+        // Stale *grants* are the security-relevant direction.
+        const bool regStaleGrant = res.regGrant && !allow;
+        const bool accStaleGrant =
+            res.access == AccessVerdict::Grant && !allow;
+        if (regStaleGrant || accStaleGrant) {
+            const char *level = regStaleGrant ? "register" : "access";
+            if (hartFenced)
+                recordViolation(w, level, "granted stale", where, seq);
+            else
+                ++preAckStaleHits_;
+        }
+
+        // Fail-closed mismatches: spurious denials. Never fatal inside
+        // the window. A strict sweep treats a fenced hart whose
+        // *register file* still disagrees with canonical as out of
+        // sync — the fence did not converge it. Access-level denials
+        // stay non-fatal even then: the access path composes the walk
+        // with checks on intermediate table frames, so a denial there
+        // can have causes other than a stale translation.
+        const bool regStaleDeny = !res.regGrant && allow;
+        const bool accStaleDeny =
+            res.access == AccessVerdict::Deny && allow;
+        if (regStaleDeny || accStaleDeny) {
+            ++statStaleDenies_;
+            if (strict && hartFenced && regStaleDeny) {
+                recordViolation(w, "register", "denied fresh", where,
+                                seq);
+            }
+        }
+    }
+}
+
+void
+StaleChecker::onIpiStep(const IpiEvent &event)
+{
+    switch (event.phase) {
+      case IpiPhase::WindowBegin:
+        ++statWindows_;
+        windowOpen_ = true;
+        windowInitiator_ = event.srcHart;
+        acked_.assign(smp_.numHarts(), false);
+        // Capture the committed (new) state as the mid-window oracle.
+        oracle_.resize(watches_.size());
+        for (size_t i = 0; i < watches_.size(); ++i)
+            oracle_[i] = canonicalAllows(watches_[i]);
+        sweep(false, "window-begin", event.seq);
+        break;
+
+      case IpiPhase::Posted:
+      case IpiPhase::Delivered:
+        sweep(false, toString(event.phase), event.seq);
+        break;
+
+      case IpiPhase::Acked:
+        if (event.dstHart < acked_.size())
+            acked_[event.dstHart] = true;
+        sweep(false, "acked", event.seq);
+        break;
+
+      case IpiPhase::WindowEnd:
+        // Emitted by both the commit path and the cross-hart rollback:
+        // either way every hart has been fenced, so judge all of them
+        // strictly against the canonical state as it stands *now*.
+        windowOpen_ = false;
+        sweep(true, "window-end", event.seq);
+        oracle_.clear();
+        break;
+
+      case IpiPhase::SatpFence:
+        // Not a permission change; nothing to re-judge. The satp
+        // remote-fence path has its own counters in "smp".
+        break;
+    }
+}
+
+bool
+StaleChecker::checkQuiescent()
+{
+    panic_if(windowOpen_,
+             "checkQuiescent inside an open shootdown window");
+    ++statQuiescentChecks_;
+    const uint64_t before = postAckViolations_.value();
+    sweep(true, "quiescent", 0);
+    return postAckViolations_.value() == before;
+}
+
+} // namespace hpmp

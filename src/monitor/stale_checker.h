@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Interleaving-driven stale-translation checker (DESIGN.md §9).
+ *
+ * The bug class this hunts: after a monitor call changes the
+ * permission layout, every hart that has not yet taken the
+ * remote-fence IPI keeps serving translations from its own cached
+ * state — its HPMP register file and, worse, permissions inlined into
+ * TLB entries at fill time. Inside the shootdown window such stale
+ * grants are an accepted, *bounded* architectural cost (the paper's
+ * fence protocol closes the window); after a hart acked its IPI, or
+ * after the window closed, a single stale grant is a security hole.
+ *
+ * StaleChecker plugs into SmpSystem's InterleaveHook so it runs at
+ * every step of the IPI protocol — exactly the points where a real
+ * scheduler could interleave victim-hart accesses. At each step it
+ * drives the watched accesses on the other harts, at two levels:
+ *
+ *  - register level: HpmpUnit::probe on the hart's own register file
+ *    (side-effect free) — catches unsynchronized registers;
+ *  - access level: a real Machine::access through the hart's TLB —
+ *    catches stale inlined permissions the register check cannot see.
+ *
+ * Verdicts against the canonical (monitor-programmed) state:
+ *
+ *  - unacked hart grants what the new state denies → counted as a
+ *    pre-ack stale hit (bounded by probes × watches, never a failure);
+ *  - acked hart (or any hart after WindowEnd / at quiescence) grants
+ *    what the canonical state denies → hard failure;
+ *  - fail-closed mismatches (spurious denials) never fail mid-window.
+ *
+ * At WindowEnd the oracle is *recomputed* from the canonical state
+ * rather than replayed from the WindowBegin capture: a call that
+ * aborted mid-shootdown rolls every hart back and re-fences it, so the
+ * post-window contract is "all harts match canonical now", whatever
+ * "now" is — committed or restored.
+ *
+ * All probes run under FaultInjector::SuspendGuard so the checker's
+ * own instrumentation neither trips fault sites nor consumes hits from
+ * the campaign's injection plan.
+ */
+
+#ifndef HPMP_MONITOR_STALE_CHECKER_H
+#define HPMP_MONITOR_STALE_CHECKER_H
+
+#include <string>
+#include <vector>
+
+#include "base/stats.h"
+#include "core/smp.h"
+#include "monitor/secure_monitor.h"
+
+namespace hpmp
+{
+
+/**
+ * One access the checker replays on a victim hart at every protocol
+ * step. `va` is the address driven through Machine::access on that
+ * hart (equal to `pa` for bare-mode harts); `pa` is the physical page
+ * the canonical permission oracle is evaluated at.
+ */
+struct StaleWatch
+{
+    unsigned hart = 0;
+    Addr va = 0;
+    Addr pa = 0;
+    AccessType type = AccessType::Load;
+    /**
+     * Also drive the access through the hart's TLB (catches stale
+     * inlined permissions). Register-level probing always runs. Turn
+     * off for watches whose access-path side effects (TLB/cache fills)
+     * would perturb a measurement the campaign cares about.
+     */
+    bool accessPath = true;
+};
+
+class StaleChecker : public InterleaveHook
+{
+  public:
+    StaleChecker(SmpSystem &smp, SecureMonitor &monitor);
+
+    void addWatch(const StaleWatch &watch) { watches_.push_back(watch); }
+    void clearWatches() { watches_.clear(); }
+    size_t watchCount() const { return watches_.size(); }
+
+    /** InterleaveHook: called at every IPI protocol step. */
+    void onIpiStep(const IpiEvent &event) override;
+
+    /**
+     * Full-strictness check outside any shootdown window (call after
+     * every campaign op): every hart must agree with the canonical
+     * state on every watch, in both directions.
+     * @return true iff no violation was found.
+     */
+    bool checkQuiescent();
+
+    /** True once any hard violation was recorded (sticky). */
+    bool failed() const { return failed_; }
+    /** Human-readable description of the *first* violation. */
+    const std::string &failure() const { return failure_; }
+
+    uint64_t preAckStaleHits() const { return preAckStaleHits_.value(); }
+    uint64_t postAckViolations() const
+    {
+        return postAckViolations_.value();
+    }
+    uint64_t probesRun() const { return statProbes_.value(); }
+    uint64_t windowsSeen() const { return statWindows_.value(); }
+
+    /** "stale_checker" group: probes, hits, violations, windows. */
+    StatGroup &stats() { return stats_; }
+    void registerStats(StatRegistry &registry) { registry.add(&stats_); }
+
+  private:
+    /** Access-level probe verdict. */
+    enum class AccessVerdict : uint8_t
+    {
+        Grant,     //!< access completed fault-free
+        Deny,      //!< HPMP/PMP access fault (fail closed)
+        PageFault, //!< translation failure: watch unusable this probe
+        Skipped,   //!< accessPath disabled for this watch
+    };
+
+    struct ProbeResult
+    {
+        bool regGrant = false;
+        AccessVerdict access = AccessVerdict::Skipped;
+    };
+
+    /** What the monitor's canonical register file says right now. */
+    bool canonicalAllows(const StaleWatch &watch) const;
+
+    /** Drive one watch on its hart (fault injection suspended). */
+    ProbeResult probeWatch(const StaleWatch &watch);
+
+    /**
+     * Probe every watch and judge it. `strict` additionally fails
+     * fenced-hart mismatches in the deny direction (post-window and
+     * quiescent checks); mid-window only stale *grants* can fail.
+     */
+    void sweep(bool strict, const char *where, uint64_t seq);
+
+    /** True iff the hart is past its ack (or initiated the window). */
+    bool fenced(unsigned hart) const;
+
+    void recordViolation(const StaleWatch &watch, const char *level,
+                         const char *direction, const char *where,
+                         uint64_t seq);
+
+    SmpSystem &smp_;
+    SecureMonitor &monitor_;
+    std::vector<StaleWatch> watches_;
+
+    bool windowOpen_ = false;
+    unsigned windowInitiator_ = 0;
+    std::vector<bool> acked_;
+    /** Canonical verdict per watch, captured at WindowBegin. */
+    std::vector<bool> oracle_;
+
+    bool failed_ = false;
+    std::string failure_;
+
+    StatGroup stats_{"stale_checker"};
+    Counter statProbes_;       //!< watch probes driven (both levels)
+    Counter statWindows_;      //!< shootdown windows observed
+    Counter preAckStaleHits_;  //!< stale grants on not-yet-acked harts
+    Counter postAckViolations_; //!< hard failures (acked / post-window)
+    Counter statStaleDenies_;  //!< fail-closed mismatches (never fatal)
+    Counter statPageFaultSkips_; //!< access probes voided by page faults
+    Counter statQuiescentChecks_;
+};
+
+} // namespace hpmp
+
+#endif // HPMP_MONITOR_STALE_CHECKER_H

@@ -73,11 +73,13 @@ AddressSpace::mapAt(Addr va, uint64_t len, Perm perm, bool user,
                 present_.erase(pageNumber(undo));
             }
             vmas_.erase(va);
+            ++kernel_.osStats().mmapUnwinds;
             return false;
         }
     }
     if (va + len > mmapNext_)
         mmapNext_ = alignUp(va + len + kPageSize, kPageSize);
+    ++kernel_.osStats().mmaps;
     return true;
 }
 
@@ -97,6 +99,7 @@ AddressSpace::populatePage(const Vma &vma, Addr page_va)
         return false;
     }
     present_.insert(pageNumber(page_va));
+    ++kernel_.osStats().pagesPopulated;
     return true;
 }
 
@@ -126,6 +129,7 @@ AddressSpace::munmap(Addr va, uint64_t len)
     }
     vmas_.erase(it);
     kernel_.machine().sfenceVma();
+    ++kernel_.osStats().munmaps;
     return true;
 }
 
@@ -146,6 +150,7 @@ AddressSpace::tryHandleFault(Addr va, AccessType type)
     if (!populatePage(vma, page))
         return FaultHandleStatus::OutOfMemory;
     ++faults_;
+    ++kernel_.osStats().pageFaultsHandled;
     return FaultHandleStatus::Handled;
 }
 

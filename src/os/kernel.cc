@@ -59,12 +59,18 @@ Kernel::~Kernel() = default;
 std::optional<Addr>
 Kernel::allocData(unsigned npages)
 {
-    return dataAlloc_->alloc(npages);
+    auto frame = dataAlloc_->alloc(npages);
+    if (frame)
+        ++osStats_.dataAllocs;
+    else
+        ++osStats_.dataAllocFails;
+    return frame;
 }
 
 void
 Kernel::freeData(Addr addr, unsigned npages)
 {
+    ++osStats_.dataFrees;
     dataAlloc_->free(addr, npages);
 }
 
@@ -77,8 +83,10 @@ Kernel::allocPtFrames(unsigned npages)
     // protected, via the table instead of the fast segment).
     const bool pool_miss = FAULT_POINT("os.pt_pool_miss");
     if (ptAlloc_ && !pool_miss) {
-        if (auto frame = ptAlloc_->alloc(npages))
+        if (auto frame = ptAlloc_->alloc(npages)) {
+            ++osStats_.ptPoolAllocs;
             return *frame;
+        }
         warn("PT pool exhausted; falling back to the data allocator");
     }
     // Baseline / fallback: PT pages come from the general allocator.
@@ -87,14 +95,18 @@ Kernel::allocPtFrames(unsigned npages)
     // else.
     auto frame = config_.scatterData ? dataAlloc_->alloc(npages)
                                      : dataAlloc_->allocTop(npages);
-    if (!frame)
+    if (!frame) {
+        ++osStats_.ptAllocFails;
         return kAllocFailed; // typed exhaustion, caller unwinds
+    }
+    ++osStats_.ptFallbackAllocs;
     return *frame;
 }
 
 void
 Kernel::freePtFrame(Addr frame)
 {
+    ++osStats_.ptFrees;
     if (ptAlloc_ && frame >= ptPoolBase_ &&
         frame < ptPoolBase_ + config_.ptPoolBytes) {
         ptAlloc_->free(frame, 1);
@@ -106,15 +118,45 @@ Kernel::freePtFrame(Addr frame)
 std::unique_ptr<AddressSpace>
 Kernel::createAddressSpace()
 {
+    ++osStats_.addressSpaces;
     return std::make_unique<AddressSpace>(*this);
 }
 
 void
 Kernel::activate(AddressSpace &as, PrivMode priv)
 {
+    ++osStats_.activations;
     Machine &m = machine();
     m.setSatp(as.rootPa(), config_.pagingMode);
     m.setPriv(priv);
+}
+
+void
+Kernel::registerStats(StatRegistry &registry, const std::string &prefix)
+{
+    if (!statGroup_) {
+        statGroup_ = std::make_unique<StatGroup>(prefix);
+        statGroup_->add("data_allocs", &osStats_.dataAllocs);
+        statGroup_->add("data_alloc_fails", &osStats_.dataAllocFails);
+        statGroup_->add("data_frees", &osStats_.dataFrees);
+        statGroup_->add("pt_pool_allocs", &osStats_.ptPoolAllocs);
+        statGroup_->add("pt_fallback_allocs",
+                        &osStats_.ptFallbackAllocs);
+        statGroup_->add("pt_alloc_fails", &osStats_.ptAllocFails);
+        statGroup_->add("pt_frees", &osStats_.ptFrees);
+        statGroup_->add("address_spaces", &osStats_.addressSpaces);
+        statGroup_->add("activations", &osStats_.activations);
+        statGroup_->add("mmaps", &osStats_.mmaps);
+        statGroup_->add("munmaps", &osStats_.munmaps);
+        statGroup_->add("page_faults_handled",
+                        &osStats_.pageFaultsHandled);
+        statGroup_->add("pages_populated", &osStats_.pagesPopulated);
+        statGroup_->add("mmap_unwinds", &osStats_.mmapUnwinds);
+    }
+    fatal_if(statGroup_->name() != prefix,
+             "kernel stats already registered as '%s', not '%s'",
+             statGroup_->name().c_str(), prefix.c_str());
+    registry.add(statGroup_.get());
 }
 
 } // namespace hpmp

@@ -14,8 +14,10 @@
 #define HPMP_OS_KERNEL_H
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "base/stats.h"
 #include "monitor/secure_monitor.h"
 #include "os/page_alloc.h"
 
@@ -23,6 +25,30 @@ namespace hpmp
 {
 
 class AddressSpace;
+
+/**
+ * OS-layer event counters, aggregated per kernel across all of its
+ * address spaces. Dumped as "<prefix>.*" (default "os.*") when the
+ * kernel is registered with a StatRegistry — chaos campaigns use
+ * per-hart prefixes ("hart1.os", ...) so SMP runs stay separable.
+ */
+struct KernelStats
+{
+    Counter dataAllocs;        //!< data-frame allocations served
+    Counter dataAllocFails;    //!< data-frame allocator exhaustions
+    Counter dataFrees;
+    Counter ptPoolAllocs;      //!< PT frames served from the fast pool
+    Counter ptFallbackAllocs;  //!< PT frames from the general allocator
+    Counter ptAllocFails;      //!< PT-frame exhaustion (typed kAllocFailed)
+    Counter ptFrees;
+    Counter addressSpaces;     //!< address spaces created
+    Counter activations;       //!< satp switches via Kernel::activate
+    Counter mmaps;             //!< successful mmap/mapAt calls
+    Counter munmaps;
+    Counter pageFaultsHandled; //!< demand-paging faults populated
+    Counter pagesPopulated;    //!< frames mapped (eager + demand)
+    Counter mmapUnwinds;       //!< mid-population OOM rollbacks
+};
 
 /** Kernel policy knobs. */
 struct KernelConfig
@@ -86,6 +112,18 @@ class Kernel
 
     PageAllocator &dataAllocator() { return *dataAlloc_; }
 
+    /** OS-layer counters (address spaces bump these too). */
+    KernelStats &osStats() { return osStats_; }
+    const KernelStats &osStats() const { return osStats_; }
+
+    /**
+     * Register the OS-layer counters as one "<prefix>" group. The
+     * group is built on first call with that prefix; later calls
+     * re-register the same group (the prefix must not change).
+     */
+    void registerStats(StatRegistry &registry,
+                       const std::string &prefix = "os");
+
   private:
     SecureMonitor &monitor_;
     DomainId domain_;
@@ -96,6 +134,9 @@ class Kernel
     Addr ptPoolBase_ = 0;
     std::unique_ptr<PageAllocator> ptAlloc_;   //!< pool allocator
     std::unique_ptr<PageAllocator> dataAlloc_; //!< everything else
+
+    KernelStats osStats_;
+    std::unique_ptr<StatGroup> statGroup_; //!< built by registerStats
 };
 
 } // namespace hpmp

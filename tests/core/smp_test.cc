@@ -1,0 +1,203 @@
+/**
+ * @file
+ * SMP machine-model tests: shared DRAM with private per-hart
+ * structures, deterministic interleaving scheduling, the satp
+ * remote-fence path, the global monitor lock, and the N=1 zero-cost
+ * guarantee (a single-hart SmpSystem behaves bit-identically to a
+ * standalone Machine).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/smp.h"
+
+namespace hpmp
+{
+namespace
+{
+
+SmpParams
+smpParams(unsigned harts, uint64_t seed = 42)
+{
+    SmpParams sp;
+    sp.harts = harts;
+    sp.schedSeed = seed;
+    return sp;
+}
+
+TEST(SmpSystem, SharedDramPrivateHarts)
+{
+    SmpSystem smp(rocketParams(), smpParams(4));
+    ASSERT_EQ(smp.numHarts(), 4u);
+    for (unsigned h = 0; h < 4; ++h) {
+        EXPECT_EQ(&smp.hart(h).mem(), &smp.mem());
+        EXPECT_EQ(smp.hart(h).hartId(), h);
+    }
+    // Per-hart structures are distinct objects.
+    EXPECT_NE(&smp.hart(0).tlb(), &smp.hart(1).tlb());
+    EXPECT_NE(&smp.hart(0).hpmp(), &smp.hart(1).hpmp());
+
+    // A store through one hart's DRAM is visible to every other hart:
+    // there is exactly one PhysMem.
+    smp.hart(2).mem().write64(1_GiB, 0xdeadbeefcafef00dull);
+    EXPECT_EQ(smp.hart(3).mem().read64(1_GiB), 0xdeadbeefcafef00dull);
+
+    // Hart 0 keeps the standalone "machine" prefix; siblings get
+    // "hart<N>." so stat dumps never collide.
+    EXPECT_EQ(smp.hart(0).stats().name(), "machine");
+    EXPECT_EQ(smp.hart(1).stats().name(), "hart1.machine");
+    EXPECT_EQ(smp.hart(3).stats().name(), "hart3.machine");
+}
+
+TEST(SmpSystem, SchedulerIsDeterministicInTheSeed)
+{
+    SmpSystem a(rocketParams(), smpParams(4, 7));
+    SmpSystem b(rocketParams(), smpParams(4, 7));
+    SmpSystem c(rocketParams(), smpParams(4, 8));
+
+    std::vector<unsigned> pa, pb, pc;
+    for (int i = 0; i < 256; ++i) {
+        pa.push_back(a.pickHart());
+        pb.push_back(b.pickHart());
+        pc.push_back(c.pickHart());
+    }
+    EXPECT_EQ(pa, pb);
+    EXPECT_NE(pa, pc); // different seed, different interleaving
+}
+
+TEST(SmpSystem, RoundRobinSchedulerCycles)
+{
+    SmpParams sp = smpParams(3);
+    sp.roundRobin = true;
+    SmpSystem smp(rocketParams(), sp);
+    for (int i = 0; i < 9; ++i)
+        EXPECT_EQ(smp.pickHart(), unsigned(i % 3));
+}
+
+TEST(SmpSystem, RunInterleavedDrivesEveryHartToCompletion)
+{
+    SmpSystem smp(rocketParams(), smpParams(4, 11));
+    std::vector<unsigned> steps(4, 0);
+    std::vector<SmpSystem::HartTask> tasks;
+    for (unsigned h = 0; h < 4; ++h) {
+        tasks.push_back([&, h](Machine &m) {
+            EXPECT_EQ(&m, &smp.hart(h));           // task h runs hart h
+            EXPECT_EQ(smp.currentHart(), h);       // bookkeeping tracks
+            return ++steps[h] < 5 + h;             // h needs 5+h steps
+        });
+    }
+    smp.setCurrentHart(2);
+    smp.runInterleaved(std::move(tasks));
+    for (unsigned h = 0; h < 4; ++h)
+        EXPECT_EQ(steps[h], 5 + h);
+    EXPECT_EQ(smp.currentHart(), 2u); // restored after the run
+}
+
+/** Records every IPI protocol step published to the hook. */
+class RecordingHook : public InterleaveHook
+{
+  public:
+    void onIpiStep(const IpiEvent &event) override
+    {
+        events.push_back(event);
+    }
+    std::vector<IpiEvent> events;
+};
+
+TEST(SmpSystem, SatpWriteFencesEverySibling)
+{
+    SmpSystem smp(rocketParams(), smpParams(4, 3));
+    RecordingHook hook;
+    smp.setInterleaveHook(&hook);
+
+    smp.hart(1).setSatp(1_GiB, PagingMode::Sv39);
+
+    EXPECT_EQ(smp.stats().get("satp_shootdowns"), 1u);
+    EXPECT_EQ(smp.stats().get("satp_remote_fences"), 3u);
+    ASSERT_EQ(hook.events.size(), 3u);
+    std::vector<unsigned> fenced;
+    for (const IpiEvent &e : hook.events) {
+        EXPECT_EQ(e.phase, IpiPhase::SatpFence);
+        EXPECT_EQ(e.srcHart, 1u);
+        fenced.push_back(e.dstHart);
+    }
+    EXPECT_EQ(fenced, (std::vector<unsigned>{0, 2, 3}));
+    smp.setInterleaveHook(nullptr);
+}
+
+TEST(SmpSystem, SingleHartSatpWriteCostsNothing)
+{
+    SmpSystem smp(rocketParams(), smpParams(1));
+    RecordingHook hook;
+    smp.setInterleaveHook(&hook);
+    smp.hart(0).setSatp(1_GiB, PagingMode::Sv39);
+    EXPECT_EQ(smp.stats().get("satp_shootdowns"), 0u);
+    EXPECT_EQ(smp.stats().get("satp_remote_fences"), 0u);
+    EXPECT_TRUE(hook.events.empty());
+    smp.setInterleaveHook(nullptr);
+}
+
+TEST(SmpSystem, SingleHartMatchesStandaloneMachine)
+{
+    // The N=1 system must be bit-identical to a plain Machine: same
+    // access outcomes, same stat values, same group names.
+    SmpSystem smp(rocketParams(), smpParams(1));
+    Machine solo(rocketParams());
+    Machine &hart0 = smp.hart(0);
+
+    for (Machine *m : {&hart0, &solo}) {
+        m->setPriv(PrivMode::Supervisor);
+        m->setBare();
+        m->hpmp().programSegment(0, 2_GiB, 4_MiB, Perm::rw());
+    }
+    const Addr pas[] = {2_GiB, 2_GiB + 64_KiB, 3_GiB, 2_GiB + 4_MiB};
+    for (const Addr pa : pas) {
+        for (const AccessType t :
+             {AccessType::Load, AccessType::Store}) {
+            const AccessOutcome a = hart0.access(pa, t);
+            const AccessOutcome b = solo.access(pa, t);
+            EXPECT_EQ(a.fault, b.fault) << "pa=" << pa;
+            EXPECT_EQ(a.cycles, b.cycles) << "pa=" << pa;
+            EXPECT_EQ(a.totalRefs(), b.totalRefs()) << "pa=" << pa;
+        }
+    }
+    EXPECT_EQ(hart0.stats().get("accesses"),
+              solo.stats().get("accesses"));
+    EXPECT_EQ(hart0.stats().name(), solo.stats().name());
+}
+
+TEST(SmpSystem, MonitorLockIsExclusiveAndCounted)
+{
+    SmpSystem smp(rocketParams(), smpParams(4));
+    EXPECT_FALSE(smp.monitorLocked());
+
+    EXPECT_TRUE(smp.tryAcquireMonitorLock(2));
+    EXPECT_TRUE(smp.monitorLocked());
+    EXPECT_EQ(smp.lockOwner(), 2u);
+
+    EXPECT_FALSE(smp.tryAcquireMonitorLock(3)); // held by hart 2
+    EXPECT_FALSE(smp.tryAcquireMonitorLock(2)); // not reentrant either
+    EXPECT_EQ(smp.stats().get("lock_contended"), 2u);
+
+    smp.releaseMonitorLock(2);
+    EXPECT_FALSE(smp.monitorLocked());
+    EXPECT_TRUE(smp.tryAcquireMonitorLock(3));
+    smp.releaseMonitorLock(3);
+    EXPECT_EQ(smp.stats().get("lock_acquisitions"), 2u);
+}
+
+TEST(SmpSystem, RegisterStatsCoversEveryHart)
+{
+    SmpSystem smp(rocketParams(), smpParams(2));
+    StatRegistry registry;
+    smp.registerStats(registry);
+    EXPECT_NE(registry.find("smp"), nullptr);
+    EXPECT_NE(registry.find("machine"), nullptr);
+    EXPECT_NE(registry.find("hart1.machine"), nullptr);
+    EXPECT_NE(registry.find("hart1.machine.tlb"), nullptr);
+}
+
+} // namespace
+} // namespace hpmp

@@ -130,5 +130,30 @@ TEST_F(IopmpTest, InjectedCheckFaultFailsClosed)
     EXPECT_TRUE(iopmp.check(0, 4_GiB, 64, AccessType::Store).ok());
 }
 
+TEST_F(IopmpTest, PerMasterStatGroupsAttributeChecks)
+{
+    const uint64_t before = iopmp.checks();
+    EXPECT_TRUE(iopmp.check(0, 4_GiB, 64, AccessType::Load).ok());
+    EXPECT_FALSE(iopmp.check(2, 4_GiB, 64, AccessType::Load).ok());
+    EXPECT_EQ(iopmp.checks(), before + 2);
+    EXPECT_EQ(iopmp.stats().get("checks"), iopmp.checks());
+    EXPECT_EQ(iopmp.stats().get("denials"), iopmp.denials());
+
+    // Each DMA source ID gets its own group (plus its PMPTW-cache) so
+    // --stats-json dumps attribute traffic per master.
+    StatRegistry registry;
+    iopmp.registerStats(registry);
+    EXPECT_NE(registry.find("iopmp"), nullptr);
+    for (unsigned m = 0; m < 3; ++m) {
+        const std::string prefix = "iopmp.master" + std::to_string(m);
+        ASSERT_NE(registry.find(prefix), nullptr) << prefix;
+        EXPECT_NE(registry.find(prefix + ".pmptw_cache"), nullptr);
+    }
+    // Master 0's checks land in master 0's group, not master 1's.
+    const uint64_t m0 = registry.find("iopmp.master0")->get("checks");
+    EXPECT_TRUE(iopmp.check(0, 4_GiB, 64, AccessType::Load).ok());
+    EXPECT_EQ(registry.find("iopmp.master0")->get("checks"), m0 + 1);
+}
+
 } // namespace
 } // namespace hpmp

@@ -211,5 +211,42 @@ TEST_F(KernelTest, EndToEndAccessThroughMachine)
     EXPECT_EQ(out.totalRefs(), 6u);
 }
 
+TEST_F(KernelTest, OsStatsCountAllocationAndPagingTraffic)
+{
+    KernelConfig config;
+    config.contiguousPtPool = true;
+    Kernel kernel(*monitor, 0, 2_GiB, 1_GiB, config);
+    ASSERT_TRUE(monitor->switchTo(0).ok);
+
+    auto as = kernel.createAddressSpace();
+    EXPECT_EQ(kernel.osStats().addressSpaces.value(), 1u);
+
+    // Populated mmap: data allocs, PT-pool allocs and populated pages.
+    const Addr va = as->mmap(4 * kPageSize, Perm::rw(), true, true);
+    EXPECT_EQ(kernel.osStats().mmaps.value(), 1u);
+    EXPECT_EQ(kernel.osStats().pagesPopulated.value(), 4u);
+    EXPECT_GE(kernel.osStats().dataAllocs.value(), 4u);
+    EXPECT_GT(kernel.osStats().ptPoolAllocs.value(), 0u);
+    EXPECT_EQ(kernel.osStats().ptFallbackAllocs.value(), 0u);
+
+    // Demand paging: an unpopulated page is faulted in and counted.
+    const Addr lazy = as->mmap(kPageSize, Perm::rw(), true, false);
+    kernel.activate(*as, PrivMode::User);
+    ASSERT_TRUE(as->handleFault(lazy, AccessType::Load));
+    EXPECT_EQ(kernel.osStats().pageFaultsHandled.value(), 1u);
+
+    ASSERT_TRUE(as->munmap(va, 4 * kPageSize));
+    EXPECT_EQ(kernel.osStats().munmaps.value(), 1u);
+    EXPECT_GE(kernel.osStats().dataFrees.value(), 4u);
+
+    // registerStats exposes the group (prefix-named) for --stats-json.
+    StatRegistry registry;
+    kernel.registerStats(registry, "os");
+    ASSERT_NE(registry.find("os"), nullptr);
+    EXPECT_EQ(registry.find("os")->get("mmaps"),
+              kernel.osStats().mmaps.value());
+    EXPECT_EQ(registry.find("os")->get("page_faults_handled"), 1u);
+}
+
 } // namespace
 } // namespace hpmp

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "base/trace.h"
 #include "monitor/chaos_engine.h"
 
 namespace
@@ -35,6 +36,9 @@ struct Options
     unsigned ops = 1000;
     double faultProb = 0.25;
     bool fullDigest = true;
+    unsigned harts = 1;    //!< >1 runs the multi-hart campaign
+    bool osLayer = false;  //!< per-hart kernels + DMA (multi-hart only)
+    size_t traceRing = 8192; //!< event-ring capacity; 0 disables capture
     std::vector<IsolationScheme> schemes{IsolationScheme::Hpmp};
     std::string statsJson; //!< per-campaign stats JSON file; "" = off
 };
@@ -46,9 +50,79 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--seed N | --seeds N,M,...] [--ops N]\n"
         "          [--scheme pmp|pmpt|hpmp|all] [--fault-prob P]\n"
+        "          [--harts N] [--os-layer] [--trace-ring N]\n"
         "          [--light-digest] [--stats-json FILE]\n",
         argv0);
 }
+
+/**
+ * Record monitor/fault trace events into the bounded ring while a
+ * campaign runs, silently — the ring is dumped as chrome://tracing
+ * JSON only when a seed fails, so the last window of protocol steps
+ * before the failure is preserved next to the replay line. A no-op
+ * when tracing is compiled out (HPMP_TRACING=OFF) or --trace-ring 0.
+ */
+class RingCapture
+{
+  public:
+    explicit RingCapture(size_t capacity) : active_(capacity > 0)
+    {
+        if (!active_ || !HPMP_TRACE_ENABLED)
+            return;
+        hpmp::Tracer &tracer = hpmp::Tracer::instance();
+        tracer.setOutput(nullptr); // ring only, no stderr spew
+        tracer.ring().setCapacity(capacity);
+        tracer.enable(hpmp::TraceFlag::Monitor);
+        tracer.enable(hpmp::TraceFlag::Fault);
+    }
+
+    ~RingCapture()
+    {
+        if (!active_ || !HPMP_TRACE_ENABLED)
+            return;
+        hpmp::Tracer &tracer = hpmp::Tracer::instance();
+        tracer.disable(hpmp::TraceFlag::Monitor);
+        tracer.disable(hpmp::TraceFlag::Fault);
+        tracer.ring().clear();
+        tracer.setOutput(stderr);
+    }
+
+    /** Dump the retained window for a failing seed. */
+    void
+    dumpFor(uint64_t seed)
+    {
+        if (!active_)
+            return;
+        if (!HPMP_TRACE_ENABLED) {
+            std::printf("trace: unavailable (built with "
+                        "HPMP_TRACING=OFF)\n");
+            return;
+        }
+        const std::string path =
+            "chaos_trace_seed" + std::to_string(seed) + ".json";
+        hpmp::TraceRing &ring = hpmp::Tracer::instance().ring();
+        if (ring.writeChromeJson(path)) {
+            std::printf("trace: %zu events (%llu dropped) written to "
+                        "%s (chrome://tracing)\n",
+                        ring.size(),
+                        (unsigned long long)ring.dropped(),
+                        path.c_str());
+        } else {
+            std::printf("trace: could not write %s\n", path.c_str());
+        }
+    }
+
+    /** Drop events from a clean campaign: the window stays relevant. */
+    void
+    nextCampaign()
+    {
+        if (active_ && HPMP_TRACE_ENABLED)
+            hpmp::Tracer::instance().ring().clear();
+    }
+
+  private:
+    bool active_;
+};
 
 bool
 parseSchemes(const std::string &arg, std::vector<IsolationScheme> &out)
@@ -109,6 +183,12 @@ main(int argc, char **argv)
             opts.faultProb = std::strtod(value(), nullptr);
         } else if (arg == "--light-digest") {
             opts.fullDigest = false;
+        } else if (arg == "--harts") {
+            opts.harts = unsigned(std::strtoul(value(), nullptr, 0));
+        } else if (arg == "--os-layer") {
+            opts.osLayer = true;
+        } else if (arg == "--trace-ring") {
+            opts.traceRing = size_t(std::strtoul(value(), nullptr, 0));
         } else if (arg == "--stats-json") {
             opts.statsJson = value();
         } else if (arg == "--scheme") {
@@ -121,11 +201,18 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    if (opts.seeds.empty() || opts.ops == 0) {
+    if (opts.seeds.empty() || opts.ops == 0 || opts.harts == 0) {
         usage(argv[0]);
         return 2;
     }
+    if (opts.osLayer && opts.harts < 2) {
+        std::fprintf(stderr,
+                     "--os-layer requires --harts >= 2 (the OS-layer "
+                     "campaign is part of the multi-hart fuzzer)\n");
+        return 2;
+    }
 
+    RingCapture capture(opts.traceRing);
     unsigned total_ops = 0;
     unsigned total_faults = 0;
     unsigned total_degraded = 0;
@@ -138,10 +225,13 @@ main(int argc, char **argv)
             config.scheme = scheme;
             config.faultProb = opts.faultProb;
             config.fullDigest = opts.fullDigest;
+            config.harts = opts.harts;
+            config.osLayer = opts.osLayer;
             std::string campaign_stats;
             if (!opts.statsJson.empty())
                 config.statsJsonOut = &campaign_stats;
 
+            capture.nextCampaign();
             const ChaosStats stats = hpmp::runChaos(config);
             if (!opts.statsJson.empty()) {
                 if (!campaigns_json.empty())
@@ -161,18 +251,41 @@ main(int argc, char **argv)
                 stats.okOps, stats.failedOps, stats.injectedFaults,
                 stats.degradedOps, stats.rollbackChecks,
                 stats.failed ? "FAIL" : "PASS");
+            if (opts.harts > 1) {
+                std::printf(
+                    "      harts=%u shootdowns=%llu ipi-lost=%llu "
+                    "lock-contended=%llu stale-probes=%llu "
+                    "pre-ack-stale=%llu convergence-checks=%llu "
+                    "os-ops=%llu dma-ops=%llu\n",
+                    stats.harts,
+                    (unsigned long long)stats.ipiShootdowns,
+                    (unsigned long long)stats.ipiLost,
+                    (unsigned long long)stats.lockContended,
+                    (unsigned long long)stats.staleProbes,
+                    (unsigned long long)stats.preAckStaleHits,
+                    (unsigned long long)stats.convergenceChecks,
+                    (unsigned long long)stats.osOps,
+                    (unsigned long long)stats.dmaOps);
+            }
             if (stats.failed) {
                 std::printf("FAILING SEED: %lu\n", (unsigned long)seed);
                 std::printf("  %s\n", stats.failure.c_str());
+                std::string extra;
+                if (opts.harts > 1)
+                    extra += " --harts " + std::to_string(opts.harts);
+                if (opts.osLayer)
+                    extra += " --os-layer";
                 std::printf("replay: chaos_fuzz --seed %lu --scheme %s "
-                            "--ops %u --fault-prob %g%s\n",
+                            "--ops %u --fault-prob %g%s%s\n",
                             (unsigned long)seed,
                             scheme == IsolationScheme::Pmp ? "pmp"
                             : scheme == IsolationScheme::PmpTable
                                 ? "pmpt"
                                 : "hpmp",
                             opts.ops, opts.faultProb,
-                            opts.fullDigest ? "" : " --light-digest");
+                            opts.fullDigest ? "" : " --light-digest",
+                            extra.c_str());
+                capture.dumpFor(seed);
                 return 1;
             }
             total_ops += stats.ops;
