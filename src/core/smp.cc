@@ -3,6 +3,7 @@
 #include "base/fault_inject.h"
 #include "base/logging.h"
 #include "base/trace.h"
+#include "core/virt_machine.h"
 
 namespace hpmp
 {
@@ -17,6 +18,7 @@ toString(IpiPhase phase)
       case IpiPhase::Acked: return "acked";
       case IpiPhase::WindowEnd: return "window-end";
       case IpiPhase::SatpFence: return "satp-fence";
+      case IpiPhase::HfenceFence: return "hfence-fence";
     }
     return "?";
 }
@@ -41,10 +43,36 @@ SmpSystem::SmpSystem(const MachineParams &mp, const SmpParams &sp)
     stats_.add("satp_shootdowns", &statSatpShootdowns_);
     stats_.add("satp_remote_fences", &statSatpRemoteFences_);
     stats_.add("satp_ipi_retries", &statSatpIpiRetries_);
+    stats_.add("hfence_shootdowns", &statHfenceShootdowns_);
+    stats_.add("hfence_remote_fences", &statHfenceRemoteFences_);
+    stats_.add("hfence_ipi_retries", &statHfenceIpiRetries_);
     stats_.add("lock_acquisitions", &statLockAcquisitions_);
     stats_.add("lock_contended", &statLockContended_);
     stats_.add("sched_picks", &statSchedPicks_);
     stats_.add("hook_steps", &statHookSteps_);
+}
+
+SmpSystem::~SmpSystem() = default;
+
+void
+SmpSystem::enableVirt()
+{
+    if (virtEnabled())
+        return;
+    virtHarts_.reserve(numHarts());
+    for (unsigned h = 0; h < numHarts(); ++h) {
+        // Hart 0 keeps the standalone "virt_machine" prefix, mirroring
+        // the "machine" convention above.
+        const std::string prefix =
+            h == 0 ? "virt_machine"
+                   : "hart" + std::to_string(h) + ".virt_machine";
+        virtHarts_.push_back(
+            std::make_unique<VirtMachine>(hart(h), prefix));
+        virtHarts_.back()->setHfenceHook(
+            [this](VirtMachine &writer, bool gstage) {
+                hfenceShootdown(writer, gstage);
+            });
+    }
 }
 
 void
@@ -149,11 +177,39 @@ SmpSystem::satpShootdown(Machine &writer)
 }
 
 void
+SmpSystem::hfenceShootdown(VirtMachine &writer, bool gstage)
+{
+    if (numHarts() == 1)
+        return;
+    ++statHfenceShootdowns_;
+    const uint64_t seq = nextIpiSeq();
+    for (unsigned h = 0; h < numHarts(); ++h) {
+        VirtMachine &vm = virtHart(h);
+        if (&vm == &writer)
+            continue;
+        // Like the satp path: a lost hfence IPI is retried, never
+        // skipped — a hart left holding combined/G-stage entries for a
+        // switched table is exactly the stale-translation bug.
+        for (unsigned attempt = 0;
+             attempt < 8 && FAULT_POINT("smp.hfence_ipi"); ++attempt)
+            ++statHfenceIpiRetries_;
+        if (gstage)
+            vm.hfenceGvma();
+        else
+            vm.hfenceVvma();
+        ++statHfenceRemoteFences_;
+        notifyStep({IpiPhase::HfenceFence, writer.hartId(), h, seq});
+    }
+}
+
+void
 SmpSystem::registerStats(StatRegistry &registry)
 {
     registry.add(&stats_);
     for (auto &m : harts_)
         m->registerStats(registry);
+    for (auto &vm : virtHarts_)
+        vm->registerStats(registry);
 }
 
 } // namespace hpmp

@@ -34,6 +34,8 @@
 namespace hpmp
 {
 
+class VirtMachine;
+
 /**
  * Steps of the modelled IPI/remote-fence protocol, published to the
  * interleave hook so checkers can inject victim-hart accesses at every
@@ -47,6 +49,7 @@ enum class IpiPhase : uint8_t
     Acked,       //!< dstHart's ack observed by the initiator
     WindowEnd,   //!< all harts fenced and acked; window closed
     SatpFence,   //!< remote fence from a satp write (no layout change)
+    HfenceFence, //!< remote guest fence from a vsatp/hgatp write
 };
 
 const char *toString(IpiPhase phase);
@@ -84,6 +87,7 @@ class SmpSystem
 {
   public:
     SmpSystem(const MachineParams &mp, const SmpParams &sp);
+    ~SmpSystem();
 
     unsigned numHarts() const { return unsigned(harts_.size()); }
     Machine &hart(unsigned h) { return *harts_.at(h); }
@@ -134,6 +138,17 @@ class SmpSystem
     bool monitorLocked() const { return lockHeld_; }
     unsigned lockOwner() const { return lockOwner_; }
 
+    /**
+     * Attach a VirtMachine to every hart (idempotent). Guests share
+     * the physical memory through their host harts; vsatp/hgatp writes
+     * on any guest route through hfenceShootdown, so remote harts are
+     * fenced with the same IPI accounting Machine::setSatp gets from
+     * the satp shootdown.
+     */
+    void enableVirt();
+    bool virtEnabled() const { return !virtHarts_.empty(); }
+    VirtMachine &virtHart(unsigned h) { return *virtHarts_.at(h); }
+
     /** "smp" group: satp shootdowns, lock traffic, hook steps. */
     StatGroup &stats() { return stats_; }
 
@@ -147,9 +162,13 @@ class SmpSystem
     /** Remote-fence handler for a satp write on hart `writer`. */
     void satpShootdown(Machine &writer);
 
+    /** Remote-fence handler for a vsatp/hgatp write on `writer`. */
+    void hfenceShootdown(VirtMachine &writer, bool gstage);
+
     SmpParams params_;
     std::unique_ptr<PhysMem> mem_;
     std::vector<std::unique_ptr<Machine>> harts_;
+    std::vector<std::unique_ptr<VirtMachine>> virtHarts_;
     Rng schedRng_;
     unsigned rrNext_ = 0;
     unsigned currentHart_ = 0;
@@ -163,6 +182,9 @@ class SmpSystem
     Counter statSatpShootdowns_;   //!< satp writes that fenced siblings
     Counter statSatpRemoteFences_; //!< per-hart remote fences performed
     Counter statSatpIpiRetries_;   //!< lost satp IPIs re-sent (never skipped)
+    Counter statHfenceShootdowns_;   //!< vsatp/hgatp writes fencing siblings
+    Counter statHfenceRemoteFences_; //!< per-hart remote guest fences
+    Counter statHfenceIpiRetries_;   //!< lost hfence IPIs re-sent
     Counter statLockAcquisitions_;
     Counter statLockContended_;
     Counter statSchedPicks_;

@@ -6,10 +6,29 @@ namespace hpmp
 {
 
 VirtMachine::VirtMachine(const MachineParams &params)
-    : machine_(params),
-      combinedTlb_(params.l1TlbEntries, params.l2TlbEntries),
-      gStageTlb_(params.l1TlbEntries, params.l2TlbEntries),
-      vsPwc_(params.pwcEntries)
+    : VirtMachine(std::make_unique<Machine>(params), nullptr,
+                  "virt_machine")
+{
+}
+
+VirtMachine::VirtMachine(Machine &host, const std::string &stat_prefix)
+    : VirtMachine(nullptr, &host, stat_prefix)
+{
+}
+
+VirtMachine::VirtMachine(std::unique_ptr<Machine> owned, Machine *host,
+                         const std::string &stat_prefix)
+    : ownedMachine_(std::move(owned)),
+      machine_(ownedMachine_ ? *ownedMachine_ : *host),
+      combinedTlb_(machine_.params().l1TlbEntries,
+                   machine_.params().l2TlbEntries),
+      gStageTlb_(machine_.params().l1TlbEntries,
+                 machine_.params().l2TlbEntries),
+      vsPwc_(machine_.params().pwcEntries),
+      stats_(stat_prefix),
+      tlbStats_(stat_prefix + ".tlb"),
+      gtlbStats_(stat_prefix + ".gtlb"),
+      vsPwcStats_(stat_prefix + ".vs_pwc")
 {
     // The host side runs bare; all translation happens here.
     machine_.setBare();
@@ -51,6 +70,34 @@ VirtMachine::VirtMachine(const MachineParams &params)
 }
 
 void
+VirtMachine::setVsatp(Addr root_pa)
+{
+    vsatpRoot_ = root_pa;
+    hfenceVvma();
+    if (hfenceHook_)
+        hfenceHook_(*this, /*gstage=*/false);
+}
+
+void
+VirtMachine::setHgatp(Addr root_pa)
+{
+    hgatpRoot_ = root_pa;
+    hfenceGvma();
+    if (hfenceHook_)
+        hfenceHook_(*this, /*gstage=*/true);
+}
+
+void
+VirtMachine::restoreVirtState(Addr vsatp_root, Addr hgatp_root,
+                              PrivMode guest_priv)
+{
+    vsatpRoot_ = vsatp_root;
+    hgatpRoot_ = hgatp_root;
+    guestPriv_ = guest_priv;
+    hfenceGvma();
+}
+
+void
 VirtMachine::hfenceVvma()
 {
     combinedTlb_.flushAll();
@@ -79,7 +126,10 @@ VirtMachine::registerStats(StatRegistry &registry)
     registry.add(&tlbStats_);
     registry.add(&gtlbStats_);
     registry.add(&vsPwcStats_);
-    machine_.registerStats(registry);
+    // A wrapped host hart's groups are registered by its owner (the
+    // SmpSystem); adding them again here would collide in the registry.
+    if (ownedMachine_)
+        machine_.registerStats(registry);
 }
 
 void

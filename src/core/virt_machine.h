@@ -19,7 +19,9 @@
 #ifndef HPMP_CORE_VIRT_MACHINE_H
 #define HPMP_CORE_VIRT_MACHINE_H
 
+#include <memory>
 #include <span>
+#include <string>
 
 #include "core/machine.h"
 #include "pt/two_stage.h"
@@ -71,14 +73,50 @@ class VirtMachine
   public:
     explicit VirtMachine(const MachineParams &params);
 
+    /**
+     * Wrap an existing host hart (owned elsewhere, e.g. by an
+     * SmpSystem). The host machine's stat groups stay registered by
+     * its owner; this instance registers only the virt groups, named
+     * `<stat_prefix>`, `<stat_prefix>.tlb`, and so on.
+     */
+    VirtMachine(Machine &host, const std::string &stat_prefix);
+
     Machine &machine() { return machine_; }
     PhysMem &mem() { return machine_.mem(); }
     HpmpUnit &hpmp() { return machine_.hpmp(); }
     MemoryHierarchy &hier() { return machine_.hier(); }
+    unsigned hartId() const { return machine_.hartId(); }
 
-    void setVsatp(Addr root_pa) { vsatpRoot_ = root_pa; hfenceGvma(); }
-    void setHgatp(Addr root_pa) { hgatpRoot_ = root_pa; hfenceGvma(); }
+    /**
+     * Fired after a vsatp/hgatp write has applied its local fence
+     * (`gstage` tells which kind), so an SMP owner can extend the
+     * flush to sibling harts with IPI/remote-fence accounting, the way
+     * Machine::setSatp routes through the satp shootdown.
+     */
+    using HfenceHook = std::function<void(VirtMachine &, bool gstage)>;
+    void setHfenceHook(HfenceHook hook) { hfenceHook_ = std::move(hook); }
+
+    /**
+     * Guest-table switch: hfence.vvma semantics — guest and combined
+     * translations drop, G-stage entries survive.
+     */
+    void setVsatp(Addr root_pa);
+    /** Nested-table switch: hfence.gvma drops everything guest-held. */
+    void setHgatp(Addr root_pa);
     void setGuestPriv(PrivMode priv) { guestPriv_ = priv; }
+
+    Addr vsatpRoot() const { return vsatpRoot_; }
+    Addr hgatpRoot() const { return hgatpRoot_; }
+    PrivMode guestPriv() const { return guestPriv_; }
+
+    /**
+     * Restore the virt CSR state captured by a monitor transaction and
+     * drop every cached translation (local hfence.gvma) without firing
+     * the hfence hook: rollback fences each hart itself, and a nested
+     * shootdown from inside the rollback would recurse.
+     */
+    void restoreVirtState(Addr vsatp_root, Addr hgatp_root,
+                          PrivMode guest_priv);
 
     /** One guest load/store/fetch (the hlv.d path of §8.6). */
     VirtAccessOutcome access(Addr gva, AccessType type);
@@ -102,6 +140,11 @@ class VirtMachine
     /** Aggregate counters ("virt_machine.*"). */
     StatGroup &stats() { return stats_; }
 
+    /** TLB/PWC structures, exposed for flush-contract assertions. */
+    Tlb &combinedTlb() { return combinedTlb_; }
+    Tlb &gStageTlb() { return gStageTlb_; }
+    Pwc &vsPwc() { return vsPwc_; }
+
     /** Per-origin guest reference counts/latencies ("virt_machine.ref.*"). */
     const RefAttribution &refAttr() const { return attr_; }
 
@@ -112,13 +155,18 @@ class VirtMachine
     void registerStats(StatRegistry &registry);
 
   private:
+    /** Common body of both public constructors. */
+    VirtMachine(std::unique_ptr<Machine> owned, Machine *host,
+                const std::string &stat_prefix);
+
     /** The access path proper (stats wrappers live in access()). */
     VirtAccessOutcome accessInner(Addr gva, AccessType type);
 
     /** Add one outcome to the "virt_machine.*" counters. */
     void account(const VirtAccessOutcome &out);
 
-    Machine machine_;
+    std::unique_ptr<Machine> ownedMachine_; //!< set by the owning ctor
+    Machine &machine_;                      //!< owned or wrapped host
     Tlb combinedTlb_;  //!< gva -> spa with inlined permissions
     Tlb gStageTlb_;    //!< gpa page -> spa page, with G-stage perms
     Pwc vsPwc_;        //!< guest-PTE cache
@@ -126,15 +174,16 @@ class VirtMachine
     Addr vsatpRoot_ = 0;
     Addr hgatpRoot_ = 0;
     PrivMode guestPriv_ = PrivMode::Supervisor;
+    HfenceHook hfenceHook_;
 
     /** Walk hooks, built once (std::function setup is not free). */
     GStageTlbHooks gtlbHooks_;
     VsPwcHooks pwcHooks_;
 
-    StatGroup stats_{"virt_machine"};
-    StatGroup tlbStats_{"virt_machine.tlb"};
-    StatGroup gtlbStats_{"virt_machine.gtlb"};
-    StatGroup vsPwcStats_{"virt_machine.vs_pwc"};
+    StatGroup stats_;
+    StatGroup tlbStats_;
+    StatGroup gtlbStats_;
+    StatGroup vsPwcStats_;
     Counter statAccesses_;
     Counter statTlbHits_;
     Counter statWalks_;

@@ -1,21 +1,26 @@
 #include "monitor/chaos_engine.h"
 
 #include <algorithm>
+#include <array>
 #include <iterator>
 #include <memory>
 #include <sstream>
 
 #include "base/fault_inject.h"
+#include "base/frame_alloc.h"
 #include "base/rng.h"
 #include "base/stats.h"
 #include "core/params.h"
 #include "core/smp.h"
+#include "core/virt_machine.h"
 #include "hpmp/iopmp.h"
 #include "monitor/invariants.h"
 #include "monitor/secure_monitor.h"
 #include "monitor/stale_checker.h"
 #include "os/address_space.h"
 #include "os/kernel.h"
+#include "pt/page_table.h"
+#include "pt/pte.h"
 
 namespace hpmp
 {
@@ -79,6 +84,50 @@ constexpr uint64_t kKernelMemBytes = 32_MiB;
 constexpr uint64_t kKernelMemStride = 64_MiB;
 /** Watch mappings live above the mmap arena so they are never unmapped. */
 constexpr Addr kWatchVaBase = 0x7f000000;
+
+/**
+ * Virt-campaign geometry (--virt): each hart's guest draws everything
+ * — two nested tables, a guest table and its data pages — from a
+ * 64 MiB arena far above the chaos windows and the kernel arenas. One
+ * NAPOT GMS of the host domain covers all arenas, so domain switches
+ * churn the guests' *physical* stage while the guest ops churn the
+ * VS- and G-stages independently.
+ */
+constexpr Addr kVirtArenaBase = 4_GiB;
+constexpr uint64_t kVirtArenaStride = 64_MiB;
+constexpr uint64_t kVirtArenaSpan = 512_MiB; //!< covers up to 8 harts
+constexpr Addr kVirtNptAOff = 0;
+constexpr Addr kVirtNptBOff = 4_MiB;
+constexpr Addr kVirtGptOff = 8_MiB;
+constexpr uint64_t kVirtGptPoolBytes = 4_MiB;
+constexpr Addr kVirtDataOff = 16_MiB;
+constexpr unsigned kGuestPages = 8;
+constexpr Addr kChaosGuestVaBase = 0x40000000;
+
+/** Guest leaf perms never include none(): a V=1 RWX=0 PTE is a pointer. */
+Perm
+randomLeafPerm(Rng &rng)
+{
+    switch (rng.below(4)) {
+      case 0: return Perm::rw();
+      case 1: return Perm::ro();
+      case 2: return Perm::rx();
+      default: return Perm::rwx();
+    }
+}
+
+/** One hart's guest: two switchable NPTs, a GPT, and tracked perms. */
+struct HartGuest
+{
+    std::unique_ptr<PageTable> nptA, nptB, gpt;
+    bool usingB = false;
+    Addr dataBase = 0;
+    std::array<Perm, kGuestPages> gptPerm;
+    std::array<std::array<Perm, kGuestPages>, 2> nptPerm; //!< [A, B]
+
+    PageTable &currentNpt() { return usingB ? *nptB : *nptA; }
+    unsigned currentNptIndex() const { return usingB ? 1 : 0; }
+};
 
 /**
  * Interleave hook of the multi-hart campaign: runs the stale checker
@@ -364,6 +413,8 @@ runChaosSmp(const ChaosConfig &config)
     ChaosStats stats;
     stats.harts = config.harts;
     Rng rng(config.seed);
+    panic_if(config.virtLayer && config.osLayer,
+             "--virt and --os-layer are mutually exclusive");
 
     SmpParams sp;
     sp.harts = config.harts;
@@ -437,6 +488,91 @@ runChaosSmp(const ChaosConfig &config)
         }
         smp.setCurrentHart(0);
     }
+
+    // ---- virt layer: one guest per hart ----------------------------
+    std::vector<HartGuest> guests;
+    if (config.virtLayer) {
+        smp.enableVirt();
+        // One slow NAPOT GMS of the host domain covers every guest
+        // arena: the guests only reach memory while the host domain is
+        // current, and every domain switch flips their physical stage.
+        Gms arena;
+        arena.base = kVirtArenaBase;
+        arena.size = kVirtArenaSpan;
+        arena.perm = Perm::rwx();
+        arena.label = GmsLabel::Slow;
+        const MonitorResult ar = monitor.addGms(monitor.currentDomain(),
+                                                arena);
+        panic_if(!ar.ok, "virt arena GMS rejected: %s", ar.error.c_str());
+
+        guests.resize(config.harts);
+        for (unsigned h = 0; h < config.harts; ++h) {
+            HartGuest &hg = guests[h];
+            const Addr base = kVirtArenaBase + h * kVirtArenaStride;
+            hg.nptA = std::make_unique<PageTable>(
+                smp.mem(), bumpAllocator(base + kVirtNptAOff),
+                PagingMode::Sv39, 2);
+            hg.nptB = std::make_unique<PageTable>(
+                smp.mem(), bumpAllocator(base + kVirtNptBOff),
+                PagingMode::Sv39, 2);
+            hg.gpt = std::make_unique<PageTable>(
+                smp.mem(), bumpAllocator(base + kVirtGptOff),
+                PagingMode::Sv39, 0);
+            hg.dataBase = base + kVirtDataOff;
+
+            for (PageTable *npt : {hg.nptA.get(), hg.nptB.get()}) {
+                // G-stage identity superpages over the GPT pool: the
+                // two-stage walk translates every guest-PT frame.
+                for (Addr off = 0; off < kVirtGptPoolBytes; off += 2_MiB) {
+                    const Addr gpa = base + kVirtGptOff + off;
+                    panic_if(!npt->map(gpa, gpa, Perm::rw(), true, 1),
+                             "G-stage identity map failed");
+                }
+            }
+            for (unsigned p = 0; p < kGuestPages; ++p) {
+                const Addr gva = kChaosGuestVaBase + p * kPageSize;
+                const Addr gpa = hg.dataBase + p * kPageSize;
+                hg.gptPerm[p] = Perm::rwx();
+                panic_if(!hg.gpt->map(gva, gpa, hg.gptPerm[p], true),
+                         "GPT map failed");
+                // The B table boots with alternating narrower perms so
+                // the very first hgatp switch changes the G-stage view.
+                hg.nptPerm[0][p] = Perm::rwx();
+                hg.nptPerm[1][p] = p % 2 ? Perm::rwx() : Perm::rw();
+                panic_if(!hg.nptA->map(gpa, gpa, hg.nptPerm[0][p], true),
+                         "NPT-A map failed");
+                panic_if(!hg.nptB->map(gpa, gpa, hg.nptPerm[1][p], true),
+                         "NPT-B map failed");
+            }
+
+            VirtMachine &vm = smp.virtHart(h);
+            vm.setHgatp(hg.nptA->rootPa());
+            vm.setVsatp(hg.gpt->rootPa());
+
+            // Watch page 0 of each guest through the two-stage oracle
+            // and commit the boot-time expectations for every page.
+            VirtStaleWatch vw;
+            vw.hart = h;
+            vw.gva = kChaosGuestVaBase;
+            vw.gpa = hg.dataBase;
+            vw.spa = hg.dataBase;
+            vw.type = h % 2 ? AccessType::Store : AccessType::Load;
+            checker.addVirtWatch(vw);
+            for (unsigned p = 0; p < kGuestPages; ++p) {
+                checker.setGuestPerm(h, kChaosGuestVaBase + p * kPageSize,
+                                     hg.gptPerm[p]);
+                checker.setGpaPerm(h, hg.dataBase + p * kPageSize,
+                                   hg.nptPerm[0][p]);
+            }
+        }
+    }
+    // Rewrite one already-mapped guest leaf in place (PageTable has no
+    // protect(): campaigns remap by writing the PTE the walker reads).
+    auto rewriteLeaf = [&](PageTable &pt, Addr va, Addr pa, Perm perm) {
+        const auto slot = pt.leafPteAddr(va);
+        panic_if(!slot, "no guest leaf to rewrite");
+        smp.mem().write64(*slot, Pte::leaf(pa, perm, true, true, true).raw);
+    };
 
     ChaosIpiHook hook(smp, monitor, checker, rng);
     smp.setInterleaveHook(&hook);
@@ -635,6 +771,60 @@ runChaosSmp(const ChaosConfig &config)
                 break;
               }
             }
+        } else if (roll < 88 && config.virtLayer) {
+            ++stats.virtOps;
+            VirtMachine &vm = smp.virtHart(initiator);
+            HartGuest &hg = guests[initiator];
+            switch (rng.below(4)) {
+              case 0: {
+                op_name = "virt.touch";
+                for (unsigned t = 0; t < 4; ++t) {
+                    const Addr gva = kChaosGuestVaBase +
+                                     rng.below(kGuestPages) * kPageSize;
+                    vm.access(gva, rng.chance(0.5) ? AccessType::Load
+                                                   : AccessType::Store);
+                }
+                break;
+              }
+              case 1: {
+                op_name = "virt.hgatp";
+                // Switch nested tables. Commit the new G-stage view to
+                // the oracle first, then fence — the same
+                // commit-before-shootdown order the monitor uses.
+                hg.usingB = !hg.usingB;
+                const unsigned next = hg.currentNptIndex();
+                for (unsigned p = 0; p < kGuestPages; ++p) {
+                    checker.setGpaPerm(initiator,
+                                       hg.dataBase + p * kPageSize,
+                                       hg.nptPerm[next][p]);
+                }
+                vm.setHgatp(hg.currentNpt().rootPa());
+                break;
+              }
+              case 2: {
+                op_name = "virt.gpt_remap";
+                const unsigned p = unsigned(rng.below(kGuestPages));
+                const Perm np = randomLeafPerm(rng);
+                const Addr gva = kChaosGuestVaBase + p * kPageSize;
+                rewriteLeaf(*hg.gpt, gva, hg.dataBase + p * kPageSize,
+                            np);
+                hg.gptPerm[p] = np;
+                checker.setGuestPerm(initiator, gva, np);
+                vm.setVsatp(hg.gpt->rootPa()); // hfence.vvma shootdown
+                break;
+              }
+              default: {
+                op_name = "virt.npt_remap";
+                const unsigned p = unsigned(rng.below(kGuestPages));
+                const Perm np = randomLeafPerm(rng);
+                const Addr gpa = hg.dataBase + p * kPageSize;
+                rewriteLeaf(hg.currentNpt(), gpa, gpa, np);
+                hg.nptPerm[hg.currentNptIndex()][p] = np;
+                checker.setGpaPerm(initiator, gpa, np);
+                vm.setHgatp(hg.currentNpt().rootPa()); // hfence.gvma
+                break;
+              }
+            }
         } else if (roll < 94) {
             op_name = "dma";
             ++stats.dmaOps;
@@ -655,6 +845,14 @@ runChaosSmp(const ChaosConfig &config)
             smp.hart(initiator).setSatp(
                 spaces[initiator]->rootPa(),
                 kernels[initiator]->config().pagingMode);
+        } else if (config.virtLayer) {
+            // vsatp rewrite with an unchanged root: the guest twin of
+            // os.satp — drives the hfence shootdown outside any
+            // monitor call.
+            op_name = "virt.vsatp";
+            ++stats.virtOps;
+            smp.virtHart(initiator).setVsatp(
+                guests[initiator].gpt->rootPa());
         } else {
             op_name = "switchTo";
             result = monitor.switchTo(pick_domain(true));
@@ -702,10 +900,13 @@ runChaosSmp(const ChaosConfig &config)
         // identical, success or rollback.
         if (i % 4 == 0) {
             ++stats.convergenceChecks;
+            // include_virt=false: per-hart guests legitimately run
+            // their own tables — only the host view must converge.
             const uint64_t d0 =
-                monitor.hartStateDigest(0, config.fullDigest);
+                monitor.hartStateDigest(0, config.fullDigest, false);
             for (unsigned h = 1; h < config.harts; ++h) {
-                if (monitor.hartStateDigest(h, config.fullDigest) != d0) {
+                if (monitor.hartStateDigest(h, config.fullDigest, false) !=
+                    d0) {
                     fail(i, std::string("hart ") + std::to_string(h) +
                                 " diverged from hart 0 outside a "
                                 "shootdown window");
@@ -745,6 +946,13 @@ runChaosSmp(const ChaosConfig &config)
     stats.lockContended = hook.contended();
     stats.staleProbes = checker.probesRun();
     stats.preAckStaleHits = checker.preAckStaleHits();
+    if (config.virtLayer) {
+        // Monitor-call fences and direct vsatp/hgatp fences both count.
+        stats.hfenceShootdowns = monitor.stats().get("hfence_shootdowns") +
+                                 smp.stats().get("hfence_shootdowns");
+        stats.virtStaleProbes = checker.virtProbesRun();
+        stats.virtPreAckStaleHits = checker.virtPreAckStaleHits();
+    }
 
     if (config.statsJsonOut) {
         StatRegistry registry;

@@ -62,6 +62,15 @@ struct ChaosConfig
      */
     bool osLayer = false;
     /**
+     * Multi-hart only (and mutually exclusive with osLayer, whose
+     * kernels page the host harts): attach a VirtMachine guest to
+     * every hart. Guests run their own GPT/NPT pairs, switch hgatp
+     * between nested tables, remap GPT/NPT leaves, and route every
+     * vsatp/hgatp write through the hfence shootdown; the stale
+     * checker's two-stage oracle audits each protocol step.
+     */
+    bool virtLayer = false;
+    /**
      * When set, receives the campaign's full stats-registry JSON
      * (monitor + machine observability counters) captured just before
      * the campaign's machine is torn down.
@@ -90,6 +99,12 @@ struct ChaosStats
     uint64_t convergenceChecks = 0; //!< all-hart digest comparisons
     uint64_t osOps = 0;            //!< OS-layer operations performed
     uint64_t dmaOps = 0;           //!< DMA transfers attempted
+
+    // Virt campaigns only (--virt):
+    uint64_t virtOps = 0;           //!< guest ops (touch/switch/remap)
+    uint64_t hfenceShootdowns = 0;  //!< guest fences riding monitor IPIs
+    uint64_t virtStaleProbes = 0;   //!< two-stage oracle probes driven
+    uint64_t virtPreAckStaleHits = 0; //!< guest stale grants in-window
 
     bool failed = false;   //!< an invariant or rollback check tripped
     std::string failure;   //!< description, mentions op index + seed

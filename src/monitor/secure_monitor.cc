@@ -7,6 +7,7 @@
 #include "base/logging.h"
 #include "base/trace.h"
 #include "core/smp.h"
+#include "core/virt_machine.h"
 
 namespace hpmp
 {
@@ -84,6 +85,16 @@ struct SecureMonitor::Txn
             for (unsigned h = 1; h < m_.smp_->numHarts(); ++h) {
                 remoteSnaps_.push_back(
                     m_.smp_->hart(h).hpmp().takeSnapshot());
+            }
+            // Virt-enabled: capture every hart's guest CSR state too
+            // (hart 0 included), so a call aborting after a partial
+            // guest shootdown restores the virt view as well.
+            if (m_.smp_->virtEnabled()) {
+                for (unsigned h = 0; h < m_.smp_->numHarts(); ++h) {
+                    VirtMachine &vm = m_.smp_->virtHart(h);
+                    virtSnaps_.push_back({vm.vsatpRoot(), vm.hgatpRoot(),
+                                          vm.guestPriv()});
+                }
             }
         }
         for (auto &[id, dom] : m_.domains_) {
@@ -200,6 +211,15 @@ struct SecureMonitor::Txn
         if (m_.smp_) {
             for (unsigned h = 1; h < m_.smp_->numHarts(); ++h)
                 m_.smp_->hart(h).sfenceVma();
+            // Guest view: put back the pre-call vsatp/hgatp roots and
+            // drop every cached translation (combined, G-stage, guest
+            // PWC) on each hart — restoreVirtState fences locally
+            // without re-entering the shootdown path.
+            for (unsigned h = 0; h < unsigned(virtSnaps_.size()); ++h) {
+                m_.smp_->virtHart(h).restoreVirtState(
+                    virtSnaps_[h].vsatp, virtSnaps_[h].hgatp,
+                    virtSnaps_[h].priv);
+            }
             if (m_.ipiWindowOpen_) {
                 // The aborted shootdown's window closes here: every
                 // hart is back on (and fenced to) the pre-call state,
@@ -220,8 +240,16 @@ struct SecureMonitor::Txn
     Addr tableFrameNext_;
     uint64_t tableWritesTotal_;
     uint64_t heatClock_;
+    struct VirtSnap
+    {
+        Addr vsatp;
+        Addr hgatp;
+        PrivMode priv;
+    };
+
     HpmpUnit::Snapshot hpmpSnap_;
     std::vector<HpmpUnit::Snapshot> remoteSnaps_; //!< harts 1..N-1
+    std::vector<VirtSnap> virtSnaps_; //!< all harts, virt-enabled only
     std::vector<DomainSnap> domSnaps_;
     std::vector<std::pair<DomainId, Domain>> stashed_;
 };
@@ -313,6 +341,11 @@ SecureMonitor::SecureMonitor(Machine &machine, const MonitorConfig &config)
     stats_.add("ipi_acked", &statIpiAcked_);
     stats_.add("ipi_lost", &statIpiLost_);
     stats_.add("ipi_cycles", &statIpiCycles_);
+    stats_.add("hfence_shootdowns", &statHfenceShootdowns_);
+    stats_.add("hfence_sent", &statHfenceSent_);
+    stats_.add("hfence_acked", &statHfenceAcked_);
+    stats_.add("hfence_lost", &statHfenceLost_);
+    stats_.add("hfence_cycles", &statHfenceCycles_);
     for (unsigned e = 1; e < kNumMonitorErrors; ++e) {
         stats_.add(std::string("errors.") + toString(MonitorError(e)),
                    &statErrors_[e]);
@@ -462,6 +495,7 @@ void
 SecureMonitor::beginOp()
 {
     pendingIpiCycles_ = 0;
+    pendingHfenceCycles_ = 0;
     csrSnapshot_ = machine_.hpmp().csrWrites();
     uint64_t table_writes = tableWritesTotal_;
     for (const auto &[id, dom] : domains_) {
@@ -492,6 +526,10 @@ SecureMonitor::opCycles(bool flushed)
     if (pendingIpiCycles_ > 0) {
         cycles += pendingIpiCycles_;
         statIpiCycles_.sample(pendingIpiCycles_);
+    }
+    if (pendingHfenceCycles_ > 0) {
+        cycles += pendingHfenceCycles_;
+        statHfenceCycles_.sample(pendingHfenceCycles_);
     }
     return cycles;
 }
@@ -1023,6 +1061,13 @@ SecureMonitor::applyLayout()
     initiator.sfenceVma();
     initiator.hpmp().flushCache();
     machine_.hpmp().flushCache();
+    // Virt-enabled: physical permissions are inlined into combined-TLB
+    // entries, so the initiating hart's guest view must drop with its
+    // sfence — the remote harts get theirs inside the shootdown.
+    if (smp_->virtEnabled()) {
+        smp_->virtHart(smp_->currentHart()).hfenceGvma();
+        pendingHfenceCycles_ += config_.costs.hfenceCycles;
+    }
     remoteShootdown();
     return degraded;
 }
@@ -1034,7 +1079,10 @@ SecureMonitor::remoteShootdown()
         return;
     const unsigned initiator = smp_->currentHart();
     const uint64_t seq = smp_->nextIpiSeq();
+    const bool virt = smp_->virtEnabled();
     ++statIpiShootdowns_;
+    if (virt)
+        ++statHfenceShootdowns_;
     pendingIpiCycles_ += config_.costs.ipiPostCycles;
     ipiWindowOpen_ = true;
     ipiWindowSeq_ = seq;
@@ -1060,6 +1108,32 @@ SecureMonitor::remoteShootdown()
         dst.hpmp().syncRegsFrom(machine_.hpmp());
         dst.sfenceVma();
         dst.hpmp().flushCache();
+        // The guest fence rides the same IPI: the handler executes
+        // hfence.gvma after the sfence, with its own delivery/ack
+        // fault sites. A dropped guest fence can never leave hart h
+        // serving combined/G-stage entries that inline the old layout
+        // — the call fails closed and rollback re-fences every guest.
+        if (virt) {
+            ++statHfenceSent_;
+            if (FAULT_POINT("smp.hfence_deliver")) {
+                ++statHfenceLost_;
+                throw MonitorAbort{
+                    MonitorError::InjectedFault,
+                    "lost guest fence on hart " + std::to_string(h) +
+                        " (smp.hfence_deliver): call fails closed"};
+            }
+            smp_->virtHart(h).hfenceGvma();
+            pendingHfenceCycles_ += config_.costs.hfenceCycles;
+            if (FAULT_POINT("smp.hfence_ack")) {
+                ++statHfenceLost_;
+                throw MonitorAbort{
+                    MonitorError::InjectedFault,
+                    "lost guest-fence ack from hart " +
+                        std::to_string(h) +
+                        " (smp.hfence_ack): call fails closed"};
+            }
+            ++statHfenceAcked_;
+        }
         smp_->notifyStep({IpiPhase::Delivered, initiator, h, seq});
         if (FAULT_POINT("smp.ipi_ack")) {
             ++statIpiLost_;
@@ -1085,15 +1159,22 @@ SecureMonitor::stateDigest(bool include_table_contents) const
 }
 
 uint64_t
-SecureMonitor::hartStateDigest(unsigned hart,
-                               bool include_table_contents) const
+SecureMonitor::hartStateDigest(unsigned hart, bool include_table_contents,
+                               bool include_virt) const
 {
     if (!smp_) {
         panic_if(hart != 0,
                  "hartStateDigest(%u) on a single-machine monitor", hart);
         return digestWith(machine_.hpmp(), include_table_contents);
     }
-    return digestWith(smp_->hart(hart).hpmp(), include_table_contents);
+    uint64_t h = digestWith(smp_->hart(hart).hpmp(), include_table_contents);
+    if (include_virt && smp_->virtEnabled()) {
+        const VirtMachine &vm = smp_->virtHart(hart);
+        h = digestFold(h, vm.vsatpRoot());
+        h = digestFold(h, vm.hgatpRoot());
+        h = digestFold(h, uint64_t(vm.guestPriv()));
+    }
+    return h;
 }
 
 uint64_t

@@ -53,6 +53,8 @@ struct MonitorCosts
     unsigned ipiPostCycles = 80;     //!< software-interrupt post, per call
     unsigned ipiAckCycles = 120;     //!< delivery + ack round trip, per hart
     unsigned remoteFenceCycles = 24; //!< fence executed in the IPI handler
+    unsigned hfenceCycles = 28;      //!< hfence.gvma in the IPI handler,
+                                     //!< per hart (virt-enabled systems)
 };
 
 /**
@@ -275,9 +277,16 @@ class SecureMonitor
      * successful layout-changing call all hart digests agree; after a
      * failed call each hart must equal its own pre-call digest (the
      * cross-hart rollback contract).
+     *
+     * With virt enabled, the hart's guest CSR state (vsatp/hgatp
+     * roots, guest privilege) is folded in too, so rollback is also
+     * judged on the virt view. Pass `include_virt = false` for
+     * convergence checks: per-hart guests legitimately run different
+     * tables, so only the host view must agree across harts.
      */
     uint64_t hartStateDigest(unsigned hart,
-                             bool include_table_contents = true) const;
+                             bool include_table_contents = true,
+                             bool include_virt = true) const;
 
     /** The machine this monitor controls. */
     Machine &machine() { return machine_; }
@@ -386,6 +395,7 @@ class SecureMonitor
     uint64_t tableWritesTotal_ = 0; //!< across destroyed tables
 
     uint64_t pendingIpiCycles_ = 0; //!< IPI cost of the call in flight
+    uint64_t pendingHfenceCycles_ = 0; //!< guest-fence cost, virt systems
     bool ipiWindowOpen_ = false;    //!< shootdown window in progress
     uint64_t ipiWindowSeq_ = 0;     //!< seq of the open window
 
@@ -405,6 +415,11 @@ class SecureMonitor
     Counter statIpiAcked_;      //!< delivery + ack round trips completed
     Counter statIpiLost_;       //!< injected IPI losses (call failed closed)
     Distribution statIpiCycles_; //!< IPI cycles per shootdown-bearing call
+    Counter statHfenceShootdowns_; //!< shootdowns that also fenced guests
+    Counter statHfenceSent_;    //!< guest-fence requests piggybacked on IPIs
+    Counter statHfenceAcked_;   //!< guest fences completed and acked
+    Counter statHfenceLost_;    //!< injected hfence losses (failed closed)
+    Distribution statHfenceCycles_; //!< guest-fence cycles per such call
 };
 
 } // namespace hpmp

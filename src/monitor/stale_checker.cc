@@ -4,6 +4,7 @@
 
 #include "base/fault_inject.h"
 #include "base/logging.h"
+#include "core/virt_machine.h"
 
 namespace hpmp
 {
@@ -22,6 +23,12 @@ typeName(AccessType type)
     return "?";
 }
 
+Addr
+pageBase(Addr addr)
+{
+    return addr & ~Addr(kPageSize - 1);
+}
+
 } // namespace
 
 StaleChecker::StaleChecker(SmpSystem &smp, SecureMonitor &monitor)
@@ -34,6 +41,24 @@ StaleChecker::StaleChecker(SmpSystem &smp, SecureMonitor &monitor)
     stats_.add("stale_denies", &statStaleDenies_);
     stats_.add("page_fault_skips", &statPageFaultSkips_);
     stats_.add("quiescent_checks", &statQuiescentChecks_);
+    stats_.add("virt_probes", &statVirtProbes_);
+    stats_.add("virt_pre_ack_stale_hits", &virtPreAckStaleHits_);
+    stats_.add("virt_stale_denies", &statVirtStaleDenies_);
+    stats_.add("stale_origin_guest_stage", &statStaleGuestOrigin_);
+    stats_.add("stale_origin_g_stage", &statStaleGStageOrigin_);
+    stats_.add("stale_origin_pmpte", &statStalePmpteOrigin_);
+}
+
+void
+StaleChecker::setGuestPerm(unsigned hart, Addr gva, Perm perm)
+{
+    guestPerm_[{hart, pageBase(gva)}] = perm;
+}
+
+void
+StaleChecker::setGpaPerm(unsigned hart, Addr gpa, Perm perm)
+{
+    gpaPerm_[{hart, pageBase(gpa)}] = perm;
 }
 
 bool
@@ -106,6 +131,104 @@ StaleChecker::recordViolation(const StaleWatch &watch, const char *level,
                 " level)";
 }
 
+StaleChecker::VirtOracle
+StaleChecker::canonicalVirtAllows(const VirtStaleWatch &watch) const
+{
+    // Deny origin = the first stage whose committed/canonical
+    // permission refuses the access — exactly the stage whose stale
+    // cached copy a granting hart must still be holding.
+    VirtOracle oracle;
+    const auto guest = guestPerm_.find({watch.hart, pageBase(watch.gva)});
+    if (guest == guestPerm_.end() || !guest->second.allows(watch.type)) {
+        oracle.denyOrigin = VirtFaultOrigin::GuestStage;
+        return oracle;
+    }
+    const auto gpa = gpaPerm_.find({watch.hart, pageBase(watch.gpa)});
+    if (gpa == gpaPerm_.end() || !gpa->second.allows(watch.type)) {
+        oracle.denyOrigin = VirtFaultOrigin::GStage;
+        return oracle;
+    }
+    if (!monitor_.machine().hpmp().probe(watch.spa).allows(watch.type)) {
+        oracle.denyOrigin = VirtFaultOrigin::Phys;
+        return oracle;
+    }
+    oracle.allow = true;
+    return oracle;
+}
+
+bool
+StaleChecker::probeVirtWatch(const VirtStaleWatch &watch)
+{
+    FaultInjector::SuspendGuard guard;
+    ++statVirtProbes_;
+    return smp_.virtHart(watch.hart).access(watch.gva, watch.type).ok();
+}
+
+void
+StaleChecker::recordVirtViolation(const VirtStaleWatch &watch,
+                                  VirtFaultOrigin origin,
+                                  const char *where, uint64_t seq)
+{
+    ++postAckViolations_;
+    if (failed_)
+        return; // keep the first, most proximate diagnosis
+    failed_ = true;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "gva 0x%llx (gpa 0x%llx, spa 0x%llx)",
+                  static_cast<unsigned long long>(watch.gva),
+                  static_cast<unsigned long long>(watch.gpa),
+                  static_cast<unsigned long long>(watch.spa));
+    failure_ = std::string("stale guest-translation violation at ") +
+               where + " (seq " + std::to_string(seq) + "): hart " +
+               std::to_string(watch.hart) + " granted stale " +
+               typeName(watch.type) + " at " + buf + ", " +
+               toString(origin) + " origin";
+}
+
+void
+StaleChecker::sweepVirt(bool strict, const char *where, uint64_t seq)
+{
+    if (virtWatches_.empty() || !smp_.virtEnabled())
+        return;
+    for (size_t i = 0; i < virtWatches_.size(); ++i) {
+        const VirtStaleWatch &w = virtWatches_[i];
+        // Same oracle discipline as sweep(): mid-window judges against
+        // the WindowBegin capture, strict sweeps re-ask the committed
+        // maps and the canonical unit.
+        const VirtOracle oracle = strict || virtOracle_.empty()
+                                      ? canonicalVirtAllows(w)
+                                      : virtOracle_[i];
+        const bool hartFenced = fenced(w.hart);
+        const bool grant = probeVirtWatch(w);
+
+        if (grant && !oracle.allow) {
+            switch (oracle.denyOrigin) {
+              case VirtFaultOrigin::GuestStage:
+                ++statStaleGuestOrigin_;
+                break;
+              case VirtFaultOrigin::GStage:
+                ++statStaleGStageOrigin_;
+                break;
+              default:
+                ++statStalePmpteOrigin_;
+                break;
+            }
+            if (hartFenced)
+                recordVirtViolation(w, oracle.denyOrigin, where, seq);
+            else
+                ++virtPreAckStaleHits_;
+        }
+
+        // Spurious guest denials stay non-fatal even in strict sweeps:
+        // the two-stage path composes guest PT loads with physical
+        // checks on the table frames themselves, so a denial can have
+        // causes outside the watch's three oracle stages.
+        if (!grant && oracle.allow)
+            ++statVirtStaleDenies_;
+    }
+}
+
 void
 StaleChecker::sweep(bool strict, const char *where, uint64_t seq)
 {
@@ -166,18 +289,24 @@ StaleChecker::onIpiStep(const IpiEvent &event)
         oracle_.resize(watches_.size());
         for (size_t i = 0; i < watches_.size(); ++i)
             oracle_[i] = canonicalAllows(watches_[i]);
+        virtOracle_.resize(virtWatches_.size());
+        for (size_t i = 0; i < virtWatches_.size(); ++i)
+            virtOracle_[i] = canonicalVirtAllows(virtWatches_[i]);
         sweep(false, "window-begin", event.seq);
+        sweepVirt(false, "window-begin", event.seq);
         break;
 
       case IpiPhase::Posted:
       case IpiPhase::Delivered:
         sweep(false, toString(event.phase), event.seq);
+        sweepVirt(false, toString(event.phase), event.seq);
         break;
 
       case IpiPhase::Acked:
         if (event.dstHart < acked_.size())
             acked_[event.dstHart] = true;
         sweep(false, "acked", event.seq);
+        sweepVirt(false, "acked", event.seq);
         break;
 
       case IpiPhase::WindowEnd:
@@ -186,12 +315,17 @@ StaleChecker::onIpiStep(const IpiEvent &event)
         // strictly against the canonical state as it stands *now*.
         windowOpen_ = false;
         sweep(true, "window-end", event.seq);
+        sweepVirt(true, "window-end", event.seq);
         oracle_.clear();
+        virtOracle_.clear();
         break;
 
       case IpiPhase::SatpFence:
-        // Not a permission change; nothing to re-judge. The satp
-        // remote-fence path has its own counters in "smp".
+      case IpiPhase::HfenceFence:
+        // Not a permission change; nothing to re-judge. The satp and
+        // hfence remote-fence paths have their own counters in "smp",
+        // and both complete every hart synchronously before the write
+        // returns — checkQuiescent judges the result after the op.
         break;
     }
 }
@@ -204,6 +338,7 @@ StaleChecker::checkQuiescent()
     ++statQuiescentChecks_;
     const uint64_t before = postAckViolations_.value();
     sweep(true, "quiescent", 0);
+    sweepVirt(true, "quiescent", 0);
     return postAckViolations_.value() == before;
 }
 

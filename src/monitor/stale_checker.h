@@ -43,12 +43,15 @@
 #ifndef HPMP_MONITOR_STALE_CHECKER_H
 #define HPMP_MONITOR_STALE_CHECKER_H
 
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/stats.h"
 #include "core/smp.h"
 #include "monitor/secure_monitor.h"
+#include "pt/two_stage.h"
 
 namespace hpmp
 {
@@ -74,6 +77,23 @@ struct StaleWatch
     bool accessPath = true;
 };
 
+/**
+ * One guest access replayed on a victim hart's VirtMachine at every
+ * protocol step (the two-stage oracle). The canonical expectation is
+ * evaluated stage by stage: the committed VS-stage permission for
+ * (hart, gva), the committed G-stage permission for (hart, gpa), and
+ * the canonical physical permission probed at spa. A stale grant is
+ * attributed to the first stage that should have denied it.
+ */
+struct VirtStaleWatch
+{
+    unsigned hart = 0;
+    Addr gva = 0; //!< driven through VirtMachine::access on that hart
+    Addr gpa = 0; //!< committed G-stage oracle page
+    Addr spa = 0; //!< canonical physical oracle address
+    AccessType type = AccessType::Load;
+};
+
 class StaleChecker : public InterleaveHook
 {
   public:
@@ -82,6 +102,24 @@ class StaleChecker : public InterleaveHook
     void addWatch(const StaleWatch &watch) { watches_.push_back(watch); }
     void clearWatches() { watches_.clear(); }
     size_t watchCount() const { return watches_.size(); }
+
+    /** Two-stage oracle watches (virt-enabled systems only). */
+    void addVirtWatch(const VirtStaleWatch &watch)
+    {
+        virtWatches_.push_back(watch);
+    }
+    void clearVirtWatches() { virtWatches_.clear(); }
+    size_t virtWatchCount() const { return virtWatches_.size(); }
+
+    /**
+     * Commit the expected VS-stage leaf permission for (hart, gva
+     * page). Campaigns call this *before* the fencing vsatp write, the
+     * same way the monitor commits canonical state before fencing.
+     */
+    void setGuestPerm(unsigned hart, Addr gva, Perm perm);
+
+    /** Commit the expected G-stage leaf permission for (hart, gpa page). */
+    void setGpaPerm(unsigned hart, Addr gpa, Perm perm);
 
     /** InterleaveHook: called at every IPI protocol step. */
     void onIpiStep(const IpiEvent &event) override;
@@ -106,6 +144,26 @@ class StaleChecker : public InterleaveHook
     }
     uint64_t probesRun() const { return statProbes_.value(); }
     uint64_t windowsSeen() const { return statWindows_.value(); }
+
+    uint64_t virtProbesRun() const { return statVirtProbes_.value(); }
+    uint64_t virtPreAckStaleHits() const
+    {
+        return virtPreAckStaleHits_.value();
+    }
+    uint64_t virtStaleDenies() const { return statVirtStaleDenies_.value(); }
+    /** Stale grants by the canonical stage that should have denied. */
+    uint64_t staleGuestStageOrigin() const
+    {
+        return statStaleGuestOrigin_.value();
+    }
+    uint64_t staleGStageOrigin() const
+    {
+        return statStaleGStageOrigin_.value();
+    }
+    uint64_t stalePmpteOrigin() const
+    {
+        return statStalePmpteOrigin_.value();
+    }
 
     /** "stale_checker" group: probes, hits, violations, windows. */
     StatGroup &stats() { return stats_; }
@@ -140,6 +198,26 @@ class StaleChecker : public InterleaveHook
      */
     void sweep(bool strict, const char *where, uint64_t seq);
 
+    /** Canonical verdict + deny origin for one virt watch. */
+    struct VirtOracle
+    {
+        bool allow = false;
+        VirtFaultOrigin denyOrigin = VirtFaultOrigin::None;
+    };
+
+    /** Evaluate the three-stage canonical expectation right now. */
+    VirtOracle canonicalVirtAllows(const VirtStaleWatch &watch) const;
+
+    /** Drive one guest watch through VirtMachine::access. */
+    bool probeVirtWatch(const VirtStaleWatch &watch);
+
+    /** The two-stage sweep twin of sweep(). */
+    void sweepVirt(bool strict, const char *where, uint64_t seq);
+
+    void recordVirtViolation(const VirtStaleWatch &watch,
+                             VirtFaultOrigin origin, const char *where,
+                             uint64_t seq);
+
     /** True iff the hart is past its ack (or initiated the window). */
     bool fenced(unsigned hart) const;
 
@@ -150,12 +228,19 @@ class StaleChecker : public InterleaveHook
     SmpSystem &smp_;
     SecureMonitor &monitor_;
     std::vector<StaleWatch> watches_;
+    std::vector<VirtStaleWatch> virtWatches_;
+
+    /** Committed per-stage expectations, keyed by (hart, page base). */
+    std::map<std::pair<unsigned, Addr>, Perm> guestPerm_;
+    std::map<std::pair<unsigned, Addr>, Perm> gpaPerm_;
 
     bool windowOpen_ = false;
     unsigned windowInitiator_ = 0;
     std::vector<bool> acked_;
     /** Canonical verdict per watch, captured at WindowBegin. */
     std::vector<bool> oracle_;
+    /** Same capture for the virt watches. */
+    std::vector<VirtOracle> virtOracle_;
 
     bool failed_ = false;
     std::string failure_;
@@ -168,6 +253,12 @@ class StaleChecker : public InterleaveHook
     Counter statStaleDenies_;  //!< fail-closed mismatches (never fatal)
     Counter statPageFaultSkips_; //!< access probes voided by page faults
     Counter statQuiescentChecks_;
+    Counter statVirtProbes_;         //!< guest-watch probes driven
+    Counter virtPreAckStaleHits_;    //!< guest stale grants, unfenced harts
+    Counter statVirtStaleDenies_;    //!< guest fail-closed mismatches
+    Counter statStaleGuestOrigin_;   //!< stale grants a VS-stage perm denies
+    Counter statStaleGStageOrigin_;  //!< stale grants a G-stage perm denies
+    Counter statStalePmpteOrigin_;   //!< stale grants physical perms deny
 };
 
 } // namespace hpmp

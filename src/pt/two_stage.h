@@ -110,6 +110,27 @@ struct TwoStageConfig
 };
 
 /**
+ * Stage of the two-stage access path a fault originated from. The
+ * RISC-V fault codes already encode this (page fault = VS-stage,
+ * guest-page fault = G-stage, access fault = physical PMP/pmpte); this
+ * enum names the mapping so oracles can attribute stale translations
+ * to the table that should have denied them.
+ */
+enum class VirtFaultOrigin : uint8_t
+{
+    None,       //!< no fault
+    GuestStage, //!< VS-stage (guest page table) page fault
+    GStage,     //!< G-stage (nested page table) guest-page fault
+    Phys,       //!< physical access fault (PMP / pmpte / bounds)
+};
+
+/** Classify a fault code by the translation stage that raised it. */
+VirtFaultOrigin virtFaultOrigin(Fault fault);
+
+/** Human-readable origin name for diagnostics. */
+const char *toString(VirtFaultOrigin origin);
+
+/**
  * Walk guest virtual address `gva` for an access of `type` in guest
  * privilege `priv`, using the guest table rooted at `vsatp_root` and
  * the nested table rooted at `hgatp_root`.

@@ -115,6 +115,55 @@ TEST(VirtMachine, HfenceGvmaDropsEverything)
     EXPECT_EQ(out.gptRefs, 3u);
 }
 
+TEST(VirtMachine, HfenceVvmaFlushContractCounters)
+{
+    // The flush contract, asserted through the TLB stat counters
+    // themselves rather than walk-outcome refs: hfence.vvma drops the
+    // combined TLB (next access *misses* it) but keeps the G-stage TLB
+    // (every G-stage translation of the re-walk *hits*).
+    VirtEnv env(CoreKind::Rocket, VirtScheme::Pmp);
+    const Addr gva = env.mapGuestPages(1);
+    env.vm().coldReset();
+    ASSERT_TRUE(env.vm().access(gva, AccessType::Load).ok());
+
+    Tlb &combined = env.vm().combinedTlb();
+    Tlb &gtlb = env.vm().gStageTlb();
+    const uint64_t comb_misses = combined.misses();
+    const uint64_t g_hits = gtlb.l1Hits() + gtlb.l2Hits();
+    const uint64_t g_misses = gtlb.misses();
+
+    env.vm().hfenceVvma();
+    ASSERT_TRUE(env.vm().access(gva, AccessType::Load).ok());
+
+    EXPECT_EQ(combined.misses(), comb_misses + 1);
+    // 3 GPT frames + the data page: 4 G-stage lookups, all cached.
+    EXPECT_EQ(gtlb.l1Hits() + gtlb.l2Hits(), g_hits + 4);
+    EXPECT_EQ(gtlb.misses(), g_misses);
+}
+
+TEST(VirtMachine, HfenceGvmaFlushContractCounters)
+{
+    // hfence.gvma must drop the G-stage TLB too: the same re-walk that
+    // hit 4 times after vvma misses 4 times after gvma.
+    VirtEnv env(CoreKind::Rocket, VirtScheme::Pmp);
+    const Addr gva = env.mapGuestPages(1);
+    env.vm().coldReset();
+    ASSERT_TRUE(env.vm().access(gva, AccessType::Load).ok());
+
+    Tlb &combined = env.vm().combinedTlb();
+    Tlb &gtlb = env.vm().gStageTlb();
+    const uint64_t comb_misses = combined.misses();
+    const uint64_t g_hits = gtlb.l1Hits() + gtlb.l2Hits();
+    const uint64_t g_misses = gtlb.misses();
+
+    env.vm().hfenceGvma();
+    ASSERT_TRUE(env.vm().access(gva, AccessType::Load).ok());
+
+    EXPECT_EQ(combined.misses(), comb_misses + 1);
+    EXPECT_EQ(gtlb.l1Hits() + gtlb.l2Hits(), g_hits);
+    EXPECT_EQ(gtlb.misses(), g_misses + 4);
+}
+
 TEST(VirtMachine, NeighborPageUsesGuestPwc)
 {
     VirtEnv env(CoreKind::Rocket, VirtScheme::Pmp);

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Multi-hart virtualization tests: per-hart VirtMachines over one
+ * shared PhysMem, the hfence shootdown protocol (vsatp/hgatp writes
+ * IPI every sibling), the vvma/gvma flush contract observed from a
+ * *victim* hart's TLB counters, and the bounded lost-IPI retry path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "base/fault_inject.h"
+#include "base/frame_alloc.h"
+#include "core/smp.h"
+#include "core/virt_machine.h"
+#include "pt/page_table.h"
+
+namespace hpmp
+{
+namespace
+{
+
+constexpr Addr kArenaBase = 1_GiB;
+constexpr uint64_t kArenaStride = 32_MiB;
+constexpr Addr kGuestVa = 0x40000000;
+
+SmpParams
+smpParams(unsigned harts, uint64_t seed = 42)
+{
+    SmpParams sp;
+    sp.harts = harts;
+    sp.schedSeed = seed;
+    return sp;
+}
+
+/** One hart's guest: an NPT, a GPT, one data page, open physical perms. */
+struct TestGuest
+{
+    std::unique_ptr<PageTable> npt, gpt;
+    Addr data = 0;
+};
+
+TestGuest
+buildGuest(SmpSystem &smp, unsigned hart)
+{
+    TestGuest g;
+    const Addr base = kArenaBase + hart * kArenaStride;
+    g.npt = std::make_unique<PageTable>(smp.mem(), bumpAllocator(base),
+                                        PagingMode::Sv39, 2);
+    g.gpt = std::make_unique<PageTable>(
+        smp.mem(), bumpAllocator(base + 4_MiB), PagingMode::Sv39, 0);
+    g.data = base + 8_MiB;
+
+    // G-stage identity maps over the GPT pool and the data page.
+    for (Addr off = 0; off < 64_KiB; off += kPageSize) {
+        const Addr gpa = base + 4_MiB + off;
+        EXPECT_TRUE(g.npt->map(gpa, gpa, Perm::rw(), true));
+    }
+    EXPECT_TRUE(g.npt->map(g.data, g.data, Perm::rwx(), true));
+    EXPECT_TRUE(g.gpt->map(kGuestVa, g.data, Perm::rwx(), true));
+
+    // The hart reaches its arena without a monitor in the loop.
+    smp.hart(hart).hpmp().programSegment(0, base, kArenaStride,
+                                         Perm::rwx());
+    smp.hart(hart).setPriv(PrivMode::Supervisor);
+
+    VirtMachine &vm = smp.virtHart(hart);
+    vm.setHgatp(g.npt->rootPa());
+    vm.setVsatp(g.gpt->rootPa());
+    return g;
+}
+
+TEST(VirtSmp, EnableVirtIsIdempotentAndPerHart)
+{
+    SmpSystem smp(rocketParams(), smpParams(4));
+    EXPECT_FALSE(smp.virtEnabled());
+
+    smp.enableVirt();
+    ASSERT_TRUE(smp.virtEnabled());
+    smp.enableVirt(); // second call is a no-op, not a re-create
+    ASSERT_TRUE(smp.virtEnabled());
+
+    for (unsigned h = 0; h < 4; ++h)
+        EXPECT_EQ(smp.virtHart(h).hartId(), h);
+    EXPECT_NE(&smp.virtHart(0), &smp.virtHart(1));
+    EXPECT_NE(&smp.virtHart(0).combinedTlb(),
+              &smp.virtHart(1).combinedTlb());
+}
+
+TEST(VirtSmp, VsatpAndHgatpWritesShootDownSiblings)
+{
+    SmpSystem smp(rocketParams(), smpParams(4));
+    smp.enableVirt();
+
+    const uint64_t shootdowns = smp.stats().get("hfence_shootdowns");
+    const uint64_t fences = smp.stats().get("hfence_remote_fences");
+
+    smp.virtHart(0).setHgatp(0x1000);
+    EXPECT_EQ(smp.stats().get("hfence_shootdowns"), shootdowns + 1);
+    EXPECT_EQ(smp.stats().get("hfence_remote_fences"), fences + 3);
+
+    smp.virtHart(2).setVsatp(0x2000);
+    EXPECT_EQ(smp.stats().get("hfence_shootdowns"), shootdowns + 2);
+    EXPECT_EQ(smp.stats().get("hfence_remote_fences"), fences + 6);
+}
+
+TEST(VirtSmp, SingleHartWritesNeedNoShootdown)
+{
+    SmpSystem smp(rocketParams(), smpParams(1));
+    smp.enableVirt();
+    smp.virtHart(0).setHgatp(0x1000);
+    smp.virtHart(0).setVsatp(0x2000);
+    EXPECT_EQ(smp.stats().get("hfence_shootdowns"), 0u);
+    EXPECT_EQ(smp.stats().get("hfence_remote_fences"), 0u);
+}
+
+TEST(VirtSmp, VvmaShootdownKeepsSiblingGStage)
+{
+    SmpSystem smp(rocketParams(), smpParams(2));
+    smp.enableVirt();
+    const TestGuest g0 = buildGuest(smp, 0);
+    const TestGuest g1 = buildGuest(smp, 1);
+    (void)g0;
+
+    VirtMachine &victim = smp.virtHart(1);
+    ASSERT_TRUE(victim.access(kGuestVa, AccessType::Load).ok());
+
+    Tlb &combined = victim.combinedTlb();
+    Tlb &gtlb = victim.gStageTlb();
+    const uint64_t comb_misses = combined.misses();
+    const uint64_t g_hits = gtlb.l1Hits() + gtlb.l2Hits();
+    const uint64_t g_misses = gtlb.misses();
+
+    // A vsatp write on hart 0 is an hfence.vvma on hart 1: the victim
+    // re-walks its guest table (combined-TLB miss) but every G-stage
+    // lookup of that re-walk still hits.
+    smp.virtHart(0).setVsatp(g0.gpt->rootPa());
+    ASSERT_TRUE(victim.access(kGuestVa, AccessType::Load).ok());
+    EXPECT_EQ(combined.misses(), comb_misses + 1);
+    EXPECT_EQ(gtlb.l1Hits() + gtlb.l2Hits(), g_hits + 4);
+    EXPECT_EQ(gtlb.misses(), g_misses);
+}
+
+TEST(VirtSmp, GvmaShootdownDropsSiblingGStage)
+{
+    SmpSystem smp(rocketParams(), smpParams(2));
+    smp.enableVirt();
+    const TestGuest g0 = buildGuest(smp, 0);
+    const TestGuest g1 = buildGuest(smp, 1);
+    (void)g1;
+
+    VirtMachine &victim = smp.virtHart(1);
+    ASSERT_TRUE(victim.access(kGuestVa, AccessType::Load).ok());
+
+    Tlb &gtlb = victim.gStageTlb();
+    const uint64_t g_hits = gtlb.l1Hits() + gtlb.l2Hits();
+    const uint64_t g_misses = gtlb.misses();
+
+    // An hgatp write on hart 0 is an hfence.gvma on hart 1: the same
+    // re-walk now misses the G-stage TLB on all four lookups.
+    smp.virtHart(0).setHgatp(g0.npt->rootPa());
+    ASSERT_TRUE(victim.access(kGuestVa, AccessType::Load).ok());
+    EXPECT_EQ(gtlb.l1Hits() + gtlb.l2Hits(), g_hits);
+    EXPECT_EQ(gtlb.misses(), g_misses + 4);
+}
+
+TEST(VirtSmp, LostHfenceIpisRetryBoundedAndStillFence)
+{
+    SmpSystem smp(rocketParams(), smpParams(4));
+    smp.enableVirt();
+
+    FaultInjector &injector = FaultInjector::instance();
+    injector.enable(7);
+    injector.armProb("smp.hfence_ipi", 1.0);
+
+    const uint64_t retries = smp.stats().get("hfence_ipi_retries");
+    const uint64_t fences = smp.stats().get("hfence_remote_fences");
+    smp.virtHart(0).setVsatp(0x3000);
+
+    // Every post attempt to each of the 3 siblings is dropped: the
+    // bounded resend loop retries 8 times per hart, then the fence is
+    // performed anyway — the protocol degrades, it never loses fences.
+    EXPECT_EQ(smp.stats().get("hfence_ipi_retries"), retries + 24);
+    EXPECT_EQ(smp.stats().get("hfence_remote_fences"), fences + 3);
+
+    injector.clearPlans();
+    injector.disable();
+}
+
+} // namespace
+} // namespace hpmp

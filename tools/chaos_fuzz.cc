@@ -38,6 +38,7 @@ struct Options
     bool fullDigest = true;
     unsigned harts = 1;    //!< >1 runs the multi-hart campaign
     bool osLayer = false;  //!< per-hart kernels + DMA (multi-hart only)
+    bool virtLayer = false; //!< per-hart guest VMs (multi-hart only)
     size_t traceRing = 8192; //!< event-ring capacity; 0 disables capture
     std::vector<IsolationScheme> schemes{IsolationScheme::Hpmp};
     std::string statsJson; //!< per-campaign stats JSON file; "" = off
@@ -50,7 +51,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--seed N | --seeds N,M,...] [--ops N]\n"
         "          [--scheme pmp|pmpt|hpmp|all] [--fault-prob P]\n"
-        "          [--harts N] [--os-layer] [--trace-ring N]\n"
+        "          [--harts N] [--os-layer] [--virt] [--trace-ring N]\n"
         "          [--light-digest] [--stats-json FILE]\n",
         argv0);
 }
@@ -187,6 +188,8 @@ main(int argc, char **argv)
             opts.harts = unsigned(std::strtoul(value(), nullptr, 0));
         } else if (arg == "--os-layer") {
             opts.osLayer = true;
+        } else if (arg == "--virt") {
+            opts.virtLayer = true;
         } else if (arg == "--trace-ring") {
             opts.traceRing = size_t(std::strtoul(value(), nullptr, 0));
         } else if (arg == "--stats-json") {
@@ -211,6 +214,18 @@ main(int argc, char **argv)
                      "campaign is part of the multi-hart fuzzer)\n");
         return 2;
     }
+    if (opts.virtLayer && opts.harts < 2) {
+        std::fprintf(stderr,
+                     "--virt requires --harts >= 2 (the guest campaign "
+                     "is part of the multi-hart fuzzer)\n");
+        return 2;
+    }
+    if (opts.virtLayer && opts.osLayer) {
+        std::fprintf(stderr,
+                     "--virt and --os-layer are mutually exclusive (the "
+                     "kernels page the host harts the guests wrap)\n");
+        return 2;
+    }
 
     RingCapture capture(opts.traceRing);
     unsigned total_ops = 0;
@@ -227,6 +242,7 @@ main(int argc, char **argv)
             config.fullDigest = opts.fullDigest;
             config.harts = opts.harts;
             config.osLayer = opts.osLayer;
+            config.virtLayer = opts.virtLayer;
             std::string campaign_stats;
             if (!opts.statsJson.empty())
                 config.statsJsonOut = &campaign_stats;
@@ -267,24 +283,40 @@ main(int argc, char **argv)
                     (unsigned long long)stats.osOps,
                     (unsigned long long)stats.dmaOps);
             }
+            if (opts.virtLayer) {
+                std::printf(
+                    "      virt-ops=%llu hfence-shootdowns=%llu "
+                    "virt-stale-probes=%llu virt-pre-ack-stale=%llu\n",
+                    (unsigned long long)stats.virtOps,
+                    (unsigned long long)stats.hfenceShootdowns,
+                    (unsigned long long)stats.virtStaleProbes,
+                    (unsigned long long)stats.virtPreAckStaleHits);
+            }
             if (stats.failed) {
                 std::printf("FAILING SEED: %lu\n", (unsigned long)seed);
                 std::printf("  %s\n", stats.failure.c_str());
-                std::string extra;
-                if (opts.harts > 1)
-                    extra += " --harts " + std::to_string(opts.harts);
+                // One exact, complete replay line: every flag that
+                // shapes the campaign, whether or not it is at its
+                // default, so the command reproduces this run verbatim.
+                std::string replay = "chaos_fuzz";
+                replay += " --seed " + std::to_string(seed);
+                replay += " --scheme ";
+                replay += scheme == IsolationScheme::Pmp ? "pmp"
+                          : scheme == IsolationScheme::PmpTable ? "pmpt"
+                                                                : "hpmp";
+                replay += " --ops " + std::to_string(opts.ops);
+                char prob[32];
+                std::snprintf(prob, sizeof(prob), "%g", opts.faultProb);
+                replay += std::string(" --fault-prob ") + prob;
+                replay += " --harts " + std::to_string(opts.harts);
+                if (!opts.fullDigest)
+                    replay += " --light-digest";
                 if (opts.osLayer)
-                    extra += " --os-layer";
-                std::printf("replay: chaos_fuzz --seed %lu --scheme %s "
-                            "--ops %u --fault-prob %g%s%s\n",
-                            (unsigned long)seed,
-                            scheme == IsolationScheme::Pmp ? "pmp"
-                            : scheme == IsolationScheme::PmpTable
-                                ? "pmpt"
-                                : "hpmp",
-                            opts.ops, opts.faultProb,
-                            opts.fullDigest ? "" : " --light-digest",
-                            extra.c_str());
+                    replay += " --os-layer";
+                if (opts.virtLayer)
+                    replay += " --virt";
+                replay += " --trace-ring " + std::to_string(opts.traceRing);
+                std::printf("replay: %s\n", replay.c_str());
                 capture.dumpFor(seed);
                 return 1;
             }
