@@ -19,6 +19,7 @@ toString(IpiPhase phase)
       case IpiPhase::WindowEnd: return "window-end";
       case IpiPhase::SatpFence: return "satp-fence";
       case IpiPhase::HfenceFence: return "hfence-fence";
+      case IpiPhase::CoalescedCommit: return "coalesced-commit";
     }
     return "?";
 }
@@ -46,6 +47,7 @@ SmpSystem::SmpSystem(const MachineParams &mp, const SmpParams &sp)
     stats_.add("hfence_shootdowns", &statHfenceShootdowns_);
     stats_.add("hfence_remote_fences", &statHfenceRemoteFences_);
     stats_.add("hfence_ipi_retries", &statHfenceIpiRetries_);
+    stats_.add("hfence_elided", &statHfenceElided_);
     stats_.add("lock_acquisitions", &statLockAcquisitions_);
     stats_.add("lock_contended", &statLockContended_);
     stats_.add("sched_picks", &statSchedPicks_);

@@ -50,6 +50,13 @@ enum class IpiPhase : uint8_t
     WindowEnd,   //!< all harts fenced and acked; window closed
     SatpFence,   //!< remote fence from a satp write (no layout change)
     HfenceFence, //!< remote guest fence from a vsatp/hgatp write
+    /**
+     * A later layout commit joined an already-open coalesced shootdown
+     * window (srcHart == dstHart == the committing hart). Checkers
+     * must refresh their mid-window oracle here: the canonical state
+     * the window will fence everyone to just moved forward.
+     */
+    CoalescedCommit,
 };
 
 const char *toString(IpiPhase phase);
@@ -149,6 +156,13 @@ class SmpSystem
     bool virtEnabled() const { return !virtHarts_.empty(); }
     VirtMachine &virtHart(unsigned h) { return *virtHarts_.at(h); }
 
+    /**
+     * Record one elided guest-fence shootdown: the monitor skipped the
+     * hfence IPIs because the layout diff was empty (same-domain
+     * re-switch fast path).
+     */
+    void noteHfenceElided() { ++statHfenceElided_; }
+
     /** "smp" group: satp shootdowns, lock traffic, hook steps. */
     StatGroup &stats() { return stats_; }
 
@@ -185,6 +199,7 @@ class SmpSystem
     Counter statHfenceShootdowns_;   //!< vsatp/hgatp writes fencing siblings
     Counter statHfenceRemoteFences_; //!< per-hart remote guest fences
     Counter statHfenceIpiRetries_;   //!< lost hfence IPIs re-sent
+    Counter statHfenceElided_;       //!< guest fences skipped on empty diffs
     Counter statLockAcquisitions_;
     Counter statLockContended_;
     Counter statSchedPicks_;

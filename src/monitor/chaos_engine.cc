@@ -415,6 +415,8 @@ runChaosSmp(const ChaosConfig &config)
     Rng rng(config.seed);
     panic_if(config.virtLayer && config.osLayer,
              "--virt and --os-layer are mutually exclusive");
+    panic_if(config.fleetLayer && (config.osLayer || config.virtLayer),
+             "--fleet is mutually exclusive with --os-layer and --virt");
 
     SmpParams sp;
     sp.harts = config.harts;
@@ -635,6 +637,12 @@ runChaosSmp(const ChaosConfig &config)
         return gms;
     };
 
+    // Fleet campaigns: every destroyed tenant's id is remembered so
+    // stale-handle probes can keep asserting the recycling contract —
+    // a retired DomainId stays a typed denial forever, even after its
+    // registry slot is handed to a new tenant under a new generation.
+    std::vector<DomainId> retired;
+
     std::vector<uint64_t> pre(config.harts, 0);
     for (unsigned i = 0; i < config.ops && !stats.failed; ++i) {
         // Every op initiates from a random hart: the monitor must
@@ -825,6 +833,81 @@ runChaosSmp(const ChaosConfig &config)
                 break;
               }
             }
+        } else if (roll < 88 && config.fleetLayer) {
+            ++stats.fleetOps;
+            switch (rng.below(4)) {
+              case 0: {
+                // Coalesced epoch: a batch of switches from rotating
+                // harts defers into one shared shootdown window; the
+                // flush runs the single IPI round (with the checker
+                // and nested-call probes interleaved into it).
+                op_name = "fleet.epoch";
+                ++stats.fleetEpochs;
+                monitor.beginCoalescedWindow();
+                const unsigned batch = 2 + unsigned(rng.below(4));
+                for (unsigned b = 0; b < batch; ++b) {
+                    smp.setCurrentHart(
+                        unsigned(rng.below(config.harts)));
+                    const MonitorResult r =
+                        monitor.switchTo(pick_domain(true));
+                    if (!r.ok &&
+                        r.code == MonitorError::InjectedFault) {
+                        ++stats.injectedFaults;
+                    }
+                }
+                monitor.endCoalescedWindow();
+                smp.setCurrentHart(initiator);
+                break;
+              }
+              case 1: {
+                // A retired id must stay a typed denial — honouring
+                // one would hand a stale tenant handle whatever domain
+                // recycled the slot.
+                op_name = "fleet.stale";
+                if (retired.empty())
+                    break;
+                const DomainId old =
+                    retired[rng.below(retired.size())];
+                const MonitorResult r = monitor.switchTo(old);
+                if (r.ok) {
+                    fail(i, "retired domain id " + std::to_string(old) +
+                                " was honoured");
+                    break;
+                }
+                if (r.code != MonitorError::StaleHandle &&
+                    r.code != MonitorError::NoSuchDomain &&
+                    r.code != MonitorError::InjectedFault) {
+                    fail(i, std::string("retired id denied with the "
+                                        "wrong error: ") +
+                                toString(r.code));
+                    break;
+                }
+                if (r.code != MonitorError::InjectedFault)
+                    ++stats.fleetStaleProbes;
+                result = r;
+                break;
+              }
+              case 2: {
+                op_name = "fleet.churn";
+                const DomainId id = pick_domain(false);
+                if (id == 0)
+                    break; // never churn the host domain
+                result = monitor.destroyDomain(id);
+                if (result.ok) {
+                    retired.push_back(id);
+                    ++stats.fleetChurns;
+                }
+                break;
+              }
+              default: {
+                // Same-domain re-switch: the empty layout diff must
+                // elide the shootdown (monitor.ipi_elided), not fence
+                // every sibling for nothing.
+                op_name = "fleet.reswitch";
+                result = monitor.switchTo(monitor.currentDomain());
+                break;
+              }
+            }
         } else if (roll < 94) {
             op_name = "dma";
             ++stats.dmaOps;
@@ -902,11 +985,14 @@ runChaosSmp(const ChaosConfig &config)
             ++stats.convergenceChecks;
             // include_virt=false: per-hart guests legitimately run
             // their own tables — only the host view must converge.
-            const uint64_t d0 =
-                monitor.hartStateDigest(0, config.fullDigest, false);
+            // include_csr_counter=false: coalesced windows fence
+            // siblings with one net diff, so write counters diverge
+            // legitimately; register *contents* must still agree.
+            const uint64_t d0 = monitor.hartStateDigest(
+                0, config.fullDigest, false, false);
             for (unsigned h = 1; h < config.harts; ++h) {
-                if (monitor.hartStateDigest(h, config.fullDigest, false) !=
-                    d0) {
+                if (monitor.hartStateDigest(h, config.fullDigest, false,
+                                            false) != d0) {
                     fail(i, std::string("hart ") + std::to_string(h) +
                                 " diverged from hart 0 outside a "
                                 "shootdown window");
@@ -946,6 +1032,9 @@ runChaosSmp(const ChaosConfig &config)
     stats.lockContended = hook.contended();
     stats.staleProbes = checker.probesRun();
     stats.preAckStaleHits = checker.preAckStaleHits();
+    stats.postAckViolations = checker.postAckViolations();
+    if (config.fleetLayer)
+        stats.coalescedWindows = monitor.stats().get("coalesced_windows");
     if (config.virtLayer) {
         // Monitor-call fences and direct vsatp/hgatp fences both count.
         stats.hfenceShootdowns = monitor.stats().get("hfence_shootdowns") +

@@ -71,6 +71,17 @@ struct ChaosConfig
      */
     bool virtLayer = false;
     /**
+     * Multi-hart only (mutually exclusive with osLayer and virtLayer):
+     * fleet-serving chaos. Adds coalesced epochs (several domain
+     * switches from rotating harts batched into one shootdown window),
+     * tenant churn with retired-id tracking, stale-handle probes
+     * (every retired DomainId must stay a typed denial after its slot
+     * is recycled), and same-domain re-switches exercising the
+     * empty-diff shootdown elision — all under the same fault plans
+     * and stale-translation checker as the base campaign.
+     */
+    bool fleetLayer = false;
+    /**
      * When set, receives the campaign's full stats-registry JSON
      * (monitor + machine observability counters) captured just before
      * the campaign's machine is torn down.
@@ -105,6 +116,14 @@ struct ChaosStats
     uint64_t hfenceShootdowns = 0;  //!< guest fences riding monitor IPIs
     uint64_t virtStaleProbes = 0;   //!< two-stage oracle probes driven
     uint64_t virtPreAckStaleHits = 0; //!< guest stale grants in-window
+
+    // Fleet campaigns only (--fleet):
+    uint64_t fleetOps = 0;          //!< fleet sub-ops performed
+    uint64_t fleetEpochs = 0;       //!< coalesced switch epochs run
+    uint64_t fleetChurns = 0;       //!< tenants destroyed (ids retired)
+    uint64_t fleetStaleProbes = 0;  //!< retired-id probes (all denied)
+    uint64_t coalescedWindows = 0;  //!< windows the monitor flushed
+    uint64_t postAckViolations = 0; //!< checker hard failures (must be 0)
 
     bool failed = false;   //!< an invariant or rollback check tripped
     std::string failure;   //!< description, mentions op index + seed

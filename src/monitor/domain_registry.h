@@ -1,0 +1,293 @@
+/**
+ * @file
+ * O(1) sharded domain registry with generation-tagged id recycling.
+ *
+ * Fleet-scale serving churns thousands of domains through the monitor
+ * (create/attest/switch/destroy under Zipf traffic), which breaks the
+ * original std::map registry twice over: every lookup costs O(log N)
+ * pointer chases, and a destroyed domain's id — handed back to the
+ * untrusted OS — could be re-issued and silently alias a different
+ * tenant's attestation and memory state.
+ *
+ * A DomainId is therefore split into a 20-bit slot index and a 12-bit
+ * generation tag. Fresh allocations carry generation 0, so the ids the
+ * OS sees (0, 1, 2, ...) are numerically identical to the sequential
+ * scheme until recycling kicks in. Destroying a domain parks its index
+ * on a per-shard free list; the next create pops it and bumps the
+ * generation, so the *old* handle's tag no longer matches and every
+ * lookup with it is denied (counted in registry_stale_denied) instead
+ * of aliased. An index whose generation would wrap is retired rather
+ * than reused — aliasing is never traded for capacity.
+ *
+ * Lookups are a single shard/position computation plus one generation
+ * compare: exactly one probe per lookup, independent of the live-domain
+ * count. The registry_probes / registry_lookups counters let tests
+ * assert that claim at 10k domains instead of trusting it.
+ */
+
+#ifndef HPMP_MONITOR_DOMAIN_REGISTRY_H
+#define HPMP_MONITOR_DOMAIN_REGISTRY_H
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "base/logging.h"
+#include "base/stats.h"
+
+namespace hpmp
+{
+
+/** Identifier of an isolation domain (0 = the host). */
+using DomainId = uint32_t;
+
+namespace domain_id
+{
+
+constexpr unsigned kIndexBits = 20;
+constexpr unsigned kGenerationBits = 12;
+constexpr uint32_t kIndexMask = (1u << kIndexBits) - 1;
+constexpr uint32_t kGenerationMask = (1u << kGenerationBits) - 1;
+
+constexpr uint32_t index(DomainId id) { return id & kIndexMask; }
+constexpr uint32_t generation(DomainId id) { return id >> kIndexBits; }
+
+constexpr DomainId
+make(uint32_t idx, uint32_t gen)
+{
+    return DomainId(idx | (gen << kIndexBits));
+}
+
+} // namespace domain_id
+
+/**
+ * Sharded slot-map keyed by DomainId. All operations are O(1) in the
+ * number of live domains; iteration (forEach/ids) is O(slots) and
+ * reserved for checkers, digests and stats paths.
+ */
+template <typename T>
+class DomainRegistry
+{
+  public:
+    static constexpr unsigned kShards = 16;
+
+    /**
+     * Allocate a slot and return its id. Prefers recycling a freed
+     * index (bumping its generation); falls back to extending the
+     * index space. The free-list scan is bounded by kShards, so this
+     * is O(1) too.
+     */
+    DomainId
+    create()
+    {
+        ++statCreates_;
+        for (unsigned s = 0; s < kShards; ++s) {
+            Shard &shard = shards_[s];
+            if (shard.freeList.empty())
+                continue;
+            const uint32_t idx = shard.freeList.back();
+            shard.freeList.pop_back();
+            Slot &slot = shard.slots[idx / kShards];
+            panic_if(slot.alive, "recycling a live domain slot %u", idx);
+            ++slot.generation;
+            slot.alive = true;
+            slot.value = T{};
+            ++liveCount_;
+            ++statRecycles_;
+            return domain_id::make(idx, slot.generation);
+        }
+        const uint32_t idx = nextIndex_++;
+        panic_if(idx > domain_id::kIndexMask,
+                 "domain index space exhausted");
+        Shard &shard = shards_[idx % kShards];
+        const size_t pos = idx / kShards;
+        if (shard.slots.size() <= pos)
+            shard.slots.resize(pos + 1);
+        Slot &slot = shard.slots[pos];
+        slot.generation = 0;
+        slot.alive = true;
+        slot.value = T{};
+        ++liveCount_;
+        return domain_id::make(idx, 0);
+    }
+
+    /**
+     * The value for `id`, or nullptr when the id is unknown, destroyed
+     * or stale (generation mismatch after the index was recycled).
+     * Exactly one slot probe per call — the O(1) contract the
+     * registry_probes counter certifies.
+     */
+    T *
+    find(DomainId id)
+    {
+        return const_cast<T *>(
+            const_cast<const DomainRegistry *>(this)->find(id));
+    }
+
+    const T *
+    find(DomainId id) const
+    {
+        ++statLookups_;
+        ++statProbes_;
+        const Slot *slot = slotFor(domain_id::index(id));
+        if (!slot || !slot->alive ||
+            slot->generation != domain_id::generation(id)) {
+            if (slot && domain_id::generation(id) < slot->generation)
+                ++statStaleDenied_;
+            return nullptr;
+        }
+        return &slot->value;
+    }
+
+    /**
+     * True when `id` refers to an older incarnation of a recycled
+     * index: the handle must be denied as *stale*, distinct from a
+     * plain unknown/destroyed id. Does not count as a lookup.
+     */
+    bool
+    stale(DomainId id) const
+    {
+        const Slot *slot = slotFor(domain_id::index(id));
+        return slot && domain_id::generation(id) < slot->generation;
+    }
+
+    /**
+     * Free the live slot behind `id` and return its value (the caller
+     * stashes it for transactional rollback). The generation bump is
+     * deferred to the recycling create() so a destroyed-but-never-
+     * recycled id still reads as plain NoSuchDomain, not stale.
+     */
+    T
+    erase(DomainId id)
+    {
+        Slot *slot = slotForMut(domain_id::index(id));
+        panic_if(!slot || !slot->alive ||
+                     slot->generation != domain_id::generation(id),
+                 "erase of unknown domain %u", id);
+        slot->alive = false;
+        --liveCount_;
+        // Retire the index once the tag space is spent: reusing it
+        // would wrap the generation back onto a live historic handle.
+        if (slot->generation < domain_id::kGenerationMask) {
+            shards_[domain_id::index(id) % kShards].freeList.push_back(
+                domain_id::index(id));
+        }
+        T out = std::move(slot->value);
+        slot->value = T{};
+        return out;
+    }
+
+    /** Undo an erase() from the same transaction (rollback path). */
+    void
+    restoreErased(DomainId id, T &&value)
+    {
+        const uint32_t idx = domain_id::index(id);
+        Slot *slot = slotForMut(idx);
+        panic_if(!slot || slot->alive ||
+                     slot->generation != domain_id::generation(id),
+                 "restoreErased of an unexpected slot %u", id);
+        slot->alive = true;
+        slot->value = std::move(value);
+        ++liveCount_;
+        auto &fl = shards_[idx % kShards].freeList;
+        fl.erase(std::remove(fl.begin(), fl.end(), idx), fl.end());
+    }
+
+    size_t live() const { return liveCount_; }
+
+    /** High-water index, the analogue of the old sequential counter. */
+    uint32_t nextIndex() const { return nextIndex_; }
+
+    /** Visit live slots in index order (deterministic across harts). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (uint32_t idx = 0; idx < nextIndex_; ++idx) {
+            Slot &slot = shards_[idx % kShards].slots[idx / kShards];
+            if (slot.alive)
+                fn(domain_id::make(idx, slot.generation), slot.value);
+        }
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (uint32_t idx = 0; idx < nextIndex_; ++idx) {
+            const Slot &slot = shards_[idx % kShards].slots[idx / kShards];
+            if (slot.alive)
+                fn(domain_id::make(idx, slot.generation), slot.value);
+        }
+    }
+
+    /** Ids of all live slots, ascending numerically. */
+    std::vector<DomainId>
+    ids() const
+    {
+        std::vector<DomainId> out;
+        out.reserve(liveCount_);
+        forEach([&out](DomainId id, const T &) { out.push_back(id); });
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+
+    uint64_t lookups() const { return statLookups_.value(); }
+    uint64_t probes() const { return statProbes_.value(); }
+    uint64_t staleDenied() const { return statStaleDenied_.value(); }
+    uint64_t recycles() const { return statRecycles_.value(); }
+
+    /** Attach the registry_* counters to the owner's stat group. */
+    void
+    registerStats(StatGroup &group)
+    {
+        group.add("registry_lookups", &statLookups_);
+        group.add("registry_probes", &statProbes_);
+        group.add("registry_creates", &statCreates_);
+        group.add("registry_recycles", &statRecycles_);
+        group.add("registry_stale_denied", &statStaleDenied_);
+    }
+
+  private:
+    struct Slot
+    {
+        uint32_t generation = 0;
+        bool alive = false;
+        T value{};
+    };
+
+    struct Shard
+    {
+        std::vector<Slot> slots;
+        std::vector<uint32_t> freeList;
+    };
+
+    const Slot *
+    slotFor(uint32_t idx) const
+    {
+        if (idx >= nextIndex_)
+            return nullptr;
+        return &shards_[idx % kShards].slots[idx / kShards];
+    }
+
+    Slot *
+    slotForMut(uint32_t idx)
+    {
+        return const_cast<Slot *>(slotFor(idx));
+    }
+
+    Shard shards_[kShards];
+    uint32_t nextIndex_ = 0;
+    size_t liveCount_ = 0;
+
+    mutable Counter statLookups_;
+    mutable Counter statProbes_;
+    mutable Counter statStaleDenied_;
+    Counter statCreates_;
+    Counter statRecycles_;
+};
+
+} // namespace hpmp
+
+#endif // HPMP_MONITOR_DOMAIN_REGISTRY_H

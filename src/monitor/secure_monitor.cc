@@ -50,6 +50,7 @@ toString(MonitorError error)
       case MonitorError::OutOfTableFrames: return "out-of-table-frames";
       case MonitorError::InjectedFault: return "injected-fault";
       case MonitorError::LockContended: return "lock-contended";
+      case MonitorError::StaleHandle: return "stale-handle";
     }
     return "?";
 }
@@ -58,12 +59,17 @@ toString(MonitorError error)
  * Transaction guard for one monitor call.
  *
  * On construction it snapshots every piece of state a call can touch:
- * the scalar cursors, the HPMP register file (+ CSR-write counter),
- * and per-domain GMS lists and PMP-table growth metadata. While the
- * transaction is active every pmpte store is journaled (old value per
- * slot), including stores into tables created mid-call. rollback()
- * replays the journal in reverse and restores the snapshots, leaving
- * monitor + HPMP + table state bit-identical to the pre-call state —
+ * the scalar cursors and the HPMP register file (+ CSR-write counter).
+ * Per-domain GMS lists and PMP-table growth metadata are captured
+ * *lazily* through touch(): a monitor call mutates at most two domains
+ * (its target, plus the current domain via applyLayout), so
+ * snapshotting every domain up front — the original design — would
+ * make each call O(live domains), which fleet-scale registries cannot
+ * afford. While the transaction is active every pmpte store of a
+ * touched domain is journaled (old value per slot), including stores
+ * into tables created mid-call. rollback() replays the journal in
+ * reverse and restores the snapshots, leaving monitor + HPMP + table
+ * state bit-identical to the pre-call state —
  * SecureMonitor::stateDigest() is the test oracle for that claim.
  */
 struct SecureMonitor::Txn
@@ -73,10 +79,13 @@ struct SecureMonitor::Txn
         panic_if(m_.activeTxn_, "nested monitor transaction");
         m_.beginOp();
         current_ = m_.current_;
-        next_ = m_.next_;
         tableFrameNext_ = m_.tableFrameNext_;
         tableWritesTotal_ = m_.tableWritesTotal_;
+        tableWritesAgg_ = m_.tableWritesAgg_;
         heatClock_ = m_.heatClock_;
+        coalescedOpen_ = m_.coalescedOpen_;
+        coalescedCommits_ = m_.coalescedCommits_;
+        lastCommitter_ = m_.lastCommitter_;
         hpmpSnap_ = m_.machine_.hpmp().takeSnapshot();
         // Multi-hart: a failing call may abort after partial
         // shootdowns, so rollback must be able to restore *every*
@@ -97,15 +106,29 @@ struct SecureMonitor::Txn
                 }
             }
         }
-        for (auto &[id, dom] : m_.domains_) {
-            domSnaps_.push_back(
-                {id, dom.gmsList, dom.table != nullptr,
-                 dom.table ? dom.table->tablePages().size() : 0,
-                 dom.table ? dom.table->entryWrites() : 0});
-            if (dom.table)
-                dom.table->setJournal(&journal_);
-        }
         m_.activeTxn_ = this;
+    }
+
+    /**
+     * Capture one domain the call is about to mutate: GMS list and
+     * table-growth metadata, plus journaling of its pmpte stores.
+     * Idempotent; the touched set stays <= 2 per call.
+     */
+    void
+    touch(DomainId id)
+    {
+        for (const auto &snap : domSnaps_) {
+            if (snap.id == id)
+                return;
+        }
+        Domain *dom = m_.domains_.find(id);
+        panic_if(!dom, "txn touch of unknown domain %u", id);
+        domSnaps_.push_back(
+            {id, dom->gmsList, dom->table != nullptr,
+             dom->table ? dom->table->tablePages().size() : 0,
+             dom->table ? dom->table->entryWrites() : 0});
+        if (dom->table)
+            dom->table->setJournal(&journal_);
     }
 
     ~Txn()
@@ -114,9 +137,10 @@ struct SecureMonitor::Txn
         // layers below the monitor can cause this) still rolls back.
         if (!done_)
             rollback();
-        for (auto &[id, dom] : m_.domains_) {
-            if (dom.table)
-                dom.table->setJournal(nullptr);
+        for (const auto &snap : domSnaps_) {
+            Domain *dom = m_.domains_.find(snap.id);
+            if (dom && dom->table)
+                dom->table->setJournal(nullptr);
         }
         m_.activeTxn_ = nullptr;
     }
@@ -167,32 +191,32 @@ struct SecureMonitor::Txn
             m_.machine_.mem().write64(it->slot, it->oldValue);
         journal_.clear();
 
-        // 2. Reinsert domains the call erased.
+        // 2. Reinsert domains the call erased (registry slot revived
+        //    with its pre-call generation — no tag was spent).
         for (auto &[id, dom] : stashed_)
-            m_.domains_[id] = std::move(dom);
+            m_.domains_.restoreErased(id, std::move(dom));
         stashed_.clear();
 
-        // 3. Restore per-domain state; drop tables created mid-call
-        //    (their frames are reclaimed by the cursor restore in 4).
+        // 3. Restore per-domain state of the touched set; drop tables
+        //    created mid-call (their frames are reclaimed by the
+        //    cursor restore in 4).
         for (auto &snap : domSnaps_) {
-            auto it = m_.domains_.find(snap.id);
-            panic_if(it == m_.domains_.end(),
-                     "rollback lost domain %u", snap.id);
-            Domain &dom = it->second;
-            dom.gmsList = snap.gmsList;
+            Domain *dom = m_.domains_.find(snap.id);
+            panic_if(!dom, "rollback lost domain %u", snap.id);
+            dom->gmsList = snap.gmsList;
             if (!snap.hadTable) {
-                dom.table.reset();
+                dom->table.reset();
             } else {
-                dom.table->rollbackMeta(snap.tablePages,
-                                        snap.entryWrites);
+                dom->table->rollbackMeta(snap.tablePages,
+                                         snap.entryWrites);
             }
         }
 
         // 4. Scalars, then the register file (flushes the PMPTW-Cache).
         m_.current_ = current_;
-        m_.next_ = next_;
         m_.tableFrameNext_ = tableFrameNext_;
         m_.tableWritesTotal_ = tableWritesTotal_;
+        m_.tableWritesAgg_ = tableWritesAgg_;
         m_.heatClock_ = heatClock_;
         m_.machine_.hpmp().restoreSnapshot(hpmpSnap_);
         if (m_.smp_) {
@@ -230,16 +254,33 @@ struct SecureMonitor::Txn
                                      m_.smp_->currentHart(),
                                      m_.ipiWindowSeq_});
             }
+            if (m_.coalescedOpen_ && !coalescedOpen_) {
+                // This call's deferred commit opened the coalesced
+                // window and then aborted: nothing is pending, so the
+                // window closes with every hart on the pre-call state.
+                m_.coalescedOpen_ = false;
+                m_.smp_->notifyStep({IpiPhase::WindowEnd,
+                                     m_.smp_->currentHart(),
+                                     m_.smp_->currentHart(),
+                                     m_.coalescedSeq_});
+            }
+            // A window opened by *earlier* commits stays open: their
+            // state is committed and still awaits the shared flush.
+            m_.coalescedCommits_ = coalescedCommits_;
+            m_.lastCommitter_ = lastCommitter_;
         }
     }
 
     SecureMonitor &m_;
     bool done_ = false;
     DomainId current_;
-    DomainId next_;
     Addr tableFrameNext_;
     uint64_t tableWritesTotal_;
+    uint64_t tableWritesAgg_;
     uint64_t heatClock_;
+    bool coalescedOpen_;
+    uint64_t coalescedCommits_;
+    unsigned lastCommitter_;
     struct VirtSnap
     {
         Addr vsatp;
@@ -346,6 +387,12 @@ SecureMonitor::SecureMonitor(Machine &machine, const MonitorConfig &config)
     stats_.add("hfence_acked", &statHfenceAcked_);
     stats_.add("hfence_lost", &statHfenceLost_);
     stats_.add("hfence_cycles", &statHfenceCycles_);
+    stats_.add("coalesced_windows", &statCoalescedWindows_);
+    stats_.add("commits_per_window", &statCommitsPerWindow_);
+    stats_.add("ipi_post", &statIpiPost_);
+    stats_.add("ipi_retries", &statIpiRetries_);
+    stats_.add("ipi_elided", &statIpiElided_);
+    domains_.registerStats(stats_);
     for (unsigned e = 1; e < kNumMonitorErrors; ++e) {
         stats_.add(std::string("errors.") + toString(MonitorError(e)),
                    &statErrors_[e]);
@@ -382,53 +429,59 @@ SecureMonitor::SecureMonitor(SmpSystem &smp, const MonitorConfig &config)
 SecureMonitor::Domain &
 SecureMonitor::domain(DomainId id)
 {
-    auto it = domains_.find(id);
-    panic_if(it == domains_.end() || !it->second.alive,
-             "no such domain %u", id);
-    return it->second;
+    Domain *dom = domains_.find(id);
+    panic_if(!dom, "no such domain %u", id);
+    return *dom;
 }
 
 const SecureMonitor::Domain &
 SecureMonitor::domain(DomainId id) const
 {
-    auto it = domains_.find(id);
-    panic_if(it == domains_.end() || !it->second.alive,
-             "no such domain %u", id);
-    return it->second;
+    const Domain *dom = domains_.find(id);
+    panic_if(!dom, "no such domain %u", id);
+    return *dom;
 }
 
 SecureMonitor::Domain *
 SecureMonitor::findDomain(DomainId id)
 {
-    auto it = domains_.find(id);
-    if (it == domains_.end() || !it->second.alive)
-        return nullptr;
-    return &it->second;
+    return domains_.find(id);
+}
+
+MonitorError
+SecureMonitor::lookupError(DomainId id) const
+{
+    return domains_.stale(id) ? MonitorError::StaleHandle
+                              : MonitorError::NoSuchDomain;
+}
+
+MonitorResult
+SecureMonitor::failNoDomain(DomainId id) const
+{
+    const MonitorError code = lookupError(id);
+    return failCall(code,
+                    code == MonitorError::StaleHandle
+                        ? "stale domain handle: the id was recycled"
+                        : "no such domain");
 }
 
 bool
 SecureMonitor::domainExists(DomainId id) const
 {
-    auto it = domains_.find(id);
-    return it != domains_.end() && it->second.alive;
+    return domains_.find(id) != nullptr;
 }
 
 std::vector<DomainId>
 SecureMonitor::domainIds() const
 {
-    std::vector<DomainId> ids;
-    for (const auto &[id, dom] : domains_) {
-        if (dom.alive)
-            ids.push_back(id);
-    }
-    return ids;
+    return domains_.ids();
 }
 
 const PmpTable *
 SecureMonitor::tablePeek(DomainId id) const
 {
-    auto it = domains_.find(id);
-    return it == domains_.end() ? nullptr : it->second.table.get();
+    const Domain *dom = domains_.find(id);
+    return dom ? dom->table.get() : nullptr;
 }
 
 Addr
@@ -456,6 +509,7 @@ SecureMonitor::tableOf(DomainId id)
             machine_.mem(),
             [this](unsigned npages) { return allocTableFrame(npages); },
             config_.pmptLevels);
+        dom.table->setWriteAggregate(&tableWritesAgg_);
         // A table created mid-transaction journals its stores too, so
         // the replay below is rolled back along with everything else.
         if (activeTxn_)
@@ -497,24 +551,17 @@ SecureMonitor::beginOp()
     pendingIpiCycles_ = 0;
     pendingHfenceCycles_ = 0;
     csrSnapshot_ = machine_.hpmp().csrWrites();
-    uint64_t table_writes = tableWritesTotal_;
-    for (const auto &[id, dom] : domains_) {
-        if (dom.table)
-            table_writes += dom.table->entryWrites();
-    }
-    tableWriteSnapshot_ = table_writes;
+    // The aggregate counts every pmpte store ever (live and destroyed
+    // tables alike), so the per-call delta is one subtraction — the
+    // old walk over every domain's table was O(N) per call.
+    tableWriteSnapshot_ = tableWritesAgg_;
 }
 
 uint64_t
 SecureMonitor::opCycles(bool flushed)
 {
     const uint64_t csr_delta = machine_.hpmp().csrWrites() - csrSnapshot_;
-    uint64_t table_writes = tableWritesTotal_;
-    for (const auto &[id, dom] : domains_) {
-        if (dom.table)
-            table_writes += dom.table->entryWrites();
-    }
-    const uint64_t table_delta = table_writes - tableWriteSnapshot_;
+    const uint64_t table_delta = tableWritesAgg_ - tableWriteSnapshot_;
     statCsrPerCall_.sample(csr_delta);
     statTableWritesPerCall_.sample(table_delta);
 
@@ -537,9 +584,7 @@ SecureMonitor::opCycles(bool flushed)
 DomainId
 SecureMonitor::createDomain()
 {
-    const DomainId id = next_++;
-    domains_[id] = Domain{};
-    return id;
+    return domains_.create();
 }
 
 MonitorResult
@@ -549,19 +594,18 @@ SecureMonitor::destroyDomain(DomainId id)
         return failCall(MonitorError::BadArgument,
                                    "cannot destroy the host domain");
     }
-    auto it = domains_.find(id);
-    if (it == domains_.end() || !it->second.alive)
-        return failCall(MonitorError::NoSuchDomain,
-                                   "no such domain");
+    Domain *dom = domains_.find(id);
+    if (!dom)
+        return failNoDomain(id);
     return transact([&](Txn &txn) {
         if (FAULT_POINT("monitor.destroy_domain")) {
             throw MonitorAbort{MonitorError::InjectedFault,
                                "injected fault at monitor.destroy_domain"};
         }
-        if (it->second.table)
-            tableWritesTotal_ += it->second.table->entryWrites();
-        txn.stashErased(id, std::move(it->second));
-        domains_.erase(it);
+        if (dom->table)
+            tableWritesTotal_ += dom->table->entryWrites();
+        Domain erased = domains_.erase(id);
+        txn.stashErased(id, std::move(erased));
         bool flushed = false;
         bool degraded = false;
         if (current_ == id) {
@@ -581,8 +625,7 @@ SecureMonitor::addGms(DomainId id, const Gms &gms)
 {
     Domain *dom = findDomain(id);
     if (!dom)
-        return failCall(MonitorError::NoSuchDomain,
-                                   "no such domain");
+        return failNoDomain(id);
     if (gms.size == 0 || gms.base % kPageSize || gms.size % kPageSize)
         return failCall(MonitorError::BadArgument,
                                    "GMS must be page-granular");
@@ -594,14 +637,19 @@ SecureMonitor::addGms(DomainId id, const Gms &gms)
 
     // No overlap with any domain's existing GMSs: memory ownership is
     // exclusive (the host must release regions before granting them).
-    for (const auto &[other_id, other] : domains_) {
+    bool overlaps = false;
+    domains_.forEach([&](DomainId, const Domain &other) {
         for (const Gms &existing : other.gmsList) {
             if (existing.base < gms.base + gms.size &&
                 gms.base < existing.base + existing.size) {
-                return failCall(MonitorError::OverlapDomain,
-                                           "GMS overlaps a domain region");
+                overlaps = true;
+                return;
             }
         }
+    });
+    if (overlaps) {
+        return failCall(MonitorError::OverlapDomain,
+                                   "GMS overlaps a domain region");
     }
     // The monitor region is never handed out.
     if (gms.base < config_.monitorBase + config_.monitorSize &&
@@ -611,6 +659,7 @@ SecureMonitor::addGms(DomainId id, const Gms &gms)
     }
 
     return transact([&](Txn &txn) {
+        txn.touch(id);
         if (FAULT_POINT("monitor.add_gms")) {
             throw MonitorAbort{MonitorError::InjectedFault,
                                "injected fault at monitor.add_gms"};
@@ -643,8 +692,7 @@ SecureMonitor::removeGms(DomainId id, Addr base)
 {
     Domain *dom = findDomain(id);
     if (!dom)
-        return failCall(MonitorError::NoSuchDomain,
-                                   "no such domain");
+        return failNoDomain(id);
     auto it = dom->gmsList.begin();
     for (; it != dom->gmsList.end(); ++it) {
         if (it->base == base)
@@ -655,6 +703,7 @@ SecureMonitor::removeGms(DomainId id, Addr base)
                                    "no GMS at this base");
 
     return transact([&](Txn &txn) {
+        txn.touch(id);
         if (FAULT_POINT("monitor.remove_gms")) {
             throw MonitorAbort{MonitorError::InjectedFault,
                                "injected fault at monitor.remove_gms"};
@@ -678,12 +727,12 @@ SecureMonitor::setLabel(DomainId id, Addr base, GmsLabel label)
 {
     Domain *dom = findDomain(id);
     if (!dom)
-        return failCall(MonitorError::NoSuchDomain,
-                                   "no such domain");
+        return failNoDomain(id);
     for (Gms &gms : dom->gmsList) {
         if (gms.base != base)
             continue;
         return transact([&](Txn &txn) {
+            txn.touch(id);
             if (FAULT_POINT("monitor.set_label")) {
                 throw MonitorAbort{MonitorError::InjectedFault,
                                    "injected fault at monitor.set_label"};
@@ -711,8 +760,7 @@ SecureMonitor::setPerm(DomainId id, Addr base, Perm perm)
 {
     Domain *dom = findDomain(id);
     if (!dom)
-        return failCall(MonitorError::NoSuchDomain,
-                                   "no such domain");
+        return failNoDomain(id);
     for (Gms &gms : dom->gmsList) {
         if (gms.base != base)
             continue;
@@ -725,6 +773,7 @@ SecureMonitor::setPerm(DomainId id, Addr base, Perm perm)
                 "cannot change the permission of a shared GMS");
         }
         return transact([&](Txn &txn) {
+            txn.touch(id);
             if (FAULT_POINT("monitor.set_perm")) {
                 throw MonitorAbort{MonitorError::InjectedFault,
                                    "injected fault at monitor.set_perm"};
@@ -755,8 +804,7 @@ SecureMonitor::shareGms(DomainId owner, Addr base, DomainId peer,
     Domain *own = findDomain(owner);
     Domain *dst = findDomain(peer);
     if (!own || !dst)
-        return failCall(MonitorError::NoSuchDomain,
-                                   "no such domain");
+        return failNoDomain(own ? peer : owner);
 
     for (Gms &gms : own->gmsList) {
         if (gms.base != base)
@@ -776,6 +824,8 @@ SecureMonitor::shareGms(DomainId owner, Addr base, DomainId peer,
             }
         }
         return transact([&](Txn &txn) {
+            txn.touch(owner);
+            txn.touch(peer);
             if (FAULT_POINT("monitor.share_gms")) {
                 throw MonitorAbort{MonitorError::InjectedFault,
                                    "injected fault at monitor.share_gms"};
@@ -807,15 +857,18 @@ SecureMonitor::shareGms(DomainId owner, Addr base, DomainId peer,
 MonitorValue<MerkleHash>
 SecureMonitor::measureDomain(DomainId id) const
 {
-    auto it = domains_.find(id);
-    if (it == domains_.end() || !it->second.alive) {
-        noteResult(false, MonitorError::NoSuchDomain, 0, false, false);
-        return MonitorValue<MerkleHash>::fail(MonitorError::NoSuchDomain,
-                                              "no such domain");
+    const Domain *dom = domains_.find(id);
+    if (!dom) {
+        const MonitorError code = lookupError(id);
+        noteResult(false, code, 0, false, false);
+        return MonitorValue<MerkleHash>::fail(
+            code, code == MonitorError::StaleHandle
+                      ? "stale domain handle: the id was recycled"
+                      : "no such domain");
     }
     MonitorValue<MerkleHash> result;
     result.value = 0x4d4541535552u; // "MEASUR"
-    for (const Gms &gms : it->second.gmsList) {
+    for (const Gms &gms : dom->gmsList) {
         result.value = Attestor::fold(
             result.value,
             Attestor::measure(machine_.mem(), gms.base, gms.size));
@@ -854,8 +907,7 @@ SecureMonitor::hintHotRegion(DomainId id, Addr base, uint64_t size)
 
     Domain *dom = findDomain(id);
     if (!dom)
-        return failCall(MonitorError::NoSuchDomain,
-                                   "no such domain");
+        return failNoDomain(id);
     for (size_t i = 0; i < dom->gmsList.size(); ++i) {
         Gms covering = dom->gmsList[i];
         if (!(covering.base <= base &&
@@ -874,6 +926,7 @@ SecureMonitor::hintHotRegion(DomainId id, Addr base, uint64_t size)
             return setLabel(id, base, GmsLabel::Fast);
 
         return transact([&](Txn &txn) {
+            txn.touch(id);
             if (FAULT_POINT("monitor.hint")) {
                 throw MonitorAbort{MonitorError::InjectedFault,
                                    "injected fault at monitor.hint"};
@@ -917,8 +970,7 @@ MonitorResult
 SecureMonitor::switchTo(DomainId id)
 {
     if (!findDomain(id))
-        return failCall(MonitorError::NoSuchDomain,
-                                   "no such domain");
+        return failNoDomain(id);
     return transact([&](Txn &txn) {
         if (FAULT_POINT("monitor.switch")) {
             throw MonitorAbort{MonitorError::InjectedFault,
@@ -942,6 +994,10 @@ SecureMonitor::applyLayout()
 {
     HpmpUnit &unit = machine_.hpmp();
     const unsigned entries = unit.regs().numEntries();
+    // The layout pass mutates the current domain (Hpmp demotions, lazy
+    // table creation), so it joins the transaction's touched set.
+    if (activeTxn_)
+        activeTxn_->touch(current_);
     Domain &dom = domain(current_);
     bool degraded = false;
 
@@ -1061,6 +1117,21 @@ SecureMonitor::applyLayout()
     initiator.sfenceVma();
     initiator.hpmp().flushCache();
     machine_.hpmp().flushCache();
+
+    // Empty-diff fast path: a same-layout commit (e.g. re-switching to
+    // the already-current domain) wrote no CSRs and no pmptes, so
+    // sibling harts hold nothing stale — the remote shootdown *and*
+    // the guest fences are elided. Single-hart SmpSystems skip this so
+    // they stay bit-identical to a standalone Machine.
+    const uint64_t csr_delta = machine_.hpmp().csrWrites() - csrSnapshot_;
+    const uint64_t table_delta = tableWritesAgg_ - tableWriteSnapshot_;
+    if (smp_->numHarts() > 1 && csr_delta == 0 && table_delta == 0) {
+        ++statIpiElided_;
+        if (smp_->virtEnabled())
+            smp_->noteHfenceElided();
+        return degraded;
+    }
+
     // Virt-enabled: physical permissions are inlined into combined-TLB
     // entries, so the initiating hart's guest view must drop with its
     // sfence — the remote harts get theirs inside the shootdown.
@@ -1068,8 +1139,117 @@ SecureMonitor::applyLayout()
         smp_->virtHart(smp_->currentHart()).hfenceGvma();
         pendingHfenceCycles_ += config_.costs.hfenceCycles;
     }
-    remoteShootdown();
+    if (coalesceActive_ && smp_->numHarts() > 1)
+        deferShootdown();
+    else
+        remoteShootdown();
     return degraded;
+}
+
+void
+SecureMonitor::deferShootdown()
+{
+    const unsigned committer = smp_->currentHart();
+    ++coalescedCommits_;
+    lastCommitter_ = committer;
+    if (!coalescedOpen_) {
+        coalescedOpen_ = true;
+        coalescedSeq_ = smp_->nextIpiSeq();
+        smp_->notifyStep({IpiPhase::WindowBegin, committer, committer,
+                          coalescedSeq_});
+    } else {
+        // Later commits move the canonical state the pending flush
+        // will fence everyone to; checkers refresh their oracle here.
+        smp_->notifyStep({IpiPhase::CoalescedCommit, committer,
+                          committer, coalescedSeq_});
+    }
+}
+
+void
+SecureMonitor::beginCoalescedWindow()
+{
+    panic_if(coalesceActive_, "nested coalesced windows");
+    panic_if(activeTxn_, "beginCoalescedWindow inside a monitor call");
+    coalesceActive_ = true;
+    coalescedCommits_ = 0;
+}
+
+uint64_t
+SecureMonitor::endCoalescedWindow()
+{
+    panic_if(!coalesceActive_, "endCoalescedWindow without begin");
+    panic_if(activeTxn_, "endCoalescedWindow inside a monitor call");
+    coalesceActive_ = false;
+    if (!coalescedOpen_) {
+        // Every call in the epoch either failed or elided: no commit
+        // is pending and no window ever opened.
+        coalescedCommits_ = 0;
+        return 0;
+    }
+
+    // One shared IPI/hfence round covering every deferred commit. The
+    // flush runs on the last committer's hart and holds the monitor
+    // lock: a sibling hart's trap racing the flush bounces with
+    // LockContended exactly as it would against a regular call.
+    const unsigned initiator = lastCommitter_;
+    const uint64_t seq = coalescedSeq_;
+    const bool virt = smp_->virtEnabled();
+    panic_if(!smp_->tryAcquireMonitorLock(initiator),
+             "coalesced flush raced a monitor call");
+
+    ++statIpiShootdowns_;
+    ++statCoalescedWindows_;
+    statCommitsPerWindow_.sample(coalescedCommits_);
+    if (virt)
+        ++statHfenceShootdowns_;
+    uint64_t cycles = config_.costs.ipiPostCycles;
+
+    for (unsigned h = 0; h < smp_->numHarts(); ++h) {
+        if (h == initiator)
+            continue;
+        // Exactly one post per sibling per window: a lost IPI inside
+        // the still-open window is re-posted with bounded retries,
+        // counted in ipi_retries only — never a second ipi_post (the
+        // double-count would break ipi_post == windows x siblings).
+        ++statIpiSent_;
+        ++statIpiPost_;
+        smp_->notifyStep({IpiPhase::Posted, initiator, h, seq});
+        for (unsigned attempt = 0;
+             attempt < 8 && FAULT_POINT("smp.ipi_deliver"); ++attempt)
+            ++statIpiRetries_;
+        Machine &dst = smp_->hart(h);
+        dst.hpmp().syncRegsFrom(machine_.hpmp());
+        dst.sfenceVma();
+        dst.hpmp().flushCache();
+        if (virt) {
+            ++statHfenceSent_;
+            for (unsigned attempt = 0;
+                 attempt < 8 && FAULT_POINT("smp.hfence_deliver");
+                 ++attempt)
+                ++statIpiRetries_;
+            smp_->virtHart(h).hfenceGvma();
+            cycles += config_.costs.hfenceCycles;
+            for (unsigned attempt = 0;
+                 attempt < 8 && FAULT_POINT("smp.hfence_ack"); ++attempt)
+                ++statIpiRetries_;
+            ++statHfenceAcked_;
+        }
+        smp_->notifyStep({IpiPhase::Delivered, initiator, h, seq});
+        for (unsigned attempt = 0;
+             attempt < 8 && FAULT_POINT("smp.ipi_ack"); ++attempt)
+            ++statIpiRetries_;
+        cycles += config_.costs.ipiAckCycles +
+                  config_.costs.remoteFenceCycles;
+        ++statIpiAcked_;
+        smp_->notifyStep({IpiPhase::Acked, initiator, h, seq});
+    }
+
+    coalescedOpen_ = false;
+    coalescedCommits_ = 0;
+    smp_->notifyStep({IpiPhase::WindowEnd, initiator, initiator, seq});
+    statIpiCycles_.sample(cycles);
+    smp_->releaseMonitorLock(initiator);
+    return cycles;
 }
 
 void
@@ -1160,14 +1340,17 @@ SecureMonitor::stateDigest(bool include_table_contents) const
 
 uint64_t
 SecureMonitor::hartStateDigest(unsigned hart, bool include_table_contents,
-                               bool include_virt) const
+                               bool include_virt,
+                               bool include_csr_counter) const
 {
     if (!smp_) {
         panic_if(hart != 0,
                  "hartStateDigest(%u) on a single-machine monitor", hart);
-        return digestWith(machine_.hpmp(), include_table_contents);
+        return digestWith(machine_.hpmp(), include_table_contents,
+                          include_csr_counter);
     }
-    uint64_t h = digestWith(smp_->hart(hart).hpmp(), include_table_contents);
+    uint64_t h = digestWith(smp_->hart(hart).hpmp(), include_table_contents,
+                            include_csr_counter);
     if (include_virt && smp_->virtEnabled()) {
         const VirtMachine &vm = smp_->virtHart(hart);
         h = digestFold(h, vm.vsatpRoot());
@@ -1179,23 +1362,29 @@ SecureMonitor::hartStateDigest(unsigned hart, bool include_table_contents,
 
 uint64_t
 SecureMonitor::digestWith(const HpmpUnit &unit,
-                          bool include_table_contents) const
+                          bool include_table_contents,
+                          bool include_csr_counter) const
 {
     uint64_t h = 0xcbf29ce484222325ULL;
     h = digestFold(h, current_);
-    h = digestFold(h, next_);
+    h = digestFold(h, domains_.nextIndex());
     h = digestFold(h, tableFrameNext_);
     h = digestFold(h, tableWritesTotal_);
     h = digestFold(h, heatClock_);
 
-    h = digestFold(h, unit.csrWrites());
+    // Siblings fenced by a coalesced window apply one *net* register
+    // diff where the committing hart paid per-commit diffs, so their
+    // CSR-write counters legitimately trail the canonical hart's.
+    // Convergence checks exclude the counter; rollback checks keep it.
+    if (include_csr_counter)
+        h = digestFold(h, unit.csrWrites());
     const PmpUnit &regs = unit.regs();
     for (unsigned i = 0; i < regs.numEntries(); ++i) {
         h = digestFold(h, regs.addr(i));
         h = digestFold(h, regs.cfg(i).raw);
     }
 
-    for (const auto &[id, dom] : domains_) {
+    domains_.forEach([&](DomainId id, const Domain &dom) {
         h = digestFold(h, id);
         h = digestFold(h, dom.alive);
         for (const Gms &gms : dom.gmsList) {
@@ -1221,7 +1410,7 @@ SecureMonitor::digestWith(const HpmpUnit &unit,
                 }
             }
         }
-    }
+    });
     return h;
 }
 

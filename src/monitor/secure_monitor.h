@@ -24,7 +24,6 @@
 #ifndef HPMP_MONITOR_SECURE_MONITOR_H
 #define HPMP_MONITOR_SECURE_MONITOR_H
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,14 +32,12 @@
 #include "core/machine.h"
 #include "hpmp/isolation.h"
 #include "monitor/attestation.h"
+#include "monitor/domain_registry.h"
 #include "monitor/gms.h"
 #include "pmpt/pmp_table.h"
 
 namespace hpmp
 {
-
-/** Identifier of an isolation domain (0 = the host). */
-using DomainId = uint32_t;
 
 /** Per-operation cost knobs for the monitor's cycle model. */
 struct MonitorCosts
@@ -77,10 +74,11 @@ enum class MonitorError : uint8_t
     OutOfTableFrames, //!< monitor-private PMP-table frames exhausted
     InjectedFault,    //!< a fault-injection site fired mid-call
     LockContended,    //!< another hart holds the global monitor lock
+    StaleHandle,      //!< DomainId from a destroyed, since-recycled domain
 };
 
 /** Number of MonitorError values (sizes the per-error counters). */
-constexpr unsigned kNumMonitorErrors = 11;
+constexpr unsigned kNumMonitorErrors = 12;
 
 const char *toString(MonitorError error);
 
@@ -236,8 +234,42 @@ class SecureMonitor
     /** Switch the active domain, reprogramming the isolation state. */
     MonitorResult switchTo(DomainId id);
 
+    /**
+     * Open a coalesced shootdown window (multi-hart monitors only; a
+     * no-op hint otherwise). While active, layout-committing calls
+     * defer their per-call IPI/hfence shootdown into one shared fence
+     * window: the first commit opens it, later commits join it, and
+     * endCoalescedWindow() runs the single IPI round that fences every
+     * sibling hart to the final state. This is the fleet-serving
+     * batching path — N back-to-back domain switches inside one
+     * monitor epoch pay one shootdown, not N.
+     *
+     * The stale-translation contract is unchanged: the window opens at
+     * the *first* commit, so a sibling hart is never considered fenced
+     * between the first commit and the flush, and post-ack grants of
+     * pre-window state remain hard failures (StaleChecker enforces
+     * this via IpiPhase::CoalescedCommit oracle refreshes).
+     */
+    void beginCoalescedWindow();
+
+    /**
+     * Flush and close the coalesced window: one IPI/hfence round over
+     * all sibling harts covering every commit since begin. Lost IPIs
+     * inside the window are re-posted with bounded retries (counted in
+     * monitor.ipi_retries only — monitor.ipi_post stays equal to
+     * windows × sibling harts). Returns the fence cycles spent, 0 if
+     * no commit was deferred.
+     */
+    uint64_t endCoalescedWindow();
+
+    /** True between beginCoalescedWindow() and endCoalescedWindow(). */
+    bool coalescingActive() const { return coalesceActive_; }
+
+    /** Commits deferred into the currently open coalesced window. */
+    uint64_t pendingCoalescedCommits() const { return coalescedCommits_; }
+
     DomainId currentDomain() const { return current_; }
-    size_t domainCount() const { return domains_.size(); }
+    size_t domainCount() const { return domains_.live(); }
 
     /** GMSs of a domain (for tests and the OS view). */
     const std::vector<Gms> &gmsOf(DomainId id) const;
@@ -283,10 +315,20 @@ class SecureMonitor
      * judged on the virt view. Pass `include_virt = false` for
      * convergence checks: per-hart guests legitimately run different
      * tables, so only the host view must agree across harts.
+     *
+     * Pass `include_csr_counter = false` for convergence checks too:
+     * a coalesced shootdown window fences siblings with one *net*
+     * register diff covering every commit in the window, so a
+     * sibling's CSR-write counter legitimately advances by less than
+     * the canonical unit's per-commit sum — register contents must
+     * agree across harts, per-hart write-cost counters need not.
+     * Rollback checks keep the counter: a failed call must restore
+     * each hart bit-identically, counter included.
      */
     uint64_t hartStateDigest(unsigned hart,
                              bool include_table_contents = true,
-                             bool include_virt = true) const;
+                             bool include_virt = true,
+                             bool include_csr_counter = true) const;
 
     /** The machine this monitor controls. */
     Machine &machine() { return machine_; }
@@ -330,6 +372,16 @@ class SecureMonitor
      *  domain id is OS-controlled input, not an internal invariant. */
     Domain *findDomain(DomainId id);
 
+    /**
+     * Typed failure cause for a lookup miss on `id`: StaleHandle when
+     * the id belonged to a destroyed domain whose index was recycled
+     * (generation mismatch), plain NoSuchDomain otherwise.
+     */
+    MonitorError lookupError(DomainId id) const;
+
+    /** failCall() for a lookup miss, with the matching message. */
+    MonitorResult failNoDomain(DomainId id) const;
+
     /** Frames for PMP tables come from the monitor-private region. */
     Addr allocTableFrame(unsigned npages);
 
@@ -358,9 +410,18 @@ class SecureMonitor
      */
     void remoteShootdown();
 
+    /**
+     * Join the open coalesced window (opening it on the first commit)
+     * instead of running a per-call shootdown. Publishes WindowBegin /
+     * CoalescedCommit to the interleave hook so checkers track the
+     * moving canonical state.
+     */
+    void deferShootdown();
+
     /** stateDigest seen through a specific hart's register file. */
     uint64_t digestWith(const HpmpUnit &unit,
-                        bool include_table_contents) const;
+                        bool include_table_contents,
+                        bool include_csr_counter = true) const;
 
     /** Account cycles for CSR/table writes since the last snapshot. */
     void beginOp();
@@ -382,8 +443,7 @@ class SecureMonitor
     SmpSystem *smp_ = nullptr; //!< set by the SmpSystem constructor
     MonitorConfig config_;
     Attestor attestor_{0x5ec0de};
-    std::map<DomainId, Domain> domains_;
-    DomainId next_ = 0;
+    DomainRegistry<Domain> domains_;
     DomainId current_ = 0;
     Addr tableFrameNext_;
     Addr tableFrameEnd_;
@@ -393,11 +453,23 @@ class SecureMonitor
     uint64_t csrSnapshot_ = 0;
     uint64_t tableWriteSnapshot_ = 0;
     uint64_t tableWritesTotal_ = 0; //!< across destroyed tables
+    /**
+     * Every pmpte store of every table this monitor ever created, in
+     * one scalar (fed by PmpTable::setWriteAggregate). Per-call write
+     * deltas are two subtractions instead of an O(domains) walk.
+     */
+    uint64_t tableWritesAgg_ = 0;
 
     uint64_t pendingIpiCycles_ = 0; //!< IPI cost of the call in flight
     uint64_t pendingHfenceCycles_ = 0; //!< guest-fence cost, virt systems
     bool ipiWindowOpen_ = false;    //!< shootdown window in progress
     uint64_t ipiWindowSeq_ = 0;     //!< seq of the open window
+
+    bool coalesceActive_ = false;   //!< begin..end coalesced epoch
+    bool coalescedOpen_ = false;    //!< >=1 commit deferred, window open
+    uint64_t coalescedSeq_ = 0;     //!< seq of the coalesced window
+    uint64_t coalescedCommits_ = 0; //!< commits in the open window
+    unsigned lastCommitter_ = 0;    //!< hart of the latest deferred commit
 
     StatGroup stats_{"monitor"};
     mutable Counter statCalls_;
@@ -420,6 +492,11 @@ class SecureMonitor
     Counter statHfenceAcked_;   //!< guest fences completed and acked
     Counter statHfenceLost_;    //!< injected hfence losses (failed closed)
     Distribution statHfenceCycles_; //!< guest-fence cycles per such call
+    Counter statCoalescedWindows_;  //!< coalesced windows flushed
+    Distribution statCommitsPerWindow_; //!< commits per coalesced window
+    Counter statIpiPost_;    //!< sibling posts in coalesced flushes
+    Counter statIpiRetries_; //!< lost-IPI re-posts inside coalesced windows
+    Counter statIpiElided_;  //!< shootdowns skipped on empty layout diffs
 };
 
 } // namespace hpmp

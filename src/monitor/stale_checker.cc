@@ -309,6 +309,26 @@ StaleChecker::onIpiStep(const IpiEvent &event)
         sweepVirt(false, "acked", event.seq);
         break;
 
+      case IpiPhase::CoalescedCommit:
+        // A later call committed into the still-open coalesced window:
+        // the canonical state everyone will be fenced to just moved
+        // forward. Re-capture the mid-window oracle against it, and
+        // move the initiator privilege to the new committer — it is
+        // the only hart the monitor synced to this newest state; every
+        // earlier ack (there are none pre-flush, but be explicit) or
+        // earlier committer is stale again until the flush fences it.
+        windowInitiator_ = event.srcHart;
+        acked_.assign(smp_.numHarts(), false);
+        oracle_.resize(watches_.size());
+        for (size_t i = 0; i < watches_.size(); ++i)
+            oracle_[i] = canonicalAllows(watches_[i]);
+        virtOracle_.resize(virtWatches_.size());
+        for (size_t i = 0; i < virtWatches_.size(); ++i)
+            virtOracle_[i] = canonicalVirtAllows(virtWatches_[i]);
+        sweep(false, "coalesced-commit", event.seq);
+        sweepVirt(false, "coalesced-commit", event.seq);
+        break;
+
       case IpiPhase::WindowEnd:
         // Emitted by both the commit path and the cross-hart rollback:
         // either way every hart has been fenced, so judge all of them

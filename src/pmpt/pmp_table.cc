@@ -36,6 +36,8 @@ PmpTable::writeEntry(Addr slot, uint64_t value)
         journal_->push_back({slot, mem_.read64(slot)});
     mem_.write64(slot, value);
     ++entryWrites_;
+    if (writeAggregate_)
+        ++*writeAggregate_;
 }
 
 void

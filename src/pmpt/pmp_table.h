@@ -63,6 +63,16 @@ class PmpTable
     void resetEntryWrites() { entryWrites_ = 0; }
 
     /**
+     * Mirror every pmpte store into an external running counter. The
+     * monitor points all of its tables at one aggregate so per-call
+     * write deltas are a scalar subtraction instead of a walk over
+     * every domain's table (O(1) at fleet-scale domain counts). The
+     * aggregate is not rewound by rollbackMeta(); the transactional
+     * caller snapshots and restores it with its other scalars.
+     */
+    void setWriteAggregate(uint64_t *aggregate) { writeAggregate_ = aggregate; }
+
+    /**
      * Corrupted pointer pmptes seen by lookup()/valid(): pointers whose
      * target is not a page this table ever allocated. Such entries are
      * reported (counted + warned) and treated as invalid rather than
@@ -125,6 +135,7 @@ class PmpTable
     Addr rootPa_;
     std::vector<Addr> tablePages_;
     uint64_t entryWrites_ = 0;
+    uint64_t *writeAggregate_ = nullptr;
     // mutable: const read paths (lookup/valid) report corruption.
     mutable uint64_t corruptPointers_ = 0;
     Journal *journal_ = nullptr;

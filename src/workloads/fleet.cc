@@ -1,0 +1,189 @@
+#include "workloads/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace hpmp
+{
+
+FleetWorkload::FleetWorkload(const FleetConfig &config)
+    : cfg_(config), rng_(config.seed)
+{
+    fatal_if(cfg_.domains == 0, "a fleet needs at least one tenant");
+    SmpParams sp;
+    sp.harts = cfg_.harts;
+    sp.schedSeed = cfg_.seed;
+    smp_ = std::make_unique<SmpSystem>(rocketParams(), sp);
+    for (unsigned h = 0; h < smp_->numHarts(); ++h) {
+        smp_->hart(h).setPriv(PrivMode::Supervisor);
+        smp_->hart(h).setBare();
+    }
+
+    MonitorConfig mc;
+    mc.scheme = cfg_.scheme;
+    mc.monitorSize = cfg_.monitorSize;
+    monitor_ = std::make_unique<SecureMonitor>(*smp_, mc);
+
+    // Zipf popularity over tenant slots: slot i has weight (i+1)^-s.
+    // A cumulative table + binary search keeps sampling O(log N) and
+    // the popularity of a *slot* stable across churn, the way a hot
+    // tenant stays hot when its enclave is recycled.
+    zipfCdf_.resize(cfg_.domains);
+    double sum = 0.0;
+    for (unsigned i = 0; i < cfg_.domains; ++i) {
+        sum += 1.0 / std::pow(double(i + 1), cfg_.zipfS);
+        zipfCdf_[i] = sum;
+    }
+    for (double &c : zipfCdf_)
+        c /= sum;
+}
+
+FleetWorkload::~FleetWorkload() = default;
+
+Addr
+FleetWorkload::slotBase(unsigned slot) const
+{
+    return kArenaBase + Addr(slot) * cfg_.gmsBytes;
+}
+
+unsigned
+FleetWorkload::sampleSlot()
+{
+    const double u = rng_.real();
+    const auto it =
+        std::upper_bound(zipfCdf_.begin(), zipfCdf_.end(), u);
+    return unsigned(std::min<size_t>(it - zipfCdf_.begin(),
+                                     cfg_.domains - 1));
+}
+
+void
+FleetWorkload::provision()
+{
+    if (!tenants_.empty())
+        return;
+    tenants_.reserve(cfg_.domains);
+    for (unsigned slot = 0; slot < cfg_.domains; ++slot) {
+        const DomainId id = monitor_->createDomain();
+        const MonitorResult r = monitor_->addGms(
+            id, {slotBase(slot), cfg_.gmsBytes, Perm::rwx(),
+                 GmsLabel::Fast});
+        panic_if(!r.ok, "fleet provision slot %u: %s", slot,
+                 r.error.c_str());
+        tenants_.push_back(id);
+    }
+}
+
+void
+FleetWorkload::churnSlot(unsigned slot)
+{
+    const DomainId old = tenants_[slot];
+    const MonitorResult destroy = monitor_->destroyDomain(old);
+    panic_if(!destroy.ok, "fleet churn destroy slot %u: %s", slot,
+             destroy.error.c_str());
+    retired_.push_back(old);
+
+    const DomainId fresh = monitor_->createDomain();
+    const MonitorResult add = monitor_->addGms(
+        fresh, {slotBase(slot), cfg_.gmsBytes, Perm::rwx(),
+                GmsLabel::Fast});
+    panic_if(!add.ok, "fleet churn re-create slot %u: %s", slot,
+             add.error.c_str());
+    tenants_[slot] = fresh;
+    ++churns_;
+
+    if (cfg_.staleProbes) {
+        // The recycled slot may hand out the same index under a new
+        // generation; the *retired* id must be a typed denial, never
+        // an alias of the new tenant.
+        const MonitorResult probe = monitor_->switchTo(old);
+        panic_if(probe.ok, "retired domain id %u was honoured", old);
+        panic_if(probe.code != MonitorError::StaleHandle &&
+                     probe.code != MonitorError::NoSuchDomain,
+                 "retired id %u denied with the wrong error: %s", old,
+                 toString(probe.code));
+        ++staleProbes_;
+    }
+}
+
+FleetResult
+FleetWorkload::run()
+{
+    provision();
+
+    const bool coalesce =
+        cfg_.coalesceEvery > 0 && smp_->numHarts() > 1;
+    FleetResult res;
+    std::vector<uint64_t> switchCycles;
+    switchCycles.reserve(cfg_.requests);
+    std::vector<unsigned> pendingChurn;
+
+    uint64_t done = 0;
+    while (done < cfg_.requests) {
+        const uint64_t epoch =
+            coalesce ? std::min<uint64_t>(cfg_.coalesceEvery,
+                                          cfg_.requests - done)
+                     : 1;
+        if (coalesce)
+            monitor_->beginCoalescedWindow();
+        for (uint64_t i = 0; i < epoch; ++i) {
+            smp_->setCurrentHart(
+                unsigned((done + i) % smp_->numHarts()));
+            const unsigned slot = sampleSlot();
+            const MonitorResult r =
+                monitor_->switchTo(tenants_[slot]);
+            panic_if(!r.ok, "fleet switch to slot %u: %s", slot,
+                     r.error.c_str());
+            switchCycles.push_back(r.cycles);
+            res.totalCycles += r.cycles;
+            ++res.switches;
+
+            if (rng_.chance(cfg_.attestProb)) {
+                const auto report = monitor_->attestDomain(
+                    tenants_[slot], rng_.next());
+                panic_if(!report.ok, "fleet attest slot %u: %s", slot,
+                         report.error.c_str());
+                ++attests_;
+            }
+            // Churn commits its own layouts (destroy of the running
+            // tenant switches back to the host); defer it past the
+            // window flush so the epoch's deferred shootdown covers
+            // exactly the batched switches.
+            if (rng_.chance(cfg_.churnProb))
+                pendingChurn.push_back(slot);
+        }
+        if (coalesce)
+            res.totalCycles += monitor_->endCoalescedWindow();
+        done += epoch;
+
+        for (const unsigned slot : pendingChurn)
+            churnSlot(slot);
+        pendingChurn.clear();
+    }
+
+    res.churns = churns_;
+    res.attests = attests_;
+    res.staleProbes = staleProbes_;
+    if (!switchCycles.empty()) {
+        std::vector<uint64_t> sorted = switchCycles;
+        std::sort(sorted.begin(), sorted.end());
+        res.p50SwitchCycles = sorted[sorted.size() / 2];
+        res.p99SwitchCycles =
+            sorted[std::min(sorted.size() - 1,
+                            (sorted.size() * 99) / 100)];
+    }
+    if (res.totalCycles > 0) {
+        const double secs =
+            double(res.totalCycles) /
+            (smp_->hart(0).params().timing.freqGHz * 1e9);
+        res.switchesPerSec = double(res.switches) / secs;
+    }
+    res.coalescedWindows = monitor_->stats().get("coalesced_windows");
+    if (const Distribution *d =
+            monitor_->stats().getDist("commits_per_window"))
+        res.commitsPerWindow = d->mean();
+    return res;
+}
+
+} // namespace hpmp

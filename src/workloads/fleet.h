@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Fleet-scale multi-tenant serving workload: thousands of enclave
+ * domains (tenants) driven by Zipf-skewed switch traffic across every
+ * hart of an SmpSystem, with tenant churn (destroy + create under id
+ * recycling), attestation sampling, and optional coalesced shootdown
+ * windows batching back-to-back switches into one IPI round.
+ *
+ * This is the serving regime the O(1) domain registry and the
+ * coalescing path exist for: a host scheduler bouncing between
+ * thousands of enclaves must pay per-switch costs that depend on the
+ * *switched* domain's footprint, never on the fleet size, and a batch
+ * of switches inside one monitor epoch must fence sibling harts once,
+ * not once per switch. The workload asserts the lifecycle contract as
+ * it runs: every retired DomainId must be denied (StaleHandle or
+ * NoSuchDomain) after its slot is recycled — honouring one would hand
+ * a stale tenant handle the new tenant's memory.
+ */
+
+#ifndef HPMP_WORKLOADS_FLEET_H
+#define HPMP_WORKLOADS_FLEET_H
+
+#include <memory>
+#include <vector>
+
+#include "base/rng.h"
+#include "core/smp.h"
+#include "monitor/secure_monitor.h"
+
+namespace hpmp
+{
+
+/** Knobs of one fleet-serving run. */
+struct FleetConfig
+{
+    IsolationScheme scheme = IsolationScheme::Hpmp;
+    unsigned domains = 1000;    //!< tenant count (fleet size)
+    uint64_t requests = 20000;  //!< switch requests to serve
+    unsigned harts = 4;
+    double zipfS = 0.99;        //!< Zipf skew (the YCSB default)
+    double churnProb = 0.02;    //!< per-request tenant destroy+create
+    double attestProb = 0.05;   //!< per-request attestation
+    /**
+     * Switches batched into one coalesced shootdown window (0 turns
+     * coalescing off; it is also off on a single hart, where there is
+     * nothing to fence).
+     */
+    unsigned coalesceEvery = 8;
+    /**
+     * After every churn, probe the retired DomainId and panic unless
+     * the monitor denies it — the id-recycling security contract.
+     */
+    bool staleProbes = true;
+    uint64_t seed = 1;
+    uint64_t gmsBytes = 16_KiB;     //!< per-tenant NAPOT region
+    uint64_t monitorSize = 512_MiB; //!< monitor + PMP-table frames
+};
+
+/** What one run() measured. */
+struct FleetResult
+{
+    uint64_t switches = 0;
+    uint64_t churns = 0;
+    uint64_t attests = 0;
+    uint64_t staleProbes = 0;   //!< retired-id probes, all denied
+    uint64_t totalCycles = 0;   //!< every monitor call + window flush
+    uint64_t p50SwitchCycles = 0;
+    uint64_t p99SwitchCycles = 0;
+    double switchesPerSec = 0.0;
+    uint64_t coalescedWindows = 0;
+    double commitsPerWindow = 0.0;
+};
+
+class FleetWorkload
+{
+  public:
+    explicit FleetWorkload(const FleetConfig &config);
+    ~FleetWorkload();
+
+    /** Create one domain + NAPOT GMS per tenant slot. */
+    void provision();
+
+    /** Serve cfg.requests requests (provisions first if needed). */
+    FleetResult run();
+
+    SmpSystem &smp() { return *smp_; }
+    SecureMonitor &monitor() { return *monitor_; }
+    const FleetConfig &config() const { return cfg_; }
+
+    /** Live domain id of a tenant slot. */
+    DomainId tenant(unsigned slot) const { return tenants_.at(slot); }
+
+    /** DomainIds retired by churn so far (for external stale probes). */
+    const std::vector<DomainId> &retired() const { return retired_; }
+
+    /** Tenant memory layout: slot regions start here. */
+    static constexpr Addr kArenaBase = 4_GiB;
+
+  private:
+    Addr slotBase(unsigned slot) const;
+    unsigned sampleSlot();
+    void churnSlot(unsigned slot);
+
+    FleetConfig cfg_;
+    std::unique_ptr<SmpSystem> smp_;
+    std::unique_ptr<SecureMonitor> monitor_;
+    Rng rng_;
+    std::vector<DomainId> tenants_; //!< slot -> live domain id
+    std::vector<DomainId> retired_; //!< churned-out ids (must stay dead)
+    std::vector<double> zipfCdf_;   //!< slot popularity, cumulative
+    uint64_t churns_ = 0;
+    uint64_t attests_ = 0;
+    uint64_t staleProbes_ = 0;
+};
+
+} // namespace hpmp
+
+#endif // HPMP_WORKLOADS_FLEET_H

@@ -39,6 +39,7 @@ struct Options
     unsigned harts = 1;    //!< >1 runs the multi-hart campaign
     bool osLayer = false;  //!< per-hart kernels + DMA (multi-hart only)
     bool virtLayer = false; //!< per-hart guest VMs (multi-hart only)
+    bool fleetLayer = false; //!< fleet serving chaos (multi-hart only)
     size_t traceRing = 8192; //!< event-ring capacity; 0 disables capture
     std::vector<IsolationScheme> schemes{IsolationScheme::Hpmp};
     std::string statsJson; //!< per-campaign stats JSON file; "" = off
@@ -51,7 +52,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--seed N | --seeds N,M,...] [--ops N]\n"
         "          [--scheme pmp|pmpt|hpmp|all] [--fault-prob P]\n"
-        "          [--harts N] [--os-layer] [--virt] [--trace-ring N]\n"
+        "          [--harts N] [--os-layer] [--virt] [--fleet]\n"
+        "          [--trace-ring N]\n"
         "          [--light-digest] [--stats-json FILE]\n",
         argv0);
 }
@@ -190,6 +192,8 @@ main(int argc, char **argv)
             opts.osLayer = true;
         } else if (arg == "--virt") {
             opts.virtLayer = true;
+        } else if (arg == "--fleet") {
+            opts.fleetLayer = true;
         } else if (arg == "--trace-ring") {
             opts.traceRing = size_t(std::strtoul(value(), nullptr, 0));
         } else if (arg == "--stats-json") {
@@ -226,6 +230,19 @@ main(int argc, char **argv)
                      "kernels page the host harts the guests wrap)\n");
         return 2;
     }
+    if (opts.fleetLayer && opts.harts < 2) {
+        std::fprintf(stderr,
+                     "--fleet requires --harts >= 2 (coalesced shootdown "
+                     "windows only exist with sibling harts to fence)\n");
+        return 2;
+    }
+    if (opts.fleetLayer && (opts.osLayer || opts.virtLayer)) {
+        std::fprintf(stderr,
+                     "--fleet is mutually exclusive with --os-layer and "
+                     "--virt (the fleet epochs drive their own domain "
+                     "traffic)\n");
+        return 2;
+    }
 
     RingCapture capture(opts.traceRing);
     unsigned total_ops = 0;
@@ -243,6 +260,7 @@ main(int argc, char **argv)
             config.harts = opts.harts;
             config.osLayer = opts.osLayer;
             config.virtLayer = opts.virtLayer;
+            config.fleetLayer = opts.fleetLayer;
             std::string campaign_stats;
             if (!opts.statsJson.empty())
                 config.statsJsonOut = &campaign_stats;
@@ -283,6 +301,18 @@ main(int argc, char **argv)
                     (unsigned long long)stats.osOps,
                     (unsigned long long)stats.dmaOps);
             }
+            if (opts.fleetLayer) {
+                std::printf(
+                    "      fleet-ops=%llu epochs=%llu churns=%llu "
+                    "stale-probes=%llu coalesced-windows=%llu "
+                    "post-ack-violations=%llu\n",
+                    (unsigned long long)stats.fleetOps,
+                    (unsigned long long)stats.fleetEpochs,
+                    (unsigned long long)stats.fleetChurns,
+                    (unsigned long long)stats.fleetStaleProbes,
+                    (unsigned long long)stats.coalescedWindows,
+                    (unsigned long long)stats.postAckViolations);
+            }
             if (opts.virtLayer) {
                 std::printf(
                     "      virt-ops=%llu hfence-shootdowns=%llu "
@@ -315,6 +345,8 @@ main(int argc, char **argv)
                     replay += " --os-layer";
                 if (opts.virtLayer)
                     replay += " --virt";
+                if (opts.fleetLayer)
+                    replay += " --fleet";
                 replay += " --trace-ring " + std::to_string(opts.traceRing);
                 std::printf("replay: %s\n", replay.c_str());
                 capture.dumpFor(seed);
