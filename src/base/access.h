@@ -57,6 +57,7 @@ struct Perm
     static constexpr Perm rwx() { return {true, true, true}; }
     static constexpr Perm ro() { return {true, false, false}; }
     static constexpr Perm rx() { return {true, false, true}; }
+    static constexpr Perm xo() { return {false, false, true}; }
     static constexpr Perm none() { return {}; }
 };
 

@@ -74,6 +74,7 @@ bool
 FaultInjector::fireCheck(const char *site, bool allow_any)
 {
     ++totalHits_;
+    everSeen_.insert(site);
     Plan &p = plan(site);
     ++p.hitCount;
 
@@ -130,6 +131,58 @@ FaultInjector::sitesSeen() const
         if (p.hitCount > 0)
             sites.push_back(name);
     }
+    return sites;
+}
+
+std::vector<std::string>
+FaultInjector::sitesEverSeen() const
+{
+    return {everSeen_.begin(), everSeen_.end()};
+}
+
+const std::vector<std::string> &
+FaultInjector::knownSites()
+{
+    // Keep sorted. Grep anchor: every FAULT_POINT("x") / maybeFlipBit
+    // site string in src/ must appear here exactly once.
+    static const std::vector<std::string> sites = {
+        "hpmp.disable",
+        "hpmp.program_segment",
+        "hpmp.program_table",
+        "iopmp.check",
+        "migrate.ack_lost",
+        "migrate.checkpoint_torn",
+        "migrate.commit_crash",
+        "migrate.dest_attest",
+        "migrate.frame_corrupt",
+        "migrate.frame_drop",
+        "migrate.frame_dup",
+        "monitor.add_gms",
+        "monitor.alloc_pmpte",
+        "monitor.attest",
+        "monitor.destroy_domain",
+        "monitor.hint",
+        "monitor.remove_gms",
+        "monitor.resume",
+        "monitor.set_label",
+        "monitor.set_perm",
+        "monitor.share_gms",
+        "monitor.suspend",
+        "monitor.switch",
+        "os.page_alloc",
+        "os.pt_pool_miss",
+        "pmpt.write_entry",
+        "pmpt.write_entry.flip",
+        "pmptw_cache.fill",
+        "pwc.fill",
+        "smp.hfence_ack",
+        "smp.hfence_deliver",
+        "smp.hfence_ipi",
+        "smp.ipi_ack",
+        "smp.ipi_deliver",
+        "smp.satp_ipi",
+        "tlb.fill",
+    };
     return sites;
 }
 

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -123,6 +124,27 @@ class FaultInjector
     /** Every site name ever hit while enabled (coverage reporting). */
     std::vector<std::string> sitesSeen() const;
 
+    /**
+     * Sites hit at least once over the whole process lifetime,
+     * sorted. Unlike sitesSeen(), this set survives clearPlans() and
+     * disable(), so a fuzzer that re-arms per operation and runs many
+     * campaigns back to back still reports the union of everything it
+     * reached — the input to the CI coverage gate.
+     */
+    std::vector<std::string> sitesEverSeen() const;
+
+    /** Reset the persistent coverage set (tests only). */
+    void resetSiteCoverage() { everSeen_.clear(); }
+
+    /**
+     * The curated registry of every FAULT_POINT / maybeFlipBit site in
+     * the tree, sorted. New sites must be added here; the registry
+     * test asserts every site that fires is registered, and CI asserts
+     * every registered site is exercised by at least one chaos
+     * campaign.
+     */
+    static const std::vector<std::string> &knownSites();
+
   private:
     FaultInjector() = default;
 
@@ -146,6 +168,7 @@ class FaultInjector
     uint64_t anyNth_ = 0;
     uint64_t totalHits_ = 0;
     std::vector<std::string> fired_;
+    std::set<std::string> everSeen_; //!< survives disable/clearPlans
 };
 
 /**

@@ -138,6 +138,11 @@ class Machine
     void setPriv(PrivMode priv) { priv_ = priv; }
     PrivMode priv() const { return priv_; }
 
+    /** Current translation CSR state (migration checkpointing). */
+    bool translationOn() const { return translationOn_; }
+    Addr satpRoot() const { return satpRoot_; }
+    PagingMode pagingMode() const { return mode_; }
+
     /** Perform one load/store/fetch at virtual address va. */
     AccessOutcome access(Addr va, AccessType type);
 

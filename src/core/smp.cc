@@ -204,6 +204,48 @@ SmpSystem::hfenceShootdown(VirtMachine &writer, bool gstage)
     }
 }
 
+HartContext
+SmpSystem::extractHartContext(unsigned h) const
+{
+    const Machine &m = hart(h);
+    HartContext ctx;
+    ctx.translationOn = m.translationOn();
+    ctx.satpRoot = m.satpRoot();
+    ctx.pagingMode = m.pagingMode();
+    ctx.priv = m.priv();
+    if (virtEnabled()) {
+        const VirtMachine &vm = *virtHarts_.at(h);
+        ctx.virt = true;
+        ctx.vsatpRoot = vm.vsatpRoot();
+        ctx.hgatpRoot = vm.hgatpRoot();
+        ctx.guestPriv = vm.guestPriv();
+    }
+    return ctx;
+}
+
+void
+SmpSystem::applyHartContext(unsigned h, const HartContext &ctx)
+{
+    Machine &m = hart(h);
+    m.setPriv(ctx.priv);
+    if (ctx.translationOn)
+        m.setSatp(ctx.satpRoot, ctx.pagingMode);
+    else
+        m.setBare();
+    if (ctx.virt) {
+        fatal_if(!virtEnabled(),
+                 "applying a virt hart context to a system without "
+                 "enableVirt()");
+        VirtMachine &vm = virtHart(h);
+        vm.setGuestPriv(ctx.guestPriv);
+        // hgatp first, then vsatp: the gvma drops everything, the
+        // vvma then drops only guest/combined state — the same order
+        // a hypervisor uses when installing a migrated-in vCPU.
+        vm.setHgatp(ctx.hgatpRoot);
+        vm.setVsatp(ctx.vsatpRoot);
+    }
+}
+
 void
 SmpSystem::registerStats(StatRegistry &registry)
 {

@@ -90,6 +90,25 @@ struct SmpParams
     bool roundRobin = false; //!< strict RR instead of the seeded stream
 };
 
+/**
+ * One hart's translation CSR state, as captured for a whole-domain
+ * migration checkpoint (DESIGN.md §12). Pure architectural values — no
+ * cached microarchitectural state travels with a migration, so the
+ * destination hart starts cold and its first guest access pays the
+ * full hgatp-switch + TLB-miss walk.
+ */
+struct HartContext
+{
+    bool translationOn = false;
+    Addr satpRoot = 0;
+    PagingMode pagingMode = PagingMode::Sv39;
+    PrivMode priv = PrivMode::Supervisor;
+    bool virt = false; //!< the three virt fields below are meaningful
+    Addr vsatpRoot = 0;
+    Addr hgatpRoot = 0;
+    PrivMode guestPriv = PrivMode::Supervisor;
+};
+
 class SmpSystem
 {
   public:
@@ -155,6 +174,22 @@ class SmpSystem
     void enableVirt();
     bool virtEnabled() const { return !virtHarts_.empty(); }
     VirtMachine &virtHart(unsigned h) { return *virtHarts_.at(h); }
+
+    /**
+     * Capture hart `h`'s translation CSRs for a migration checkpoint
+     * (suspend/extract). Read-only: the source hart keeps running.
+     */
+    HartContext extractHartContext(unsigned h) const;
+
+    /**
+     * Install a captured context on hart `h`. satp goes through
+     * setSatp (local sfence + satp shootdown) and the virt state
+     * through setVsatp/setHgatp (hfence shootdowns), so siblings are
+     * fenced with full IPI accounting and the hart arrives with cold
+     * TLBs — exactly the state a freshly migrated-in vCPU must resume
+     * from. Contexts with `virt` set require virtEnabled().
+     */
+    void applyHartContext(unsigned h, const HartContext &ctx);
 
     /**
      * Record one elided guest-fence shootdown: the monitor skipped the

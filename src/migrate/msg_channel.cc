@@ -1,0 +1,82 @@
+#include "migrate/msg_channel.h"
+
+#include "base/fault_inject.h"
+
+namespace hpmp
+{
+
+namespace
+{
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t
+fnvFold(uint64_t h, uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+} // namespace
+
+uint64_t
+MsgChannel::checksumOf(const MsgFrame &frame)
+{
+    uint64_t h = kFnvOffset;
+    h = fnvFold(h, frame.seq);
+    h = fnvFold(h, frame.totalFrames);
+    for (uint8_t b : frame.payload) {
+        h ^= b;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+bool
+MsgChannel::valid(const MsgFrame &frame)
+{
+    return frame.checksum == checksumOf(frame);
+}
+
+void
+MsgChannel::send(const MsgFrame &frame)
+{
+    ++framesSent_;
+    if (FAULT_POINT("migrate.frame_drop")) {
+        ++framesDropped_;
+        return;
+    }
+
+    MsgFrame f = frame;
+    f.checksum = checksumOf(f);
+    if (FAULT_POINT("migrate.frame_corrupt")) {
+        ++framesCorrupted_;
+        // Deterministic in-flight bit flip; the stamped checksum no
+        // longer matches, so valid() rejects the frame on receive.
+        if (!f.payload.empty())
+            f.payload[size_t(f.seq % f.payload.size())] ^= 0x10;
+        else
+            f.checksum ^= 1;
+    }
+    queue_.push_back(f);
+    if (FAULT_POINT("migrate.frame_dup")) {
+        ++framesDuplicated_;
+        queue_.push_back(f);
+    }
+}
+
+bool
+MsgChannel::recv(MsgFrame &out)
+{
+    if (queue_.empty())
+        return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+}
+
+} // namespace hpmp

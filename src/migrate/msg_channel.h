@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Lossy, corruption- and duplication-capable message channel between
+ * a migration source and destination (DESIGN.md §12).
+ *
+ * The channel models the unreliable transport a real live-migration
+ * stream rides on: frames can be dropped, delivered twice, or arrive
+ * bit-flipped. Every hazard is a named FAULT_POINT, so chaos
+ * campaigns inject them under the same deterministic plans as the
+ * monitor's fault sites:
+ *
+ *  - migrate.frame_drop    — the frame never enters the queue;
+ *  - migrate.frame_dup     — the frame is enqueued twice;
+ *  - migrate.frame_corrupt — one payload bit is flipped in flight.
+ *
+ * Integrity is end-to-end: each frame carries an FNV-1a checksum over
+ * (seq, totalFrames, payload), and receivers must discard frames that
+ * fail MsgChannel::valid() — a corrupted frame is indistinguishable
+ * from a dropped one and gets retried by the sender's bounded-retry
+ * loop, never re-assembled into the checkpoint image.
+ */
+
+#ifndef HPMP_MIGRATE_MSG_CHANNEL_H
+#define HPMP_MIGRATE_MSG_CHANNEL_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace hpmp
+{
+
+/** One transport frame of a serialized checkpoint stream. */
+struct MsgFrame
+{
+    uint64_t seq = 0;         //!< frame index within the stream
+    uint64_t totalFrames = 0; //!< stream length (same in every frame)
+    uint64_t checksum = 0;    //!< FNV-1a over (seq, totalFrames, payload)
+    std::vector<uint8_t> payload;
+};
+
+class MsgChannel
+{
+  public:
+    /**
+     * Transmit one frame, applying the injected transport hazards.
+     * The caller fills seq/totalFrames/payload; the channel stamps
+     * the checksum *before* corruption, so a flipped bit is caught by
+     * valid() on the receive side.
+     */
+    void send(const MsgFrame &frame);
+
+    /** Pop the next delivered frame. @return false when idle. */
+    bool recv(MsgFrame &out);
+
+    /** Drop anything still queued (between migrations). */
+    void clearQueue() { queue_.clear(); }
+
+    /** End-to-end integrity check a receiver must apply. */
+    static bool valid(const MsgFrame &frame);
+
+    /** Checksum over (seq, totalFrames, payload). */
+    static uint64_t checksumOf(const MsgFrame &frame);
+
+    uint64_t framesSent() const { return framesSent_; }
+    uint64_t framesDropped() const { return framesDropped_; }
+    uint64_t framesDuplicated() const { return framesDuplicated_; }
+    uint64_t framesCorrupted() const { return framesCorrupted_; }
+
+  private:
+    std::deque<MsgFrame> queue_;
+    uint64_t framesSent_ = 0;
+    uint64_t framesDropped_ = 0;
+    uint64_t framesDuplicated_ = 0;
+    uint64_t framesCorrupted_ = 0;
+};
+
+} // namespace hpmp
+
+#endif // HPMP_MIGRATE_MSG_CHANNEL_H

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Flat byte-stream serialization for migration checkpoints.
+ *
+ * A checkpoint travels between hosts as one length-prefixed byte
+ * image chopped into MsgChannel frames, so the encoding must be
+ * position-independent and fully bounds-checked on the way back in:
+ * the receiving monitor treats the stream as untrusted input (frames
+ * can be truncated, reordered or bit-flipped in flight) and a
+ * malformed image must produce a typed decode failure, never an
+ * out-of-bounds read.
+ */
+
+#ifndef HPMP_MIGRATE_SERIALIZE_H
+#define HPMP_MIGRATE_SERIALIZE_H
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace hpmp
+{
+
+/** Append-only little-endian byte-stream builder. */
+class ByteWriter
+{
+  public:
+    void
+    u8(uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        for (unsigned i = 0; i < 8; ++i)
+            buf_.push_back(uint8_t(v >> (8 * i)));
+    }
+
+    void
+    bytes(const void *data, uint64_t len)
+    {
+        const uint8_t *p = static_cast<const uint8_t *>(data);
+        buf_.insert(buf_.end(), p, p + len);
+    }
+
+    const std::vector<uint8_t> &buffer() const { return buf_; }
+    std::vector<uint8_t> take() { return std::move(buf_); }
+    uint64_t size() const { return buf_.size(); }
+
+  private:
+    std::vector<uint8_t> buf_;
+};
+
+/**
+ * Bounds-checked reader over a received byte image. Any overrun sets
+ * the sticky !ok() flag and yields zeros from then on, so decoders
+ * can parse straight through and check ok() once at the end.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const uint8_t *data, uint64_t len) : data_(data), len_(len) {}
+
+    explicit ByteReader(const std::vector<uint8_t> &buf)
+        : data_(buf.data()), len_(buf.size())
+    {}
+
+    uint8_t
+    u8()
+    {
+        if (off_ + 1 > len_) {
+            ok_ = false;
+            return 0;
+        }
+        return data_[off_++];
+    }
+
+    uint64_t
+    u64()
+    {
+        if (off_ + 8 > len_) {
+            ok_ = false;
+            return 0;
+        }
+        uint64_t v = 0;
+        for (unsigned i = 0; i < 8; ++i)
+            v |= uint64_t(data_[off_ + i]) << (8 * i);
+        off_ += 8;
+        return v;
+    }
+
+    bool
+    bytes(void *out, uint64_t len)
+    {
+        if (off_ + len > len_ || off_ + len < off_) {
+            ok_ = false;
+            std::memset(out, 0, size_t(len));
+            return false;
+        }
+        std::memcpy(out, data_ + off_, size_t(len));
+        off_ += len;
+        return true;
+    }
+
+    bool ok() const { return ok_; }
+    uint64_t remaining() const { return len_ - off_; }
+
+  private:
+    const uint8_t *data_;
+    uint64_t len_;
+    uint64_t off_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace hpmp
+
+#endif // HPMP_MIGRATE_SERIALIZE_H

@@ -52,6 +52,21 @@ windowOf(DomainId id)
     return kWindowBase + (id % kWindows) * kWindowSize;
 }
 
+/**
+ * Campaign machines run with the PMPTW-Cache enabled (the paper keeps
+ * it off by default): the monitor must keep the cached leaf pmptes
+ * coherent across every shootdown and rollback path, and the stale
+ * probes audit exactly that. This is also what makes the benign
+ * "pmptw_cache.fill" drop site reachable for the coverage gate.
+ */
+MachineParams
+chaosMachineParams()
+{
+    MachineParams p = rocketParams();
+    p.pmptwEntries = 8;
+    return p;
+}
+
 Perm
 randomPerm(Rng &rng)
 {
@@ -108,10 +123,11 @@ constexpr Addr kChaosGuestVaBase = 0x40000000;
 Perm
 randomLeafPerm(Rng &rng)
 {
-    switch (rng.below(4)) {
+    switch (rng.below(5)) {
       case 0: return Perm::rw();
       case 1: return Perm::ro();
       case 2: return Perm::rx();
+      case 3: return Perm::xo();
       default: return Perm::rwx();
     }
 }
@@ -198,13 +214,16 @@ ChaosStats runChaosSmp(const ChaosConfig &config);
 ChaosStats
 runChaos(const ChaosConfig &config)
 {
+    panic_if(config.migrateLayer,
+             "--migrate campaigns run through runMigrateChaos "
+             "(migrate/migrate_chaos.h), not runChaos");
     if (config.harts > 1)
         return runChaosSmp(config);
 
     ChaosStats stats;
     Rng rng(config.seed);
 
-    auto machine = std::make_unique<Machine>(rocketParams());
+    auto machine = std::make_unique<Machine>(chaosMachineParams());
     MonitorConfig mc;
     mc.scheme = config.scheme;
     SecureMonitor monitor(*machine, mc);
@@ -421,7 +440,7 @@ runChaosSmp(const ChaosConfig &config)
     SmpParams sp;
     sp.harts = config.harts;
     sp.schedSeed = config.seed * 0x9E3779B97F4A7C15ULL + config.harts;
-    SmpSystem smp(rocketParams(), sp);
+    SmpSystem smp(chaosMachineParams(), sp);
     MonitorConfig mc;
     mc.scheme = config.scheme;
     SecureMonitor monitor(smp, mc);
@@ -534,8 +553,12 @@ runChaosSmp(const ChaosConfig &config)
             for (unsigned p = 0; p < kGuestPages; ++p) {
                 const Addr gva = kChaosGuestVaBase + p * kPageSize;
                 const Addr gpa = hg.dataBase + p * kPageSize;
-                hg.gptPerm[p] = Perm::rwx();
-                panic_if(!hg.gpt->map(gva, gpa, hg.gptPerm[p], true),
+                // Page 1 boots as an execute-only, supervisor-only
+                // leaf (S-mode fetches from U pages always fault) so
+                // the fetch watch below hunts stale X grants from the
+                // start.
+                hg.gptPerm[p] = p == 1 ? Perm::xo() : Perm::rwx();
+                panic_if(!hg.gpt->map(gva, gpa, hg.gptPerm[p], p != 1),
                          "GPT map failed");
                 // The B table boots with alternating narrower perms so
                 // the very first hgatp switch changes the G-stage view.
@@ -560,6 +583,16 @@ runChaosSmp(const ChaosConfig &config)
             vw.spa = hg.dataBase;
             vw.type = h % 2 ? AccessType::Store : AccessType::Load;
             checker.addVirtWatch(vw);
+            // A second watch fetches through the X-only page: stale
+            // executable grants are attributed separately from RW ones
+            // (an injectable-code window, not just a data leak).
+            VirtStaleWatch xw;
+            xw.hart = h;
+            xw.gva = kChaosGuestVaBase + kPageSize;
+            xw.gpa = hg.dataBase + kPageSize;
+            xw.spa = hg.dataBase + kPageSize;
+            xw.type = AccessType::Fetch;
+            checker.addVirtWatch(xw);
             for (unsigned p = 0; p < kGuestPages; ++p) {
                 checker.setGuestPerm(h, kChaosGuestVaBase + p * kPageSize,
                                      hg.gptPerm[p]);
@@ -570,10 +603,12 @@ runChaosSmp(const ChaosConfig &config)
     }
     // Rewrite one already-mapped guest leaf in place (PageTable has no
     // protect(): campaigns remap by writing the PTE the walker reads).
-    auto rewriteLeaf = [&](PageTable &pt, Addr va, Addr pa, Perm perm) {
+    auto rewriteLeaf = [&](PageTable &pt, Addr va, Addr pa, Perm perm,
+                           bool user = true) {
         const auto slot = pt.leafPteAddr(va);
         panic_if(!slot, "no guest leaf to rewrite");
-        smp.mem().write64(*slot, Pte::leaf(pa, perm, true, true, true).raw);
+        smp.mem().write64(*slot,
+                          Pte::leaf(pa, perm, user, true, true).raw);
     };
 
     ChaosIpiHook hook(smp, monitor, checker, rng);
@@ -814,8 +849,9 @@ runChaosSmp(const ChaosConfig &config)
                 const unsigned p = unsigned(rng.below(kGuestPages));
                 const Perm np = randomLeafPerm(rng);
                 const Addr gva = kChaosGuestVaBase + p * kPageSize;
+                // Page 1 keeps U clear so its fetch watch stays live.
                 rewriteLeaf(*hg.gpt, gva, hg.dataBase + p * kPageSize,
-                            np);
+                            np, p != 1);
                 hg.gptPerm[p] = np;
                 checker.setGuestPerm(initiator, gva, np);
                 vm.setVsatp(hg.gpt->rootPa()); // hfence.vvma shootdown
@@ -1041,6 +1077,8 @@ runChaosSmp(const ChaosConfig &config)
                                  smp.stats().get("hfence_shootdowns");
         stats.virtStaleProbes = checker.virtProbesRun();
         stats.virtPreAckStaleHits = checker.virtPreAckStaleHits();
+        stats.staleExecGrants = checker.staleExecGrants();
+        stats.staleRwGrants = checker.staleRwGrants();
     }
 
     if (config.statsJsonOut) {

@@ -82,6 +82,21 @@ struct ChaosConfig
      */
     bool fleetLayer = false;
     /**
+     * Migration chaos (mutually exclusive with every other layer):
+     * run *two* hosts — two SmpSystems with their own monitors — and
+     * ping-pong domains between them through the live-migration
+     * engine (src/migrate/) while faults hit the protocol's named
+     * sites (torn checkpoints, dropped/duplicated/corrupted frames,
+     * lost acks, destination attest failures, crashes during
+     * commit). After every migration the campaign audits: aborts
+     * leave the source digest bit-identical and the domain grantable
+     * again; commits leave the domain on exactly one host with its
+     * memory intact; the cross-system oracle saw no dual-grant
+     * window. Implemented by runMigrateChaos (migrate/migrate_chaos.h)
+     * — the chaos_fuzz tool dispatches on this flag.
+     */
+    bool migrateLayer = false;
+    /**
      * When set, receives the campaign's full stats-registry JSON
      * (monitor + machine observability counters) captured just before
      * the campaign's machine is torn down.
@@ -116,6 +131,8 @@ struct ChaosStats
     uint64_t hfenceShootdowns = 0;  //!< guest fences riding monitor IPIs
     uint64_t virtStaleProbes = 0;   //!< two-stage oracle probes driven
     uint64_t virtPreAckStaleHits = 0; //!< guest stale grants in-window
+    uint64_t staleExecGrants = 0;   //!< stale grants on fetch watches
+    uint64_t staleRwGrants = 0;     //!< stale grants on load/store watches
 
     // Fleet campaigns only (--fleet):
     uint64_t fleetOps = 0;          //!< fleet sub-ops performed
@@ -124,6 +141,18 @@ struct ChaosStats
     uint64_t fleetStaleProbes = 0;  //!< retired-id probes (all denied)
     uint64_t coalescedWindows = 0;  //!< windows the monitor flushed
     uint64_t postAckViolations = 0; //!< checker hard failures (must be 0)
+
+    // Migration campaigns only (--migrate):
+    uint64_t migrations = 0;     //!< migration attempts started
+    uint64_t migrateCommits = 0; //!< committed + activated on the dest
+    uint64_t migrateAborts = 0;  //!< rolled back pre-commit
+    uint64_t migrateStranded = 0; //!< committed, COMMIT lost (staged)
+    uint64_t migrateRetries = 0;  //!< message retries across phases
+    uint64_t migrateBytes = 0;    //!< checkpoint bytes moved
+    uint64_t migrateDigestChecks = 0;  //!< post-abort digest audits
+    uint64_t dualGrantChecks = 0;      //!< oracle protocol-step probes
+    uint64_t dualGrantViolations = 0;  //!< must be 0
+    uint64_t migrateStaleProbes = 0;   //!< post-commit stale-id denials
 
     bool failed = false;   //!< an invariant or rollback check tripped
     std::string failure;   //!< description, mentions op index + seed

@@ -51,6 +51,7 @@ toString(MonitorError error)
       case MonitorError::InjectedFault: return "injected-fault";
       case MonitorError::LockContended: return "lock-contended";
       case MonitorError::StaleHandle: return "stale-handle";
+      case MonitorError::DomainMigrating: return "domain-migrating";
     }
     return "?";
 }
@@ -126,7 +127,8 @@ struct SecureMonitor::Txn
         domSnaps_.push_back(
             {id, dom->gmsList, dom->table != nullptr,
              dom->table ? dom->table->tablePages().size() : 0,
-             dom->table ? dom->table->entryWrites() : 0});
+             dom->table ? dom->table->entryWrites() : 0,
+             dom->migrating});
         if (dom->table)
             dom->table->setJournal(&journal_);
     }
@@ -180,6 +182,7 @@ struct SecureMonitor::Txn
         bool hadTable;
         size_t tablePages;
         uint64_t entryWrites;
+        bool migrating;
     };
 
     void
@@ -204,6 +207,7 @@ struct SecureMonitor::Txn
             Domain *dom = m_.domains_.find(snap.id);
             panic_if(!dom, "rollback lost domain %u", snap.id);
             dom->gmsList = snap.gmsList;
+            dom->migrating = snap.migrating;
             if (!snap.hadTable) {
                 dom->table.reset();
             } else {
@@ -626,6 +630,10 @@ SecureMonitor::addGms(DomainId id, const Gms &gms)
     Domain *dom = findDomain(id);
     if (!dom)
         return failNoDomain(id);
+    if (dom->migrating) {
+        return failCall(MonitorError::DomainMigrating,
+                        "domain is suspended for migration");
+    }
     if (gms.size == 0 || gms.base % kPageSize || gms.size % kPageSize)
         return failCall(MonitorError::BadArgument,
                                    "GMS must be page-granular");
@@ -693,6 +701,10 @@ SecureMonitor::removeGms(DomainId id, Addr base)
     Domain *dom = findDomain(id);
     if (!dom)
         return failNoDomain(id);
+    if (dom->migrating) {
+        return failCall(MonitorError::DomainMigrating,
+                        "domain is suspended for migration");
+    }
     auto it = dom->gmsList.begin();
     for (; it != dom->gmsList.end(); ++it) {
         if (it->base == base)
@@ -728,6 +740,10 @@ SecureMonitor::setLabel(DomainId id, Addr base, GmsLabel label)
     Domain *dom = findDomain(id);
     if (!dom)
         return failNoDomain(id);
+    if (dom->migrating) {
+        return failCall(MonitorError::DomainMigrating,
+                        "domain is suspended for migration");
+    }
     for (Gms &gms : dom->gmsList) {
         if (gms.base != base)
             continue;
@@ -761,6 +777,10 @@ SecureMonitor::setPerm(DomainId id, Addr base, Perm perm)
     Domain *dom = findDomain(id);
     if (!dom)
         return failNoDomain(id);
+    if (dom->migrating) {
+        return failCall(MonitorError::DomainMigrating,
+                        "domain is suspended for migration");
+    }
     for (Gms &gms : dom->gmsList) {
         if (gms.base != base)
             continue;
@@ -805,6 +825,10 @@ SecureMonitor::shareGms(DomainId owner, Addr base, DomainId peer,
     Domain *dst = findDomain(peer);
     if (!own || !dst)
         return failNoDomain(own ? peer : owner);
+    if (own->migrating || dst->migrating) {
+        return failCall(MonitorError::DomainMigrating,
+                        "domain is suspended for migration");
+    }
 
     for (Gms &gms : own->gmsList) {
         if (gms.base != base)
@@ -908,6 +932,10 @@ SecureMonitor::hintHotRegion(DomainId id, Addr base, uint64_t size)
     Domain *dom = findDomain(id);
     if (!dom)
         return failNoDomain(id);
+    if (dom->migrating) {
+        return failCall(MonitorError::DomainMigrating,
+                        "domain is suspended for migration");
+    }
     for (size_t i = 0; i < dom->gmsList.size(); ++i) {
         Gms covering = dom->gmsList[i];
         if (!(covering.base <= base &&
@@ -969,8 +997,15 @@ SecureMonitor::hintHotRegion(DomainId id, Addr base, uint64_t size)
 MonitorResult
 SecureMonitor::switchTo(DomainId id)
 {
-    if (!findDomain(id))
+    Domain *dom = findDomain(id);
+    if (!dom)
         return failNoDomain(id);
+    if (dom->migrating) {
+        // The revoke half of a migration suspend: the domain cannot be
+        // scheduled onto this host while its memory is in flight.
+        return failCall(MonitorError::DomainMigrating,
+                        "domain is suspended for migration");
+    }
     return transact([&](Txn &txn) {
         if (FAULT_POINT("monitor.switch")) {
             throw MonitorAbort{MonitorError::InjectedFault,
@@ -981,6 +1016,77 @@ SecureMonitor::switchTo(DomainId id)
         const bool degraded = applyLayout();
         return txn.commit(true, degraded);
     });
+}
+
+MonitorResult
+SecureMonitor::suspendDomain(DomainId id)
+{
+    if (id == 0) {
+        return failCall(MonitorError::BadArgument,
+                        "cannot migrate the host domain");
+    }
+    Domain *dom = findDomain(id);
+    if (!dom)
+        return failNoDomain(id);
+    if (dom->migrating) {
+        return failCall(MonitorError::DomainMigrating,
+                        "domain is already migrating");
+    }
+    if (current_ == id) {
+        // Quiesce order matters: the migration engine switches this
+        // host to domain 0 *before* suspending, so the suspend itself
+        // flips one flag — no register or pmpte write — and an abort's
+        // resumeDomain() restores a bit-identical stateDigest.
+        return failCall(MonitorError::BadArgument,
+                        "suspending the running domain: switch away "
+                        "first (quiesce before revoke)");
+    }
+    return transact([&](Txn &txn) {
+        txn.touch(id);
+        if (FAULT_POINT("monitor.suspend")) {
+            throw MonitorAbort{MonitorError::InjectedFault,
+                               "injected fault at monitor.suspend"};
+        }
+        dom->migrating = true;
+        DPRINTF(Monitor, "suspend domain=%u for migration\n", id);
+        return txn.commit(false);
+    });
+}
+
+MonitorResult
+SecureMonitor::resumeDomain(DomainId id)
+{
+    Domain *dom = findDomain(id);
+    if (!dom)
+        return failNoDomain(id);
+    if (!dom->migrating) {
+        return failCall(MonitorError::BadArgument,
+                        "domain is not suspended for migration");
+    }
+    return transact([&](Txn &txn) {
+        txn.touch(id);
+        if (FAULT_POINT("monitor.resume")) {
+            throw MonitorAbort{MonitorError::InjectedFault,
+                               "injected fault at monitor.resume"};
+        }
+        dom->migrating = false;
+        DPRINTF(Monitor, "resume domain=%u after migration abort\n", id);
+        return txn.commit(false);
+    });
+}
+
+bool
+SecureMonitor::domainMigrating(DomainId id) const
+{
+    const Domain *dom = domains_.find(id);
+    return dom && dom->migrating;
+}
+
+bool
+SecureMonitor::domainGrantable(DomainId id) const
+{
+    const Domain *dom = domains_.find(id);
+    return dom && dom->alive && !dom->migrating;
 }
 
 const std::vector<Gms> &
@@ -1387,6 +1493,7 @@ SecureMonitor::digestWith(const HpmpUnit &unit,
     domains_.forEach([&](DomainId id, const Domain &dom) {
         h = digestFold(h, id);
         h = digestFold(h, dom.alive);
+        h = digestFold(h, dom.migrating);
         for (const Gms &gms : dom.gmsList) {
             h = digestFold(h, gms.base);
             h = digestFold(h, gms.size);

@@ -75,10 +75,11 @@ enum class MonitorError : uint8_t
     InjectedFault,    //!< a fault-injection site fired mid-call
     LockContended,    //!< another hart holds the global monitor lock
     StaleHandle,      //!< DomainId from a destroyed, since-recycled domain
+    DomainMigrating,  //!< domain is suspended for an in-flight migration
 };
 
 /** Number of MonitorError values (sizes the per-error counters). */
-constexpr unsigned kNumMonitorErrors = 12;
+constexpr unsigned kNumMonitorErrors = 13;
 
 const char *toString(MonitorError error);
 
@@ -235,6 +236,35 @@ class SecureMonitor
     MonitorResult switchTo(DomainId id);
 
     /**
+     * Quiesce + revoke: mark a domain as migrating-out (DESIGN.md
+     * §12). A suspended domain keeps its memory and tables but every
+     * grant path is revoked — switchTo and all mutating calls on it
+     * fail with DomainMigrating until resumeDomain() (abort path) or
+     * destroyDomain() (migration commit). The domain must not be the
+     * one currently running on this monitor: the migration engine
+     * switches to the host first, so suspension itself touches no
+     * register or table state and a later rollback is bit-exact.
+     */
+    MonitorResult suspendDomain(DomainId id);
+
+    /** Abort path of a migration: make a suspended domain grantable
+     *  again. Fails unless the domain is currently migrating. */
+    MonitorResult resumeDomain(DomainId id);
+
+    /** True iff the domain exists and is suspended for migration. */
+    bool domainMigrating(DomainId id) const;
+
+    /**
+     * True iff this monitor would grant the domain access to its
+     * memory right now: the domain exists, is alive and is not
+     * suspended for migration. The cross-system migration oracle
+     * probes this on both hosts at every protocol step — it must
+     * never be true on both sides at once (the no-dual-grant
+     * invariant).
+     */
+    bool domainGrantable(DomainId id) const;
+
+    /**
      * Open a coalesced shootdown window (multi-hart monitors only; a
      * no-op hint otherwise). While active, layout-committing calls
      * defer their per-call IPI/hfence shootdown into one shared fence
@@ -352,6 +382,7 @@ class SecureMonitor
         std::vector<Gms> gmsList;
         std::unique_ptr<PmpTable> table; //!< lazily created
         bool alive = true;
+        bool migrating = false; //!< suspended for an in-flight migration
     };
 
     /**

@@ -47,6 +47,8 @@ StaleChecker::StaleChecker(SmpSystem &smp, SecureMonitor &monitor)
     stats_.add("stale_origin_guest_stage", &statStaleGuestOrigin_);
     stats_.add("stale_origin_g_stage", &statStaleGStageOrigin_);
     stats_.add("stale_origin_pmpte", &statStalePmpteOrigin_);
+    stats_.add("stale_exec_grants", &statStaleExecGrants_);
+    stats_.add("stale_rw_grants", &statStaleRwGrants_);
 }
 
 void
@@ -214,6 +216,14 @@ StaleChecker::sweepVirt(bool strict, const char *where, uint64_t seq)
                 ++statStalePmpteOrigin_;
                 break;
             }
+            // Exec vs RW split: a stale instruction fetch through a
+            // revoked X-only leaf is hunted under its own counter — a
+            // hart still *executing* revoked memory is a different
+            // severity class than one still reading it.
+            if (w.type == AccessType::Fetch)
+                ++statStaleExecGrants_;
+            else
+                ++statStaleRwGrants_;
             if (hartFenced)
                 recordVirtViolation(w, oracle.denyOrigin, where, seq);
             else
@@ -360,6 +370,107 @@ StaleChecker::checkQuiescent()
     sweep(true, "quiescent", 0);
     sweepVirt(true, "quiescent", 0);
     return postAckViolations_.value() == before;
+}
+
+// ---- CrossSystemOracle -------------------------------------------------
+
+CrossSystemOracle::CrossSystemOracle(SecureMonitor &src, SecureMonitor &dst)
+    : src_(src), dst_(dst)
+{
+    stats_.add("checks", &statChecks_);
+    stats_.add("violations", &statViolations_);
+    stats_.add("register_probes", &statRegProbes_);
+}
+
+void
+CrossSystemOracle::beginMigration(DomainId src_id,
+                                  const std::vector<Gms> &regions)
+{
+    srcId_ = src_id;
+    dstId_ = 0;
+    active_ = true;
+    haveDst_ = false;
+    destCommitted_ = false;
+    pages_.clear();
+    // Watch the first and last page of every region: revoke bugs tend
+    // to clip range edges, and two probes per region keep the per-step
+    // cost linear in the GMS list, not the domain size.
+    for (const Gms &gms : regions) {
+        pages_.push_back(pageBase(gms.base));
+        if (gms.size > kPageSize)
+            pages_.push_back(pageBase(gms.base + gms.size - 1));
+    }
+}
+
+void
+CrossSystemOracle::finishMigration()
+{
+    active_ = false;
+    haveDst_ = false;
+    destCommitted_ = false;
+    pages_.clear();
+}
+
+bool
+CrossSystemOracle::grants(SecureMonitor &monitor, DomainId id)
+{
+    if (monitor.domainGrantable(id))
+        return true;
+    // Register level: the monitor may have revoked the domain, but a
+    // hart's live HPMP file could still be granting the memory (the
+    // layout leak this oracle exists to catch). Any grant of a
+    // watched page counts — regions are exclusive, so no other domain
+    // may legitimately hold them while the migration is in flight.
+    auto probe_unit = [&](const HpmpUnit &unit) {
+        for (Addr pa : pages_) {
+            ++statRegProbes_;
+            if (unit.probe(pa).any())
+                return true;
+        }
+        return false;
+    };
+    if (SmpSystem *smp = monitor.smp()) {
+        for (unsigned h = 0; h < smp->numHarts(); ++h) {
+            if (probe_unit(smp->hart(h).hpmp()))
+                return true;
+        }
+        return false;
+    }
+    return probe_unit(monitor.machine().hpmp());
+}
+
+void
+CrossSystemOracle::recordViolation(const char *what, const char *where)
+{
+    ++statViolations_;
+    if (!failed_) {
+        failed_ = true;
+        char buf[192];
+        std::snprintf(buf, sizeof(buf),
+                      "migration oracle: %s at step %s (src domain %u, "
+                      "dst domain %u)",
+                      what, where, unsigned(srcId_), unsigned(dstId_));
+        failure_ = buf;
+    }
+}
+
+void
+CrossSystemOracle::step(const char *where)
+{
+    if (!active_)
+        return;
+    // The oracle's own probes must not trip fault sites or consume
+    // hits from the campaign's injection plan.
+    FaultInjector::SuspendGuard guard;
+    ++statChecks_;
+    const bool src_grants = grants(src_, srcId_);
+    const bool dst_grants = haveDst_ && grants(dst_, dstId_);
+    if (src_grants && dst_grants)
+        recordViolation("dual-grant window (both hosts grant)", where);
+    if (destCommitted_ && src_grants) {
+        recordViolation("source still grants after destination commit",
+                        where);
+    }
 }
 
 } // namespace hpmp

@@ -165,6 +165,15 @@ class StaleChecker : public InterleaveHook
         return statStalePmpteOrigin_.value();
     }
 
+    /**
+     * Stale guest grants split by access class: instruction fetches
+     * through X-only leaves are hunted and attributed separately from
+     * load/store (RW) grants — a stale executable mapping is the
+     * injectable-code bug, not just a data leak.
+     */
+    uint64_t staleExecGrants() const { return statStaleExecGrants_.value(); }
+    uint64_t staleRwGrants() const { return statStaleRwGrants_.value(); }
+
     /** "stale_checker" group: probes, hits, violations, windows. */
     StatGroup &stats() { return stats_; }
     void registerStats(StatRegistry &registry) { registry.add(&stats_); }
@@ -259,6 +268,93 @@ class StaleChecker : public InterleaveHook
     Counter statStaleGuestOrigin_;   //!< stale grants a VS-stage perm denies
     Counter statStaleGStageOrigin_;  //!< stale grants a G-stage perm denies
     Counter statStalePmpteOrigin_;   //!< stale grants physical perms deny
+    Counter statStaleExecGrants_;    //!< stale guest grants on fetches
+    Counter statStaleRwGrants_;      //!< stale guest grants on loads/stores
+};
+
+/**
+ * Cross-system migration oracle (DESIGN.md §12): the StaleChecker's
+ * two-host sibling. During a live domain migration the two-phase
+ * handoff must guarantee that at no interleaving point do *both*
+ * hosts grant the migrating domain access to its memory — a
+ * dual-grant window would let the domain run on two machines over
+ * one logical memory image, the migration analogue of a stale
+ * translation. The engine publishes every protocol step to step(),
+ * and the oracle probes both monitors at two levels:
+ *
+ *  - monitor level: SecureMonitor::domainGrantable — would the
+ *    monitor switch to / mutate the domain right now;
+ *  - register level: HpmpUnit::probe on every hart of both hosts
+ *    against the domain's watched pages — is any hart's live
+ *    register file still granting the memory in flight.
+ *
+ * Verdicts (both sticky hard failures, like post-ack stale grants):
+ *
+ *  - both sides grant at the same step → dual-grant window;
+ *  - the source still grants after the destination committed →
+ *    the source's revoke leaked through the handoff.
+ *
+ * Probes run under FaultInjector::SuspendGuard, so the oracle never
+ * consumes hits from a campaign's injection plan.
+ */
+class CrossSystemOracle
+{
+  public:
+    CrossSystemOracle(SecureMonitor &src, SecureMonitor &dst);
+
+    /** Arm the oracle for one migration of `src_id`; `regions` are
+     *  the domain's GMSs (their first pages become register watches). */
+    void beginMigration(DomainId src_id, const std::vector<Gms> &regions);
+
+    /** The destination staged the domain under this id. */
+    void setDestDomain(DomainId id)
+    {
+        dstId_ = id;
+        haveDst_ = true;
+    }
+
+    /** The destination committed: source grants are now fatal. */
+    void noteDestCommitted() { destCommitted_ = true; }
+
+    /** Migration over (either way); disarm until the next begin. */
+    void finishMigration();
+
+    /** Probe both hosts and judge; called at every protocol step. */
+    void step(const char *where);
+
+    bool failed() const { return failed_; }
+    const std::string &failure() const { return failure_; }
+
+    uint64_t checks() const { return statChecks_.value(); }
+    uint64_t violations() const { return statViolations_.value(); }
+    uint64_t registerProbes() const { return statRegProbes_.value(); }
+
+    /** "migrate_oracle" group: checks, violations, register probes. */
+    StatGroup &stats() { return stats_; }
+    void registerStats(StatRegistry &registry) { registry.add(&stats_); }
+
+  private:
+    /** Does `monitor` grant the domain its memory right now? */
+    bool grants(SecureMonitor &monitor, DomainId id);
+
+    void recordViolation(const char *what, const char *where);
+
+    SecureMonitor &src_;
+    SecureMonitor &dst_;
+    DomainId srcId_ = 0;
+    DomainId dstId_ = 0;
+    bool active_ = false;
+    bool haveDst_ = false;
+    bool destCommitted_ = false;
+    std::vector<Addr> pages_; //!< watched pages of the migrating domain
+
+    bool failed_ = false;
+    std::string failure_;
+
+    StatGroup stats_{"migrate_oracle"};
+    Counter statChecks_;     //!< protocol steps judged
+    Counter statViolations_; //!< dual-grant / grant-after-commit hits
+    Counter statRegProbes_;  //!< per-hart register probes driven
 };
 
 } // namespace hpmp

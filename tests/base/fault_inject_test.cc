@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 
 #include "base/fault_inject.h"
@@ -138,6 +139,49 @@ TEST_F(FaultInjectTest, SitesSeenReportsCoverage)
     const auto seen = injector.sitesSeen();
     EXPECT_NE(std::find(seen.begin(), seen.end(), "cov.a"), seen.end());
     EXPECT_NE(std::find(seen.begin(), seen.end(), "cov.b"), seen.end());
+}
+
+TEST_F(FaultInjectTest, EverSeenCoverageSurvivesClearAndDisable)
+{
+    injector.resetSiteCoverage();
+    (void)FAULT_POINT("cov.persist");
+    injector.clearPlans();
+    injector.disable();
+    injector.enable(43);
+    (void)FAULT_POINT("cov.later");
+
+    // The per-enable view forgot the first site; the process-lifetime
+    // union (the CI coverage gate's input) did not.
+    const auto seen = injector.sitesSeen();
+    EXPECT_EQ(std::find(seen.begin(), seen.end(), "cov.persist"),
+              seen.end());
+    const auto ever = injector.sitesEverSeen();
+    EXPECT_NE(std::find(ever.begin(), ever.end(), "cov.persist"),
+              ever.end());
+    EXPECT_NE(std::find(ever.begin(), ever.end(), "cov.later"),
+              ever.end());
+    EXPECT_TRUE(std::is_sorted(ever.begin(), ever.end()));
+    injector.resetSiteCoverage();
+}
+
+TEST(FaultSiteRegistry, IsSortedUniqueAndCoversTheMigrateProtocol)
+{
+    const auto &known = FaultInjector::knownSites();
+    EXPECT_TRUE(std::is_sorted(known.begin(), known.end()));
+    EXPECT_EQ(std::adjacent_find(known.begin(), known.end()),
+              known.end());
+    // Every migration protocol hazard is a registered site, so the CI
+    // coverage gate (--list-fault-sites vs --site-coverage-out) can
+    // assert campaigns exercise each of them.
+    for (const char *site :
+         {"migrate.checkpoint_torn", "migrate.frame_drop",
+          "migrate.frame_dup", "migrate.frame_corrupt",
+          "migrate.dest_attest", "migrate.ack_lost",
+          "migrate.commit_crash", "monitor.suspend", "monitor.resume"}) {
+        EXPECT_NE(std::find(known.begin(), known.end(), site),
+                  known.end())
+            << site;
+    }
 }
 
 } // namespace

@@ -136,7 +136,56 @@ TEST_F(VirtStaleTest, UnfencedStaleGrantIsAGStageViolation)
     EXPECT_TRUE(checker.failed());
     EXPECT_GT(checker.postAckViolations(), 0u);
     EXPECT_GT(checker.staleGStageOrigin(), 0u);
+    EXPECT_GT(checker.staleRwGrants(), 0u);
+    EXPECT_EQ(checker.staleExecGrants(), 0u);
     EXPECT_NE(checker.failure().find("g-stage origin"), std::string::npos)
+        << checker.failure();
+}
+
+TEST_F(VirtStaleTest, StaleExecutableGrantsAreAttributedSeparately)
+{
+    makeSmp(2);
+    grantArena(1, Perm::rwx());
+    const TestGuest g = buildGuest(1);
+
+    // A second, execute-only guest page next to the data page: the
+    // fetch watch hunts stale X grants under their own counter.
+    const Addr xva = kGuestVa + kPageSize;
+    const Addr xpa = g.data + kPageSize;
+    // Supervisor-only VS leaf: S-mode fetches from U pages always
+    // fault, so an executable guest page must have U clear.
+    ASSERT_TRUE(g.npt->map(xpa, xpa, Perm::rwx(), true));
+    ASSERT_TRUE(g.gpt->map(xva, xpa, Perm::xo(), false));
+
+    StaleChecker checker(*smp, *monitor);
+    checker.addVirtWatch({1, xva, xpa, xpa, AccessType::Fetch});
+    checker.setGuestPerm(1, xva, Perm::xo());
+    checker.setGpaPerm(1, xpa, Perm::rwx());
+    smp->setInterleaveHook(&checker);
+
+    // Warm hart 1's combined TLB through a successful fetch.
+    ASSERT_TRUE(smp->virtHart(1).access(xva, AccessType::Fetch).ok());
+    ASSERT_TRUE(checker.checkQuiescent());
+    EXPECT_EQ(checker.staleExecGrants(), 0u);
+
+    // Revoke execute at the VS stage without fencing hart 1: the
+    // inlined X survives in the combined TLB, and the stale grant is
+    // an *executable* one — attributed apart from RW grants, since a
+    // hart still fetching revoked memory is the injectable-code bug.
+    const auto slot = g.gpt->leafPteAddr(xva);
+    ASSERT_TRUE(slot.has_value());
+    smp->mem().write64(*slot,
+                       Pte::leaf(xpa, Perm::ro(), false, true, true).raw);
+    checker.setGuestPerm(1, xva, Perm::ro());
+
+    EXPECT_FALSE(checker.checkQuiescent());
+    EXPECT_TRUE(checker.failed());
+    EXPECT_GT(checker.staleExecGrants(), 0u);
+    EXPECT_EQ(checker.staleRwGrants(), 0u);
+    EXPECT_NE(checker.failure().find("stale fetch"), std::string::npos)
+        << checker.failure();
+    EXPECT_NE(checker.failure().find("guest-stage origin"),
+              std::string::npos)
         << checker.failure();
 }
 

@@ -20,7 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "base/fault_inject.h"
 #include "base/trace.h"
+#include "migrate/migrate_chaos.h"
 #include "monitor/chaos_engine.h"
 
 namespace
@@ -40,9 +42,14 @@ struct Options
     bool osLayer = false;  //!< per-hart kernels + DMA (multi-hart only)
     bool virtLayer = false; //!< per-hart guest VMs (multi-hart only)
     bool fleetLayer = false; //!< fleet serving chaos (multi-hart only)
+    bool migrateLayer = false; //!< two-host live-migration chaos
     size_t traceRing = 8192; //!< event-ring capacity; 0 disables capture
     std::vector<IsolationScheme> schemes{IsolationScheme::Hpmp};
     std::string statsJson; //!< per-campaign stats JSON file; "" = off
+    /** Append every fault site this run exercised, one per line; CI
+     *  unions these files across campaigns and asserts the union
+     *  covers the full --list-fault-sites registry. */
+    std::string siteCoverageOut;
 };
 
 void
@@ -53,8 +60,9 @@ usage(const char *argv0)
         "usage: %s [--seed N | --seeds N,M,...] [--ops N]\n"
         "          [--scheme pmp|pmpt|hpmp|all] [--fault-prob P]\n"
         "          [--harts N] [--os-layer] [--virt] [--fleet]\n"
-        "          [--trace-ring N]\n"
-        "          [--light-digest] [--stats-json FILE]\n",
+        "          [--migrate] [--trace-ring N]\n"
+        "          [--light-digest] [--stats-json FILE]\n"
+        "          [--site-coverage-out FILE] [--list-fault-sites]\n",
         argv0);
 }
 
@@ -194,6 +202,19 @@ main(int argc, char **argv)
             opts.virtLayer = true;
         } else if (arg == "--fleet") {
             opts.fleetLayer = true;
+        } else if (arg == "--migrate") {
+            opts.migrateLayer = true;
+        } else if (arg == "--site-coverage-out") {
+            opts.siteCoverageOut = value();
+        } else if (arg == "--list-fault-sites") {
+            // The curated FAULT_POINT registry, one site per line —
+            // CI diffs this against the union of --site-coverage-out
+            // files to prove every site is exercised by a campaign.
+            for (const std::string &site :
+                 hpmp::FaultInjector::knownSites()) {
+                std::printf("%s\n", site.c_str());
+            }
+            return 0;
         } else if (arg == "--trace-ring") {
             opts.traceRing = size_t(std::strtoul(value(), nullptr, 0));
         } else if (arg == "--stats-json") {
@@ -243,8 +264,35 @@ main(int argc, char **argv)
                      "traffic)\n");
         return 2;
     }
+    if (opts.migrateLayer &&
+        (opts.osLayer || opts.virtLayer || opts.fleetLayer)) {
+        std::fprintf(stderr,
+                     "--migrate is mutually exclusive with the other "
+                     "layers (it runs its own two-host campaign)\n");
+        return 2;
+    }
 
     RingCapture capture(opts.traceRing);
+    // Dump the union of fault sites the process ever hit (the
+    // injector's coverage set survives per-op clearPlans and
+    // per-campaign disable). Appended, so a CI job accumulates one
+    // file across several chaos_fuzz invocations and asserts the
+    // union covers the whole registry.
+    auto write_site_coverage = [&opts]() {
+        if (opts.siteCoverageOut.empty())
+            return;
+        std::FILE *f = std::fopen(opts.siteCoverageOut.c_str(), "a");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opts.siteCoverageOut.c_str());
+            return;
+        }
+        for (const std::string &site :
+             hpmp::FaultInjector::instance().sitesEverSeen()) {
+            std::fprintf(f, "%s\n", site.c_str());
+        }
+        std::fclose(f);
+    };
     unsigned total_ops = 0;
     unsigned total_faults = 0;
     unsigned total_degraded = 0;
@@ -261,12 +309,15 @@ main(int argc, char **argv)
             config.osLayer = opts.osLayer;
             config.virtLayer = opts.virtLayer;
             config.fleetLayer = opts.fleetLayer;
+            config.migrateLayer = opts.migrateLayer;
             std::string campaign_stats;
             if (!opts.statsJson.empty())
                 config.statsJsonOut = &campaign_stats;
 
             capture.nextCampaign();
-            const ChaosStats stats = hpmp::runChaos(config);
+            const ChaosStats stats = opts.migrateLayer
+                                         ? hpmp::runMigrateChaos(config)
+                                         : hpmp::runChaos(config);
             if (!opts.statsJson.empty()) {
                 if (!campaigns_json.empty())
                     campaigns_json += ",\n";
@@ -316,11 +367,28 @@ main(int argc, char **argv)
             if (opts.virtLayer) {
                 std::printf(
                     "      virt-ops=%llu hfence-shootdowns=%llu "
-                    "virt-stale-probes=%llu virt-pre-ack-stale=%llu\n",
+                    "virt-stale-probes=%llu virt-pre-ack-stale=%llu "
+                    "stale-exec-grants=%llu stale-rw-grants=%llu\n",
                     (unsigned long long)stats.virtOps,
                     (unsigned long long)stats.hfenceShootdowns,
                     (unsigned long long)stats.virtStaleProbes,
-                    (unsigned long long)stats.virtPreAckStaleHits);
+                    (unsigned long long)stats.virtPreAckStaleHits,
+                    (unsigned long long)stats.staleExecGrants,
+                    (unsigned long long)stats.staleRwGrants);
+            }
+            if (opts.migrateLayer) {
+                std::printf(
+                    "      migrations=%llu commits=%llu aborts=%llu "
+                    "stranded=%llu retries=%llu bytes=%llu "
+                    "dual-grant-checks=%llu dual-grant-violations=%llu\n",
+                    (unsigned long long)stats.migrations,
+                    (unsigned long long)stats.migrateCommits,
+                    (unsigned long long)stats.migrateAborts,
+                    (unsigned long long)stats.migrateStranded,
+                    (unsigned long long)stats.migrateRetries,
+                    (unsigned long long)stats.migrateBytes,
+                    (unsigned long long)stats.dualGrantChecks,
+                    (unsigned long long)stats.dualGrantViolations);
             }
             if (stats.failed) {
                 std::printf("FAILING SEED: %lu\n", (unsigned long)seed);
@@ -347,9 +415,12 @@ main(int argc, char **argv)
                     replay += " --virt";
                 if (opts.fleetLayer)
                     replay += " --fleet";
+                if (opts.migrateLayer)
+                    replay += " --migrate";
                 replay += " --trace-ring " + std::to_string(opts.traceRing);
                 std::printf("replay: %s\n", replay.c_str());
                 capture.dumpFor(seed);
+                write_site_coverage();
                 return 1;
             }
             total_ops += stats.ops;
@@ -373,5 +444,6 @@ main(int argc, char **argv)
         std::printf("chaos: stats written to %s\n",
                     opts.statsJson.c_str());
     }
+    write_site_coverage();
     return 0;
 }
