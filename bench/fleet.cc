@@ -14,9 +14,11 @@
  */
 
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "base/stats.h"
 #include "bench/common.h"
 #include "workloads/fleet.h"
 
@@ -39,12 +41,14 @@ jsonRecord(const FleetRow &r)
         buf, sizeof(buf),
         "    {\"domains\": %u, \"switches\": %llu, "
         "\"switches_per_sec\": %.1f, \"p50_switch_cycles\": %llu, "
-        "\"p99_switch_cycles\": %llu, \"churns\": %llu, "
+        "\"p99_switch_cycles\": %llu, \"p999_switch_cycles\": %llu, "
+        "\"churns\": %llu, "
         "\"attests\": %llu, \"stale_probes\": %llu, "
         "\"coalesced_windows\": %llu, \"commits_per_window\": %.2f}",
         r.domains, (unsigned long long)r.res.switches,
         r.res.switchesPerSec, (unsigned long long)r.res.p50SwitchCycles,
         (unsigned long long)r.res.p99SwitchCycles,
+        (unsigned long long)r.res.p999SwitchCycles,
         (unsigned long long)r.res.churns,
         (unsigned long long)r.res.attests,
         (unsigned long long)r.res.staleProbes,
@@ -57,12 +61,19 @@ int
 runBench(int argc, char **argv)
 {
     std::string jsonPath = "BENCH_fleet.json";
+    std::string seriesPath;
+    uint64_t seriesInterval = 50000;
     uint64_t requests = 4000;
     unsigned harts = 4;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--json=", 0) == 0)
             jsonPath = arg.substr(std::strlen("--json="));
+        else if (arg.rfind("--stats-series=", 0) == 0)
+            seriesPath = arg.substr(std::strlen("--stats-series="));
+        else if (arg.rfind("--stats-interval=", 0) == 0)
+            seriesInterval =
+                std::stoull(arg.substr(std::strlen("--stats-interval=")));
         else if (arg.rfind("--requests=", 0) == 0)
             requests = std::stoull(arg.substr(std::strlen("--requests=")));
         else if (arg.rfind("--harts=", 0) == 0)
@@ -70,21 +81,42 @@ runBench(int argc, char **argv)
     }
 
     banner("Fleet serving: Zipf switch traffic with churn + coalescing");
-    row({"domains", "switch/s", "p50 cyc", "p99 cyc", "churns",
-         "windows", "c/window"});
+    row({"domains", "switch/s", "p50 cyc", "p99 cyc", "p99.9 cyc",
+         "churns", "windows", "c/window"});
 
     std::vector<FleetRow> rows;
+    std::string series_json;
     for (const unsigned domains : {100u, 1000u, 10000u}) {
         FleetConfig cfg;
         cfg.domains = domains;
         cfg.requests = requests;
         cfg.harts = harts;
         FleetWorkload fleet(cfg);
+        // Windowed telemetry of the serving run (per fleet size).
+        StatRegistry seriesRegistry;
+        std::unique_ptr<StatSampler> sampler;
+        if (!seriesPath.empty()) {
+            fleet.monitor().registerStats(seriesRegistry);
+            fleet.smp().registerStats(seriesRegistry);
+            sampler = std::make_unique<StatSampler>(seriesRegistry,
+                                                    seriesInterval);
+            fleet.setSampler(sampler.get());
+        }
         const FleetResult res = fleet.run();
+        if (sampler) {
+            if (!series_json.empty())
+                series_json += ",\n";
+            series_json += "    {\"domains\": ";
+            series_json += std::to_string(domains);
+            series_json += ", \"series\": ";
+            series_json += sampler->dumpJson();
+            series_json += "}";
+        }
         rows.push_back({domains, res});
         row({std::to_string(domains), fmt("%.0f", res.switchesPerSec),
              std::to_string(res.p50SwitchCycles),
              std::to_string(res.p99SwitchCycles),
+             std::to_string(res.p999SwitchCycles),
              std::to_string(res.churns),
              std::to_string(res.coalescedWindows),
              fmt("%.2f", res.commitsPerWindow)});
@@ -105,6 +137,18 @@ runBench(int argc, char **argv)
     std::fclose(f);
     std::fprintf(stderr, "fleet baseline written to %s\n",
                  jsonPath.c_str());
+    if (!seriesPath.empty()) {
+        std::FILE *sf = std::fopen(seriesPath.c_str(), "w");
+        if (!sf) {
+            std::fprintf(stderr, "cannot write %s\n", seriesPath.c_str());
+            return 1;
+        }
+        std::fprintf(sf, "{\n  \"fleet_series\": [\n%s\n  ]\n}\n",
+                     series_json.c_str());
+        std::fclose(sf);
+        std::fprintf(stderr, "fleet stats series written to %s\n",
+                     seriesPath.c_str());
+    }
     return 0;
 }
 

@@ -17,9 +17,12 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 
 #include "base/rng.h"
+#include "base/stats.h"
 #include "bench/common.h"
 #include "workloads/virt_env.h"
 
@@ -194,9 +197,17 @@ simperfRequests(const SimperfPattern &pattern, Addr hot_base,
     return reqs;
 }
 
+/** Windowed-telemetry knobs threaded down from main (off when null). */
+struct SimperfSeries
+{
+    std::string path;          //!< output file; empty = disabled
+    uint64_t interval = 100000; //!< simulated cycles per window
+    std::string json;          //!< accumulated per-run series records
+};
+
 SimperfResult
 runSimperfScheme(VirtScheme scheme, const SimperfPattern &pattern,
-                 double min_seconds)
+                 double min_seconds, SimperfSeries *series)
 {
     VirtEnv env(CoreKind::Rocket, scheme);
     const Addr hot = env.mapGuestPages(pattern.hotPages);
@@ -208,6 +219,14 @@ runSimperfScheme(VirtScheme scheme, const SimperfPattern &pattern,
     vm.coldReset();
     (void)vm.accessBatch(reqs); // warm TLBs, caches, tables
 
+    StatRegistry seriesRegistry;
+    std::unique_ptr<StatSampler> sampler;
+    if (series && !series->path.empty()) {
+        vm.registerStats(seriesRegistry);
+        sampler = std::make_unique<StatSampler>(seriesRegistry,
+                                                series->interval);
+    }
+
     SimperfResult result{toString(scheme)};
     uint64_t cycles = 0, hits = 0, faults = 0;
     const auto t0 = std::chrono::steady_clock::now();
@@ -218,9 +237,24 @@ runSimperfScheme(VirtScheme scheme, const SimperfPattern &pattern,
         cycles += out.cycles;
         hits += out.tlbHits;
         faults += out.faults;
+        if (sampler)
+            sampler->advanceTo(cycles);
         elapsed = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0).count();
     } while (elapsed < min_seconds);
+
+    if (sampler) {
+        sampler->sample(cycles);
+        if (!series->json.empty())
+            series->json += ",\n";
+        series->json += "    {\"pattern\": \"";
+        series->json += pattern.name;
+        series->json += "\", \"scheme\": \"";
+        series->json += toString(scheme);
+        series->json += "\", \"series\": ";
+        series->json += sampler->dumpJson();
+        series->json += "}";
+    }
 
     fatal_if(faults != 0, "simperf pattern faulted (%lu)",
              (unsigned long)faults);
@@ -232,7 +266,7 @@ runSimperfScheme(VirtScheme scheme, const SimperfPattern &pattern,
 
 int
 writeSimperfJson(const char *path, double min_seconds,
-                 const char *only_pattern)
+                 const char *only_pattern, SimperfSeries *series)
 {
     const VirtScheme schemes[] = {VirtScheme::Pmp, VirtScheme::Pmpt,
                                   VirtScheme::Hpmp, VirtScheme::HpmpGpt};
@@ -274,7 +308,7 @@ writeSimperfJson(const char *path, double min_seconds,
         bool first = true;
         for (const VirtScheme scheme : schemes) {
             const SimperfResult r =
-                runSimperfScheme(scheme, pattern, min_seconds);
+                runSimperfScheme(scheme, pattern, min_seconds, series);
             row({r.name, fmt("%.2f", r.maccessesPerSec),
                  fmt("%.2f", r.cyclesPerAccess), pct(r.tlbHitRate)});
             std::fprintf(out,
@@ -293,6 +327,19 @@ writeSimperfJson(const char *path, double min_seconds,
     std::fprintf(out, "\n  ]\n}\n");
     std::fclose(out);
     std::printf("wrote %s\n", path);
+
+    if (series && !series->path.empty()) {
+        std::FILE *sf = std::fopen(series->path.c_str(), "w");
+        if (!sf) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         series->path.c_str());
+            return 1;
+        }
+        std::fprintf(sf, "{\n  \"simperf_series\": [\n%s\n  ]\n}\n",
+                     series->json.c_str());
+        std::fclose(sf);
+        std::printf("stats series written to %s\n", series->path.c_str());
+    }
     return 0;
 }
 
@@ -305,6 +352,7 @@ main(int argc, char **argv)
     bool json_only = false;
     double min_seconds = 0.25;
     const char *only_pattern = nullptr;
+    hpmp::bench::SimperfSeries series;
     for (int i = 1; i < argc; ++i) {
         bool consume = true;
         if (std::strcmp(argv[i], "--json-only") == 0) {
@@ -313,6 +361,10 @@ main(int argc, char **argv)
             min_seconds = 0.02;
         } else if (std::strncmp(argv[i], "--pattern=", 10) == 0) {
             only_pattern = argv[i] + 10;
+        } else if (std::strncmp(argv[i], "--stats-series=", 15) == 0) {
+            series.path = argv[i] + 15;
+        } else if (std::strncmp(argv[i], "--stats-interval=", 17) == 0) {
+            series.interval = std::strtoull(argv[i] + 17, nullptr, 0);
         } else {
             consume = false;
         }
@@ -332,5 +384,6 @@ main(int argc, char **argv)
         benchmark::Shutdown();
     }
     return hpmp::bench::writeSimperfJson("BENCH_simperf.json",
-                                         min_seconds, only_pattern);
+                                         min_seconds, only_pattern,
+                                         &series);
 }

@@ -1,0 +1,175 @@
+#include "base/perfcheck.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hpmp
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitDots(const std::string &s)
+{
+    std::vector<std::string> parts;
+    size_t pos = 0;
+    while (pos <= s.size()) {
+        size_t dot = s.find('.', pos);
+        if (dot == std::string::npos)
+            dot = s.size();
+        parts.push_back(s.substr(pos, dot - pos));
+        pos = dot + 1;
+    }
+    return parts;
+}
+
+} // namespace
+
+bool
+parsePerfRule(const std::string &spec, PerfRule &rule, std::string *error)
+{
+    const size_t eq = spec.rfind('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        if (error)
+            *error = "expected GLOB=[+|-]TOL[%]: " + spec;
+        return false;
+    }
+    rule.pattern = spec.substr(0, eq);
+    std::string tol = spec.substr(eq + 1);
+
+    rule.bound = PerfRule::Bound::Both;
+    if (tol[0] == '+') {
+        rule.bound = PerfRule::Bound::UpperOnly;
+        tol.erase(0, 1);
+    } else if (tol[0] == '-') {
+        rule.bound = PerfRule::Bound::LowerOnly;
+        tol.erase(0, 1);
+    }
+
+    bool percent = false;
+    if (!tol.empty() && tol.back() == '%') {
+        percent = true;
+        tol.pop_back();
+    }
+
+    char *end = nullptr;
+    const double v = std::strtod(tol.c_str(), &end);
+    if (tol.empty() || !end || *end != '\0' || v < 0) {
+        if (error)
+            *error = "bad tolerance in rule: " + spec;
+        return false;
+    }
+    rule.tolerance = percent ? v / 100.0 : v;
+    return true;
+}
+
+bool
+matchMetricGlob(const std::string &pattern, const std::string &key)
+{
+    const std::vector<std::string> pat = splitDots(pattern);
+    const std::vector<std::string> seg = splitDots(key);
+
+    for (size_t i = 0; i < pat.size(); ++i) {
+        if (pat[i] == "**" && i + 1 == pat.size())
+            return seg.size() >= i; // any remaining tail (also empty)
+        if (i >= seg.size())
+            return false;
+        if (pat[i] != "*" && pat[i] != seg[i])
+            return false;
+    }
+    return pat.size() == seg.size();
+}
+
+PerfCheckReport
+perfCheck(const std::map<std::string, double> &baseline,
+          const std::map<std::string, double> &current,
+          const std::vector<PerfRule> &rules)
+{
+    PerfCheckReport report;
+
+    for (const PerfRule &rule : rules) {
+        bool matched = false;
+        for (const auto &[key, base] : baseline) {
+            if (!matchMetricGlob(rule.pattern, key))
+                continue;
+            matched = true;
+
+            PerfCheckLine line;
+            line.key = key;
+            line.baseline = base;
+            line.tolerance = rule.tolerance;
+            line.bound = rule.bound;
+
+            auto it = current.find(key);
+            if (it == current.end()) {
+                line.missing = true;
+                ++report.missing;
+            } else {
+                line.current = it->second;
+                const double lo = base * (1.0 - rule.tolerance);
+                const double hi = base * (1.0 + rule.tolerance);
+                switch (rule.bound) {
+                  case PerfRule::Bound::Both:
+                    line.ok = line.current >= lo && line.current <= hi;
+                    break;
+                  case PerfRule::Bound::LowerOnly:
+                    line.ok = line.current >= lo;
+                    break;
+                  case PerfRule::Bound::UpperOnly:
+                    line.ok = line.current <= hi;
+                    break;
+                }
+                if (!line.ok)
+                    ++report.regressed;
+            }
+            ++report.checked;
+            report.lines.push_back(line);
+        }
+        if (!matched)
+            report.unmatchedRules.push_back(rule.pattern);
+    }
+    return report;
+}
+
+std::string
+PerfCheckReport::render() const
+{
+    std::string out;
+    char buf[256];
+    for (const PerfCheckLine &line : lines) {
+        const char *bound =
+            line.bound == PerfRule::Bound::UpperOnly   ? "+"
+            : line.bound == PerfRule::Bound::LowerOnly ? "-"
+                                                       : "±";
+        if (line.missing) {
+            std::snprintf(buf, sizeof(buf),
+                          "MISS %-48s baseline %.6g, absent from "
+                          "current\n",
+                          line.key.c_str(), line.baseline);
+        } else {
+            const double drift =
+                line.baseline != 0.0
+                    ? (line.current - line.baseline) / line.baseline * 100
+                    : 0.0;
+            std::snprintf(buf, sizeof(buf),
+                          "%s %-48s base %.6g cur %.6g drift %+.2f%% "
+                          "(band %s%.4g%%)\n",
+                          line.ok ? "ok  " : "FAIL", line.key.c_str(),
+                          line.baseline, line.current, drift, bound,
+                          line.tolerance * 100);
+        }
+        out += buf;
+    }
+    for (const std::string &pattern : unmatchedRules)
+        out += "FAIL rule matched no baseline metric: " + pattern + "\n";
+    std::snprintf(buf, sizeof(buf),
+                  "perfcheck: %u checked, %u regressed, %u missing, "
+                  "%zu unmatched rules -> %s\n",
+                  checked, regressed, missing, unmatchedRules.size(),
+                  ok() ? "PASS" : "FAIL");
+    out += buf;
+    return out;
+}
+
+} // namespace hpmp

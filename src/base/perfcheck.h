@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Perf-regression gate: diff a stats/bench JSON dump against a
+ * checked-in baseline under per-metric tolerance bands.
+ *
+ * Both files are flattened with parseStatsJson into dotted keys
+ * ("simperf.0.cycles_per_access"), rules select keys with a dotted
+ * glob, and each selected baseline metric must hold its band in the
+ * current dump:
+ *
+ *     simperf.*.cycles_per_access=+10%   upper bound (lower is better)
+ *     simperf.*.tlb_hit_rate=-5%         lower bound (higher is better)
+ *     fleet.*.p99_switch_cycles=25%      two-sided band
+ *
+ * A rule that matches nothing, or a baselined metric missing from the
+ * current dump, is a failure — a renamed metric must rename its
+ * baseline, not silently fall out of the gate. Only deterministic
+ * simulated metrics (cycles, hit rates) belong in CI baselines;
+ * wall-clock throughput is machine noise.
+ *
+ * The comparison lives here (not in the tool) so tests can assert the
+ * gate itself: an injected 20% regression must trip it.
+ */
+
+#ifndef HPMP_BASE_PERFCHECK_H
+#define HPMP_BASE_PERFCHECK_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hpmp
+{
+
+/** One tolerance rule: which metrics, how much drift, which side. */
+struct PerfRule
+{
+    enum class Bound
+    {
+        Both,      //!< "tol%": fail outside [base*(1-t), base*(1+t)]
+        LowerOnly, //!< "-tol%": fail if current < base*(1-t)
+        UpperOnly, //!< "+tol%": fail if current > base*(1+t)
+    };
+
+    std::string pattern;  //!< dotted glob: '*' = one segment,
+                          //!< trailing "**" = any remaining segments
+    double tolerance = 0; //!< fractional, 0.10 = 10%
+    Bound bound = Bound::Both;
+};
+
+/**
+ * Parse "glob=10%" / "glob=-10%" / "glob=+10%" (the '%' is optional;
+ * "glob=0.1" means the same as "glob=10%").
+ * @return false on a malformed spec, with *error explaining why.
+ */
+bool parsePerfRule(const std::string &spec, PerfRule &rule,
+                   std::string *error = nullptr);
+
+/** Does a dotted glob match a flattened metric key? */
+bool matchMetricGlob(const std::string &pattern, const std::string &key);
+
+/** Verdict for one (rule, baseline-metric) pair. */
+struct PerfCheckLine
+{
+    std::string key;
+    double baseline = 0;
+    double current = 0;
+    double tolerance = 0;
+    PerfRule::Bound bound = PerfRule::Bound::Both;
+    bool missing = false; //!< key absent from the current dump
+    bool ok = false;
+};
+
+/** Full gate outcome; ok() is the process exit criterion. */
+struct PerfCheckReport
+{
+    std::vector<PerfCheckLine> lines;
+    std::vector<std::string> unmatchedRules; //!< globs hitting nothing
+
+    unsigned checked = 0;
+    unsigned regressed = 0;
+    unsigned missing = 0;
+
+    bool
+    ok() const
+    {
+        return regressed == 0 && missing == 0 && unmatchedRules.empty();
+    }
+
+    /** Human-readable per-metric table plus a PASS/FAIL summary. */
+    std::string render() const;
+};
+
+/**
+ * Run every rule over the flattened baseline/current maps. Baseline
+ * keys not selected by any rule are ignored (dumps may carry noisy
+ * wall-clock metrics next to the gated ones).
+ */
+PerfCheckReport perfCheck(const std::map<std::string, double> &baseline,
+                          const std::map<std::string, double> &current,
+                          const std::vector<PerfRule> &rules);
+
+} // namespace hpmp
+
+#endif // HPMP_BASE_PERFCHECK_H

@@ -1,5 +1,6 @@
 #include "base/stats.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <sstream>
@@ -16,6 +17,40 @@ Distribution::usedBuckets() const
             used = i + 1;
     }
     return used;
+}
+
+double
+Distribution::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (p <= 0.0)
+        return double(min());
+    if (p >= 1.0)
+        return double(max_);
+
+    // Rank of the target sample (1-based), then walk the buckets to
+    // the one holding it and interpolate by rank position inside.
+    const double rank = p * double(count_);
+    uint64_t below = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        const uint64_t in_bucket = buckets_[i];
+        if (in_bucket == 0)
+            continue;
+        if (double(below + in_bucket) >= rank) {
+            const double low = double(bucketLow(i));
+            const double high = double(bucketHigh(i));
+            const double frac = (rank - double(below)) / double(in_bucket);
+            double v = low + (high - low) * frac;
+            if (v < double(min()))
+                v = double(min());
+            if (v > double(max_))
+                v = double(max_);
+            return v;
+        }
+        below += in_bucket;
+    }
+    return double(max_);
 }
 
 void
@@ -149,6 +184,12 @@ StatGroup::dumpJson(std::string &out, const std::string &indent) const
         out += ", \"max\": " + std::to_string(dist->max());
         out += ", \"mean\": ";
         appendDouble(out, dist->mean());
+        out += ", \"p50\": ";
+        appendDouble(out, dist->percentile(0.50));
+        out += ", \"p99\": ";
+        appendDouble(out, dist->percentile(0.99));
+        out += ", \"p999\": ";
+        appendDouble(out, dist->percentile(0.999));
         out += ", \"buckets\": [";
         const unsigned used = dist->usedBuckets();
         for (unsigned i = 0; i < used; ++i) {
@@ -213,9 +254,18 @@ StatRegistry::dumpText() const
 std::string
 StatRegistry::dumpJson() const
 {
+    // Sort groups by name (stable, so same-named groups keep their
+    // registration order): byte-identical dumps for identical state,
+    // whatever order components registered in.
+    std::vector<const StatGroup *> sorted(groups_.begin(), groups_.end());
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const StatGroup *a, const StatGroup *b) {
+                         return a->name() < b->name();
+                     });
+
     std::string out = "{\n  \"groups\": {\n";
     bool first = true;
-    for (const StatGroup *group : groups_) {
+    for (const StatGroup *group : sorted) {
         if (!first)
             out += ",\n";
         first = false;
@@ -359,6 +409,101 @@ parseStatsJson(const std::string &text, std::map<std::string, double> &out)
         return false;
     cur.skipWs();
     return cur.pos == text.size();
+}
+
+StatSampler::StatSampler(const StatRegistry &registry,
+                         uint64_t intervalCycles, size_t maxWindows)
+    : registry_(registry),
+      interval_(intervalCycles ? intervalCycles : 1),
+      maxWindows_(maxWindows),
+      nextTick_(interval_)
+{
+}
+
+void
+StatSampler::advanceTo(uint64_t nowCycles)
+{
+    while (nowCycles >= nextTick_) {
+        sample(nextTick_);
+        nextTick_ += interval_;
+    }
+}
+
+void
+StatSampler::sample(uint64_t nowCycles)
+{
+    if (ticks_.size() >= maxWindows_) {
+        ++dropped_;
+        return;
+    }
+
+    std::map<std::string, double> flat;
+    parseStatsJson(registry_.dumpJson(), flat);
+
+    const size_t window = ticks_.size();
+    ticks_.push_back(nowCycles);
+    for (const auto &[key, value] : flat) {
+        auto &column = series_[key];
+        column.resize(window, 0.0); // backfill a key appearing mid-run
+        column.push_back(value);
+    }
+    // A key that vanished (can't happen with static registries, but
+    // keep the columns rectangular regardless).
+    for (auto &[key, column] : series_) {
+        if (column.size() <= window)
+            column.resize(window + 1, 0.0);
+    }
+}
+
+const std::vector<double> &
+StatSampler::series(const std::string &key) const
+{
+    static const std::vector<double> kEmpty;
+    auto it = series_.find(key);
+    return it == series_.end() ? kEmpty : it->second;
+}
+
+std::string
+StatSampler::dumpJson() const
+{
+    std::string out = "{\n  \"interval\": " + std::to_string(interval_);
+    out += ",\n  \"dropped_windows\": " + std::to_string(dropped_);
+    out += ",\n  \"ticks\": [";
+    for (size_t i = 0; i < ticks_.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += std::to_string(ticks_[i]);
+    }
+    out += "],\n  \"series\": {";
+    bool first = true;
+    for (const auto &[key, column] : series_) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\n    ";
+        appendJsonString(out, key);
+        out += ": [";
+        for (size_t i = 0; i < column.size(); ++i) {
+            if (i)
+                out += ", ";
+            appendDouble(out, column[i]);
+        }
+        out += "]";
+    }
+    out += series_.empty() ? "}\n}\n" : "\n  }\n}\n";
+    return out;
+}
+
+bool
+StatSampler::writeJsonFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const std::string json = dumpJson();
+    const bool ok =
+        std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    return std::fclose(f) == 0 && ok;
 }
 
 } // namespace hpmp

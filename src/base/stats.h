@@ -100,6 +100,15 @@ class Distribution
     /** Highest non-empty bucket index + 1 (for compact dumps). */
     unsigned usedBuckets() const;
 
+    /**
+     * Estimated p-th percentile (p in [0,1]) from the log2 buckets:
+     * linear interpolation inside the bucket holding the target rank,
+     * clamped to the exact [min, max] envelope. 0 when empty. Good to
+     * a factor of the bucket width, which is what the p50/p99/p99.9
+     * summary keys in --stats-json report.
+     */
+    double percentile(double p) const;
+
     void reset();
 
   private:
@@ -185,8 +194,11 @@ class StatGroup
 /**
  * A hierarchy of stat groups forming one dotted namespace. Groups are
  * either referenced (component-owned, e.g. Machine::stats()) or
- * created and owned here (makeGroup, for benches/tools). Dump order
- * is registration order, so text output is stable across runs.
+ * created and owned here (makeGroup, for benches/tools). Text dump
+ * order is registration order; JSON dumps sort groups by name (stats
+ * within a group are already name-sorted) so two dumps of the same
+ * state are byte-identical regardless of registration order — what
+ * perfcheck baselines and golden tests diff against.
  */
 class StatRegistry
 {
@@ -222,6 +234,57 @@ class StatRegistry
   private:
     std::vector<StatGroup *> groups_;
     std::vector<std::unique_ptr<StatGroup>> owned_;
+};
+
+/**
+ * Windowed telemetry time-series: snapshots a StatRegistry every K
+ * simulated cycles into per-metric value columns, so a run's stats
+ * become a trajectory ("tlb hit rate over time") instead of a single
+ * end-state dump. Drives `--stats-series=FILE` in the tools/benches.
+ *
+ * Windows are capped; once full, further samples are counted as
+ * dropped rather than silently discarded, mirroring TraceRing.
+ */
+class StatSampler
+{
+  public:
+    explicit StatSampler(const StatRegistry &registry,
+                         uint64_t intervalCycles,
+                         size_t maxWindows = 4096);
+
+    /** Snapshot every interval boundary crossed up to `nowCycles`. */
+    void advanceTo(uint64_t nowCycles);
+
+    /** Unconditionally snapshot at `nowCycles` (e.g. final state). */
+    void sample(uint64_t nowCycles);
+
+    uint64_t interval() const { return interval_; }
+    size_t windows() const { return ticks_.size(); }
+    uint64_t droppedWindows() const { return dropped_; }
+
+    /** Value column for one flattened metric key (empty if unknown). */
+    const std::vector<double> &series(const std::string &key) const;
+
+    /**
+     * Columnar JSON:
+     *   { "interval": K, "dropped_windows": D, "ticks": [...],
+     *     "series": { "<flat.key>": [v0, v1, ...], ... } }
+     * Keys are the parseStatsJson flattening of the registry dump,
+     * sorted; a key appearing mid-run is backfilled with zeros.
+     */
+    std::string dumpJson() const;
+
+    /** Write dumpJson() to a file. @return false on I/O failure. */
+    bool writeJsonFile(const std::string &path) const;
+
+  private:
+    const StatRegistry &registry_;
+    uint64_t interval_;
+    size_t maxWindows_;
+    uint64_t nextTick_;
+    uint64_t dropped_ = 0;
+    std::vector<uint64_t> ticks_;
+    std::map<std::string, std::vector<double>> series_;
 };
 
 /**

@@ -61,18 +61,45 @@ TraceRing::dumpChromeJson() const
         const TraceEvent &e = at(i);
         if (i)
             out += ",\n";
-        char buf[256];
-        std::snprintf(
-            buf, sizeof(buf),
-            "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
-            "\"ts\": %llu, \"dur\": %llu, \"pid\": 0, \"tid\": 0, "
-            "\"args\": {\"a0\": %llu, \"a1\": %llu}}",
-            e.name, toString(e.flag), (unsigned long long)e.tick,
-            (unsigned long long)e.dur, (unsigned long long)e.a0,
-            (unsigned long long)e.a1);
+        char buf[384];
+        if (e.ph == TracePhase::Complete) {
+            std::snprintf(
+                buf, sizeof(buf),
+                "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                "\"ts\": %llu, \"dur\": %llu, \"pid\": %u, \"tid\": 0, "
+                "\"args\": {\"a0\": %llu, \"a1\": %llu}}",
+                e.name, toString(e.flag), (unsigned long long)e.tick,
+                (unsigned long long)e.dur, e.pid,
+                (unsigned long long)e.a0, (unsigned long long)e.a1);
+        } else {
+            // Span begin/end pair: chrome nests B/E events by
+            // pid/tid arrival order; the causal ids ride in args so
+            // scripts can rebuild the tree exactly.
+            std::snprintf(
+                buf, sizeof(buf),
+                "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%s\", "
+                "\"ts\": %llu, \"pid\": %u, \"tid\": 0, "
+                "\"args\": {\"a0\": %llu, \"a1\": %llu, "
+                "\"span\": %llu, \"parent\": %llu, \"trace\": %llu}}",
+                e.name, toString(e.flag),
+                e.ph == TracePhase::Begin ? "B" : "E",
+                (unsigned long long)e.tick, e.pid,
+                (unsigned long long)e.a0, (unsigned long long)e.a1,
+                (unsigned long long)e.span,
+                (unsigned long long)e.parent,
+                (unsigned long long)e.traceId);
+        }
         out += buf;
     }
-    out += "\n]}\n";
+    // Overflow visibility: a truncated failing-seed dump says so
+    // instead of silently starting mid-story.
+    char meta[128];
+    std::snprintf(meta, sizeof(meta),
+                  "\n], \"otherData\": {\"recorded\": %llu, "
+                  "\"dropped\": %llu}}\n",
+                  (unsigned long long)recorded(),
+                  (unsigned long long)dropped());
+    out += meta;
     return out;
 }
 
@@ -86,6 +113,96 @@ TraceRing::writeChromeJson(const std::string &path) const
     const bool ok =
         std::fwrite(json.data(), 1, json.size(), f) == json.size();
     return std::fclose(f) == 0 && ok;
+}
+
+SpanId
+SpanTracker::beginSpan(TraceFlag flag, const char *name, uint64_t a0,
+                       uint64_t a1)
+{
+    Tracer &tracer = Tracer::instance();
+    if (!tracer.enabled(flag))
+        return 0;
+
+    const SpanId id = ++lastSpanId_;
+    OpenSpan &span = open_[id];
+    span.prev = ctx_;
+    span.traceId = ctx_.traceId ? ctx_.traceId : newTraceId();
+    span.parent = ctx_.span;
+    span.name = name;
+    span.flag = flag;
+    span.pid = system_;
+    span.lexical = true;
+
+    TraceEvent event{++now_, 0, a0, a1, name, flag};
+    event.ph = TracePhase::Begin;
+    event.pid = span.pid;
+    event.span = id;
+    event.parent = span.parent;
+    event.traceId = span.traceId;
+    tracer.ring().record(event);
+
+    ctx_ = TraceContext{span.traceId, id};
+    return id;
+}
+
+SpanId
+SpanTracker::beginSpanUnder(TraceFlag flag, const char *name,
+                            const TraceContext &parent, uint64_t a0,
+                            uint64_t a1)
+{
+    Tracer &tracer = Tracer::instance();
+    if (!tracer.enabled(flag))
+        return 0;
+
+    const SpanId id = ++lastSpanId_;
+    OpenSpan &span = open_[id];
+    span.prev = ctx_;
+    span.traceId = parent.traceId ? parent.traceId : newTraceId();
+    span.parent = parent.span;
+    span.name = name;
+    span.flag = flag;
+    span.pid = system_;
+    span.lexical = false;
+
+    TraceEvent event{++now_, 0, a0, a1, name, flag};
+    event.ph = TracePhase::Begin;
+    event.pid = span.pid;
+    event.span = id;
+    event.parent = span.parent;
+    event.traceId = span.traceId;
+    tracer.ring().record(event);
+    return id;
+}
+
+void
+SpanTracker::endSpan(SpanId id, uint64_t a0, uint64_t a1)
+{
+    if (id == 0)
+        return;
+    auto it = open_.find(id);
+    if (it == open_.end())
+        return;
+    const OpenSpan span = it->second;
+    open_.erase(it);
+
+    TraceEvent event{++now_, 0, a0, a1, span.name, span.flag};
+    event.ph = TracePhase::End;
+    event.pid = span.pid;
+    event.span = id;
+    event.parent = span.parent;
+    event.traceId = span.traceId;
+    Tracer::instance().ring().record(event);
+
+    if (span.lexical && ctx_.span == id)
+        ctx_ = span.prev;
+}
+
+void
+SpanTracker::reset()
+{
+    ctx_ = TraceContext{};
+    open_.clear();
+    system_ = 0;
 }
 
 Tracer &

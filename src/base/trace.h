@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -48,7 +49,18 @@ enum class TraceFlag : uint8_t
     NumFlags,
 };
 
-/** One recorded event (chrome://tracing "complete" event). */
+/** Chrome-tracing phase of a recorded event. */
+enum class TracePhase : uint8_t
+{
+    Complete = 0, //!< "X": standalone event with a duration
+    Begin,        //!< "B": span opens
+    End,          //!< "E": span closes
+};
+
+/**
+ * One recorded event. TRACE_EVENT call sites aggregate-initialize the
+ * first six members, so span fields must stay appended with defaults.
+ */
 struct TraceEvent
 {
     uint64_t tick = 0;  //!< start, simulated cycles
@@ -57,6 +69,26 @@ struct TraceEvent
     uint64_t a1 = 0;
     const char *name = ""; //!< must be a string literal
     TraceFlag flag = TraceFlag::Walk;
+    TracePhase ph = TracePhase::Complete;
+    uint32_t pid = 0;     //!< track (system) id: 0 = local/source
+    uint64_t span = 0;    //!< span id (Begin/End events), 0 = none
+    uint64_t parent = 0;  //!< parent span id, 0 = root
+    uint64_t traceId = 0; //!< causal-tree id shared across systems
+};
+
+/** Identifies one span in a causal tree. 0 = no span. */
+using SpanId = uint64_t;
+
+/**
+ * The causal position a span opens under: which trace tree, and which
+ * open span is the parent. Serializable (two integers), so it can ride
+ * a migration checkpoint to the destination system and keep the
+ * destination's spans in the source's tree.
+ */
+struct TraceContext
+{
+    uint64_t traceId = 0; //!< 0 = no active trace
+    SpanId span = 0;      //!< innermost open span, 0 = root
 };
 
 #if HPMP_TRACE_ENABLED
@@ -115,7 +147,84 @@ class TraceRing
     uint64_t recorded_ = 0;
 };
 
-/** Process-wide tracer: flag mask, sink, and the event ring. */
+/**
+ * Causal span layer over the event ring: every monitor call, shootdown
+ * window and migration phase can open a span, children nest under the
+ * innermost open span, and Begin/End pairs land in the ring stamped
+ * with {span, parent, traceId, pid} so one chrome://tracing dump shows
+ * the whole causal tree — across systems when the TraceContext is
+ * propagated (see DESIGN.md §13).
+ *
+ * Time is a process-wide logical clock (one tick per begin/end), which
+ * both migration endpoints share, so source and destination spans of
+ * one migration land on a single coherent timeline.
+ */
+class SpanTracker
+{
+  public:
+    /** A fresh causal-tree id (never 0). */
+    uint64_t newTraceId() { return ++lastTraceId_; }
+
+    /** The context new lexical spans open under. */
+    TraceContext context() const { return ctx_; }
+    /** Adopt a (possibly remote) context; {} clears. */
+    void setContext(const TraceContext &ctx) { ctx_ = ctx; }
+
+    /** Track id stamped on subsequent span events (system id). */
+    void setSystem(uint32_t system) { system_ = system; }
+    uint32_t system() const { return system_; }
+
+    /** Logical clock: increments once per span begin/end. */
+    uint64_t now() const { return now_; }
+
+    /**
+     * Open a span as a child of the current context; it becomes the
+     * current context until endSpan. New trace tree if none is active.
+     * @return 0 (and no state change) when `flag` is disabled.
+     */
+    SpanId beginSpan(TraceFlag flag, const char *name, uint64_t a0 = 0,
+                     uint64_t a1 = 0);
+
+    /**
+     * Open a span under an explicit parent context without making it
+     * current — for windows held open across calls (coalesced
+     * shootdown epochs) and for remote children of a migrated context.
+     */
+    SpanId beginSpanUnder(TraceFlag flag, const char *name,
+                          const TraceContext &parent, uint64_t a0 = 0,
+                          uint64_t a1 = 0);
+
+    /** Close a span (0 = no-op); restores the parent context if the
+     * span was the current lexical one. */
+    void endSpan(SpanId id, uint64_t a0 = 0, uint64_t a1 = 0);
+
+    /** Spans begun but not yet ended (tests assert 0 at rest). */
+    size_t openSpans() const { return open_.size(); }
+
+    /** Forget all open spans and the context (between campaigns). */
+    void reset();
+
+  private:
+    struct OpenSpan
+    {
+        TraceContext prev;     //!< context to restore at end
+        uint64_t traceId = 0;
+        SpanId parent = 0;
+        const char *name = "";
+        TraceFlag flag = TraceFlag::Monitor;
+        uint32_t pid = 0;      //!< track id captured at begin
+        bool lexical = false;  //!< beginSpan (true) vs beginSpanUnder
+    };
+
+    TraceContext ctx_;
+    uint64_t lastTraceId_ = 0;
+    uint64_t lastSpanId_ = 0;
+    uint64_t now_ = 0;
+    uint32_t system_ = 0;
+    std::map<SpanId, OpenSpan> open_;
+};
+
+/** Process-wide tracer: flag mask, sink, the event ring, and spans. */
 class Tracer
 {
   public:
@@ -155,6 +264,8 @@ class Tracer
 
     TraceRing &ring() { return ring_; }
 
+    SpanTracker &spans() { return spans_; }
+
   private:
     Tracer() = default;
 
@@ -163,6 +274,31 @@ class Tracer
     std::FILE *out_ = nullptr; //!< nullptr = stderr unless silenced
     bool silenced_ = false;
     TraceRing ring_;
+    SpanTracker spans_;
+};
+
+/**
+ * RAII lexical span: opens on construction, closes on scope exit —
+ * including exception unwinds, which is what keeps aborted monitor
+ * calls and fault-injected migration phases from leaking open spans.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(TraceFlag flag, const char *name, uint64_t a0 = 0,
+               uint64_t a1 = 0)
+        : id_(Tracer::instance().spans().beginSpan(flag, name, a0, a1))
+    {}
+
+    ~ScopedSpan() { Tracer::instance().spans().endSpan(id_); }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    SpanId id() const { return id_; }
+
+  private:
+    SpanId id_;
 };
 
 /** Debug print, compiled out entirely with HPMP_TRACING=OFF. */
@@ -211,6 +347,34 @@ class TraceRing
     bool writeChromeJson(const std::string &) const { return false; }
 };
 
+class SpanTracker
+{
+  public:
+    uint64_t newTraceId() { return 0; }
+    TraceContext context() const { return {}; }
+    void setContext(const TraceContext &) {}
+    void setSystem(uint32_t) {}
+    uint32_t system() const { return 0; }
+    uint64_t now() const { return 0; }
+
+    SpanId
+    beginSpan(TraceFlag, const char *, uint64_t = 0, uint64_t = 0)
+    {
+        return 0;
+    }
+
+    SpanId
+    beginSpanUnder(TraceFlag, const char *, const TraceContext &,
+                   uint64_t = 0, uint64_t = 0)
+    {
+        return 0;
+    }
+
+    void endSpan(SpanId, uint64_t = 0, uint64_t = 0) {}
+    size_t openSpans() const { return 0; }
+    void reset() {}
+};
+
 class Tracer
 {
   public:
@@ -230,9 +394,20 @@ class Tracer
     uint64_t printed() const { return 0; }
     void setOutput(std::FILE *) {}
     TraceRing &ring() { return ring_; }
+    SpanTracker &spans() { return spans_; }
 
   private:
     TraceRing ring_;
+    SpanTracker spans_;
+};
+
+class ScopedSpan
+{
+  public:
+    ScopedSpan(TraceFlag, const char *, uint64_t = 0, uint64_t = 0) {}
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+    SpanId id() const { return 0; }
 };
 
 #define DPRINTF(flag, ...)                                              \

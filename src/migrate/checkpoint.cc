@@ -85,6 +85,8 @@ serializeCheckpoint(const DomainCheckpoint &cp)
     w.u64(cp.report.measurement);
     w.u64(cp.report.nonce);
     w.u64(cp.report.signature);
+    w.u64(cp.traceId);
+    w.u64(cp.traceSpan);
 
     w.u64(cp.regions.size());
     for (const GmsImage &r : cp.regions) {
@@ -127,6 +129,8 @@ deserializeCheckpoint(const std::vector<uint8_t> &bytes,
     out.report.measurement = r.u64();
     out.report.nonce = r.u64();
     out.report.signature = r.u64();
+    out.traceId = r.u64();
+    out.traceSpan = r.u64();
 
     // Every length field is attacker-controlled input: bound it by
     // what the image could physically hold before allocating.

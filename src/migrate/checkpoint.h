@@ -53,6 +53,14 @@ struct DomainCheckpoint
     uint64_t nonce = 0;
     MerkleHash measurement = 0;
     AttestationReport report;
+    /**
+     * Causal-trace context of the migration driving this checkpoint
+     * (DESIGN.md §13): the trace id and root span travel inside the
+     * image, so the destination's stage/verify spans join the
+     * source's trace tree. Zero when tracing is off.
+     */
+    uint64_t traceId = 0;
+    uint64_t traceSpan = 0;
     std::vector<GmsImage> regions;
     /** Concatenated raw bytes of every region, in list order. */
     std::vector<uint8_t> memory;

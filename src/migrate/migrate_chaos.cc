@@ -7,6 +7,7 @@
 #include "base/fault_inject.h"
 #include "base/logging.h"
 #include "base/rng.h"
+#include "base/stats.h"
 #include "core/params.h"
 #include "core/smp.h"
 #include "mem/phys_mem.h"
@@ -84,10 +85,16 @@ runMigrateChaos(const ChaosConfig &config)
 
     MigrateConfig ec;
     ec.fullSourceDigest = config.fullDigest;
+    // Trace tracks: host A = 0, host B = 1, whichever direction a
+    // migration runs — a failing-seed dump shows both hosts' spans on
+    // consistent timelines.
+    MigrateConfig ecBack = ec;
+    ecBack.sourceSystemId = 1;
+    ecBack.destSystemId = 0;
     CrossSystemOracle oracleFwd(monA, monB);
     CrossSystemOracle oracleBack(monB, monA);
     MigrationEngine engFwd(monA, monB, ec, "migrate");
-    MigrationEngine engBack(monB, monA, ec, "migrate_back");
+    MigrationEngine engBack(monB, monA, ecBack, "migrate_back");
     engFwd.setOracle(&oracleFwd);
     engBack.setOracle(&oracleBack);
 
@@ -134,7 +141,29 @@ runMigrateChaos(const ChaosConfig &config)
         stats.failure = os.str();
     };
 
+    // Windowed telemetry across both hosts, clocked by the sum of
+    // both monitors' simulated call cycles (work on either host
+    // advances the campaign clock).
+    StatRegistry seriesRegistry;
+    std::unique_ptr<StatSampler> sampler;
+    auto campaign_cycles = [&]() -> uint64_t {
+        const Distribution *a = monA.stats().getDist("call_cycles");
+        const Distribution *b = monB.stats().getDist("call_cycles");
+        return (a ? a->sum() : 0) + (b ? b->sum() : 0);
+    };
+    if (config.statsSeriesOut) {
+        monA.registerStats(seriesRegistry);
+        smpA.registerStats(seriesRegistry);
+        engFwd.registerStats(seriesRegistry);
+        engBack.registerStats(seriesRegistry);
+        oracleFwd.registerStats(seriesRegistry);
+        sampler = std::make_unique<StatSampler>(seriesRegistry,
+                                                config.statsSeriesInterval);
+    }
+
     for (unsigned i = 0; i < config.ops && !stats.failed; ++i) {
+        if (sampler)
+            sampler->advanceTo(campaign_cycles());
         ++stats.ops;
         if (rng.chance(config.faultProb)) {
             ++stats.injectedFaults;
@@ -251,6 +280,10 @@ runMigrateChaos(const ChaosConfig &config)
     stats.dualGrantViolations =
         oracleFwd.violations() + oracleBack.violations();
 
+    if (sampler) {
+        sampler->sample(campaign_cycles());
+        *config.statsSeriesOut = sampler->dumpJson();
+    }
     if (config.statsJsonOut) {
         StatRegistry registry;
         monA.registerStats(registry);

@@ -4,6 +4,7 @@
 
 #include "base/fault_inject.h"
 #include "base/logging.h"
+#include "base/trace.h"
 #include "mem/phys_mem.h"
 
 namespace hpmp
@@ -38,6 +39,41 @@ struct MigrationEngine::Attempt
     uint64_t phaseCycles = 0;  //!< current phase's cycle accumulator
     // Channel counter baselines (the channel is engine-lifetime).
     uint64_t chSent = 0, chDropped = 0, chDuped = 0, chCorrupted = 0;
+
+    // Causal-trace state (DESIGN.md §13): one root span per attempt,
+    // one child span per phase, previous track id restored on exit.
+    SpanId rootSpan = 0;
+    SpanId phaseSpan = 0;
+    TraceContext rootCtx;
+    uint32_t prevPid = 0;
+
+    void
+    beginPhase(const char *name, uint64_t a0 = 0)
+    {
+        endPhase();
+        phaseSpan = Tracer::instance().spans().beginSpan(
+            TraceFlag::Monitor, name, a0);
+    }
+
+    void
+    endPhase(uint64_t a0 = 0)
+    {
+        if (phaseSpan) {
+            Tracer::instance().spans().endSpan(phaseSpan, a0);
+            phaseSpan = 0;
+        }
+    }
+
+    /** Close root + phase spans and restore the caller's track id. */
+    void
+    closeSpans(MigratePhase outcome)
+    {
+        endPhase();
+        SpanTracker &spans = Tracer::instance().spans();
+        spans.endSpan(rootSpan, uint64_t(outcome));
+        rootSpan = 0;
+        spans.setSystem(prevPid);
+    }
 };
 
 MigrationEngine::MigrationEngine(SecureMonitor &src, SecureMonitor &dst,
@@ -162,18 +198,22 @@ MigrationEngine::abort(Attempt &at, MigratePhase phase, MonitorError code,
     at.res.error = std::move(why);
     at.res.cycles += at.phaseCycles;
     at.phaseCycles = 0;
+    at.endPhase();
+    SpanTracker &spans = Tracer::instance().spans();
 
     // Tear the staged destination copy down first, then resume the
     // source: at no point in that order does a second host grant the
     // domain. Rollback calls are retried — a campaign's injected
     // fault can fail them once, never forever (plans are one-shot).
     if (at.destStaged) {
+        spans.setSystem(config_.destSystemId);
         for (unsigned attempt = 0; attempt < 8; ++attempt) {
             if (dst_.destroyDomain(at.res.destId).ok)
                 break;
         }
     }
     if (at.srcSuspended) {
+        spans.setSystem(config_.sourceSystemId);
         for (unsigned attempt = 0; attempt < 8; ++attempt) {
             if (src_.resumeDomain(at.srcId).ok)
                 break;
@@ -189,6 +229,7 @@ MigrationEngine::abort(Attempt &at, MigratePhase phase, MonitorError code,
     statFramesDuplicated_ += channel_.framesDuplicated() - at.chDuped;
     statFramesCorrupted_ += channel_.framesCorrupted() - at.chCorrupted;
     statTotalCycles_.sample(at.res.cycles);
+    at.closeSpans(at.res.failedPhase);
     return at.res;
 }
 
@@ -205,6 +246,7 @@ MigrationEngine::finish(Attempt &at)
     statFramesDuplicated_ += channel_.framesDuplicated() - at.chDuped;
     statFramesCorrupted_ += channel_.framesCorrupted() - at.chCorrupted;
     statTotalCycles_.sample(at.res.cycles);
+    at.closeSpans(at.res.ok ? MigratePhase::Done : at.res.failedPhase);
     return at.res;
 }
 
@@ -220,7 +262,17 @@ MigrationEngine::migrate(DomainId id, uint64_t nonce)
     at.chCorrupted = channel_.framesCorrupted();
     ++statMigrations_;
 
+    // Root span for the whole attempt; its TraceContext is serialized
+    // into the checkpoint so destination-side spans join this tree.
+    SpanTracker &spans = Tracer::instance().spans();
+    at.prevPid = spans.system();
+    spans.setSystem(config_.sourceSystemId);
+    at.rootSpan =
+        spans.beginSpan(TraceFlag::Monitor, "migrate", id, nonce);
+    at.rootCtx = spans.context();
+
     // ---- Quiesce: switch away, baseline digest, revoke -------------
+    at.beginPhase("migrate.quiesce", id);
     // The rollback baseline is captured with the domain *not* running
     // on the source: switching away is part of quiesce, not something
     // an abort must undo.
@@ -248,8 +300,10 @@ MigrationEngine::migrate(DomainId id, uint64_t nonce)
     statQuiesceCycles_.sample(at.phaseCycles);
     at.res.cycles += at.phaseCycles;
     at.phaseCycles = 0;
+    at.endPhase();
 
     // ---- Checkpoint -------------------------------------------------
+    at.beginPhase("migrate.checkpoint", id);
     DomainCheckpoint cp;
     const std::string cap_err = captureCheckpoint(src_, id, nonce, cp);
     if (!cap_err.empty()) {
@@ -257,12 +311,18 @@ MigrationEngine::migrate(DomainId id, uint64_t nonce)
                      "checkpoint failed: " + cap_err);
     }
     at.phaseCycles += cp.memory.size() / 8; // modelled copy+measure cost
+    // The trace context travels inside the image (literally over the
+    // MsgChannel): the destination reads it back out after Transfer.
+    cp.traceId = at.rootCtx.traceId;
+    cp.traceSpan = at.rootCtx.span;
     oracleStep("checkpoint");
     statCheckpointCycles_.sample(at.phaseCycles);
     at.res.cycles += at.phaseCycles;
     at.phaseCycles = 0;
+    at.endPhase();
 
     // ---- Transfer ---------------------------------------------------
+    at.beginPhase("migrate.transfer", id);
     const std::vector<uint8_t> image = serializeCheckpoint(cp);
     at.res.bytes = image.size();
     statBytes_ += image.size();
@@ -274,6 +334,7 @@ MigrationEngine::migrate(DomainId id, uint64_t nonce)
     statTransferCycles_.sample(at.phaseCycles);
     at.res.cycles += at.phaseCycles;
     at.phaseCycles = 0;
+    at.endPhase(image.size());
 
     // ---- Stage: re-create the domain, suspended --------------------
     DomainCheckpoint rcp;
@@ -281,6 +342,12 @@ MigrationEngine::migrate(DomainId id, uint64_t nonce)
         return abort(at, MigratePhase::Stage, MonitorError::None,
                      "malformed checkpoint image on the destination");
     }
+    // Destination side: adopt the context recovered from the image —
+    // not the live one — so the stage/verify spans provably descend
+    // from the trace id that crossed the wire, on the dest track.
+    spans.setSystem(config_.destSystemId);
+    spans.setContext(TraceContext{rcp.traceId, rcp.traceSpan});
+    at.beginPhase("migrate.stage", rcp.sourceId);
     at.res.destId = dst_.createDomain();
     at.destStaged = true;
     for (const GmsImage &r : rcp.regions) {
@@ -319,8 +386,10 @@ MigrationEngine::migrate(DomainId id, uint64_t nonce)
     statStageCycles_.sample(at.phaseCycles);
     at.res.cycles += at.phaseCycles;
     at.phaseCycles = 0;
+    at.endPhase(at.res.destId);
 
     // ---- Verify: independent re-measure + re-attest ----------------
+    at.beginPhase("migrate.verify", at.res.destId);
     if (FAULT_POINT("migrate.dest_attest")) {
         return abort(at, MigratePhase::Verify, MonitorError::InjectedFault,
                      "injected destination attestation failure");
@@ -353,16 +422,21 @@ MigrationEngine::migrate(DomainId id, uint64_t nonce)
     statVerifyCycles_.sample(at.phaseCycles);
     at.res.cycles += at.phaseCycles;
     at.phaseCycles = 0;
+    at.endPhase();
 
     // ---- Ack: PREPARED dest -> source ------------------------------
+    spans.setSystem(config_.sourceSystemId);
+    at.beginPhase("migrate.ack", id);
     if (!deliverControl(at, "migrate.ack_lost", statAcksLost_)) {
         return abort(at, MigratePhase::Ack, MonitorError::None,
                      "PREPARED ack lost after retries; "
                      "destination never commits");
     }
     oracleStep("ack");
+    at.endPhase();
 
     // ---- Commit: the point of no return ----------------------------
+    at.beginPhase("migrate.commit", id);
     const MonitorResult dr = src_.destroyDomain(id);
     if (!dr.ok) {
         // The source copy is intact; this is still a clean abort.
@@ -388,7 +462,11 @@ MigrationEngine::migrate(DomainId id, uint64_t nonce)
         return finish(at);
     }
 
+    at.endPhase();
+
     // ---- Resume: destination activation ----------------------------
+    spans.setSystem(config_.destSystemId);
+    at.beginPhase("migrate.resume", at.res.destId);
     if (oracle_)
         oracle_->noteDestCommitted();
     bool activated = false;

@@ -83,6 +83,14 @@ struct MigrateConfig
     bool resumeOnDest = true;
     /** Hash full PMP-table contents in the rollback baseline digest. */
     bool fullSourceDigest = true;
+    /**
+     * chrome://tracing track ids stamped on this engine's span events
+     * (DESIGN.md §13): source-side phases land on sourceSystemId,
+     * stage/verify/resume on destSystemId, so one dump shows both
+     * hosts of a migration on a shared timeline.
+     */
+    uint32_t sourceSystemId = 0;
+    uint32_t destSystemId = 1;
 };
 
 /** Outcome of one migration attempt. */

@@ -280,7 +280,24 @@ runChaos(const ChaosConfig &config)
         return gms;
     };
 
+    // Windowed telemetry: the campaign clock is the monitor's own
+    // call_cycles sum, which advances exactly with simulated work.
+    StatRegistry seriesRegistry;
+    std::unique_ptr<StatSampler> sampler;
+    auto campaign_cycles = [&]() -> uint64_t {
+        const Distribution *d = monitor.stats().getDist("call_cycles");
+        return d ? d->sum() : 0;
+    };
+    if (config.statsSeriesOut) {
+        monitor.registerStats(seriesRegistry);
+        machine->registerStats(seriesRegistry);
+        sampler = std::make_unique<StatSampler>(seriesRegistry,
+                                                config.statsSeriesInterval);
+    }
+
     for (unsigned i = 0; i < config.ops && !stats.failed; ++i) {
+        if (sampler)
+            sampler->advanceTo(campaign_cycles());
         // Arm a fault for this op with the configured probability: the
         // Nth upcoming site hit, whatever site that turns out to be.
         const bool armed = rng.chance(config.faultProb);
@@ -404,6 +421,10 @@ runChaos(const ChaosConfig &config)
 
     injector.disable();
 
+    if (sampler) {
+        sampler->sample(campaign_cycles());
+        *config.statsSeriesOut = sampler->dumpJson();
+    }
     if (config.statsJsonOut) {
         StatRegistry registry;
         monitor.registerStats(registry);
@@ -678,8 +699,32 @@ runChaosSmp(const ChaosConfig &config)
     // registry slot is handed to a new tenant under a new generation.
     std::vector<DomainId> retired;
 
+    // Windowed telemetry over the full SMP registry, clocked by the
+    // monitor's simulated call_cycles sum (see ChaosConfig).
+    StatRegistry seriesRegistry;
+    std::unique_ptr<StatSampler> sampler;
+    auto campaign_cycles = [&]() -> uint64_t {
+        const Distribution *d = monitor.stats().getDist("call_cycles");
+        return d ? d->sum() : 0;
+    };
+    if (config.statsSeriesOut) {
+        monitor.registerStats(seriesRegistry);
+        smp.registerStats(seriesRegistry);
+        checker.registerStats(seriesRegistry);
+        iopmp.registerStats(seriesRegistry);
+        for (unsigned h = 0; h < unsigned(kernels.size()); ++h) {
+            kernels[h]->registerStats(
+                seriesRegistry, h == 0 ? "os"
+                                       : "hart" + std::to_string(h) + ".os");
+        }
+        sampler = std::make_unique<StatSampler>(seriesRegistry,
+                                                config.statsSeriesInterval);
+    }
+
     std::vector<uint64_t> pre(config.harts, 0);
     for (unsigned i = 0; i < config.ops && !stats.failed; ++i) {
+        if (sampler)
+            sampler->advanceTo(campaign_cycles());
         // Every op initiates from a random hart: the monitor must
         // program the canonical unit and converge everyone else no
         // matter who trapped in.
@@ -1081,6 +1126,10 @@ runChaosSmp(const ChaosConfig &config)
         stats.staleRwGrants = checker.staleRwGrants();
     }
 
+    if (sampler) {
+        sampler->sample(campaign_cycles());
+        *config.statsSeriesOut = sampler->dumpJson();
+    }
     if (config.statsJsonOut) {
         StatRegistry registry;
         monitor.registerStats(registry);

@@ -102,6 +102,18 @@ struct ChaosConfig
      * the campaign's machine is torn down.
      */
     std::string *statsJsonOut = nullptr;
+    /**
+     * When set, receives a windowed time-series of the same registry
+     * (StatSampler::dumpJson): every counter snapshotted each
+     * statsSeriesInterval simulated cycles of monitor work, so a
+     * campaign's telemetry can be plotted over time instead of only
+     * summed at the end. The campaign clock is the monitor's
+     * call_cycles distribution sum (both monitors' sums added for
+     * --migrate), which advances exactly with the simulated work.
+     */
+    std::string *statsSeriesOut = nullptr;
+    /** Simulated cycles between stats-series samples. */
+    uint64_t statsSeriesInterval = 10000;
 };
 
 /** Campaign outcome and coverage counters. */

@@ -301,7 +301,7 @@ struct SecureMonitor::Txn
 
 template <typename Fn>
 MonitorResult
-SecureMonitor::transact(Fn &&body)
+SecureMonitor::transact(const char *callName, Fn &&body)
 {
     // Multi-hart: one monitor call in flight at a time. A hart whose
     // trap races another hart's transaction bounces with a typed
@@ -312,6 +312,10 @@ SecureMonitor::transact(Fn &&body)
                         "monitor lock held by hart " +
                             std::to_string(smp_->lockOwner()));
     }
+    // Root (or, during a migration phase, child) span for the whole
+    // call: shootdown-window and per-sibling IPI spans open under it,
+    // and an abort's unwind closes it via RAII.
+    ScopedSpan span(TraceFlag::Monitor, callName, initiator);
     MonitorResult result;
     bool rolled_back = false;
     {
@@ -601,7 +605,7 @@ SecureMonitor::destroyDomain(DomainId id)
     Domain *dom = domains_.find(id);
     if (!dom)
         return failNoDomain(id);
-    return transact([&](Txn &txn) {
+    return transact("destroyDomain", [&](Txn &txn) {
         if (FAULT_POINT("monitor.destroy_domain")) {
             throw MonitorAbort{MonitorError::InjectedFault,
                                "injected fault at monitor.destroy_domain"};
@@ -666,7 +670,7 @@ SecureMonitor::addGms(DomainId id, const Gms &gms)
                                    "GMS overlaps the monitor");
     }
 
-    return transact([&](Txn &txn) {
+    return transact("addGms", [&](Txn &txn) {
         txn.touch(id);
         if (FAULT_POINT("monitor.add_gms")) {
             throw MonitorAbort{MonitorError::InjectedFault,
@@ -714,7 +718,7 @@ SecureMonitor::removeGms(DomainId id, Addr base)
         return failCall(MonitorError::NoSuchGms,
                                    "no GMS at this base");
 
-    return transact([&](Txn &txn) {
+    return transact("removeGms", [&](Txn &txn) {
         txn.touch(id);
         if (FAULT_POINT("monitor.remove_gms")) {
             throw MonitorAbort{MonitorError::InjectedFault,
@@ -747,7 +751,7 @@ SecureMonitor::setLabel(DomainId id, Addr base, GmsLabel label)
     for (Gms &gms : dom->gmsList) {
         if (gms.base != base)
             continue;
-        return transact([&](Txn &txn) {
+        return transact("setLabel", [&](Txn &txn) {
             txn.touch(id);
             if (FAULT_POINT("monitor.set_label")) {
                 throw MonitorAbort{MonitorError::InjectedFault,
@@ -792,7 +796,7 @@ SecureMonitor::setPerm(DomainId id, Addr base, Perm perm)
                 MonitorError::BadArgument,
                 "cannot change the permission of a shared GMS");
         }
-        return transact([&](Txn &txn) {
+        return transact("setPerm", [&](Txn &txn) {
             txn.touch(id);
             if (FAULT_POINT("monitor.set_perm")) {
                 throw MonitorAbort{MonitorError::InjectedFault,
@@ -847,7 +851,7 @@ SecureMonitor::shareGms(DomainId owner, Addr base, DomainId peer,
                     "peer already maps an overlapping region");
             }
         }
-        return transact([&](Txn &txn) {
+        return transact("shareGms", [&](Txn &txn) {
             txn.touch(owner);
             txn.touch(peer);
             if (FAULT_POINT("monitor.share_gms")) {
@@ -953,7 +957,7 @@ SecureMonitor::hintHotRegion(DomainId id, Addr base, uint64_t size)
         if (covering.base == base && covering.size == size)
             return setLabel(id, base, GmsLabel::Fast);
 
-        return transact([&](Txn &txn) {
+        return transact("hintHotRegion", [&](Txn &txn) {
             txn.touch(id);
             if (FAULT_POINT("monitor.hint")) {
                 throw MonitorAbort{MonitorError::InjectedFault,
@@ -1006,7 +1010,7 @@ SecureMonitor::switchTo(DomainId id)
         return failCall(MonitorError::DomainMigrating,
                         "domain is suspended for migration");
     }
-    return transact([&](Txn &txn) {
+    return transact("switchTo", [&](Txn &txn) {
         if (FAULT_POINT("monitor.switch")) {
             throw MonitorAbort{MonitorError::InjectedFault,
                                "injected fault at monitor.switch"};
@@ -1041,7 +1045,7 @@ SecureMonitor::suspendDomain(DomainId id)
                         "suspending the running domain: switch away "
                         "first (quiesce before revoke)");
     }
-    return transact([&](Txn &txn) {
+    return transact("suspendDomain", [&](Txn &txn) {
         txn.touch(id);
         if (FAULT_POINT("monitor.suspend")) {
             throw MonitorAbort{MonitorError::InjectedFault,
@@ -1063,7 +1067,7 @@ SecureMonitor::resumeDomain(DomainId id)
         return failCall(MonitorError::BadArgument,
                         "domain is not suspended for migration");
     }
-    return transact([&](Txn &txn) {
+    return transact("resumeDomain", [&](Txn &txn) {
         txn.touch(id);
         if (FAULT_POINT("monitor.resume")) {
             throw MonitorAbort{MonitorError::InjectedFault,
@@ -1278,6 +1282,12 @@ SecureMonitor::beginCoalescedWindow()
     panic_if(activeTxn_, "beginCoalescedWindow inside a monitor call");
     coalesceActive_ = true;
     coalescedCommits_ = 0;
+    // Parent span for the whole epoch: it stays the current trace
+    // context until endCoalescedWindow, so every deferred commit's
+    // call span (and the shared flush round) nests under it.
+    coalescedSpan_ = Tracer::instance().spans().beginSpan(
+        TraceFlag::Monitor, "coalesced_epoch",
+        smp_ ? smp_->currentHart() : 0);
 }
 
 uint64_t
@@ -1290,6 +1300,8 @@ SecureMonitor::endCoalescedWindow()
         // Every call in the epoch either failed or elided: no commit
         // is pending and no window ever opened.
         coalescedCommits_ = 0;
+        Tracer::instance().spans().endSpan(coalescedSpan_);
+        coalescedSpan_ = 0;
         return 0;
     }
 
@@ -1319,6 +1331,7 @@ SecureMonitor::endCoalescedWindow()
         // double-count would break ipi_post == windows x siblings).
         ++statIpiSent_;
         ++statIpiPost_;
+        ScopedSpan hartSpan(TraceFlag::Monitor, "shootdown.hart", h, seq);
         smp_->notifyStep({IpiPhase::Posted, initiator, h, seq});
         for (unsigned attempt = 0;
              attempt < 8 && FAULT_POINT("smp.ipi_deliver"); ++attempt)
@@ -1329,6 +1342,8 @@ SecureMonitor::endCoalescedWindow()
         dst.hpmp().flushCache();
         if (virt) {
             ++statHfenceSent_;
+            ScopedSpan hfenceSpan(TraceFlag::Monitor, "shootdown.hfence",
+                                  h, seq);
             for (unsigned attempt = 0;
                  attempt < 8 && FAULT_POINT("smp.hfence_deliver");
                  ++attempt)
@@ -1355,6 +1370,9 @@ SecureMonitor::endCoalescedWindow()
     smp_->notifyStep({IpiPhase::WindowEnd, initiator, initiator, seq});
     statIpiCycles_.sample(cycles);
     smp_->releaseMonitorLock(initiator);
+    Tracer::instance().spans().endSpan(coalescedSpan_, coalescedCommits_,
+                                       cycles);
+    coalescedSpan_ = 0;
     return cycles;
 }
 
@@ -1372,12 +1390,18 @@ SecureMonitor::remoteShootdown()
     pendingIpiCycles_ += config_.costs.ipiPostCycles;
     ipiWindowOpen_ = true;
     ipiWindowSeq_ = seq;
+    // Window and per-sibling spans close by RAII on both the normal
+    // path (at WindowEnd below) and an abort's unwind, so a failed
+    // shootdown's trace shows exactly which sibling's fence died.
+    ScopedSpan windowSpan(TraceFlag::Monitor, "shootdown.window",
+                          initiator, seq);
     smp_->notifyStep({IpiPhase::WindowBegin, initiator, initiator, seq});
 
     for (unsigned h = 0; h < smp_->numHarts(); ++h) {
         if (h == initiator)
             continue;
         ++statIpiSent_;
+        ScopedSpan hartSpan(TraceFlag::Monitor, "shootdown.hart", h, seq);
         smp_->notifyStep({IpiPhase::Posted, initiator, h, seq});
         // A lost or glitched IPI can never leave hart h running on the
         // old state while the call commits the new one: the call fails
@@ -1401,6 +1425,8 @@ SecureMonitor::remoteShootdown()
         // — the call fails closed and rollback re-fences every guest.
         if (virt) {
             ++statHfenceSent_;
+            ScopedSpan hfenceSpan(TraceFlag::Monitor, "shootdown.hfence",
+                                  h, seq);
             if (FAULT_POINT("smp.hfence_deliver")) {
                 ++statHfenceLost_;
                 throw MonitorAbort{

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "base/interval_set.h"
+#include "base/trace.h"
 #include "core/machine.h"
 #include "hpmp/isolation.h"
 #include "monitor/attestation.h"
@@ -393,8 +394,12 @@ class SecureMonitor
     struct Txn;
     friend struct Txn;
 
-    /** Run one monitor call transactionally: roll back on any abort. */
-    template <typename Fn> MonitorResult transact(Fn &&body);
+    /**
+     * Run one monitor call transactionally: roll back on any abort.
+     * `callName` labels the call's trace span (DESIGN.md §13).
+     */
+    template <typename Fn>
+    MonitorResult transact(const char *callName, Fn &&body);
 
     Domain &domain(DomainId id);
     const Domain &domain(DomainId id) const;
@@ -499,6 +504,7 @@ class SecureMonitor
     bool coalesceActive_ = false;   //!< begin..end coalesced epoch
     bool coalescedOpen_ = false;    //!< >=1 commit deferred, window open
     uint64_t coalescedSeq_ = 0;     //!< seq of the coalesced window
+    SpanId coalescedSpan_ = 0;      //!< epoch parent span (§13)
     uint64_t coalescedCommits_ = 0; //!< commits in the open window
     unsigned lastCommitter_ = 0;    //!< hart of the latest deferred commit
 

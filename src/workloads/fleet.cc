@@ -160,7 +160,13 @@ FleetWorkload::run()
         for (const unsigned slot : pendingChurn)
             churnSlot(slot);
         pendingChurn.clear();
+
+        if (sampler_)
+            sampler_->advanceTo(res.totalCycles);
     }
+
+    if (sampler_)
+        sampler_->sample(res.totalCycles);
 
     res.churns = churns_;
     res.attests = attests_;
@@ -172,6 +178,9 @@ FleetWorkload::run()
         res.p99SwitchCycles =
             sorted[std::min(sorted.size() - 1,
                             (sorted.size() * 99) / 100)];
+        res.p999SwitchCycles =
+            sorted[std::min(sorted.size() - 1,
+                            (sorted.size() * 999) / 1000)];
     }
     if (res.totalCycles > 0) {
         const double secs =

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "base/rng.h"
+#include "base/stats.h"
 #include "core/smp.h"
 #include "monitor/secure_monitor.h"
 
@@ -66,6 +67,7 @@ struct FleetResult
     uint64_t totalCycles = 0;   //!< every monitor call + window flush
     uint64_t p50SwitchCycles = 0;
     uint64_t p99SwitchCycles = 0;
+    uint64_t p999SwitchCycles = 0; //!< p99.9 — the tail the SLO quotes
     double switchesPerSec = 0.0;
     uint64_t coalescedWindows = 0;
     double commitsPerWindow = 0.0;
@@ -86,6 +88,14 @@ class FleetWorkload
     SmpSystem &smp() { return *smp_; }
     SecureMonitor &monitor() { return *monitor_; }
     const FleetConfig &config() const { return cfg_; }
+
+    /**
+     * Attach a telemetry sampler: run() advances it on the workload's
+     * simulated-cycle clock (accumulated monitor-call cycles) after
+     * every epoch, and takes a final sample before returning. The
+     * caller owns the sampler and its registry.
+     */
+    void setSampler(StatSampler *sampler) { sampler_ = sampler; }
 
     /** Live domain id of a tenant slot. */
     DomainId tenant(unsigned slot) const { return tenants_.at(slot); }
@@ -111,6 +121,7 @@ class FleetWorkload
     uint64_t churns_ = 0;
     uint64_t attests_ = 0;
     uint64_t staleProbes_ = 0;
+    StatSampler *sampler_ = nullptr; //!< optional, not owned
 };
 
 } // namespace hpmp

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Perf-regression gate tests: rule parsing, dotted-glob matching, and
+ * the band semantics CI relies on — most importantly that an injected
+ * 20% simperf regression trips a +10% rule, which is the property the
+ * whole gate exists to enforce.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/perfcheck.h"
+
+namespace hpmp
+{
+namespace
+{
+
+TEST(PerfRuleParse, AcceptsTheThreeBoundForms)
+{
+    PerfRule rule;
+    ASSERT_TRUE(parsePerfRule("a.*.cycles=+10%", rule));
+    EXPECT_EQ(rule.pattern, "a.*.cycles");
+    EXPECT_DOUBLE_EQ(rule.tolerance, 0.10);
+    EXPECT_EQ(rule.bound, PerfRule::Bound::UpperOnly);
+
+    ASSERT_TRUE(parsePerfRule("a.*.hit_rate=-5%", rule));
+    EXPECT_DOUBLE_EQ(rule.tolerance, 0.05);
+    EXPECT_EQ(rule.bound, PerfRule::Bound::LowerOnly);
+
+    ASSERT_TRUE(parsePerfRule("a.b=25%", rule));
+    EXPECT_DOUBLE_EQ(rule.tolerance, 0.25);
+    EXPECT_EQ(rule.bound, PerfRule::Bound::Both);
+
+    // The '%' is optional: a bare fraction means the same thing.
+    ASSERT_TRUE(parsePerfRule("a.b=0.1", rule));
+    EXPECT_DOUBLE_EQ(rule.tolerance, 0.1);
+}
+
+TEST(PerfRuleParse, RejectsMalformedSpecs)
+{
+    PerfRule rule;
+    std::string error;
+    EXPECT_FALSE(parsePerfRule("no-equals", rule, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(parsePerfRule("=10%", rule, &error));
+    EXPECT_FALSE(parsePerfRule("a.b=", rule, &error));
+    EXPECT_FALSE(parsePerfRule("a.b=banana", rule, &error));
+}
+
+TEST(MetricGlob, StarMatchesExactlyOneSegment)
+{
+    EXPECT_TRUE(matchMetricGlob("simperf.*.cycles",
+                                "simperf.hpmp.cycles"));
+    EXPECT_FALSE(matchMetricGlob("simperf.*.cycles",
+                                 "simperf.a.b.cycles"));
+    EXPECT_FALSE(matchMetricGlob("simperf.*.cycles", "simperf.cycles"));
+    EXPECT_TRUE(matchMetricGlob("a.b", "a.b"));
+    EXPECT_FALSE(matchMetricGlob("a.b", "a.b.c"));
+}
+
+TEST(MetricGlob, TrailingDoubleStarMatchesAnyTail)
+{
+    EXPECT_TRUE(matchMetricGlob("fleet.**", "fleet.0.p99"));
+    EXPECT_TRUE(matchMetricGlob("fleet.**", "fleet.0.deep.er.key"));
+    EXPECT_FALSE(matchMetricGlob("fleet.**", "simperf.0.p99"));
+}
+
+TEST(PerfCheck, PassesWhenCurrentMatchesBaseline)
+{
+    const std::map<std::string, double> base{
+        {"simperf.0.cycles_per_access", 10.0},
+        {"simperf.0.tlb_hit_rate", 0.95},
+    };
+    std::vector<PerfRule> rules(2);
+    ASSERT_TRUE(parsePerfRule("simperf.*.cycles_per_access=+10%",
+                              rules[0]));
+    ASSERT_TRUE(parsePerfRule("simperf.*.tlb_hit_rate=-5%", rules[1]));
+
+    const PerfCheckReport report = perfCheck(base, base, rules);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.checked, 2u);
+    EXPECT_EQ(report.regressed, 0u);
+}
+
+TEST(PerfCheck, InjectedTwentyPercentRegressionTripsTheGate)
+{
+    // The acceptance property: a 20% cycles_per_access regression must
+    // fail a +10% rule.
+    const std::map<std::string, double> base{
+        {"simperf.resident.hpmp.cycles_per_access", 10.0}};
+    std::map<std::string, double> current = base;
+    current["simperf.resident.hpmp.cycles_per_access"] = 12.0;
+
+    std::vector<PerfRule> rules(1);
+    ASSERT_TRUE(parsePerfRule("simperf.**=+10%", rules[0]));
+
+    const PerfCheckReport report = perfCheck(base, current, rules);
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.regressed, 1u);
+    EXPECT_NE(report.render().find("FAIL"), std::string::npos);
+}
+
+TEST(PerfCheck, UpperOnlyBandIgnoresImprovement)
+{
+    const std::map<std::string, double> base{{"a.cycles", 100.0}};
+    const std::map<std::string, double> faster{{"a.cycles", 50.0}};
+    std::vector<PerfRule> rules(1);
+    ASSERT_TRUE(parsePerfRule("a.cycles=+10%", rules[0]));
+    EXPECT_TRUE(perfCheck(base, faster, rules).ok());
+
+    // ...while a two-sided band treats a big "improvement" as drift
+    // worth flagging (the metric's meaning probably changed).
+    ASSERT_TRUE(parsePerfRule("a.cycles=10%", rules[0]));
+    EXPECT_FALSE(perfCheck(base, faster, rules).ok());
+}
+
+TEST(PerfCheck, LowerOnlyGuardsRatesThatMustNotDrop)
+{
+    const std::map<std::string, double> base{{"a.hit_rate", 0.90}};
+    std::map<std::string, double> current{{"a.hit_rate", 0.80}};
+    std::vector<PerfRule> rules(1);
+    ASSERT_TRUE(parsePerfRule("a.hit_rate=-5%", rules[0]));
+    EXPECT_FALSE(perfCheck(base, current, rules).ok());
+
+    current["a.hit_rate"] = 0.99; // higher is fine
+    EXPECT_TRUE(perfCheck(base, current, rules).ok());
+}
+
+TEST(PerfCheck, MissingMetricAndDeadRuleAreFailures)
+{
+    const std::map<std::string, double> base{{"a.cycles", 100.0}};
+    const std::map<std::string, double> empty;
+    std::vector<PerfRule> rules(1);
+    ASSERT_TRUE(parsePerfRule("a.cycles=+10%", rules[0]));
+
+    // Baselined metric vanished from the current dump.
+    PerfCheckReport report = perfCheck(base, empty, rules);
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.missing, 1u);
+
+    // A glob that selects nothing means the gate silently stopped
+    // gating — also a failure.
+    ASSERT_TRUE(parsePerfRule("renamed.*.cycles=+10%", rules[0]));
+    report = perfCheck(base, base, rules);
+    EXPECT_FALSE(report.ok());
+    ASSERT_EQ(report.unmatchedRules.size(), 1u);
+    EXPECT_EQ(report.unmatchedRules[0], "renamed.*.cycles");
+}
+
+TEST(PerfCheck, UnruledMetricsAreIgnored)
+{
+    // Dumps carry wall-clock noise next to the gated metrics; only
+    // rule-selected keys participate.
+    const std::map<std::string, double> base{
+        {"a.cycles", 100.0}, {"a.maccesses_per_sec", 5.0}};
+    std::map<std::string, double> current = base;
+    current["a.maccesses_per_sec"] = 0.001; // 5000x "regression"
+    std::vector<PerfRule> rules(1);
+    ASSERT_TRUE(parsePerfRule("a.cycles=+10%", rules[0]));
+    EXPECT_TRUE(perfCheck(base, current, rules).ok());
+}
+
+} // namespace
+} // namespace hpmp

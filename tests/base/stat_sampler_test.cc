@@ -1,0 +1,148 @@
+/**
+ * @file
+ * StatSampler tests: interval-boundary snapshots, the final forced
+ * sample, window-cap drop accounting, and the byte-stable sorted JSON
+ * the perfcheck/plotting pipeline depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/stats.h"
+
+namespace hpmp
+{
+namespace
+{
+
+TEST(StatSampler, SnapshotsEveryIntervalBoundaryCrossed)
+{
+    Counter ops;
+    StatRegistry registry;
+    registry.makeGroup("camp").add("ops", &ops);
+
+    StatSampler sampler(registry, 100);
+    ops += 3;
+    sampler.advanceTo(50); // no boundary yet
+    EXPECT_EQ(sampler.windows(), 0u);
+
+    ops += 4;
+    sampler.advanceTo(250); // crosses 100 and 200 in one leap
+    ASSERT_EQ(sampler.windows(), 2u);
+    const std::vector<double> &col = sampler.series("groups.camp.ops");
+    ASSERT_EQ(col.size(), 2u);
+    // Both snapshots observe the value at sampling time (7): the
+    // sampler records state per boundary crossed, it cannot
+    // retroactively know what the counter held at cycle 100.
+    EXPECT_DOUBLE_EQ(col[0], 7.0);
+    EXPECT_DOUBLE_EQ(col[1], 7.0);
+
+    ops += 10;
+    sampler.sample(260); // forced final sample off-boundary
+    ASSERT_EQ(sampler.windows(), 3u);
+    EXPECT_DOUBLE_EQ(sampler.series("groups.camp.ops")[2], 17.0);
+}
+
+TEST(StatSampler, CapsWindowsAndCountsDrops)
+{
+    Counter ops;
+    StatRegistry registry;
+    registry.makeGroup("camp").add("ops", &ops);
+
+    StatSampler sampler(registry, 10, 3);
+    sampler.advanceTo(100); // 10 boundaries, only 3 windows retained
+    EXPECT_EQ(sampler.windows(), 3u);
+    EXPECT_EQ(sampler.droppedWindows(), 7u);
+
+    const std::string json = sampler.dumpJson();
+    EXPECT_NE(json.find("\"dropped_windows\": 7"), std::string::npos);
+}
+
+TEST(StatSampler, DumpJsonIsColumnarAndParsesBack)
+{
+    Counter walks;
+    Counter hits;
+    StatRegistry registry;
+    StatGroup &g = registry.makeGroup("machine");
+    g.add("walks", &walks);
+    g.add("hits", &hits);
+
+    StatSampler sampler(registry, 100);
+    walks += 1;
+    sampler.advanceTo(100);
+    walks += 1;
+    hits += 5;
+    sampler.advanceTo(200);
+
+    const std::string json = sampler.dumpJson();
+    EXPECT_NE(json.find("\"interval\": 100"), std::string::npos);
+    EXPECT_NE(json.find("\"ticks\": [100, 200]"), std::string::npos);
+    EXPECT_NE(json.find("\"groups.machine.walks\": [1, 2]"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"groups.machine.hits\": [0, 5]"),
+              std::string::npos);
+
+    // The whole document flattens through the shared stats parser.
+    std::map<std::string, double> flat;
+    ASSERT_TRUE(parseStatsJson(json, flat));
+    EXPECT_DOUBLE_EQ(flat["series.groups.machine.walks.1"], 2.0);
+}
+
+TEST(StatSampler, ZeroIntervalIsClampedToOne)
+{
+    Counter ops;
+    StatRegistry registry;
+    registry.makeGroup("camp").add("ops", &ops);
+    StatSampler sampler(registry, 0, 8);
+    sampler.advanceTo(4);
+    EXPECT_EQ(sampler.interval(), 1u);
+    EXPECT_EQ(sampler.windows(), 4u);
+}
+
+TEST(StatRegistry, JsonDumpIsSortedRegardlessOfRegistrationOrder)
+{
+    Counter a, b;
+    StatRegistry forward;
+    forward.makeGroup("alpha").add("x", &a);
+    forward.makeGroup("beta").add("y", &b);
+
+    StatRegistry reversed;
+    reversed.makeGroup("beta").add("y", &b);
+    reversed.makeGroup("alpha").add("x", &a);
+
+    EXPECT_EQ(forward.dumpJson(), reversed.dumpJson());
+    EXPECT_LT(forward.dumpJson().find("alpha"),
+              forward.dumpJson().find("beta"));
+}
+
+TEST(Distribution, PercentilesBracketTheSamples)
+{
+    Distribution d;
+    for (uint64_t v = 1; v <= 1000; ++v)
+        d.sample(v);
+
+    const double p50 = d.percentile(0.50);
+    const double p99 = d.percentile(0.99);
+    const double p999 = d.percentile(0.999);
+    // Log2 buckets give estimates good to the bucket width; assert
+    // ordering and the exact clamped envelope.
+    EXPECT_LE(p50, p99);
+    EXPECT_LE(p99, p999);
+    EXPECT_GE(p50, 1.0);
+    EXPECT_LE(p999, 1000.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 1000.0);
+
+    Distribution empty;
+    EXPECT_DOUBLE_EQ(empty.percentile(0.99), 0.0);
+
+    // A dump now carries the percentile summary keys.
+    StatRegistry registry;
+    registry.makeGroup("g").add("lat", &d);
+    const std::string json = registry.dumpJson();
+    EXPECT_NE(json.find("\"p50\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+    EXPECT_NE(json.find("\"p999\""), std::string::npos);
+}
+
+} // namespace
+} // namespace hpmp

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Causal span-tree tests (DESIGN.md §13): one monitor call on an SMP
+ * system yields a golden tree — the call's root span, the shootdown
+ * window under it, and one per-sibling IPI span under the window, all
+ * sharing one trace id; a migration round trip keeps source and
+ * destination phases in a single tree with the trace id carried
+ * across the checkpoint image, destination spans on their own chrome
+ * track (pid); and nothing stays open once the system is at rest.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/trace.h"
+#include "core/smp.h"
+#include "migrate/migration.h"
+#include "monitor/secure_monitor.h"
+
+namespace hpmp
+{
+namespace
+{
+
+#if HPMP_TRACE_ENABLED
+
+class SpanTraceTest : public ::testing::Test
+{
+  protected:
+    SpanTraceTest()
+    {
+        Tracer &tracer = Tracer::instance();
+        tracer.setOutput(nullptr);
+        tracer.ring().setCapacity(1 << 16);
+        tracer.ring().clear();
+        tracer.spans().reset();
+        tracer.enable(TraceFlag::Monitor);
+    }
+
+    ~SpanTraceTest() override
+    {
+        Tracer &tracer = Tracer::instance();
+        tracer.disableAll();
+        tracer.spans().reset();
+        tracer.ring().clear();
+        tracer.ring().setCapacity(4096);
+        tracer.setOutput(stderr);
+    }
+
+    void
+    makeSmp(unsigned harts)
+    {
+        SmpParams sp;
+        sp.harts = harts;
+        sp.schedSeed = 11;
+        smp = std::make_unique<SmpSystem>(rocketParams(), sp);
+        MonitorConfig config;
+        config.scheme = IsolationScheme::Hpmp;
+        monitor = std::make_unique<SecureMonitor>(*smp, config);
+        for (unsigned h = 0; h < harts; ++h) {
+            smp->hart(h).setPriv(PrivMode::Supervisor);
+            smp->hart(h).setBare();
+        }
+    }
+
+    /** All retained Begin events named `name`, oldest first. */
+    std::vector<TraceEvent>
+    begins(const std::string &name) const
+    {
+        std::vector<TraceEvent> out;
+        const TraceRing &ring = Tracer::instance().ring();
+        for (size_t i = 0; i < ring.size(); ++i) {
+            const TraceEvent &ev = ring.at(i);
+            if (ev.ph == TracePhase::Begin && name == ev.name)
+                out.push_back(ev);
+        }
+        return out;
+    }
+
+    std::unique_ptr<SmpSystem> smp;
+    std::unique_ptr<SecureMonitor> monitor;
+};
+
+TEST_F(SpanTraceTest, TrackerNestsAndRestoresContext)
+{
+    SpanTracker &spans = Tracer::instance().spans();
+
+    const SpanId outer = spans.beginSpan(TraceFlag::Monitor, "outer");
+    ASSERT_NE(outer, 0u);
+    const TraceContext outerCtx = spans.context();
+    EXPECT_EQ(outerCtx.span, outer);
+    EXPECT_NE(outerCtx.traceId, 0u);
+
+    const SpanId inner = spans.beginSpan(TraceFlag::Monitor, "inner");
+    EXPECT_EQ(spans.context().span, inner);
+    EXPECT_EQ(spans.context().traceId, outerCtx.traceId);
+
+    // A non-lexical child doesn't shift the context.
+    const SpanId side = spans.beginSpanUnder(TraceFlag::Monitor, "side",
+                                             outerCtx);
+    EXPECT_EQ(spans.context().span, inner);
+    spans.endSpan(side);
+    EXPECT_EQ(spans.context().span, inner);
+
+    spans.endSpan(inner);
+    EXPECT_EQ(spans.context().span, outer);
+    spans.endSpan(outer);
+    EXPECT_EQ(spans.context().span, 0u);
+    EXPECT_EQ(spans.context().traceId, 0u);
+    EXPECT_EQ(spans.openSpans(), 0u);
+
+    // Two separate roots get distinct trace trees.
+    const SpanId r1 = spans.beginSpan(TraceFlag::Monitor, "r1");
+    const TraceContext c1 = spans.context();
+    spans.endSpan(r1);
+    const SpanId r2 = spans.beginSpan(TraceFlag::Monitor, "r2");
+    EXPECT_NE(spans.context().traceId, c1.traceId);
+    spans.endSpan(r2);
+
+    // Disabled flag: no span, no state change.
+    Tracer::instance().disable(TraceFlag::Monitor);
+    EXPECT_EQ(spans.beginSpan(TraceFlag::Monitor, "off"), 0u);
+    EXPECT_EQ(spans.openSpans(), 0u);
+    Tracer::instance().enable(TraceFlag::Monitor);
+}
+
+TEST_F(SpanTraceTest, MonitorCallYieldsTheGoldenShootdownTree)
+{
+    makeSmp(3); // two siblings to fence
+    Tracer::instance().ring().clear();
+
+    ASSERT_TRUE(
+        monitor->addGms(0, {2_GiB, 4_MiB, Perm::rw(), GmsLabel::Fast})
+            .ok);
+    EXPECT_EQ(Tracer::instance().spans().openSpans(), 0u);
+
+    const std::vector<TraceEvent> call = begins("addGms");
+    ASSERT_EQ(call.size(), 1u);
+    EXPECT_EQ(call[0].parent, 0u); // the monitor call roots the tree
+    EXPECT_NE(call[0].traceId, 0u);
+
+    const std::vector<TraceEvent> window = begins("shootdown.window");
+    ASSERT_EQ(window.size(), 1u);
+    EXPECT_EQ(window[0].parent, call[0].span);
+    EXPECT_EQ(window[0].traceId, call[0].traceId);
+
+    const std::vector<TraceEvent> harts = begins("shootdown.hart");
+    ASSERT_EQ(harts.size(), 2u); // one per sibling
+    for (const TraceEvent &ev : harts) {
+        EXPECT_EQ(ev.parent, window[0].span);
+        EXPECT_EQ(ev.traceId, call[0].traceId);
+    }
+    // The two siblings are distinct harts, neither the initiator.
+    EXPECT_NE(harts[0].a0, harts[1].a0);
+}
+
+TEST_F(SpanTraceTest, CoalescedEpochParentsItsBatchedCalls)
+{
+    makeSmp(2);
+    const DomainId id = monitor->createDomain();
+    ASSERT_TRUE(
+        monitor->addGms(id, {4_GiB, 1_MiB, Perm::rw(), GmsLabel::Fast})
+            .ok);
+    Tracer::instance().ring().clear();
+
+    monitor->beginCoalescedWindow();
+    ASSERT_TRUE(monitor->switchTo(id).ok);
+    ASSERT_TRUE(monitor->switchTo(0).ok);
+    monitor->endCoalescedWindow();
+    EXPECT_EQ(Tracer::instance().spans().openSpans(), 0u);
+
+    const std::vector<TraceEvent> epoch = begins("coalesced_epoch");
+    ASSERT_EQ(epoch.size(), 1u);
+    EXPECT_EQ(epoch[0].parent, 0u);
+
+    const std::vector<TraceEvent> switches = begins("switchTo");
+    ASSERT_EQ(switches.size(), 2u);
+    for (const TraceEvent &ev : switches) {
+        EXPECT_EQ(ev.parent, epoch[0].span);
+        EXPECT_EQ(ev.traceId, epoch[0].traceId);
+    }
+}
+
+TEST_F(SpanTraceTest, MigrationRoundTripSharesOneTraceAcrossSystems)
+{
+    SmpParams sp;
+    sp.harts = 2;
+    sp.schedSeed = 31;
+    SmpSystem smpA(rocketParams(), sp);
+    sp.schedSeed = 32;
+    SmpSystem smpB(rocketParams(), sp);
+    MonitorConfig config;
+    config.scheme = IsolationScheme::Hpmp;
+    SecureMonitor monA(smpA, config);
+    SecureMonitor monB(smpB, config);
+    for (unsigned h = 0; h < 2; ++h) {
+        smpA.hart(h).setPriv(PrivMode::Supervisor);
+        smpA.hart(h).setBare();
+        smpB.hart(h).setPriv(PrivMode::Supervisor);
+        smpB.hart(h).setBare();
+    }
+    const DomainId id = monA.createDomain();
+    ASSERT_TRUE(
+        monA.addGms(id, {256_MiB, 2_MiB, Perm::rw(), GmsLabel::Fast})
+            .ok);
+    Tracer::instance().ring().clear();
+
+    MigrationEngine engine(monA, monB);
+    const MigrateResult res = engine.migrate(id, 0xfeed);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(Tracer::instance().spans().openSpans(), 0u);
+
+    const std::vector<TraceEvent> root = begins("migrate");
+    ASSERT_EQ(root.size(), 1u);
+    EXPECT_EQ(root[0].parent, 0u);
+    EXPECT_EQ(root[0].pid, 0u); // source track
+
+    // Every phase nests directly under the root with the same trace
+    // id — including the destination-side ones, which learned it from
+    // the deserialized checkpoint image, not from local state.
+    const char *const phases[] = {
+        "migrate.quiesce", "migrate.checkpoint", "migrate.transfer",
+        "migrate.stage", "migrate.verify", "migrate.ack",
+        "migrate.commit", "migrate.resume",
+    };
+    for (const char *phase : phases) {
+        const std::vector<TraceEvent> evs = begins(phase);
+        ASSERT_EQ(evs.size(), 1u) << phase;
+        EXPECT_EQ(evs[0].parent, root[0].span) << phase;
+        EXPECT_EQ(evs[0].traceId, root[0].traceId) << phase;
+    }
+    // Destination-side phases render on the destination track.
+    EXPECT_EQ(begins("migrate.stage")[0].pid, 1u);
+    EXPECT_EQ(begins("migrate.resume")[0].pid, 1u);
+    EXPECT_EQ(begins("migrate.quiesce")[0].pid, 0u);
+    EXPECT_EQ(begins("migrate.commit")[0].pid, 0u);
+
+    // The destination's activation shootdown joined the same tree.
+    const std::vector<TraceEvent> windows = begins("shootdown.window");
+    EXPECT_FALSE(windows.empty());
+    bool destWindow = false;
+    for (const TraceEvent &ev : windows) {
+        EXPECT_EQ(ev.traceId, root[0].traceId);
+        destWindow = destWindow || ev.pid == 1u;
+    }
+    EXPECT_TRUE(destWindow);
+
+    // The dump carries B/E span events with their causal args and the
+    // drop metadata, ready for chrome://tracing.
+    const std::string json = Tracer::instance().ring().dumpChromeJson();
+    EXPECT_NE(json.find("\"ph\": \"B\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"E\""), std::string::npos);
+    EXPECT_NE(json.find("\"otherData\""), std::string::npos);
+    EXPECT_NE(json.find("\"dropped\""), std::string::npos);
+}
+
+#endif // HPMP_TRACE_ENABLED
+
+} // namespace
+} // namespace hpmp

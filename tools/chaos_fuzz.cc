@@ -46,6 +46,8 @@ struct Options
     size_t traceRing = 8192; //!< event-ring capacity; 0 disables capture
     std::vector<IsolationScheme> schemes{IsolationScheme::Hpmp};
     std::string statsJson; //!< per-campaign stats JSON file; "" = off
+    std::string statsSeries; //!< windowed time-series file; "" = off
+    uint64_t statsInterval = 10000; //!< simulated cycles per window
     /** Append every fault site this run exercised, one per line; CI
      *  unions these files across campaigns and asserts the union
      *  covers the full --list-fault-sites registry. */
@@ -62,6 +64,7 @@ usage(const char *argv0)
         "          [--harts N] [--os-layer] [--virt] [--fleet]\n"
         "          [--migrate] [--trace-ring N]\n"
         "          [--light-digest] [--stats-json FILE]\n"
+        "          [--stats-series FILE] [--stats-interval CYCLES]\n"
         "          [--site-coverage-out FILE] [--list-fault-sites]\n",
         argv0);
 }
@@ -127,8 +130,12 @@ class RingCapture
     void
     nextCampaign()
     {
-        if (active_ && HPMP_TRACE_ENABLED)
+        if (active_ && HPMP_TRACE_ENABLED) {
             hpmp::Tracer::instance().ring().clear();
+            // Fresh causal state too: a failing seed's dump must hold
+            // only its own campaign's span trees.
+            hpmp::Tracer::instance().spans().reset();
+        }
     }
 
   private:
@@ -219,6 +226,10 @@ main(int argc, char **argv)
             opts.traceRing = size_t(std::strtoul(value(), nullptr, 0));
         } else if (arg == "--stats-json") {
             opts.statsJson = value();
+        } else if (arg == "--stats-series") {
+            opts.statsSeries = value();
+        } else if (arg == "--stats-interval") {
+            opts.statsInterval = std::strtoull(value(), nullptr, 0);
         } else if (arg == "--scheme") {
             if (!parseSchemes(value(), opts.schemes)) {
                 usage(argv[0]);
@@ -297,6 +308,7 @@ main(int argc, char **argv)
     unsigned total_faults = 0;
     unsigned total_degraded = 0;
     std::string campaigns_json;
+    std::string series_json;
     for (const IsolationScheme scheme : opts.schemes) {
         for (const uint64_t seed : opts.seeds) {
             ChaosConfig config;
@@ -313,6 +325,11 @@ main(int argc, char **argv)
             std::string campaign_stats;
             if (!opts.statsJson.empty())
                 config.statsJsonOut = &campaign_stats;
+            std::string campaign_series;
+            if (!opts.statsSeries.empty()) {
+                config.statsSeriesOut = &campaign_series;
+                config.statsSeriesInterval = opts.statsInterval;
+            }
 
             capture.nextCampaign();
             const ChaosStats stats = opts.migrateLayer
@@ -328,6 +345,17 @@ main(int argc, char **argv)
                 campaigns_json += ", \"stats\": ";
                 campaigns_json += campaign_stats;
                 campaigns_json += "}";
+            }
+            if (!opts.statsSeries.empty()) {
+                if (!series_json.empty())
+                    series_json += ",\n";
+                series_json += "    {\"scheme\": \"";
+                series_json += toString(scheme);
+                series_json += "\", \"seed\": ";
+                series_json += std::to_string(seed);
+                series_json += ", \"series\": ";
+                series_json += campaign_series;
+                series_json += "}";
             }
             std::printf(
                 "chaos scheme=%-4s seed=%-3lu ops=%u ok=%u failed=%u "
@@ -443,6 +471,19 @@ main(int argc, char **argv)
         std::fclose(f);
         std::printf("chaos: stats written to %s\n",
                     opts.statsJson.c_str());
+    }
+    if (!opts.statsSeries.empty()) {
+        std::FILE *f = std::fopen(opts.statsSeries.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opts.statsSeries.c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n  \"campaigns\": [\n%s\n  ]\n}\n",
+                     series_json.c_str());
+        std::fclose(f);
+        std::printf("chaos: stats series written to %s\n",
+                    opts.statsSeries.c_str());
     }
     write_site_coverage();
     return 0;

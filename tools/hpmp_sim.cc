@@ -16,10 +16,13 @@
  * is used.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <set>
+#include <span>
 #include <string>
 
 #include "base/frame_alloc.h"
@@ -45,6 +48,8 @@ struct Options
     unsigned pmptwEntries = 0;
     bool dumpStats = false;
     std::string statsJson;  //!< full registry JSON dump file
+    std::string statsSeries; //!< windowed time-series JSON file
+    uint64_t statsInterval = 100000; //!< simulated cycles per window
     std::string debugFlags; //!< tracer flags ("Walk,Tlb", "All")
     std::string traceOut;   //!< chrome://tracing ring dump file
 };
@@ -62,6 +67,11 @@ usage(const char *argv0)
         "  --pmptw-cache N    PMPTW-cache entries (default 0 = off)\n"
         "  --stats            dump raw machine counters\n"
         "  --stats-json FILE  write the full stats registry as JSON\n"
+        "  --stats-series FILE\n"
+        "                     write a windowed stats time-series: every\n"
+        "                     counter snapshotted each --stats-interval\n"
+        "                     simulated cycles during the replay\n"
+        "  --stats-interval N cycles per series window (default 100000)\n"
         "  --debug FLAGS      enable debug tracing (Walk,Hpmp,Pmpt,\n"
         "                     Monitor,Fault,Tlb or All)\n"
         "  --trace-out FILE   write the trace-event ring as\n"
@@ -123,6 +133,16 @@ parse(int argc, char **argv, Options &opts)
             if (!v)
                 return false;
             opts.statsJson = v;
+        } else if (arg == "--stats-series") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.statsSeries = v;
+        } else if (arg == "--stats-interval") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.statsInterval = std::strtoull(v, nullptr, 0);
         } else if (arg == "--debug") {
             const char *v = next();
             if (!v)
@@ -257,8 +277,39 @@ main(int argc, char **argv)
     machine.coldReset();
 
     CoreModel model(params);
+
+    // --stats-series: snapshot the machine registry on simulated-cycle
+    // boundaries. The replay is chunked so the sampler sees the clock
+    // advance; without the flag the whole trace goes down in one batch.
+    StatRegistry seriesRegistry;
+    std::unique_ptr<StatSampler> sampler;
+    if (!opts.statsSeries.empty()) {
+        machine.registerStats(seriesRegistry);
+        sampler = std::make_unique<StatSampler>(seriesRegistry,
+                                                opts.statsInterval);
+    }
+
     const auto t0 = std::chrono::steady_clock::now();
-    const ReplayResult result = replayTrace(machine, model, trace);
+    ReplayResult result;
+    if (sampler) {
+        constexpr size_t kChunk = 512;
+        std::span<const TraceRecord> recs(trace.records());
+        while (!recs.empty()) {
+            const size_t n = std::min(recs.size(), kChunk);
+            const BatchOutcome out = machine.accessBatch(
+                recs.first(n), &model);
+            result.accesses += out.accesses;
+            result.faults += out.faults;
+            result.cycles += out.cycles;
+            result.totalRefs += out.totalRefs();
+            result.pmptRefs += out.pmptRefs;
+            recs = recs.subspan(n);
+            sampler->advanceTo(model.cycles());
+        }
+        sampler->sample(model.cycles());
+    } else {
+        result = replayTrace(machine, model, trace);
+    }
     const auto t1 = std::chrono::steady_clock::now();
     const double host_sec = std::chrono::duration<double>(t1 - t0).count();
 
@@ -297,6 +348,17 @@ main(int argc, char **argv)
             return 1;
         }
         std::printf("stats JSON written to %s\n", opts.statsJson.c_str());
+    }
+    if (sampler) {
+        if (!sampler->writeJsonFile(opts.statsSeries)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opts.statsSeries.c_str());
+            return 1;
+        }
+        std::printf("stats series written to %s (%zu windows, "
+                    "%lu dropped)\n",
+                    opts.statsSeries.c_str(), sampler->windows(),
+                    (unsigned long)sampler->droppedWindows());
     }
 #if HPMP_TRACE_ENABLED
     // With tracing compiled out --trace-out already exited above, so

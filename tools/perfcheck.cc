@@ -1,0 +1,143 @@
+/**
+ * @file
+ * CI perf-regression gate CLI.
+ *
+ *     perfcheck --baseline bench/BASELINE_simperf.json \
+ *               --current build/bench/BENCH_simperf.json \
+ *               --metric 'simperf.*.cycles_per_access=+10%' \
+ *               --metric 'simperf.*.tlb_hit_rate=-5%'
+ *
+ * Exit 0 when every rule holds, 1 on any regression / missing metric /
+ * rule that selects nothing, 2 on usage or I/O errors. The comparison
+ * semantics live in src/base/perfcheck (see its header); this is just
+ * flag parsing and file I/O.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/perfcheck.h"
+#include "base/stats.h"
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --baseline FILE --current FILE --metric GLOB=[+|-]TOL%%"
+        " [--metric ...] [--quiet]\n"
+        "  GLOB   dotted key glob over the flattened JSON\n"
+        "         ('*' = one segment, trailing '**' = rest)\n"
+        "  TOL%%   +10%% upper-only (lower is better), -5%% lower-only\n"
+        "         (higher is better), 10%% two-sided band\n",
+        argv0);
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string baselinePath;
+    std::string currentPath;
+    std::vector<hpmp::PerfRule> rules;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--baseline") {
+            const char *v = value("--baseline");
+            if (!v)
+                return 2;
+            baselinePath = v;
+        } else if (arg == "--current") {
+            const char *v = value("--current");
+            if (!v)
+                return 2;
+            currentPath = v;
+        } else if (arg == "--metric") {
+            const char *v = value("--metric");
+            if (!v)
+                return 2;
+            hpmp::PerfRule rule;
+            std::string error;
+            if (!hpmp::parsePerfRule(v, rule, &error)) {
+                std::fprintf(stderr, "perfcheck: %s\n", error.c_str());
+                return 2;
+            }
+            rules.push_back(rule);
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (baselinePath.empty() || currentPath.empty() || rules.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    std::string baselineText;
+    std::string currentText;
+    if (!readFile(baselinePath, baselineText)) {
+        std::fprintf(stderr, "perfcheck: cannot read baseline %s\n",
+                     baselinePath.c_str());
+        return 2;
+    }
+    if (!readFile(currentPath, currentText)) {
+        std::fprintf(stderr, "perfcheck: cannot read current %s\n",
+                     currentPath.c_str());
+        return 2;
+    }
+
+    std::map<std::string, double> baseline;
+    std::map<std::string, double> current;
+    if (!hpmp::parseStatsJson(baselineText, baseline)) {
+        std::fprintf(stderr, "perfcheck: malformed JSON in %s\n",
+                     baselinePath.c_str());
+        return 2;
+    }
+    if (!hpmp::parseStatsJson(currentText, current)) {
+        std::fprintf(stderr, "perfcheck: malformed JSON in %s\n",
+                     currentPath.c_str());
+        return 2;
+    }
+
+    const hpmp::PerfCheckReport report =
+        hpmp::perfCheck(baseline, current, rules);
+    if (!quiet || !report.ok())
+        std::fputs(report.render().c_str(), stdout);
+    return report.ok() ? 0 : 1;
+}
