@@ -24,6 +24,7 @@ void
 FaultInjector::disable()
 {
     enabled_ = false;
+    controller_ = nullptr;
     plans_.clear();
     anyNth_ = 0;
     totalHits_ = 0;
@@ -77,6 +78,16 @@ FaultInjector::fireCheck(const char *site, bool allow_any)
     everSeen_.insert(site);
     Plan &p = plan(site);
     ++p.hitCount;
+
+    // Decision-controller mode: the enumerator decides, plans are
+    // bypassed entirely (hit accounting above still ran, so coverage
+    // reporting and the fired log stay truthful).
+    if (controller_) {
+        const bool forced = controller_(site);
+        if (forced)
+            fired_.push_back(site);
+        return forced;
+    }
 
     // ">=", not "==": hits at sites excluded from the any-site plan
     // (corruption sites, allow_any = false) advance the hit count, and

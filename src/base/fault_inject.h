@@ -27,6 +27,7 @@
 #define HPMP_BASE_FAULT_INJECT_H
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -100,6 +101,26 @@ class FaultInjector
     void armAnyNth(uint64_t nth);
 
     /**
+     * Decision-controller mode (the model checker, tools/model_check):
+     * while a controller is installed it is consulted on every site
+     * hit *instead of* the armed plans, turning each FAULT_POINT into
+     * a binary branch point an explicit-state enumerator can force
+     * either way and record as a replayable decision. Hits are still
+     * counted, fired sites still logged, and SuspendGuard still
+     * suppresses both the query and the count; the injector must be
+     * enable()d for sites to reach the controller at all. Corruption
+     * sites (maybeFlipBit) reach the controller too — a controller
+     * that does not mean to corrupt must answer false for them. Clear
+     * with nullptr.
+     */
+    using DecisionController = std::function<bool(const char *site)>;
+    void setDecisionController(DecisionController controller)
+    {
+        controller_ = std::move(controller);
+    }
+    bool hasDecisionController() const { return bool(controller_); }
+
+    /**
      * Should the fault at `site` fire now? Counts the hit either way.
      * Called through FAULT_POINT only when enabled.
      */
@@ -163,6 +184,7 @@ class FaultInjector
 
     bool enabled_ = false;
     unsigned suspend_ = 0; //!< nesting depth of live SuspendGuards
+    DecisionController controller_; //!< overrides plans while set
     Rng rng_;
     std::map<std::string, Plan> plans_;
     uint64_t anyNth_ = 0;

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * FNV-1a folding helpers shared by the digest plumbing.
+ *
+ * SecureMonitor::stateDigest, the chaos fuzzer and the model checker
+ * all build 64-bit state summaries by folding words into an FNV-1a
+ * accumulator; this header is the one place the constants and the
+ * fold step live so every layer mixes identically.
+ */
+
+#ifndef HPMP_BASE_HASH_H
+#define HPMP_BASE_HASH_H
+
+#include <cstdint>
+
+namespace hpmp
+{
+
+constexpr uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/** Fold one 64-bit word into an FNV-1a accumulator, byte by byte. */
+constexpr uint64_t
+fnvFold(uint64_t hash, uint64_t word)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        hash ^= (word >> (i * 8)) & 0xff;
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+} // namespace hpmp
+
+#endif // HPMP_BASE_HASH_H

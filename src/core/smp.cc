@@ -89,6 +89,12 @@ unsigned
 SmpSystem::pickHart()
 {
     ++statSchedPicks_;
+    if (schedHook_) {
+        const unsigned h = schedHook_(numHarts());
+        fatal_if(h >= numHarts(),
+                 "sched hook picked hart %u of %u", h, numHarts());
+        return h;
+    }
     if (params_.roundRobin) {
         const unsigned h = rrNext_;
         rrNext_ = (rrNext_ + 1) % numHarts();

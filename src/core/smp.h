@@ -132,6 +132,17 @@ class SmpSystem
     /** Scheduler: next hart in the deterministic interleaving. */
     unsigned pickHart();
 
+    /**
+     * External scheduler-decision controller (the model checker):
+     * while installed, pickHart() asks the hook for the next hart
+     * instead of the seeded stream or the round-robin cursor, so every
+     * pickHart-level choice becomes a recordable, replayable decision
+     * of an explicit-state enumeration. Clear with nullptr.
+     */
+    using SchedHook = std::function<unsigned(unsigned numHarts)>;
+    void setSchedHook(SchedHook hook) { schedHook_ = std::move(hook); }
+    bool hasSchedHook() const { return bool(schedHook_); }
+
     /** The scheduler's stream, for hooks that need more decisions. */
     Rng &schedRng() { return schedRng_; }
 
@@ -219,6 +230,7 @@ class SmpSystem
     std::vector<std::unique_ptr<Machine>> harts_;
     std::vector<std::unique_ptr<VirtMachine>> virtHarts_;
     Rng schedRng_;
+    SchedHook schedHook_;
     unsigned rrNext_ = 0;
     unsigned currentHart_ = 0;
     InterleaveHook *hook_ = nullptr;

@@ -82,31 +82,53 @@ DmaEngine::transfer(Addr src, Addr dst, uint64_t bytes)
     TransferResult result;
     for (uint64_t off = 0; off < bytes; off += 64) {
         const uint64_t beat = std::min<uint64_t>(64, bytes - off);
+        uint64_t beatCycles = 0;
+        bool beatOk = true;
 
         HpmpCheckResult read_check =
             iopmp_.check(id_, src + off, beat, AccessType::Load);
         result.pmptRefs += unsigned(read_check.pmptRefs.size());
         for (const PmptRef &ref : read_check.pmptRefs)
-            result.cycles += hier_.access(ref.pa, false).cycles;
+            beatCycles += hier_.access(ref.pa, false).cycles;
         if (!read_check.ok()) {
             result.ok = false;
             result.faultAddr = src + off;
-            return result;
+            beatOk = false;
         }
 
-        HpmpCheckResult write_check =
-            iopmp_.check(id_, dst + off, beat, AccessType::Store);
-        result.pmptRefs += unsigned(write_check.pmptRefs.size());
-        for (const PmptRef &ref : write_check.pmptRefs)
-            result.cycles += hier_.access(ref.pa, false).cycles;
-        if (!write_check.ok()) {
-            result.ok = false;
-            result.faultAddr = dst + off;
-            return result;
+        if (beatOk) {
+            HpmpCheckResult write_check =
+                iopmp_.check(id_, dst + off, beat, AccessType::Store);
+            result.pmptRefs += unsigned(write_check.pmptRefs.size());
+            for (const PmptRef &ref : write_check.pmptRefs)
+                beatCycles += hier_.access(ref.pa, false).cycles;
+            if (!write_check.ok()) {
+                result.ok = false;
+                result.faultAddr = dst + off;
+                beatOk = false;
+            }
         }
 
-        result.cycles += hier_.access(src + off, false).cycles;
-        result.cycles += hier_.access(dst + off, true).cycles;
+        if (beatOk) {
+            beatCycles += hier_.access(src + off, false).cycles;
+            beatCycles += hier_.access(dst + off, true).cycles;
+        }
+
+        // One bus transaction per beat: the IOPMP's table references
+        // ride the same grant as the data, so check latency inflates
+        // the channel-busy time other masters wait behind. A denied
+        // beat still occupied the channel for its check refs.
+        if (bus_ != nullptr) {
+            const uint64_t wait =
+                bus_->acquire(id_, now_, beatCycles);
+            result.busWaitCycles += wait;
+            result.cycles += wait;
+            now_ += wait;
+        }
+        result.cycles += beatCycles;
+        now_ += beatCycles;
+        if (!beatOk)
+            return result;
         ++result.beats;
     }
     return result;

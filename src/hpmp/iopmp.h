@@ -19,6 +19,7 @@
 
 #include "hpmp/hpmp_unit.h"
 #include "mem/hierarchy.h"
+#include "mem/shared_bus.h"
 
 namespace hpmp
 {
@@ -88,12 +89,27 @@ class DmaEngine
     {
     }
 
+    /**
+     * Attach (or detach, nullptr) a shared interconnect. When
+     * attached, every beat — IOPMP table references plus the data
+     * read and write — must win the bus before it runs, and the
+     * arbitration stall is added to the transfer's cycles. The
+     * engine keeps a local clock across transfers so masters that
+     * start "at the same time" genuinely contend.
+     */
+    void attachBus(SharedBus *bus) { bus_ = bus; }
+
+    /** The engine's local clock (advances with transfers). */
+    uint64_t now() const { return now_; }
+
     /** Result of one transfer. */
     struct TransferResult
     {
         bool ok = true;
         Addr faultAddr = 0;
-        uint64_t cycles = 0;
+        uint64_t cycles = 0; //!< total, including bus stalls
+        /** Cycles stalled waiting for the shared bus (0 unattached). */
+        uint64_t busWaitCycles = 0;
         unsigned beats = 0;
         unsigned pmptRefs = 0;
     };
@@ -105,6 +121,8 @@ class DmaEngine
     IopmpUnit &iopmp_;
     MemoryHierarchy &hier_;
     MasterId id_;
+    SharedBus *bus_ = nullptr;
+    uint64_t now_ = 0;
 };
 
 } // namespace hpmp

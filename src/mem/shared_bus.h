@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A single-channel shared interconnect with first-come arbitration.
+ *
+ * DMA masters and the CPU-side hierarchy nominally share one memory
+ * bus; modelling the channel as a scalar "busy until cycle N" is
+ * enough to surface the effect the per-master IOPMP timing cares
+ * about: a master's transfer cycles grow with *other* masters' load,
+ * because every beat (IOPMP table refs + data) must win the bus
+ * before it can run. Arbitration is in arrival order — a requester
+ * whose local clock is behind the channel's free time simply waits
+ * out the difference, and the wait is attributed to that master.
+ */
+
+#ifndef HPMP_MEM_SHARED_BUS_H
+#define HPMP_MEM_SHARED_BUS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "base/stats.h"
+
+namespace hpmp
+{
+
+class SharedBus
+{
+  public:
+    explicit SharedBus(unsigned num_masters = 2)
+        : masterWaits_(num_masters, 0)
+    {
+        stats_.add("grants", &grants_);
+        stats_.add("wait_cycles", &waitCycles_);
+        stats_.add("busy_cycles", &busyCycles_);
+    }
+
+    /**
+     * Claim the channel at local time `now` for `busyCycles` cycles.
+     * @return cycles the master stalls before its grant starts.
+     */
+    uint64_t
+    acquire(unsigned master, uint64_t now, uint64_t busyCycles)
+    {
+        const uint64_t start = std::max(now, freeAt_);
+        const uint64_t wait = start - now;
+        freeAt_ = start + busyCycles;
+        ++grants_;
+        waitCycles_ += wait;
+        busyCycles_ += busyCycles;
+        if (master < masterWaits_.size())
+            masterWaits_[master] += wait;
+        return wait;
+    }
+
+    /** First cycle at which the channel is idle again. */
+    uint64_t freeAt() const { return freeAt_; }
+
+    /** Total stall cycles attributed to one master. */
+    uint64_t
+    masterWaitCycles(unsigned master) const
+    {
+        return master < masterWaits_.size() ? masterWaits_[master] : 0;
+    }
+
+    uint64_t grants() const { return grants_.value(); }
+    uint64_t waitCycles() const { return waitCycles_.value(); }
+
+    /** "shared_bus" group (grants, wait_cycles, busy_cycles). */
+    StatGroup &stats() { return stats_; }
+
+  private:
+    uint64_t freeAt_ = 0;
+    std::vector<uint64_t> masterWaits_;
+    Counter grants_;     //!< channel grants handed out
+    Counter waitCycles_; //!< total arbitration stalls, all masters
+    Counter busyCycles_; //!< cycles the channel spent occupied
+    StatGroup stats_{"shared_bus"};
+};
+
+} // namespace hpmp
+
+#endif // HPMP_MEM_SHARED_BUS_H

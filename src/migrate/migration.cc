@@ -93,6 +93,7 @@ MigrationEngine::MigrationEngine(SecureMonitor &src, SecureMonitor &dst,
     stats_.add("frames_dropped", &statFramesDropped_);
     stats_.add("frames_duplicated", &statFramesDuplicated_);
     stats_.add("frames_corrupted", &statFramesCorrupted_);
+    stats_.add("frames_beyond_window", &statFramesBeyondWindow_);
     stats_.add("phase_quiesce_cycles", &statQuiesceCycles_);
     stats_.add("phase_checkpoint_cycles", &statCheckpointCycles_);
     stats_.add("phase_transfer_cycles", &statTransferCycles_);
@@ -117,7 +118,12 @@ MigrationEngine::transferImage(Attempt &at,
     const uint64_t total =
         (image.size() + config_.frameBytes - 1) / config_.frameBytes;
     std::vector<std::vector<uint8_t>> got(static_cast<size_t>(total));
-    std::vector<bool> have(static_cast<size_t>(total), false);
+    // Receive-side dedup is a bounded sliding window, not a
+    // remembers-everything bitmap: the dedup state stays
+    // O(recvWindowFrames) no matter what totalFrames claims, and a
+    // frame beyond the window is discarded unrecorded (fail closed —
+    // the in-order sender never legitimately runs that far ahead).
+    SeqWindow window(config_.recvWindowFrames);
 
     for (uint64_t i = 0; i < total; ++i) {
         MsgFrame frame;
@@ -142,12 +148,20 @@ MigrationEngine::transferImage(Attempt &at,
             while (channel_.recv(rx)) {
                 if (!MsgChannel::valid(rx))
                     continue;
-                if (rx.seq >= total || have[size_t(rx.seq)])
+                if (rx.seq >= total)
                     continue;
-                got[size_t(rx.seq)] = std::move(rx.payload);
-                have[size_t(rx.seq)] = true;
+                switch (window.accept(rx.seq)) {
+                  case SeqWindow::Verdict::Accept:
+                    got[size_t(rx.seq)] = std::move(rx.payload);
+                    break;
+                  case SeqWindow::Verdict::Duplicate:
+                    break;
+                  case SeqWindow::Verdict::BeyondWindow:
+                    ++statFramesBeyondWindow_;
+                    break;
+                }
             }
-            if (have[size_t(i)]) {
+            if (window.seen(i)) {
                 landed = true;
                 break;
             }

@@ -84,6 +84,13 @@ struct MigrateConfig
     /** Hash full PMP-table contents in the rollback baseline digest. */
     bool fullSourceDigest = true;
     /**
+     * Receive-side sequence-dedup window (frames). Bounds the
+     * receiver's dedup state independently of totalFrames; frames at
+     * or beyond base+window are rejected, not remembered
+     * (MsgChannel SeqWindow).
+     */
+    uint64_t recvWindowFrames = 64;
+    /**
      * chrome://tracing track ids stamped on this engine's span events
      * (DESIGN.md §13): source-side phases land on sourceSystemId,
      * stage/verify/resume on destSystemId, so one dump shows both
@@ -187,6 +194,8 @@ class MigrationEngine
     Counter statFramesDropped_;
     Counter statFramesDuplicated_;
     Counter statFramesCorrupted_;
+    /** Frames discarded at or beyond the receive dedup window. */
+    Counter statFramesBeyondWindow_;
     Distribution statQuiesceCycles_;
     Distribution statCheckpointCycles_;
     Distribution statTransferCycles_;

@@ -23,6 +23,7 @@
 #ifndef HPMP_MIGRATE_MSG_CHANNEL_H
 #define HPMP_MIGRATE_MSG_CHANNEL_H
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -37,6 +38,84 @@ struct MsgFrame
     uint64_t totalFrames = 0; //!< stream length (same in every frame)
     uint64_t checksum = 0;    //!< FNV-1a over (seq, totalFrames, payload)
     std::vector<uint8_t> payload;
+};
+
+/**
+ * Bounded-memory receive-side sequence dedup.
+ *
+ * A receiver that remembers every sequence number it ever saw needs
+ * O(stream length) state — on a monitor-resident endpoint that is an
+ * allocation an untrusted peer controls by inflating totalFrames.
+ * SeqWindow caps the dedup state at a fixed sliding window: a ring of
+ * `capacity` bits starting at the lowest not-yet-accepted sequence.
+ * Frames below the window are duplicates by construction (the window
+ * only slides over accepted frames); frames at or above base+capacity
+ * are rejected outright — the sender's bounded-retry loop keeps the
+ * in-flight span narrow, so a beyond-window frame is either hostile
+ * or wildly reordered, and dropping it is the fail-closed answer.
+ */
+class SeqWindow
+{
+  public:
+    enum class Verdict : uint8_t
+    {
+        Accept,       //!< first sight; recorded
+        Duplicate,    //!< already accepted (in or below the window)
+        BeyondWindow, //!< >= base+capacity; rejected, not recorded
+    };
+
+    explicit SeqWindow(uint64_t capacity = 64)
+        : capacity_(capacity ? capacity : 1),
+          bits_(size_t(capacity ? capacity : 1), false)
+    {
+    }
+
+    /** Classify one arriving sequence number, recording an Accept. */
+    Verdict
+    accept(uint64_t seq)
+    {
+        if (seq < base_)
+            return Verdict::Duplicate;
+        if (seq >= base_ + capacity_)
+            return Verdict::BeyondWindow;
+        const size_t slot = size_t(seq % capacity_);
+        if (bits_[slot])
+            return Verdict::Duplicate;
+        bits_[slot] = true;
+        // Slide over the contiguous accepted prefix, freeing slots.
+        while (bits_[size_t(base_ % capacity_)]) {
+            bits_[size_t(base_ % capacity_)] = false;
+            ++base_;
+        }
+        return Verdict::Accept;
+    }
+
+    /** Accepted already? (Below-window sequences count as seen.) */
+    bool
+    seen(uint64_t seq) const
+    {
+        if (seq < base_)
+            return true;
+        if (seq >= base_ + capacity_)
+            return false;
+        return bits_[size_t(seq % capacity_)];
+    }
+
+    /** Lowest sequence number not yet accepted. */
+    uint64_t base() const { return base_; }
+    uint64_t capacity() const { return capacity_; }
+
+    void
+    reset()
+    {
+        base_ = 0;
+        bits_.assign(bits_.size(), false);
+    }
+
+  private:
+    uint64_t base_ = 0;
+    uint64_t capacity_;
+    std::vector<bool> bits_; //!< ring over [base, base+capacity)
 };
 
 class MsgChannel

@@ -636,13 +636,21 @@ runChaosSmp(const ChaosConfig &config)
     smp.setInterleaveHook(&hook);
 
     // ---- DMA masters behind a two-master IOPMP ---------------------
+    // Each master sits on its own hart's cache hierarchy (master 1
+    // on hart 1 when the campaign has one) and both contend for one
+    // shared channel, so a master's transfer cycles — including its
+    // IOPMP table-reference latency — inflate under the other's load.
     IopmpUnit iopmp(smp.mem(), 2);
     iopmp.master(0).programSegment(0, windowOf(0), kWindowSize,
                                    Perm::rw());
     iopmp.master(1).programSegment(0, windowOf(1), kWindowSize,
                                    Perm::rw());
+    SharedBus dmaBus(2);
     DmaEngine dma0(iopmp, smp.hart(0).hier(), 0);
-    DmaEngine dma1(iopmp, smp.hart(0).hier(), 1);
+    DmaEngine dma1(iopmp,
+                   smp.hart(config.harts > 1 ? 1 : 0).hier(), 1);
+    dma0.attachBus(&dmaBus);
+    dma1.attachBus(&dmaBus);
 
     FaultInjector &injector = FaultInjector::instance();
     injector.enable(config.seed);
@@ -712,6 +720,7 @@ runChaosSmp(const ChaosConfig &config)
         smp.registerStats(seriesRegistry);
         checker.registerStats(seriesRegistry);
         iopmp.registerStats(seriesRegistry);
+        seriesRegistry.add(&dmaBus.stats());
         for (unsigned h = 0; h < unsigned(kernels.size()); ++h) {
             kernels[h]->registerStats(
                 seriesRegistry, h == 0 ? "os"
@@ -998,7 +1007,12 @@ runChaosSmp(const ChaosConfig &config)
             const Addr dst =
                 window + kWindowSize / 2 + rng.below(64) * kPageSize;
             DmaEngine &dma = master == 0 ? dma0 : dma1;
-            dma.transfer(src, dst, 256 + rng.below(4) * 256);
+            const auto xfer =
+                dma.transfer(src, dst, 256 + rng.below(4) * 256);
+            if (xfer.busWaitCycles != 0) {
+                ++stats.dmaBusWaits;
+                stats.dmaBusWaitCycles += xfer.busWaitCycles;
+            }
             if (rng.chance(0.25))
                 iopmp.flushCaches();
         } else if (config.osLayer) {

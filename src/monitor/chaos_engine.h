@@ -137,6 +137,8 @@ struct ChaosStats
     uint64_t convergenceChecks = 0; //!< all-hart digest comparisons
     uint64_t osOps = 0;            //!< OS-layer operations performed
     uint64_t dmaOps = 0;           //!< DMA transfers attempted
+    uint64_t dmaBusWaits = 0;      //!< transfers stalled by the bus
+    uint64_t dmaBusWaitCycles = 0; //!< total shared-bus stall cycles
 
     // Virt campaigns only (--virt):
     uint64_t virtOps = 0;           //!< guest ops (touch/switch/remap)

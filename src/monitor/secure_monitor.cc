@@ -1384,6 +1384,10 @@ SecureMonitor::remoteShootdown()
     const unsigned initiator = smp_->currentHart();
     const uint64_t seq = smp_->nextIpiSeq();
     const bool virt = smp_->virtEnabled();
+    // Mutation knob (testSkipFenceNth): sabotage exactly one shootdown
+    // by acking siblings without fencing them.
+    const bool skipFence =
+        skipFenceNth_ != 0 && ++skipFenceSeen_ == skipFenceNth_;
     ++statIpiShootdowns_;
     if (virt)
         ++statHfenceShootdowns_;
@@ -1415,9 +1419,11 @@ SecureMonitor::remoteShootdown()
                     " (smp.ipi_deliver): call fails closed"};
         }
         Machine &dst = smp_->hart(h);
-        dst.hpmp().syncRegsFrom(machine_.hpmp());
-        dst.sfenceVma();
-        dst.hpmp().flushCache();
+        if (!skipFence) {
+            dst.hpmp().syncRegsFrom(machine_.hpmp());
+            dst.sfenceVma();
+            dst.hpmp().flushCache();
+        }
         // The guest fence rides the same IPI: the handler executes
         // hfence.gvma after the sfence, with its own delivery/ack
         // fault sites. A dropped guest fence can never leave hart h

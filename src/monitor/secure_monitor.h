@@ -299,6 +299,22 @@ class SecureMonitor
     /** Commits deferred into the currently open coalesced window. */
     uint64_t pendingCoalescedCommits() const { return coalescedCommits_; }
 
+    /**
+     * Verification mutation knob (tools/model_check --mutate): during
+     * the Nth remoteShootdown from now (1-based), skip every sibling
+     * hart's fence work — register sync, sfence.vma, PMPTW flush —
+     * while still walking the protocol and acking. This deliberately
+     * plants the exact bug class the stale checker exists to catch (a
+     * hart acked without being fenced), so CI can prove the model
+     * checker actually fails on a broken protocol. 0 disarms. Never
+     * call outside tests and verification tools.
+     */
+    void testSkipFenceNth(uint64_t nth)
+    {
+        skipFenceNth_ = nth;
+        skipFenceSeen_ = 0;
+    }
+
     DomainId currentDomain() const { return current_; }
     size_t domainCount() const { return domains_.live(); }
 
@@ -500,6 +516,9 @@ class SecureMonitor
     uint64_t pendingHfenceCycles_ = 0; //!< guest-fence cost, virt systems
     bool ipiWindowOpen_ = false;    //!< shootdown window in progress
     uint64_t ipiWindowSeq_ = 0;     //!< seq of the open window
+
+    uint64_t skipFenceNth_ = 0;  //!< mutation: shootdown # to sabotage
+    uint64_t skipFenceSeen_ = 0; //!< shootdowns since the knob was armed
 
     bool coalesceActive_ = false;   //!< begin..end coalesced epoch
     bool coalescedOpen_ = false;    //!< >=1 commit deferred, window open

@@ -1,0 +1,169 @@
+#include "verify/decision.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace hpmp::verify
+{
+
+const char *
+toString(DecisionKind kind)
+{
+    switch (kind) {
+      case DecisionKind::Sched: return "sched";
+      case DecisionKind::Fault: return "fault";
+      case DecisionKind::Inject: return "inject";
+    }
+    return "?";
+}
+
+namespace
+{
+
+bool
+kindFromString(const std::string &s, DecisionKind &out)
+{
+    if (s == "sched") {
+        out = DecisionKind::Sched;
+    } else if (s == "fault") {
+        out = DecisionKind::Fault;
+    } else if (s == "inject") {
+        out = DecisionKind::Inject;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/** The description travels on one line; fold newlines away. */
+std::string
+oneLine(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s)
+        out.push_back(c == '\n' ? ';' : c);
+    return out;
+}
+
+} // namespace
+
+std::string
+serializeTrace(const DecisionTrace &trace)
+{
+    std::ostringstream os;
+    os << "# hpmp model_check counterexample v1\n";
+    for (const std::string &line : trace.configLines)
+        os << "config " << line << "\n";
+    if (trace.violated) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "0x%016" PRIx64,
+                      trace.violation.stateDigest);
+        os << "violation kind=" << trace.violation.kind
+           << " op=" << trace.violation.opIndex << " digest=" << buf
+           << "\n";
+        os << "violation_desc " << oneLine(trace.violation.description)
+           << "\n";
+    }
+    for (const Decision &d : trace.decisions) {
+        os << "d " << toString(d.kind) << " " << d.altIndex << "/"
+           << d.numAlts;
+        if (d.kind == DecisionKind::Sched)
+            os << " h" << d.value;
+        else if (!d.label.empty())
+            os << " " << d.label;
+        os << "\n";
+    }
+    return os.str();
+}
+
+bool
+parseTrace(const std::string &text, DecisionTrace &out, std::string &error)
+{
+    out = DecisionTrace{};
+    std::istringstream is(text);
+    std::string line;
+    unsigned lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string tag;
+        ls >> tag;
+        if (tag == "config") {
+            std::string rest;
+            std::getline(ls, rest);
+            if (!rest.empty() && rest[0] == ' ')
+                rest.erase(0, 1);
+            out.configLines.push_back(rest);
+        } else if (tag == "violation") {
+            out.violated = true;
+            std::string field;
+            while (ls >> field) {
+                const auto eq = field.find('=');
+                if (eq == std::string::npos)
+                    continue;
+                const std::string key = field.substr(0, eq);
+                const std::string val = field.substr(eq + 1);
+                if (key == "kind") {
+                    out.violation.kind = val;
+                } else if (key == "op") {
+                    out.violation.opIndex =
+                        unsigned(std::strtoul(val.c_str(), nullptr, 0));
+                } else if (key == "digest") {
+                    out.violation.stateDigest =
+                        std::strtoull(val.c_str(), nullptr, 0);
+                }
+            }
+        } else if (tag == "violation_desc") {
+            std::string rest;
+            std::getline(ls, rest);
+            if (!rest.empty() && rest[0] == ' ')
+                rest.erase(0, 1);
+            out.violation.description = rest;
+        } else if (tag == "d") {
+            Decision d;
+            std::string kind, alt;
+            if (!(ls >> kind >> alt) || !kindFromString(kind, d.kind)) {
+                error = "line " + std::to_string(lineno) +
+                        ": bad decision";
+                return false;
+            }
+            const auto slash = alt.find('/');
+            if (slash == std::string::npos) {
+                error = "line " + std::to_string(lineno) +
+                        ": bad alt index '" + alt + "'";
+                return false;
+            }
+            d.altIndex = unsigned(
+                std::strtoul(alt.substr(0, slash).c_str(), nullptr, 10));
+            d.numAlts = unsigned(
+                std::strtoul(alt.substr(slash + 1).c_str(), nullptr, 10));
+            std::string label;
+            if (ls >> label) {
+                if (d.kind == DecisionKind::Sched && label.size() > 1 &&
+                    label[0] == 'h') {
+                    d.value = unsigned(
+                        std::strtoul(label.c_str() + 1, nullptr, 10));
+                } else {
+                    d.label = label;
+                }
+            }
+            if (d.numAlts < 2 || d.altIndex >= d.numAlts) {
+                error = "line " + std::to_string(lineno) +
+                        ": alt out of range";
+                return false;
+            }
+            out.decisions.push_back(std::move(d));
+        } else {
+            error = "line " + std::to_string(lineno) +
+                    ": unknown tag '" + tag + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace hpmp::verify

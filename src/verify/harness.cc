@@ -1,0 +1,872 @@
+#include "verify/harness.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "base/addr.h"
+#include "base/fault_inject.h"
+#include "base/hash.h"
+#include "base/logging.h"
+#include "core/params.h"
+#include "core/smp.h"
+#include "migrate/migration.h"
+#include "monitor/invariants.h"
+#include "monitor/secure_monitor.h"
+#include "monitor/stale_checker.h"
+
+namespace hpmp::verify
+{
+
+namespace
+{
+
+// ---- bounded-scenario geometry ------------------------------------
+// Enclave regions live well above the monitor-private region (first
+// 128 MiB) and are NAPOT so fast GMSs can use segment entries.
+constexpr Addr kRegionBase = 256_MiB;
+constexpr Addr kRegionStride = 64_MiB;
+
+Addr
+regionOf(unsigned enclave) // 1-based
+{
+    return kRegionBase + Addr(enclave - 1) * kRegionStride;
+}
+
+Addr
+extraRegionOf(unsigned enclave)
+{
+    return regionOf(enclave) + 32_MiB;
+}
+
+uint64_t
+napotPages(unsigned pages)
+{
+    uint64_t p = 1;
+    while (p < pages)
+        p <<= 1;
+    return p;
+}
+
+// ---- the decision tap shared by all three nondeterminism sources --
+
+struct PathController
+{
+    const std::vector<Decision> *forced = nullptr;
+    std::vector<Decision> made;
+    unsigned depthLimit = 0;
+    unsigned faultBudget = 0;
+    unsigned injectBudget = 0;
+    unsigned faultsFired = 0;
+    unsigned injectsDone = 0;
+    bool truncated = false;
+    bool divergence = false;
+    std::string divergenceWhy;
+
+    bool pastPrefix() const
+    {
+        return !forced || made.size() >= forced->size();
+    }
+
+    /**
+     * Record one branch point and return the alternative to take:
+     * the forced prefix's choice while replaying, the default
+     * (alts[0]) beyond it. Single-alternative points are not
+     * decisions and are not recorded.
+     */
+    unsigned
+    choose(DecisionKind kind, const std::vector<unsigned> &alts,
+           const std::string &label)
+    {
+        panic_if(alts.empty(), "decision point with no alternatives");
+        if (alts.size() == 1)
+            return alts[0];
+        if (truncated)
+            return alts[0];
+        if (depthLimit != 0 && made.size() >= depthLimit) {
+            truncated = true;
+            return alts[0];
+        }
+        Decision d;
+        d.kind = kind;
+        d.numAlts = unsigned(alts.size());
+        d.label = label;
+        if (!pastPrefix() && !divergence) {
+            const Decision &f = (*forced)[made.size()];
+            if (f.kind != kind || f.numAlts != d.numAlts ||
+                f.altIndex >= d.numAlts) {
+                divergence = true;
+                divergenceWhy =
+                    "decision #" + std::to_string(made.size()) +
+                    ": trace has " + std::string(toString(f.kind)) +
+                    " " + std::to_string(f.altIndex) + "/" +
+                    std::to_string(f.numAlts) + ", run offers " +
+                    std::string(toString(kind)) + " ?/" +
+                    std::to_string(d.numAlts);
+                d.altIndex = 0;
+            } else {
+                d.altIndex = f.altIndex;
+            }
+        } else {
+            d.altIndex = 0;
+        }
+        d.value = alts[d.altIndex];
+        made.push_back(d);
+        return d.value;
+    }
+};
+
+/** RAII: the injector is process-global; never leak a controller. */
+struct InjectorGuard
+{
+    ~InjectorGuard() { FaultInjector::instance().disable(); }
+};
+
+const std::vector<unsigned> kBinaryAlts{0, 1};
+
+// ---- interleave hook: stale checker + nested-call injection -------
+
+class VerifyHook : public InterleaveHook
+{
+  public:
+    VerifyHook(SmpSystem &smp, SecureMonitor &monitor,
+               StaleChecker &checker, PathController &ctl)
+        : smp_(smp), monitor_(monitor), checker_(checker), ctl_(ctl)
+    {
+    }
+
+    void
+    onIpiStep(const IpiEvent &event) override
+    {
+        checker_.onIpiStep(event);
+        switch (event.phase) {
+          case IpiPhase::WindowBegin:
+            ++openWindows_;
+            break;
+          case IpiPhase::WindowEnd:
+            --openWindows_;
+            break;
+          case IpiPhase::Posted:
+          case IpiPhase::Delivered:
+            maybeInject(event);
+            break;
+          default:
+            break;
+        }
+    }
+
+    int openWindows() const { return openWindows_; }
+    const std::string &violation() const { return violation_; }
+
+  private:
+    /**
+     * Decision point: drive a nested monitor call from the victim
+     * hart mid-window. The global lock is held by the initiator, so
+     * the nested call must bounce with LockContended before touching
+     * any state — anything else is a violation.
+     */
+    void
+    maybeInject(const IpiEvent &event)
+    {
+        if (ctl_.injectsDone >= ctl_.injectBudget)
+            return;
+        if (event.dstHart == event.srcHart)
+            return;
+        const std::string label = std::string(toString(event.phase)) +
+                                  "@h" + std::to_string(event.dstHart);
+        if (ctl_.choose(DecisionKind::Inject, kBinaryAlts, label) != 1)
+            return;
+        ++ctl_.injectsDone;
+        const unsigned saved = smp_.currentHart();
+        smp_.setCurrentHart(event.dstHart);
+        const MonitorResult r = monitor_.switchTo(monitor_.currentDomain());
+        smp_.setCurrentHart(saved);
+        if (r.ok || r.code != MonitorError::LockContended) {
+            violation_ = "nested switchTo from hart " +
+                         std::to_string(event.dstHart) + " at " +
+                         toString(event.phase) +
+                         " did not bounce LockContended (got " +
+                         std::string(r.ok ? "ok" : toString(r.code)) +
+                         ")";
+        }
+    }
+
+    SmpSystem &smp_;
+    SecureMonitor &monitor_;
+    StaleChecker &checker_;
+    PathController &ctl_;
+    int openWindows_ = 0;
+    std::string violation_;
+};
+
+// ---- the monitor-call script --------------------------------------
+
+enum class OpKind : uint8_t
+{
+    Switch,
+    SetPerm,
+    AddGms,
+    RemoveGms,
+    SetLabel,
+    Share,
+    Access,
+};
+
+struct ScriptOp
+{
+    OpKind kind = OpKind::Access;
+    unsigned dom = 0;  //!< domain index (0 = host, 1.. = enclaves)
+    unsigned peer = 0; //!< Share: receiving domain index
+    Addr addr = 0;
+    uint64_t size = 0;
+    Perm perm;
+    GmsLabel label = GmsLabel::Slow;
+    AccessType type = AccessType::Load;
+    const char *name = "?";
+    /** State-invisible op (pure access on a bare hart): eligible for
+     *  the sleep-set-style scheduling merge. */
+    bool local = false;
+};
+
+std::vector<std::vector<ScriptOp>>
+buildCoreScript(const ModelConfig &cfg)
+{
+    const uint64_t gmsBytes = napotPages(cfg.pages) * kPageSize;
+    const Addr pageA = regionOf(1);
+    const unsigned last = cfg.domains;
+    const Addr pageLast = regionOf(last);
+
+    std::vector<std::vector<ScriptOp>> script(cfg.harts);
+
+    auto access = [](Addr a, AccessType t, const char *n) {
+        ScriptOp op;
+        op.kind = OpKind::Access;
+        op.addr = a;
+        op.type = t;
+        op.name = n;
+        op.local = true;
+        return op;
+    };
+
+    // Hart 0: the initiator-heavy path — switch in, revoke a
+    // permission (the stale-grant workhorse), share + unshare.
+    {
+        auto &s = script[0];
+        ScriptOp sw;
+        sw.kind = OpKind::Switch;
+        sw.dom = 1;
+        sw.name = "switch_d1";
+        s.push_back(sw);
+
+        ScriptOp sp;
+        sp.kind = OpKind::SetPerm;
+        sp.dom = 1;
+        sp.addr = pageA;
+        sp.perm = Perm::ro();
+        sp.name = "revoke_w_A";
+        s.push_back(sp);
+
+        s.push_back(access(pageA, AccessType::Store, "store_A"));
+
+        if (cfg.domains >= 2) {
+            ScriptOp sh;
+            sh.kind = OpKind::Share;
+            sh.dom = 1;
+            sh.peer = 2;
+            sh.addr = pageA;
+            sh.perm = Perm::ro();
+            sh.name = "share_A_d2";
+            s.push_back(sh);
+
+            ScriptOp rm;
+            rm.kind = OpKind::RemoveGms;
+            rm.dom = 2;
+            rm.addr = pageA;
+            rm.name = "unshare_A_d2";
+            s.push_back(rm);
+        } else {
+            ScriptOp ad;
+            ad.kind = OpKind::AddGms;
+            ad.dom = 1;
+            ad.addr = extraRegionOf(1);
+            ad.size = gmsBytes;
+            ad.perm = Perm::rw();
+            ad.name = "add_extra";
+            s.push_back(ad);
+
+            ScriptOp rm;
+            rm.kind = OpKind::RemoveGms;
+            rm.dom = 1;
+            rm.addr = extraRegionOf(1);
+            rm.name = "remove_extra";
+            s.push_back(rm);
+        }
+    }
+
+    // Hart 1: a victim that also initiates — reads the revoked page,
+    // switches domains, relabels.
+    if (cfg.harts >= 2) {
+        auto &s = script[1];
+        s.push_back(access(pageA, AccessType::Load, "load_A"));
+
+        ScriptOp sw;
+        sw.kind = OpKind::Switch;
+        sw.dom = last;
+        sw.name = "switch_last";
+        s.push_back(sw);
+
+        s.push_back(access(pageLast, AccessType::Store, "store_last"));
+
+        ScriptOp sl;
+        sl.kind = OpKind::SetLabel;
+        sl.dom = last;
+        sl.addr = pageLast;
+        sl.label = GmsLabel::Slow;
+        sl.name = "relabel_last";
+        s.push_back(sl);
+    }
+
+    // Further harts: light probes + a switch, to scale interleavings.
+    for (unsigned h = 2; h < cfg.harts; ++h) {
+        auto &s = script[h];
+        s.push_back(access(pageA, AccessType::Load, "load_A"));
+        ScriptOp sw;
+        sw.kind = OpKind::Switch;
+        sw.dom = (h % cfg.domains) + 1;
+        sw.name = "switch_mod";
+        s.push_back(sw);
+        s.push_back(access(pageLast, AccessType::Load, "load_last"));
+    }
+    return script;
+}
+
+const std::vector<std::string> &
+defaultCoreSites()
+{
+    static const std::vector<std::string> sites = {
+        "monitor.add_gms", "monitor.remove_gms", "monitor.set_label",
+        "monitor.set_perm", "monitor.share_gms", "monitor.switch",
+        "smp.ipi_ack",     "smp.ipi_deliver",
+    };
+    return sites;
+}
+
+const std::vector<std::string> &
+defaultMigrateSites()
+{
+    static const std::vector<std::string> sites = {
+        "migrate.ack_lost",      "migrate.checkpoint_torn",
+        "migrate.commit_crash",  "migrate.dest_attest",
+        "migrate.frame_corrupt", "migrate.frame_drop",
+        "migrate.frame_dup",
+    };
+    return sites;
+}
+
+} // namespace
+
+std::vector<std::string>
+ModelConfig::effectiveSites() const
+{
+    if (!faultSites.empty())
+        return faultSites;
+    return script == "migrate" ? defaultMigrateSites()
+                               : defaultCoreSites();
+}
+
+std::vector<std::string>
+ModelConfig::configLines() const
+{
+    std::vector<std::string> lines;
+    lines.push_back("harts=" + std::to_string(harts));
+    lines.push_back("domains=" + std::to_string(domains));
+    lines.push_back("pages=" + std::to_string(pages));
+    lines.push_back(std::string("scheme=") +
+                    (scheme == IsolationScheme::Hpmp       ? "hpmp"
+                     : scheme == IsolationScheme::PmpTable ? "pmpt"
+                                                           : "pmp"));
+    lines.push_back("script=" + script);
+    lines.push_back("depth=" + std::to_string(depthLimit));
+    lines.push_back("fault_branch=" + std::to_string(faultBranch ? 1 : 0));
+    lines.push_back("max_faults=" + std::to_string(maxFaults));
+    lines.push_back("max_injects=" + std::to_string(maxInjects));
+    std::string sites;
+    for (const std::string &s : effectiveSites()) {
+        if (!sites.empty())
+            sites += ",";
+        sites += s;
+    }
+    lines.push_back("sites=" + sites);
+    lines.push_back("mutate_skip_fence=" +
+                    std::to_string(mutateSkipFenceNth));
+    return lines;
+}
+
+bool
+ModelConfig::applyConfigLine(const std::string &line, std::string &error)
+{
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+        error = "config line without '=': " + line;
+        return false;
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string val = line.substr(eq + 1);
+    auto toU = [&](unsigned &out) {
+        out = unsigned(std::strtoul(val.c_str(), nullptr, 0));
+        return true;
+    };
+    if (key == "harts")
+        return toU(harts);
+    if (key == "domains")
+        return toU(domains);
+    if (key == "pages")
+        return toU(pages);
+    if (key == "depth")
+        return toU(depthLimit);
+    if (key == "max_faults")
+        return toU(maxFaults);
+    if (key == "max_injects")
+        return toU(maxInjects);
+    if (key == "fault_branch") {
+        faultBranch = val != "0";
+        return true;
+    }
+    if (key == "mutate_skip_fence") {
+        mutateSkipFenceNth = std::strtoull(val.c_str(), nullptr, 0);
+        return true;
+    }
+    if (key == "script") {
+        script = val;
+        return true;
+    }
+    if (key == "scheme") {
+        if (val == "hpmp") {
+            scheme = IsolationScheme::Hpmp;
+        } else if (val == "pmpt") {
+            scheme = IsolationScheme::PmpTable;
+        } else if (val == "pmp") {
+            scheme = IsolationScheme::Pmp;
+        } else {
+            error = "unknown scheme '" + val + "'";
+            return false;
+        }
+        return true;
+    }
+    if (key == "sites") {
+        faultSites.clear();
+        std::istringstream ss(val);
+        std::string site;
+        while (std::getline(ss, site, ','))
+            if (!site.empty())
+                faultSites.push_back(site);
+        return true;
+    }
+    error = "unknown config key '" + key + "'";
+    return false;
+}
+
+RunOutcome
+runCorePath(const ModelConfig &cfg, const std::vector<Decision> *forced,
+            StateSet *visited)
+{
+    panic_if(cfg.harts < 2, "core scenario wants >= 2 harts");
+    panic_if(cfg.domains < 1, "core scenario wants >= 1 domain");
+    RunOutcome out;
+
+    // Bare harts, PMPTW cache off: the per-hart digest captures the
+    // complete modelled hart state (see the header comment — this is
+    // the dedup-soundness requirement, not an optimization).
+    MachineParams mp = rocketParams();
+    mp.pmptwEntries = 0;
+    SmpParams sp;
+    sp.harts = cfg.harts;
+    sp.schedSeed = 1;
+    SmpSystem smp(mp, sp);
+    MonitorConfig mc;
+    mc.scheme = cfg.scheme;
+    SecureMonitor monitor(smp, mc);
+    for (unsigned h = 0; h < cfg.harts; ++h) {
+        smp.hart(h).setPriv(PrivMode::Supervisor);
+        smp.hart(h).setBare();
+    }
+
+    // ---- deterministic setup, outside the decision space ----------
+    FaultInjector &inj = FaultInjector::instance();
+    inj.disable();
+    const uint64_t gmsBytes = napotPages(cfg.pages) * kPageSize;
+    std::vector<DomainId> dom(cfg.domains + 1, 0);
+    for (unsigned i = 1; i <= cfg.domains; ++i) {
+        dom[i] = monitor.createDomain();
+        const MonitorResult r = monitor.addGms(
+            dom[i],
+            {regionOf(i), gmsBytes, Perm::rw(), GmsLabel::Fast});
+        panic_if(!r.ok, "model setup addGms failed: %s",
+                 r.error.c_str());
+    }
+    if (cfg.mutateSkipFenceNth != 0)
+        monitor.testSkipFenceNth(cfg.mutateSkipFenceNth);
+
+    StaleChecker checker(smp, monitor);
+    for (unsigned h = 0; h < cfg.harts; ++h) {
+        checker.addWatch({h, regionOf(1), regionOf(1),
+                          AccessType::Store, true});
+        checker.addWatch({h, regionOf(1), regionOf(1),
+                          AccessType::Load, true});
+        if (cfg.domains >= 2) {
+            checker.addWatch({h, regionOf(cfg.domains),
+                              regionOf(cfg.domains), AccessType::Load,
+                              true});
+        }
+    }
+
+    PathController ctl;
+    ctl.forced = forced;
+    ctl.depthLimit = cfg.depthLimit;
+    ctl.faultBudget = cfg.faultBranch ? cfg.maxFaults : 0;
+    ctl.injectBudget = cfg.maxInjects;
+
+    VerifyHook hook(smp, monitor, checker, ctl);
+    smp.setInterleaveHook(&hook);
+
+    const std::vector<std::string> siteList = cfg.effectiveSites();
+    const std::set<std::string> branchSites(siteList.begin(),
+                                            siteList.end());
+    InjectorGuard injectorGuard;
+    bool faultFiredThisOp = false;
+    inj.enable(1);
+    inj.setDecisionController([&](const char *site) {
+        if (ctl.faultsFired >= ctl.faultBudget)
+            return false;
+        if (branchSites.find(site) == branchSites.end())
+            return false;
+        if (ctl.choose(DecisionKind::Fault, kBinaryAlts, site) != 1)
+            return false;
+        ++ctl.faultsFired;
+        faultFiredThisOp = true;
+        return true;
+    });
+
+    // ---- the interleaved script, driven through pickHart ----------
+    const auto script = buildCoreScript(cfg);
+    std::vector<size_t> pc(cfg.harts, 0);
+
+    std::vector<unsigned> alts;
+    smp.setSchedHook([&](unsigned) -> unsigned {
+        return ctl.choose(DecisionKind::Sched, alts, "");
+    });
+
+    auto stateKey = [&]() {
+        uint64_t key = monitor.stateDigest(true);
+        for (unsigned h = 0; h < cfg.harts; ++h)
+            key = fnvFold(key, monitor.hartStateDigest(h, true, false,
+                                                       true));
+        for (size_t p : pc)
+            key = fnvFold(key, p);
+        key = fnvFold(key, ctl.faultsFired);
+        key = fnvFold(key, ctl.injectsDone);
+        return key;
+    };
+
+    unsigned opIndex = 0;
+    std::vector<uint64_t> preDigests(cfg.harts);
+    auto violate = [&](const std::string &kind,
+                       const std::string &desc) {
+        out.violated = true;
+        out.violation.kind = kind;
+        out.violation.description = desc;
+        out.violation.opIndex = opIndex;
+        out.violation.stateDigest = stateKey();
+        out.finalDigest = out.violation.stateDigest;
+    };
+
+    while (!out.violated && !ctl.truncated) {
+        // Scheduling alternatives, with the sleep-set-style merge:
+        // among pending harts whose next op is a state-invisible
+        // Access, only the lowest id is explorable — local ops
+        // commute with everything the state tracks (DESIGN.md §14).
+        alts.clear();
+        bool tookLocal = false;
+        for (unsigned h = 0; h < cfg.harts; ++h) {
+            if (pc[h] >= script[h].size())
+                continue;
+            if (script[h][pc[h]].local) {
+                if (tookLocal) {
+                    ++out.sleepMergedAlts;
+                    continue;
+                }
+                tookLocal = true;
+            }
+            alts.push_back(h);
+        }
+        if (alts.empty())
+            break;
+        const unsigned hart = smp.pickHart();
+        const ScriptOp &op = script[hart][pc[hart]++];
+        ++opIndex;
+        ++out.opsExecuted;
+        smp.setCurrentHart(hart);
+        faultFiredThisOp = false;
+
+        const bool monitorOp = op.kind != OpKind::Access;
+        if (monitorOp) {
+            for (unsigned h = 0; h < cfg.harts; ++h)
+                preDigests[h] =
+                    monitor.hartStateDigest(h, true, false, true);
+        }
+
+        MonitorResult r;
+        switch (op.kind) {
+          case OpKind::Switch:
+            r = monitor.switchTo(dom[op.dom]);
+            break;
+          case OpKind::SetPerm:
+            r = monitor.setPerm(dom[op.dom], op.addr, op.perm);
+            break;
+          case OpKind::AddGms:
+            r = monitor.addGms(dom[op.dom],
+                               {op.addr, op.size, op.perm, op.label});
+            break;
+          case OpKind::RemoveGms:
+            r = monitor.removeGms(dom[op.dom], op.addr);
+            break;
+          case OpKind::SetLabel:
+            r = monitor.setLabel(dom[op.dom], op.addr, op.label);
+            break;
+          case OpKind::Share:
+            r = monitor.shareGms(dom[op.dom], op.addr, dom[op.peer],
+                                 op.perm);
+            break;
+          case OpKind::Access:
+            // Outcome deliberately unjudged: fail-closed denials are
+            // legal at any point; stale *grants* are the checker's
+            // job, judged against its canonical oracle.
+            smp.hart(hart).access(op.addr, op.type);
+            break;
+        }
+
+        const std::string where = "h" + std::to_string(hart) + ":" +
+                                  op.name + " (op #" +
+                                  std::to_string(opIndex) + ")";
+
+        // ---- per-state checks -------------------------------------
+        if (!hook.violation().empty()) {
+            violate("nested_call", hook.violation() + " during " + where);
+            break;
+        }
+        if (hook.openWindows() != 0) {
+            violate("unclosed_window",
+                    "shootdown window still open after " + where);
+            break;
+        }
+        if (monitorOp && !r.ok) {
+            for (unsigned h = 0; h < cfg.harts; ++h) {
+                const uint64_t now =
+                    monitor.hartStateDigest(h, true, false, true);
+                if (now != preDigests[h]) {
+                    violate("rollback_divergence",
+                            "failed call (" + std::string(toString(r.code)) +
+                                ") left hart " + std::to_string(h) +
+                                " digest changed after " + where);
+                    break;
+                }
+            }
+            if (out.violated)
+                break;
+        }
+        if (monitorOp && r.ok) {
+            if (faultFiredThisOp) {
+                violate("fault_swallowed",
+                        "an injected fault fired but the call "
+                        "committed ok after " +
+                            where);
+                break;
+            }
+            const uint64_t ref =
+                monitor.hartStateDigest(0, true, false, false);
+            for (unsigned h = 1; h < cfg.harts; ++h) {
+                if (monitor.hartStateDigest(h, true, false, false) !=
+                    ref) {
+                    violate("convergence_divergence",
+                            "hart " + std::to_string(h) +
+                                " digest disagrees with hart 0 after "
+                                "committed " +
+                                where);
+                    break;
+                }
+            }
+            if (out.violated)
+                break;
+        }
+        if (checker.failed()) {
+            violate("stale_checker", checker.failure());
+            break;
+        }
+        if (!checker.checkQuiescent()) {
+            violate("stale_checker", checker.failure());
+            break;
+        }
+        const std::string inv = checkIsolationInvariants(monitor);
+        if (!inv.empty()) {
+            violate("invariant", inv + " after " + where);
+            break;
+        }
+
+        // ---- explicit-state dedup (new territory only) ------------
+        if (ctl.pastPrefix() && !ctl.divergence) {
+            ++out.newTransitions;
+            if (visited != nullptr &&
+                !visited->insert(stateKey()).second) {
+                out.deduped = true;
+                break;
+            }
+        }
+    }
+
+    out.decisions = std::move(ctl.made);
+    out.truncated = ctl.truncated;
+    out.divergence = ctl.divergence;
+    out.divergenceWhy = ctl.divergenceWhy;
+    if (!out.violated)
+        out.finalDigest = stateKey();
+    smp.setInterleaveHook(nullptr);
+    smp.setSchedHook(nullptr);
+    return out;
+}
+
+RunOutcome
+runMigratePath(const ModelConfig &cfg,
+               const std::vector<Decision> *forced)
+{
+    RunOutcome out;
+
+    MachineParams mp = rocketParams();
+    mp.pmptwEntries = 0;
+    SmpParams sp;
+    sp.harts = 1;
+    SmpSystem srcSys(mp, sp), dstSys(mp, sp);
+    MonitorConfig mc;
+    mc.scheme = cfg.scheme;
+    SecureMonitor src(srcSys, mc), dst(dstSys, mc);
+    for (SmpSystem *sys : {&srcSys, &dstSys}) {
+        sys->hart(0).setPriv(PrivMode::Supervisor);
+        sys->hart(0).setBare();
+    }
+
+    FaultInjector &inj = FaultInjector::instance();
+    inj.disable();
+
+    const uint64_t gmsBytes = napotPages(cfg.pages) * kPageSize;
+    const DomainId d = src.createDomain();
+    MonitorResult r = src.addGms(
+        d, {regionOf(1), gmsBytes, Perm::rw(), GmsLabel::Fast});
+    panic_if(!r.ok, "migrate setup addGms failed: %s", r.error.c_str());
+    // A recognizable memory image so checkpoint verification bites.
+    for (Addr a = regionOf(1); a < regionOf(1) + gmsBytes; a += 512)
+        srcSys.mem().write64(a, a ^ 0x5a5a5a5a5a5a5a5aULL);
+
+    CrossSystemOracle oracle(src, dst);
+    MigrateConfig mcfg;
+    mcfg.maxRetries = 2;
+    mcfg.backoffCycles = 50;
+    mcfg.frameBytes = 16384;
+    MigrationEngine engine(src, dst, mcfg, "migrate_verify");
+    engine.setOracle(&oracle);
+
+    PathController ctl;
+    ctl.forced = forced;
+    ctl.depthLimit = cfg.depthLimit;
+    ctl.faultBudget = cfg.faultBranch ? cfg.maxFaults : 0;
+    ctl.injectBudget = 0;
+
+    const std::vector<std::string> siteList = cfg.effectiveSites();
+    const std::set<std::string> branchSites(siteList.begin(),
+                                            siteList.end());
+    InjectorGuard injectorGuard;
+    inj.enable(1);
+    inj.setDecisionController([&](const char *site) {
+        if (ctl.faultsFired >= ctl.faultBudget)
+            return false;
+        if (branchSites.find(site) == branchSites.end())
+            return false;
+        if (ctl.choose(DecisionKind::Fault, kBinaryAlts, site) != 1)
+            return false;
+        ++ctl.faultsFired;
+        return true;
+    });
+
+    const MigrateResult res = engine.migrate(d, /*nonce=*/1);
+    ++out.opsExecuted;
+
+    auto violate = [&](const std::string &kind,
+                       const std::string &desc) {
+        out.violated = true;
+        out.violation.kind = kind;
+        out.violation.description = desc;
+        out.violation.opIndex = 0;
+        uint64_t key = fnvFold(src.stateDigest(true),
+                               dst.stateDigest(true));
+        key = fnvFold(key, ctl.faultsFired);
+        out.violation.stateDigest = key;
+    };
+
+    if (oracle.failed()) {
+        violate("dual_grant", oracle.failure());
+    } else if (res.ok) {
+        if (src.domainGrantable(d)) {
+            violate("commit_state",
+                    "committed migration left the source granting");
+        } else if (!dst.domainGrantable(res.destId)) {
+            violate("commit_state",
+                    "committed migration left the destination not "
+                    "granting");
+        }
+    } else if (res.committed || res.stranded) {
+        if (src.domainGrantable(d) ||
+            (res.destId != 0 && dst.domainGrantable(res.destId))) {
+            violate("stranded_grant",
+                    "stranded migration has a live grant (phase " +
+                        std::string(toString(res.failedPhase)) + ")");
+        }
+    } else {
+        if (res.sourcePostDigest != res.sourcePreDigest) {
+            violate("abort_digest",
+                    "aborted migration (phase " +
+                        std::string(toString(res.failedPhase)) +
+                        ") did not restore the source digest");
+        } else if (!src.domainGrantable(d)) {
+            violate("abort_grantable",
+                    "aborted migration left the domain not grantable "
+                    "on the source (phase " +
+                        std::string(toString(res.failedPhase)) + ")");
+        }
+    }
+
+    out.decisions = std::move(ctl.made);
+    out.truncated = ctl.truncated;
+    out.divergence = ctl.divergence;
+    out.divergenceWhy = ctl.divergenceWhy;
+    out.newTransitions = ctl.pastPrefix()
+                             ? out.decisions.size() -
+                                   (forced ? forced->size() : 0)
+                             : 0;
+    uint64_t key =
+        fnvFold(src.stateDigest(true), dst.stateDigest(true));
+    out.finalDigest = fnvFold(key, ctl.faultsFired);
+    if (out.violated)
+        out.violation.stateDigest = out.finalDigest;
+    return out;
+}
+
+RunOutcome
+runPath(const ModelConfig &cfg, const std::vector<Decision> *forced,
+        StateSet *visited)
+{
+    if (cfg.script == "migrate")
+        return runMigratePath(cfg, forced);
+    return runCorePath(cfg, forced, visited);
+}
+
+} // namespace hpmp::verify

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Bounded-model execution harness (one path = one run).
+ *
+ * The model checker is *stateless-search* style (CHESS/VeriSoft): the
+ * simulated system (SmpSystem + SecureMonitor + StaleChecker) is too
+ * heavyweight to snapshot per state, so the enumerator explores the
+ * decision tree by re-executing the whole bounded scenario from its
+ * initial state along each path. runCorePath()/runMigratePath() build
+ * a fresh system, install the three decision taps —
+ *
+ *  - SmpSystem::setSchedHook        (which hart runs its next op),
+ *  - FaultInjector decision controller (FAULT_POINT fire/no-fire),
+ *  - an InterleaveHook that may drive a victim-hart nested call at
+ *    Posted/Delivered steps (must bounce LockContended),
+ *
+ * — replay the forced decision prefix, continue with defaults while
+ * recording every further branch point, and check after *every* script
+ * op:
+ *
+ *  1. isolation invariants (monitor/invariants.h);
+ *  2. StaleChecker: no post-ack stale grant, strict quiescent sweep;
+ *  3. digest-exact rollback of failed calls and cross-hart digest
+ *     convergence of successful ones;
+ *  4. every opened shootdown window closed (bounded-retry termination).
+ *
+ * The model configuration deliberately runs harts bare with the PMPTW
+ * cache disabled, so a hart's complete modelled state is its HPMP
+ * register file — exactly what hartStateDigest hashes. That makes the
+ * visited-state dedup sound (two equal keys really are the same
+ * state) and makes script Access ops state-invisible probes, which is
+ * what the sleep-set-style reduction in the enumerator relies on
+ * (DESIGN.md §14).
+ */
+
+#ifndef HPMP_VERIFY_HARNESS_H
+#define HPMP_VERIFY_HARNESS_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "hpmp/isolation.h"
+#include "verify/decision.h"
+
+namespace hpmp::verify
+{
+
+/** Bounded-configuration knobs (the CLI mirrors these 1:1). */
+struct ModelConfig
+{
+    unsigned harts = 2;
+    unsigned domains = 2; //!< enclave domains beyond the host
+    /** 4 KiB pages per enclave GMS (kept NAPOT internally). */
+    unsigned pages = 16;
+    IsolationScheme scheme = IsolationScheme::Hpmp;
+    /** Scenario: "core" (monitor-call script) | "migrate" (two-host
+     *  two-phase handoff, fault branching only). */
+    std::string script = "core";
+    /** Max recorded decisions per path; deeper paths are truncated
+     *  (counted, never silently dropped). */
+    unsigned depthLimit = 4096;
+    bool faultBranch = true; //!< branch on FAULT_POINT sites at all
+    unsigned maxFaults = 1;  //!< fault fires per path (branch budget)
+    unsigned maxInjects = 1; //!< nested-call probes per path
+    /** Branchable fault sites; empty = the script's default set. */
+    std::vector<std::string> faultSites;
+    /** Mutation: sabotage the Nth shootdown (skip sibling fences).
+     *  0 = off. Used by the CI smoke test that must find a bug. */
+    uint64_t mutateSkipFenceNth = 0;
+
+    /** "key=value" lines for trace headers. */
+    std::vector<std::string> configLines() const;
+    /** Apply one "key=value" line (parsing a trace). @return false on
+     *  an unknown key or bad value. */
+    bool applyConfigLine(const std::string &line, std::string &error);
+    /** The effective branchable-site set for this config. */
+    std::vector<std::string> effectiveSites() const;
+};
+
+/** Outcome of executing one decision path. */
+struct RunOutcome
+{
+    std::vector<Decision> decisions; //!< all branch points, in order
+    bool violated = false;
+    Violation violation;
+    bool truncated = false;  //!< hit depthLimit; not exhaustive
+    bool deduped = false;    //!< stopped early on a visited state
+    bool divergence = false; //!< forced prefix failed to align
+    std::string divergenceWhy;
+    uint64_t opsExecuted = 0;    //!< script ops run this path
+    uint64_t newTransitions = 0; //!< ops executed past the forced prefix
+    uint64_t sleepMergedAlts = 0; //!< sched alternatives merged (POR)
+    uint64_t finalDigest = 0;     //!< state key at end (or violation)
+};
+
+/** Visited-state store shared across a search. */
+using StateSet = std::unordered_set<uint64_t>;
+
+/**
+ * Execute one path of the monitor-call scenario. `forced` is the
+ * decision prefix to replay (nullptr = all defaults); `visited` turns
+ * on explicit-state dedup (nullptr during replay/minimization).
+ */
+RunOutcome runCorePath(const ModelConfig &config,
+                       const std::vector<Decision> *forced,
+                       StateSet *visited);
+
+/**
+ * Execute one path of the two-host live-migration scenario: a single
+ * migration attempt with every migrate.* FAULT_POINT hit enumerated
+ * as a binary branch. Checks the cross-system no-dual-grant oracle,
+ * digest-exact abort restore, and commit/stranded grant placement.
+ */
+RunOutcome runMigratePath(const ModelConfig &config,
+                          const std::vector<Decision> *forced);
+
+/** Dispatch on config.script. */
+RunOutcome runPath(const ModelConfig &config,
+                   const std::vector<Decision> *forced, StateSet *visited);
+
+} // namespace hpmp::verify
+
+#endif // HPMP_VERIFY_HARNESS_H

@@ -130,6 +130,88 @@ TEST_F(IopmpTest, InjectedCheckFaultFailsClosed)
     EXPECT_TRUE(iopmp.check(0, 4_GiB, 64, AccessType::Store).ok());
 }
 
+TEST_F(IopmpTest, UncontendedBusAddsNoWait)
+{
+    // A lone master on the shared channel never stalls: timing is
+    // identical to the bus-less engine, cycle for cycle. Separate
+    // (cold) hierarchies — the caches are stateful.
+    MemoryHierarchy hierA(rocketParams().hier);
+    MemoryHierarchy hierB(rocketParams().hier);
+    DmaEngine plain(iopmp, hierA, 0);
+    const auto base = plain.transfer(4_GiB, 4_GiB + 1_MiB, 4096);
+
+    SharedBus bus(2);
+    DmaEngine onBus(iopmp, hierB, 0);
+    onBus.attachBus(&bus);
+    const auto timed = onBus.transfer(4_GiB, 4_GiB + 1_MiB, 4096);
+
+    EXPECT_TRUE(timed.ok);
+    EXPECT_EQ(timed.busWaitCycles, 0u);
+    EXPECT_EQ(timed.cycles, base.cycles);
+    EXPECT_EQ(bus.waitCycles(), 0u);
+    EXPECT_GT(bus.grants(), 0u);
+}
+
+TEST_F(IopmpTest, ContendedBusInflatesTransferCycles)
+{
+    // Master 0 loads the channel first; master 1, starting at local
+    // time zero, must wait out master 0's occupancy — its transfer
+    // cycles inflate by exactly the attributed stall.
+    SharedBus bus(2);
+    MemoryHierarchy hier0(rocketParams().hier);
+    MemoryHierarchy hier1(rocketParams().hier);
+    MemoryHierarchy hierSolo(rocketParams().hier);
+    DmaEngine dma0(iopmp, hier0, 0);
+    DmaEngine dma1(iopmp, hier1, 1);
+    dma0.attachBus(&bus);
+    dma1.attachBus(&bus);
+
+    const auto first = dma0.transfer(4_GiB, 4_GiB + 1_MiB, 4096);
+    ASSERT_TRUE(first.ok);
+    EXPECT_EQ(first.busWaitCycles, 0u);
+
+    DmaEngine solo(iopmp, hierSolo, 1);
+    const auto unloaded = solo.transfer(6_GiB, 6_GiB + 1_MiB, 1024);
+
+    const auto contended = dma1.transfer(6_GiB, 6_GiB + 1_MiB, 1024);
+    ASSERT_TRUE(contended.ok);
+    EXPECT_GT(contended.busWaitCycles, 0u);
+    EXPECT_EQ(contended.cycles,
+              unloaded.cycles + contended.busWaitCycles);
+    EXPECT_EQ(bus.masterWaitCycles(1), contended.busWaitCycles);
+    EXPECT_EQ(bus.masterWaitCycles(0), 0u);
+}
+
+TEST_F(IopmpTest, CheckLatencyOccupiesTheSharedChannel)
+{
+    // Table-mode windows pay PMPT references per beat; those refs
+    // ride the master's bus grant, so a table-checked master holds
+    // the channel longer than a segment-checked one moving the same
+    // bytes — and the *other* master's wait grows accordingly.
+    SharedBus segBus(2), tblBus(2);
+
+    DmaEngine seg(iopmp, hier, 0);
+    seg.attachBus(&segBus);
+    ASSERT_TRUE(seg.transfer(4_GiB, 4_GiB + 1_MiB, 1024).ok);
+
+    DmaEngine tbl(iopmp, hier, 1);
+    tbl.attachBus(&tblBus);
+    const auto tblXfer = tbl.transfer(6_GiB, 6_GiB + 1_MiB, 1024);
+    ASSERT_TRUE(tblXfer.ok);
+    EXPECT_GT(tblXfer.pmptRefs, 0u);
+    EXPECT_GT(tblBus.freeAt(), segBus.freeAt());
+
+    DmaEngine behindSeg(iopmp, hier, 0);
+    behindSeg.attachBus(&segBus);
+    DmaEngine behindTbl(iopmp, hier, 0);
+    behindTbl.attachBus(&tblBus);
+    const auto waitSeg =
+        behindSeg.transfer(4_GiB, 4_GiB + 1_MiB, 256);
+    const auto waitTbl =
+        behindTbl.transfer(4_GiB, 4_GiB + 1_MiB, 256);
+    EXPECT_GT(waitTbl.busWaitCycles, waitSeg.busWaitCycles);
+}
+
 TEST_F(IopmpTest, PerMasterStatGroupsAttributeChecks)
 {
     const uint64_t before = iopmp.checks();

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Generation-tag wraparound tests for the domain registry.
+ *
+ * The 12-bit generation tag is a finite resource: an index recycled
+ * 4095 times has spent it. These tests drive one index through its
+ * entire generation space and assert the two safety properties at the
+ * edge: (1) a handle from *any* earlier generation — one ago or four
+ * thousand ago — keeps reading as a stale denial, never as the
+ * current tenant; (2) the index is retired at kGenerationMask rather
+ * than wrapped, because make(idx, 4096) would alias make(idx, 0)'s
+ * historic handle bit-for-bit. Monitor-level coverage checks the same
+ * contract surfaces as MonitorError::StaleHandle through createDomain
+ * recycling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/params.h"
+#include "core/smp.h"
+#include "monitor/domain_registry.h"
+#include "monitor/secure_monitor.h"
+
+namespace hpmp
+{
+namespace
+{
+
+TEST(RegistryWrapTest, HandlesFromAllPastGenerationsStayDenied)
+{
+    DomainRegistry<int> reg;
+    const DomainId first = reg.create();
+    const uint32_t idx = domain_id::index(first);
+
+    // Cycle the index through every generation, keeping one handle
+    // per incarnation.
+    std::vector<DomainId> history;
+    DomainId cur = first;
+    for (uint32_t gen = 0; gen < domain_id::kGenerationMask; ++gen) {
+        ASSERT_EQ(domain_id::index(cur), idx);
+        ASSERT_EQ(domain_id::generation(cur), gen);
+        history.push_back(cur);
+        reg.erase(cur);
+        cur = reg.create();
+    }
+    ASSERT_EQ(domain_id::index(cur), idx);
+    ASSERT_EQ(domain_id::generation(cur), domain_id::kGenerationMask);
+
+    // The live incarnation resolves; every historic one is a stale
+    // denial — including generation 0 from 4095 recyclings ago.
+    EXPECT_NE(reg.find(cur), nullptr);
+    const uint64_t deniedBefore = reg.staleDenied();
+    for (const DomainId old : history) {
+        EXPECT_EQ(reg.find(old), nullptr)
+            << "generation " << domain_id::generation(old);
+        EXPECT_TRUE(reg.stale(old));
+    }
+    EXPECT_EQ(reg.staleDenied(), deniedBefore + history.size());
+}
+
+TEST(RegistryWrapTest, ExhaustedIndexIsRetiredNotWrapped)
+{
+    DomainRegistry<int> reg;
+    DomainId cur = reg.create();
+    const uint32_t idx = domain_id::index(cur);
+    const DomainId genZeroHandle = cur;
+
+    for (uint32_t gen = 0; gen < domain_id::kGenerationMask; ++gen) {
+        reg.erase(cur);
+        cur = reg.create();
+    }
+    ASSERT_EQ(domain_id::generation(cur), domain_id::kGenerationMask);
+
+    // Destroy the final incarnation. The index's tag space is spent:
+    // the next create must come from a *fresh* index, because
+    // wrapping would mint genZeroHandle's exact bit pattern again.
+    reg.erase(cur);
+    const DomainId fresh = reg.create();
+    EXPECT_NE(domain_id::index(fresh), idx);
+    EXPECT_EQ(domain_id::generation(fresh), 0u);
+    EXPECT_NE(fresh, genZeroHandle);
+
+    // The retired index stays dead: unknown, and its historic handles
+    // keep their stale classification.
+    EXPECT_EQ(reg.find(cur), nullptr);
+    EXPECT_EQ(reg.find(genZeroHandle), nullptr);
+    EXPECT_TRUE(reg.stale(genZeroHandle));
+}
+
+TEST(RegistryWrapTest, RetiredIndexSurvivesFurtherChurn)
+{
+    // After retirement, heavy create/destroy traffic must never hand
+    // the spent index out again.
+    DomainRegistry<int> reg;
+    DomainId cur = reg.create();
+    const uint32_t spent = domain_id::index(cur);
+    for (uint32_t gen = 0; gen < domain_id::kGenerationMask; ++gen) {
+        reg.erase(cur);
+        cur = reg.create();
+    }
+    reg.erase(cur); // retires `spent`
+
+    std::vector<DomainId> churn;
+    for (unsigned i = 0; i < 64; ++i)
+        churn.push_back(reg.create());
+    for (const DomainId id : churn) {
+        EXPECT_NE(domain_id::index(id), spent);
+        reg.erase(id);
+    }
+    for (unsigned i = 0; i < 64; ++i) {
+        const DomainId id = reg.create();
+        EXPECT_NE(domain_id::index(id), spent);
+    }
+}
+
+TEST(RegistryWrapTest, MonitorDeniesRecycledHandlesAsStale)
+{
+    // The monitor surface of the same contract: destroy + recreate
+    // recycles the index under a bumped generation, and the old
+    // handle's calls come back StaleHandle (typed), not ok and not
+    // plain NoSuchDomain.
+    SmpParams sp;
+    sp.harts = 1;
+    SmpSystem smp(rocketParams(), sp);
+    SecureMonitor monitor(smp, MonitorConfig{});
+
+    const DomainId first = monitor.createDomain();
+    ASSERT_TRUE(monitor.destroyDomain(first).ok);
+    const DomainId second = monitor.createDomain();
+    ASSERT_EQ(domain_id::index(second), domain_id::index(first));
+    ASSERT_GT(domain_id::generation(second),
+              domain_id::generation(first));
+
+    const MonitorResult r = monitor.switchTo(first);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.code, MonitorError::StaleHandle);
+    // The live handle is unaffected by the denial.
+    EXPECT_TRUE(monitor.domainExists(second));
+}
+
+} // namespace
+} // namespace hpmp
