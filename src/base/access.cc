@@ -28,6 +28,7 @@ toString(Fault fault)
       case Fault::GuestLoadPageFault: return "guest-load-page-fault";
       case Fault::GuestStorePageFault: return "guest-store-page-fault";
       case Fault::GuestFetchPageFault: return "guest-fetch-page-fault";
+      case Fault::MachineCheck: return "machine-check";
     }
     return "?";
 }

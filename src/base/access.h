@@ -74,6 +74,7 @@ enum class Fault : uint8_t
     GuestLoadPageFault,  //!< G-stage translation failure
     GuestStorePageFault,
     GuestFetchPageFault,
+    MachineCheck,        //!< uncorrectable memory error (poison consumed)
 };
 
 /** The page-fault code matching an access type. */

@@ -72,6 +72,12 @@ FaultInjector::shouldFire(const char *site)
 }
 
 bool
+FaultInjector::shouldFireNamed(const char *site)
+{
+    return fireCheck(site, /*allow_any=*/false);
+}
+
+bool
 FaultInjector::fireCheck(const char *site, bool allow_any)
 {
     ++totalHits_;
@@ -172,6 +178,7 @@ FaultInjector::knownSites()
         "monitor.alloc_pmpte",
         "monitor.attest",
         "monitor.destroy_domain",
+        "monitor.heal_table",
         "monitor.hint",
         "monitor.remove_gms",
         "monitor.resume",
@@ -186,6 +193,9 @@ FaultInjector::knownSites()
         "pmpt.write_entry.flip",
         "pmptw_cache.fill",
         "pwc.fill",
+        "ras.poison_migrate",
+        "ras.poison_on_fill",
+        "ras.poison_scrub",
         "smp.hfence_ack",
         "smp.hfence_deliver",
         "smp.hfence_ipi",

@@ -127,6 +127,16 @@ class FaultInjector
     bool shouldFire(const char *site);
 
     /**
+     * Like shouldFire() but excluded from the any-site plan, the same
+     * carve-out maybeFlipBit() has: the site fires only when armed by
+     * name. Used through FAULT_POINT_NAMED for sites whose firing
+     * *creates* damage (memory poisoning) rather than failing an
+     * operation — fuzzers sweeping fail-stop sites with armAnyNth must
+     * not poison memory they then audit.
+     */
+    bool shouldFireNamed(const char *site);
+
+    /**
      * Bit-flip helper for data corruption sites: when the site fires,
      * returns `value` with one random bit flipped; otherwise returns
      * it unchanged. Used to model single-event upsets in pmpte stores.
@@ -200,6 +210,14 @@ class FaultInjector
 #define FAULT_POINT(site)                                        \
     (::hpmp::FaultInjector::instance().enabled() &&              \
      ::hpmp::FaultInjector::instance().shouldFire(site))
+
+/**
+ * A damage-creating fault site: fires only when armed by name, never
+ * through armAnyNth (see shouldFireNamed).
+ */
+#define FAULT_POINT_NAMED(site)                                  \
+    (::hpmp::FaultInjector::instance().enabled() &&              \
+     ::hpmp::FaultInjector::instance().shouldFireNamed(site))
 
 } // namespace hpmp
 

@@ -1,5 +1,6 @@
 #include "core/machine.h"
 
+#include "base/fault_inject.h"
 #include "base/logging.h"
 #include "base/trace.h"
 #include "core/core_model.h"
@@ -43,6 +44,7 @@ Machine::Machine(const MachineParams &params, std::unique_ptr<PhysMem> owned,
     stats_.add("pmpt_refs", &statPmptRefs_);
     stats_.add("page_faults", &statPageFaults_);
     stats_.add("access_faults", &statAccessFaults_);
+    stats_.add("machine_checks", &statMachineChecks_);
     stats_.add("walk_cycles", &statWalkCycles_);
     tlb_->registerStats(tlbStats_);
     pwc_->registerStats(pwcStats_);
@@ -101,6 +103,25 @@ Machine::coldReset()
 }
 
 Fault
+Machine::consumePoison(Addr pa, uint64_t len, RefOrigin origin,
+                       AccessOutcome &out)
+{
+    if (!mem_->isPoisoned(pa, len))
+        return Fault::None;
+    out.poisonAddr = pa;
+    out.poisonOrigin = origin;
+    return Fault::MachineCheck;
+}
+
+Fault
+Machine::dataPoisonCheck(Addr pa, AccessOutcome &out)
+{
+    if (FAULT_POINT_NAMED("ras.poison_on_fill"))
+        mem_->poisonLine(pa);
+    return consumePoison(pa, 8, RefOrigin::Data, out);
+}
+
+Fault
 Machine::checkPhys(Addr pa, AccessType type, AccessOutcome &out)
 {
     HpmpCheckResult check = hpmp_->check(pa, 8, type, priv_);
@@ -115,6 +136,15 @@ Machine::checkPhys(Addr pa, AccessType type, AccessOutcome &out)
         out.cycles += ref_cycles;
         attr_.record(pmptOrigin(ref.level, levels), ref_cycles);
         ++out.pmptRefs;
+        // A poisoned pmpte read is an uncorrectable error consumed by
+        // the walker itself. The HPMP walk above already filled the
+        // PMPTW cache from the poisoned bytes, so flush it — nothing
+        // derived from poison may stay cached (fail closed).
+        if (consumePoison(ref.pa, 8, pmptOrigin(ref.level, levels),
+                          out) != Fault::None) {
+            hpmp_->flushCache();
+            return Fault::MachineCheck;
+        }
     }
     if (check.viaCache)
         ++out.cycles; // PMPTW-Cache lookup
@@ -140,7 +170,9 @@ Machine::access(Addr va, AccessType type)
     }
     statPtRefs_ += out.ptRefs + out.adRefs;
     statPmptRefs_ += out.pmptRefs;
-    if (isAccessFault(out.fault))
+    if (out.fault == Fault::MachineCheck)
+        ++statMachineChecks_;
+    else if (isAccessFault(out.fault))
         ++statAccessFaults_;
     else if (out.fault != Fault::None)
         ++statPageFaults_;
@@ -172,7 +204,9 @@ Machine::accessBatch(std::span<const AccessRequest> reqs, CoreModel *model,
             ++b.faults;
             if (b.firstFault == Fault::None)
                 b.firstFault = out.fault;
-            if (isAccessFault(out.fault))
+            if (out.fault == Fault::MachineCheck)
+                ++statMachineChecks_;
+            else if (isAccessFault(out.fault))
                 ++statAccessFaults_;
             else
                 ++statPageFaults_;
@@ -199,6 +233,8 @@ Machine::accessInner(Addr va, AccessType type)
         // Bare mode: the physical check still applies (e.g. the host
         // OS running with PMP enabled but paging off).
         out.fault = checkPhys(va, type, out);
+        if (out.fault == Fault::None)
+            out.fault = dataPoisonCheck(va, out);
         if (out.fault != Fault::None)
             return out;
         const uint64_t data_cycles =
@@ -226,6 +262,9 @@ Machine::accessInner(Addr va, AccessType type)
             return out;
 
         const Addr pa = entry->translate(va);
+        out.fault = dataPoisonCheck(pa, out);
+        if (out.fault != Fault::None)
+            return out;
         const uint64_t data_cycles =
             hier_->access(pa, is_store, is_fetch).cycles;
         out.cycles += data_cycles;
@@ -252,6 +291,15 @@ Machine::accessInner(Addr va, AccessType type)
         const AccessType ref_type =
             ref.write ? AccessType::Store : AccessType::Load;
         out.fault = checkPhys(ref.pa, ref_type, out);
+        // Poisoned PT page: the walker consumed the error. Checked
+        // before the PWC fill below so poison-derived PTEs are never
+        // cached.
+        if (out.fault == Fault::None) {
+            out.fault = consumePoison(ref.pa, 8,
+                                      ref.write ? RefOrigin::AdUpdate
+                                                : ptOrigin(ref.level),
+                                      out);
+        }
         if (out.fault != Fault::None)
             return out;
 
@@ -276,6 +324,8 @@ Machine::accessInner(Addr va, AccessType type)
 
     // Data reference with its own physical check.
     out.fault = checkPhys(walk.pa, type, out);
+    if (out.fault == Fault::None)
+        out.fault = dataPoisonCheck(walk.pa, out);
     if (out.fault != Fault::None)
         return out;
     const uint64_t data_cycles =

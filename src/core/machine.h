@@ -50,6 +50,10 @@ struct AccessOutcome
     unsigned pmptRefs = 0;  //!< permission-table entry references
     unsigned dataRefs = 0;  //!< the data/instruction reference itself
     unsigned pwcSkips = 0;  //!< PT references skipped by the PWC
+    /** Meaningful when fault == MachineCheck: the poisoned physical
+     *  address and what kind of reference consumed it. */
+    Addr poisonAddr = 0;
+    RefOrigin poisonOrigin = RefOrigin::Data;
 
     bool ok() const { return fault == Fault::None; }
     unsigned totalRefs() const
@@ -213,6 +217,19 @@ class Machine
     /** The access path proper (stats wrapper lives in access()). */
     AccessOutcome accessInner(Addr va, AccessType type);
 
+    /**
+     * Consume poison on [pa, pa+len): returns MachineCheck (and tags
+     * `out` with the address + origin) when the range carries an
+     * uncorrectable-error mark, None otherwise. Fail closed: the
+     * faulting reference never returns data.
+     */
+    Fault consumePoison(Addr pa, uint64_t len, RefOrigin origin,
+                        AccessOutcome &out);
+
+    /** Data-reference poison check, including the ras.poison_on_fill
+     *  injection site (fires only when armed by name). */
+    Fault dataPoisonCheck(Addr pa, AccessOutcome &out);
+
     StatGroup stats_;
     StatGroup tlbStats_;
     StatGroup pwcStats_;
@@ -224,6 +241,7 @@ class Machine
     Counter statPmptRefs_;
     Counter statPageFaults_;
     Counter statAccessFaults_;
+    Counter statMachineChecks_;
     Distribution statWalkCycles_; //!< end-to-end cycles of TLB-miss accesses
     RefAttribution attr_{stats_};
 

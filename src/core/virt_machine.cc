@@ -213,6 +213,12 @@ VirtMachine::accessInner(Addr gva, AccessType type)
         if (out.fault != Fault::None)
             return out;
         const Addr spa = entry->translate(gva);
+        if (machine_.mem().isPoisoned(spa, 8)) {
+            out.fault = Fault::MachineCheck;
+            out.poisonAddr = spa;
+            out.poisonOrigin = RefOrigin::Data;
+            return out;
+        }
         const uint64_t data_cycles =
             machine_.hier().access(spa, is_store, is_fetch).cycles;
         out.cycles += data_cycles;
@@ -239,9 +245,34 @@ VirtMachine::accessInner(Addr gva, AccessType type)
         out.fault = machine_.checkPhys(ref.spa, ref_type, check_out);
         out.cycles += check_out.cycles;
         out.pmptRefs += check_out.pmptRefs;
+        if (out.fault == Fault::MachineCheck) {
+            // Poisoned pmpte consumed inside the physical check.
+            out.poisonAddr = check_out.poisonAddr;
+            out.poisonOrigin = check_out.poisonOrigin;
+        }
         check_out = AccessOutcome{};
         if (out.fault != Fault::None)
             return out;
+
+        // Poisoned GPT/NPT page or guest data line: consumed by the
+        // two-stage walker, before any TLB/PWC state is derived from
+        // the poisoned bytes.
+        if (machine_.mem().isPoisoned(ref.spa, 8)) {
+            out.fault = Fault::MachineCheck;
+            out.poisonAddr = ref.spa;
+            switch (ref.kind) {
+              case VirtRefKind::NptPage:
+                out.poisonOrigin = nptOrigin(ref.level);
+                break;
+              case VirtRefKind::GptPage:
+                out.poisonOrigin = gptOrigin(ref.level);
+                break;
+              case VirtRefKind::Data:
+                out.poisonOrigin = RefOrigin::Data;
+                break;
+            }
+            return out;
+        }
 
         const uint64_t ref_cycles =
             machine_.hier().access(ref.spa, ref.write,

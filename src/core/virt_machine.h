@@ -40,6 +40,10 @@ struct VirtAccessOutcome
     unsigned dataRefs = 0;
     unsigned pmptRefs = 0;  //!< permission-table references
     unsigned gTlbHits = 0;  //!< G-stage walks short-circuited
+    /** Meaningful when fault == MachineCheck: the poisoned physical
+     *  address and what kind of reference consumed it. */
+    Addr poisonAddr = 0;
+    RefOrigin poisonOrigin = RefOrigin::Data;
 
     bool ok() const { return fault == Fault::None; }
     unsigned totalRefs() const

@@ -9,6 +9,7 @@ namespace hpmp
 
 IopmpUnit::IopmpUnit(PhysMem &mem, unsigned num_masters,
                      unsigned entries_per_master)
+    : mem_(mem)
 {
     fatal_if(num_masters == 0, "IOPMP needs at least one master");
     stats_.add("checks", &checks_);
@@ -80,6 +81,19 @@ DmaEngine::TransferResult
 DmaEngine::transfer(Addr src, Addr dst, uint64_t bytes)
 {
     TransferResult result;
+    PhysMem &mem = iopmp_.mem();
+    // A poisoned pmpte consumed by a master's table walk poisons the
+    // check, not just the beat: drop the PMPTW-cache state derived
+    // from the bad read before failing the transfer (fail closed).
+    auto refsPoisoned = [&](const HpmpCheckResult &check) {
+        for (const PmptRef &ref : check.pmptRefs) {
+            if (mem.isPoisoned(ref.pa, 8)) {
+                iopmp_.flushCaches();
+                return true;
+            }
+        }
+        return false;
+    };
     for (uint64_t off = 0; off < bytes; off += 64) {
         const uint64_t beat = std::min<uint64_t>(64, bytes - off);
         uint64_t beatCycles = 0;
@@ -90,8 +104,9 @@ DmaEngine::transfer(Addr src, Addr dst, uint64_t bytes)
         result.pmptRefs += unsigned(read_check.pmptRefs.size());
         for (const PmptRef &ref : read_check.pmptRefs)
             beatCycles += hier_.access(ref.pa, false).cycles;
-        if (!read_check.ok()) {
+        if (!read_check.ok() || refsPoisoned(read_check)) {
             result.ok = false;
+            result.machineCheck = read_check.ok();
             result.faultAddr = src + off;
             beatOk = false;
         }
@@ -102,11 +117,22 @@ DmaEngine::transfer(Addr src, Addr dst, uint64_t bytes)
             result.pmptRefs += unsigned(write_check.pmptRefs.size());
             for (const PmptRef &ref : write_check.pmptRefs)
                 beatCycles += hier_.access(ref.pa, false).cycles;
-            if (!write_check.ok()) {
+            if (!write_check.ok() || refsPoisoned(write_check)) {
                 result.ok = false;
+                result.machineCheck = write_check.ok();
                 result.faultAddr = dst + off;
                 beatOk = false;
             }
+        }
+
+        // The device read consumes poison on the source line: the
+        // beat fails with a machine check instead of moving corrupt
+        // data into the destination domain.
+        if (beatOk && mem.isPoisoned(src + off, beat)) {
+            result.ok = false;
+            result.machineCheck = true;
+            result.faultAddr = src + off;
+            beatOk = false;
         }
 
         if (beatOk) {

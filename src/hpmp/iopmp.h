@@ -40,6 +40,9 @@ class IopmpUnit
 
     unsigned numMasters() const { return unsigned(masters_.size()); }
 
+    /** The backing store the masters check against (poison lookups). */
+    PhysMem &mem() { return mem_; }
+
     /** The entry file of one master (to program windows). */
     HpmpUnit &master(MasterId id);
 
@@ -67,6 +70,7 @@ class IopmpUnit
     void registerStats(StatRegistry &registry);
 
   private:
+    PhysMem &mem_;
     std::vector<std::unique_ptr<HpmpUnit>> masters_;
     Counter checks_;  //!< DMA beats checked (all masters)
     Counter denials_;
@@ -106,6 +110,9 @@ class DmaEngine
     struct TransferResult
     {
         bool ok = true;
+        /** The failing beat consumed poison (uncorrectable error)
+         *  rather than being denied by the IOPMP. */
+        bool machineCheck = false;
         Addr faultAddr = 0;
         uint64_t cycles = 0; //!< total, including bus stalls
         /** Cycles stalled waiting for the shared bus (0 unattached). */

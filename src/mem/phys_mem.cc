@@ -126,4 +126,76 @@ PhysMem::zeroPage(Addr page_base)
     pageFor(page_base).fill(0);
 }
 
+void
+PhysMem::releasePage(Addr page_base)
+{
+    checkRange(page_base, kPageSize);
+    panic_if(pageOffset(page_base) != 0,
+             "releasePage on unaligned address %#lx", page_base);
+    const uint64_t pn = pageNumber(page_base);
+    PageSlot &cached = pageCache_[pn & (kPageCacheSlots - 1)];
+    if (cached.pn == pn)
+        cached = PageSlot{};
+    pages_.erase(pn);
+}
+
+void
+PhysMem::poisonPage(Addr page_base)
+{
+    checkRange(page_base, kPageSize);
+    panic_if(pageOffset(page_base) != 0,
+             "poisonPage on unaligned address %#lx", page_base);
+    poison_[pageNumber(page_base)] = ~0ULL;
+}
+
+void
+PhysMem::poisonLine(Addr addr)
+{
+    checkRange(addr, 1);
+    poison_[pageNumber(addr)] |=
+        1ULL << (pageOffset(addr) / kPoisonGranule);
+}
+
+void
+PhysMem::clearPoison(Addr page_base)
+{
+    checkRange(page_base, kPageSize);
+    panic_if(pageOffset(page_base) != 0,
+             "clearPoison on unaligned address %#lx", page_base);
+    poison_.erase(pageNumber(page_base));
+}
+
+void
+PhysMem::clearPoisonLine(Addr addr)
+{
+    checkRange(addr, 1);
+    const auto it = poison_.find(pageNumber(addr));
+    if (it == poison_.end())
+        return;
+    it->second &= ~(1ULL << (pageOffset(addr) / kPoisonGranule));
+    if (it->second == 0)
+        poison_.erase(it);
+}
+
+bool
+PhysMem::isPoisoned(Addr addr, uint64_t len) const
+{
+    if (poison_.empty() || len == 0)
+        return false;
+    checkRange(addr, len);
+    Addr granule = addr & ~(kPoisonGranule - 1);
+    const Addr last = (addr + len - 1) & ~(kPoisonGranule - 1);
+    while (true) {
+        const auto it = poison_.find(pageNumber(granule));
+        if (it != poison_.end() &&
+            (it->second &
+             (1ULL << (pageOffset(granule) / kPoisonGranule)))) {
+            return true;
+        }
+        if (granule == last)
+            return false;
+        granule += kPoisonGranule;
+    }
+}
+
 } // namespace hpmp

@@ -46,8 +46,46 @@ class PhysMem
     /** Zero an entire naturally aligned 4 KiB page. */
     void zeroPage(Addr page_base);
 
+    /**
+     * Drop the host backing for one naturally aligned 4 KiB page: the
+     * next read sees zeros (the lazy-allocation initial state) and
+     * backedPages() shrinks. Poison on the page is NOT cleared — an
+     * uncorrectable error marks the physical frame, not its contents,
+     * and survives until the frame is explicitly retired or scrubbed.
+     */
+    void releasePage(Addr page_base);
+
     /** Number of host-backed pages (for tests / footprint checks). */
     size_t backedPages() const { return pages_.size(); }
+
+    // ---- poison (RAS): uncorrectable-error marks ------------------
+    //
+    // Poison is tracked per 64-byte granule (the modelled DRAM ECC
+    // word / cache-line size): one uint64_t bitmap covers a 4 KiB
+    // page exactly. PhysMem itself never faults — readers consult
+    // isPoisoned() and convert a hit into a typed MachineCheck at
+    // the consumption point (fail closed, never corrupt data).
+
+    /** Granule size of one poison mark. */
+    static constexpr uint64_t kPoisonGranule = 64;
+
+    /** Poison every granule of a naturally aligned 4 KiB page. */
+    void poisonPage(Addr page_base);
+
+    /** Poison the single 64 B granule containing addr. */
+    void poisonLine(Addr addr);
+
+    /** Clear all poison on the page containing addr. */
+    void clearPoison(Addr page_base);
+
+    /** Clear poison on the single 64 B granule containing addr. */
+    void clearPoisonLine(Addr addr);
+
+    /** Whether [addr, addr+len) overlaps any poisoned granule. */
+    bool isPoisoned(Addr addr, uint64_t len = 1) const;
+
+    /** Number of pages carrying at least one poisoned granule. */
+    size_t poisonedPages() const { return poison_.size(); }
 
   private:
     using Page = std::array<uint8_t, kPageSize>;
@@ -58,12 +96,15 @@ class PhysMem
 
     uint64_t size_;
     std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+    /** Page number -> bitmap of poisoned 64 B granules (64 per page). */
+    std::unordered_map<uint64_t, uint64_t> poison_;
 
     /**
      * Direct-mapped cache of recently touched pages, skipping the
      * hash-map lookup on the (very hot) read/write paths. Only backed
-     * pages are cached — a miss falls through to the map — and pages
-     * are never deallocated, so cached pointers cannot dangle.
+     * pages are cached — a miss falls through to the map — and
+     * releasePage() invalidates the matching slot, so cached pointers
+     * cannot dangle.
      */
     struct PageSlot
     {

@@ -1,0 +1,51 @@
+#include "mem/scrubber.h"
+
+#include "base/fault_inject.h"
+#include "base/logging.h"
+
+namespace hpmp
+{
+
+Scrubber::Scrubber(PhysMem &mem, Addr base, uint64_t phys_bytes,
+                   unsigned pages_per_step)
+    : mem_(mem),
+      base_(base),
+      physBytes_(phys_bytes & ~uint64_t(kPageSize - 1)),
+      pagesPerStep_(pages_per_step),
+      cursor_(base)
+{
+    fatal_if(base_ % kPageSize != 0, "scrubber base must be page-aligned");
+    fatal_if(physBytes_ == 0, "scrubber needs at least one page");
+    fatal_if(pages_per_step == 0, "scrubber needs a nonzero batch");
+}
+
+std::optional<Addr>
+Scrubber::step()
+{
+    std::optional<Addr> found;
+    for (unsigned i = 0; i < pagesPerStep_; ++i) {
+        const Addr page = cursor_;
+        cursor_ += kPageSize;
+        if (cursor_ >= base_ + physBytes_) {
+            cursor_ = base_;
+            ++laps_;
+        }
+        if (skip_ && skip_(page))
+            continue;
+        ++pagesScanned_;
+        // Poison landing under the patrol head mid-scan (armed by
+        // name only — the site creates the damage it then detects).
+        if (FAULT_POINT_NAMED("ras.poison_scrub"))
+            mem_.poisonLine(page);
+        if (!mem_.isPoisoned(page, kPageSize))
+            continue;
+        ++detections_;
+        if (!found)
+            found = page;
+        if (handler_)
+            handler_(page);
+    }
+    return found;
+}
+
+} // namespace hpmp

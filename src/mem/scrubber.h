@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Background patrol scrubber (DESIGN.md §15).
+ *
+ * Real memory controllers walk DRAM in the background so latent
+ * uncorrectable errors surface as patrol machine checks instead of
+ * waiting inside cold pages until a consumer reads them. The model
+ * does the same: step() scans a bounded window of physical pages per
+ * invocation (cyclically), reports any poisoned frame to a handler —
+ * typically SecureMonitor::handleMachineCheck — and moves on. The
+ * interleaver (chaos campaigns, fleet loops) steps it between
+ * operations, so detection latency is measured in ops, not laps.
+ */
+
+#ifndef HPMP_MEM_SCRUBBER_H
+#define HPMP_MEM_SCRUBBER_H
+
+#include <functional>
+#include <optional>
+
+#include "base/stats.h"
+#include "mem/phys_mem.h"
+
+namespace hpmp
+{
+
+/** Cyclic patrol scrubber over one PhysMem. */
+class Scrubber
+{
+  public:
+    /**
+     * @param base start of the scanned physical range (page-aligned)
+     * @param phys_bytes size of the scanned physical range
+     * @param pages_per_step frames examined per step() call
+     */
+    Scrubber(PhysMem &mem, Addr base, uint64_t phys_bytes,
+             unsigned pages_per_step = 16);
+
+    /** Called once per newly detected poisoned frame (page base). */
+    using Handler = std::function<void(Addr)>;
+    void setHandler(Handler handler) { handler_ = std::move(handler); }
+
+    /**
+     * Frames the patrol skips without reading — already-retired
+     * (quarantined) pages whose poison is known and contained; without
+     * this the patrol would re-report them every lap.
+     */
+    using SkipFn = std::function<bool(Addr)>;
+    void setSkip(SkipFn skip) { skip_ = std::move(skip); }
+
+    /**
+     * Scan the next batch of frames. Returns the first poisoned page
+     * base found in the batch (after invoking the handler on it), or
+     * nullopt when the batch was clean. A FAULT_POINT_NAMED
+     * "ras.poison_scrub" site models poison landing under the patrol
+     * head mid-scan.
+     */
+    std::optional<Addr> step();
+
+    /** The patrol position (next frame to be scanned). */
+    Addr cursor() const { return cursor_; }
+
+    /** Full laps completed over the physical range. */
+    uint64_t laps() const { return laps_.value(); }
+
+    uint64_t pagesScanned() const { return pagesScanned_.value(); }
+    uint64_t detections() const { return detections_.value(); }
+
+    /** "scrubber" group (pages_scanned, detections, laps). */
+    StatGroup &stats() { return stats_; }
+    void registerStats(StatRegistry &registry) { registry.add(&stats_); }
+
+  private:
+    PhysMem &mem_;
+    const Addr base_;
+    const uint64_t physBytes_;
+    const unsigned pagesPerStep_;
+    Addr cursor_;
+    Handler handler_;
+    SkipFn skip_;
+
+    StatGroup stats_{"scrubber"};
+    Counter pagesScanned_;
+    Counter detections_;
+    Counter laps_;
+};
+
+} // namespace hpmp
+
+#endif // HPMP_MEM_SCRUBBER_H

@@ -50,6 +50,19 @@ captureCheckpoint(SecureMonitor &src, DomainId id, uint64_t nonce,
         img.label = gms.label;
         out.regions.push_back(img);
 
+        // An uncorrectable error surfacing mid-stream (armed by name
+        // only — it creates damage the source must then contain).
+        if (FAULT_POINT_NAMED("ras.poison_migrate"))
+            mem.poisonLine(gms.base + gms.size / 2);
+        // The capture read consumes poison: streaming a poisoned
+        // frame would launder the error into the destination's
+        // attested image, so the checkpoint fails closed instead.
+        if (mem.isPoisoned(gms.base, gms.size)) {
+            return "machine check: poisoned page in GMS [" +
+                   std::to_string(gms.base) + ", +" +
+                   std::to_string(gms.size) + ")";
+        }
+
         const uint64_t off = out.memory.size();
         out.memory.resize(off + gms.size);
         mem.readBytes(gms.base, out.memory.data() + off, gms.size);

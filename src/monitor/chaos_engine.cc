@@ -14,6 +14,7 @@
 #include "core/smp.h"
 #include "core/virt_machine.h"
 #include "hpmp/iopmp.h"
+#include "mem/scrubber.h"
 #include "monitor/invariants.h"
 #include "monitor/secure_monitor.h"
 #include "monitor/stale_checker.h"
@@ -217,7 +218,9 @@ runChaos(const ChaosConfig &config)
     panic_if(config.migrateLayer,
              "--migrate campaigns run through runMigrateChaos "
              "(migrate/migrate_chaos.h), not runChaos");
-    if (config.harts > 1)
+    // RAS campaigns always run the SMP engine (it hosts the scrubber,
+    // the DMA masters and the blast-radius audits), even single-hart.
+    if (config.harts > 1 || config.rasLayer)
         return runChaosSmp(config);
 
     ChaosStats stats;
@@ -457,6 +460,10 @@ runChaosSmp(const ChaosConfig &config)
              "--virt and --os-layer are mutually exclusive");
     panic_if(config.fleetLayer && (config.osLayer || config.virtLayer),
              "--fleet is mutually exclusive with --os-layer and --virt");
+    panic_if(config.rasLayer &&
+                 (config.osLayer || config.virtLayer || config.fleetLayer),
+             "--ras is mutually exclusive with --os-layer, --virt and "
+             "--fleet");
 
     SmpParams sp;
     sp.harts = config.harts;
@@ -493,6 +500,7 @@ runChaosSmp(const ChaosConfig &config)
     // hart's kernel data page (flips on switches to/from its domain)
     // or a second window page in bare mode.
     StaleChecker checker(smp, monitor);
+    std::vector<Addr> watchPas;
     unsigned wi = 0;
     for (unsigned h = 0; h < config.harts; ++h) {
         for (unsigned k = 0; k < 2; ++k) {
@@ -516,6 +524,7 @@ runChaosSmp(const ChaosConfig &config)
                 w.va = w.pa; // bare harts access physically
             }
             checker.addWatch(w);
+            watchPas.push_back(w.pa & ~Addr(kPageSize - 1));
             ++wi;
         }
     }
@@ -652,6 +661,22 @@ runChaosSmp(const ChaosConfig &config)
     dma0.attachBus(&dmaBus);
     dma1.attachBus(&dmaBus);
 
+    // ---- RAS layer: background patrol scrubber ---------------------
+    // The patrol covers exactly the chaos windows: poison landing
+    // under the patrol head (ras.poison_scrub) then hits enclave,
+    // host or free frames — the classes whose containment is bounded.
+    // Monitor-region poison is planted deliberately (and rarely) by
+    // the ras.monitor sub-op instead, so a whole-host degrade is
+    // always an *expected* event the audits can account for.
+    std::unique_ptr<Scrubber> scrub;
+    if (config.rasLayer) {
+        scrub = std::make_unique<Scrubber>(
+            smp.mem(), kWindowBase, kWindows * kWindowSize, 32);
+        scrub->setSkip(
+            [&](Addr page) { return monitor.pageQuarantined(page); });
+    }
+    bool rasFatalExpected = false;
+
     FaultInjector &injector = FaultInjector::instance();
     injector.enable(config.seed);
 
@@ -707,6 +732,51 @@ runChaosSmp(const ChaosConfig &config)
     // registry slot is handed to a new tenant under a new generation.
     std::vector<DomainId> retired;
 
+    // ---- RAS helpers -----------------------------------------------
+    // Poison never lands on a stale-watch page: the watch probes are
+    // instrumentation, and a fail-closed machine-check denial there
+    // would read as a spurious stale-translation diagnosis.
+    auto isWatchPage = [&](Addr page) {
+        return std::find(watchPas.begin(), watchPas.end(), page) !=
+               watchPas.end();
+    };
+    // A poisonable page of one of `id`'s exclusive GMSs (0 = none):
+    // shared regions are excluded so the blast-radius contract —
+    // exactly one owner dies — stays well-defined.
+    auto pickPoisonPage = [&](DomainId id) -> Addr {
+        if (!monitor.domainExists(id))
+            return 0;
+        const auto &list = monitor.gmsOf(id);
+        for (unsigned attempt = 0; attempt < 8 && !list.empty();
+             ++attempt) {
+            const Gms &gms = list[rng.below(list.size())];
+            if (gms.shared || gms.size < kPageSize)
+                continue;
+            const Addr page =
+                gms.base + rng.below(gms.size / kPageSize) * kPageSize;
+            if (isWatchPage(page) || monitor.pageQuarantined(page))
+                continue;
+            return page;
+        }
+        return 0;
+    };
+    // The blast-radius contract: after any containment, every domain
+    // that existed before — except the one the poison belonged to —
+    // must still exist. Anything else is a cross-domain blast.
+    auto auditBlast = [&](unsigned index,
+                          const std::vector<DomainId> &before,
+                          DomainId allowed_victim) {
+        for (DomainId id : before) {
+            if (id == allowed_victim || monitor.domainExists(id))
+                continue;
+            ++stats.rasBlastViolations;
+            fail(index, "containment destroyed bystander domain " +
+                            std::to_string(id));
+            return false;
+        }
+        return true;
+    };
+
     // Windowed telemetry over the full SMP registry, clocked by the
     // monitor's simulated call_cycles sum (see ChaosConfig).
     StatRegistry seriesRegistry;
@@ -721,6 +791,8 @@ runChaosSmp(const ChaosConfig &config)
         checker.registerStats(seriesRegistry);
         iopmp.registerStats(seriesRegistry);
         seriesRegistry.add(&dmaBus.stats());
+        if (scrub)
+            scrub->registerStats(seriesRegistry);
         for (unsigned h = 0; h < unsigned(kernels.size()); ++h) {
             kernels[h]->registerStats(
                 seriesRegistry, h == 0 ? "os"
@@ -758,7 +830,16 @@ runChaosSmp(const ChaosConfig &config)
                 monitor.createDomain();
         } else if (roll < 12) {
             op_name = "destroyDomain";
-            result = monitor.destroyDomain(pick_domain(true));
+            const DomainId id = pick_domain(true);
+            // Destroy scrubs and releases the freed GMS pages, so a
+            // hart's kernel domain — whose arena backs live page
+            // tables the campaign keeps exercising — is never torn
+            // down mid-flight.
+            const bool backs_kernel = config.osLayer &&
+                std::find(kernelDomain.begin(), kernelDomain.end(),
+                          id) != kernelDomain.end();
+            if (!backs_kernel)
+                result = monitor.destroyDomain(id);
         } else if (roll < 28) {
             op_name = "addGms";
             const DomainId id = pick_domain(true);
@@ -998,6 +1079,336 @@ runChaosSmp(const ChaosConfig &config)
                 break;
               }
             }
+        } else if (roll < 88 && config.rasLayer) {
+            ++stats.rasOps;
+            // Multi-call sub-ops re-snapshot the rollback oracle after
+            // each *successful* mutating call, so a later injected
+            // failure is judged against the state it actually aborted
+            // from, not the op's entry state.
+            auto resnap = [&]() {
+                if (!digest_checked)
+                    return;
+                for (unsigned h = 0; h < config.harts; ++h)
+                    pre[h] = monitor.hartStateDigest(h, config.fullDigest);
+            };
+            switch (rng.below(6)) {
+              case 0: {
+                // Poison a victim enclave's data page, consume it
+                // through a real load when the region is readable, and
+                // report: exactly the owning domain must die.
+                op_name = "ras.data";
+                if (monitor.rasFatal())
+                    break;
+                const DomainId victim = pick_domain(false);
+                if (victim == 0)
+                    break;
+                const Addr page = pickPoisonPage(victim);
+                if (!page)
+                    break;
+                const Addr line = page + rng.below(64) * 64;
+                smp.mem().poisonLine(line);
+                ++stats.rasPoisons;
+                const auto before = live();
+                Perm perm;
+                for (const Gms &gms : monitor.gmsOf(victim)) {
+                    if (gms.base <= page && page < gms.base + gms.size)
+                        perm = gms.perm;
+                }
+                if (perm.allows(AccessType::Load) && rng.chance(0.6)) {
+                    // Read it back the way a core would: switch to the
+                    // owner and load — the fill must fail closed with
+                    // a typed machine check, never a panic.
+                    const MonitorResult sw = monitor.switchTo(victim);
+                    if (!sw.ok) {
+                        result = sw;
+                        break;
+                    }
+                    resnap();
+                    const auto out = smp.hart(initiator).access(
+                        line, AccessType::Load);
+                    if (out.fault == Fault::MachineCheck) {
+                        ++stats.rasMachineChecks;
+                        if ((out.poisonAddr & ~Addr(63)) != line) {
+                            fail(i, "machine check attributed to the "
+                                    "wrong line");
+                            break;
+                        }
+                    }
+                }
+                ++stats.rasReports;
+                const auto mc = monitor.handleMachineCheck(line);
+                if (!mc.ok) {
+                    result = MonitorResult::fail(mc.code, mc.error);
+                    break;
+                }
+                if (mc.value != RasOutcome::ContainedDomain) {
+                    fail(i, std::string("expected contained-domain, "
+                                        "got ") +
+                                toString(mc.value));
+                    break;
+                }
+                if (monitor.domainExists(victim)) {
+                    ++stats.rasBlastViolations;
+                    fail(i, "poisoned domain survived containment");
+                    break;
+                }
+                if (!monitor.pageQuarantined(page)) {
+                    fail(i, "contained page was not quarantined");
+                    break;
+                }
+                auditBlast(i, before, victim);
+                break;
+              }
+              case 1: {
+                // Poison a pmpte frame: the monitor must rebuild the
+                // table from its authoritative layout — same
+                // measurement, same grants, fresh frames, new root.
+                op_name = "ras.pmpte";
+                if (monitor.rasFatal())
+                    break;
+                const DomainId victim = pick_domain(false);
+                const PmpTable *table = monitor.tablePeek(victim);
+                if (!table || table->tablePages().empty())
+                    break;
+                const auto &frames = table->tablePages();
+                const Addr frame = frames[rng.below(frames.size())];
+                const Addr oldRoot = table->rootPa();
+                smp.mem().poisonLine(frame + rng.below(64) * 64);
+                ++stats.rasPoisons;
+                const auto before = live();
+                ++stats.rasReports;
+                const auto mc = monitor.handleMachineCheck(frame);
+                if (!mc.ok) {
+                    // Typed heal failure (injected fault): the
+                    // poisoned table must have been restored
+                    // bit-identically — the generic rollback audit
+                    // below verifies exactly that.
+                    result = MonitorResult::fail(mc.code, mc.error);
+                    break;
+                }
+                if (mc.value == RasOutcome::HostFatal) {
+                    // Table-frame exhaustion mid-rebuild legitimately
+                    // degrades the host late in a long campaign.
+                    rasFatalExpected = true;
+                    break;
+                }
+                if (mc.value != RasOutcome::HealedTable) {
+                    fail(i, std::string("expected healed-table, got ") +
+                                toString(mc.value));
+                    break;
+                }
+                const PmpTable *healed = monitor.tablePeek(victim);
+                if (!monitor.domainExists(victim) || !healed) {
+                    ++stats.rasBlastViolations;
+                    fail(i, "self-heal lost the healed domain");
+                    break;
+                }
+                if (healed->rootPa() == oldRoot) {
+                    fail(i, "healed table still points at the old root");
+                    break;
+                }
+                if (!auditBlast(i, before, 0))
+                    break;
+                // Re-attest: the rebuilt table must produce the same
+                // verifiable report a fresh enrolment would.
+                if (!monitor.domainMigrating(victim)) {
+                    const uint64_t nonce = rng.next();
+                    const auto report =
+                        monitor.attestDomain(victim, nonce);
+                    if (report.ok &&
+                        !monitor.attestor().verify(report.value,
+                                                   nonce)) {
+                        fail(i, "post-heal attestation failed "
+                                "verification");
+                        break;
+                    }
+                }
+                break;
+              }
+              case 2: {
+                // Poison a frame nobody owns: the quarantine must
+                // touch no domain at all.
+                op_name = "ras.free";
+                if (monitor.rasFatal())
+                    break;
+                const Addr page =
+                    windowOf(DomainId(rng.below(kWindows))) +
+                    rng.below(kWindowSize / kPageSize) * kPageSize;
+                bool owned = false;
+                for (DomainId id : live()) {
+                    for (const Gms &gms : monitor.gmsOf(id)) {
+                        if (gms.base <= page &&
+                            page < gms.base + gms.size) {
+                            owned = true;
+                        }
+                    }
+                }
+                if (owned || isWatchPage(page) ||
+                    monitor.pageQuarantined(page)) {
+                    break;
+                }
+                smp.mem().poisonLine(page + rng.below(64) * 64);
+                ++stats.rasPoisons;
+                const auto before = live();
+                ++stats.rasReports;
+                const auto mc = monitor.handleMachineCheck(page);
+                if (!mc.ok) {
+                    result = MonitorResult::fail(mc.code, mc.error);
+                    break;
+                }
+                if (mc.value != RasOutcome::QuarantinedFree) {
+                    fail(i, std::string("expected quarantined-free, "
+                                        "got ") +
+                                toString(mc.value));
+                    break;
+                }
+                auditBlast(i, before, 0);
+                break;
+              }
+              case 3: {
+                // Poison lands under the patrol head mid-scan
+                // (ras.poison_scrub); the patrol itself must detect
+                // and report it within a few batches.
+                op_name = "ras.scrub";
+                if (monitor.rasFatal())
+                    break;
+                if (rng.chance(0.5)) {
+                    injector.armNth("ras.poison_scrub",
+                                    1 + rng.below(64));
+                }
+                for (unsigned b = 0; b < 4 && !stats.failed; ++b) {
+                    const auto hit = scrub->step();
+                    if (!hit)
+                        continue;
+                    const auto before = live();
+                    DomainId owner = 0;
+                    for (DomainId id : before) {
+                        for (const Gms &gms : monitor.gmsOf(id)) {
+                            if (gms.base <= *hit &&
+                                *hit < gms.base + gms.size) {
+                                owner = id;
+                            }
+                        }
+                    }
+                    ++stats.rasReports;
+                    const auto mc = monitor.handleMachineCheck(*hit);
+                    if (!mc.ok) {
+                        result = MonitorResult::fail(mc.code, mc.error);
+                        break;
+                    }
+                    if (!auditBlast(i, before, owner))
+                        break;
+                    resnap();
+                }
+                break;
+              }
+              case 4: {
+                // Rare, late: poison the monitor's private state. The
+                // only sound containment is a whole-host degrade —
+                // every later mutating call must be a typed RasFatal
+                // denial while reads and audits stay up.
+                op_name = "ras.monitor";
+                if (monitor.rasFatal() || i < config.ops * 3 / 4 ||
+                    !rng.chance(0.1)) {
+                    break;
+                }
+                const MonitorConfig &mcfg = monitor.config();
+                Addr page = 0;
+                for (unsigned attempt = 0; attempt < 8 && !page;
+                     ++attempt) {
+                    const Addr cand =
+                        mcfg.monitorBase +
+                        rng.below(mcfg.monitorSize / kPageSize) *
+                            kPageSize;
+                    bool table_frame = false;
+                    for (DomainId id : live()) {
+                        const PmpTable *t = monitor.tablePeek(id);
+                        if (t && t->isTablePage(cand))
+                            table_frame = true;
+                    }
+                    if (!table_frame && !monitor.pageQuarantined(cand))
+                        page = cand;
+                }
+                if (!page)
+                    break;
+                smp.mem().poisonPage(page);
+                ++stats.rasPoisons;
+                const auto before = live();
+                ++stats.rasReports;
+                const auto mc = monitor.handleMachineCheck(page);
+                if (!mc.ok) {
+                    result = MonitorResult::fail(mc.code, mc.error);
+                    break;
+                }
+                if (mc.value != RasOutcome::HostFatal) {
+                    fail(i, std::string("expected host-fatal, got ") +
+                                toString(mc.value));
+                    break;
+                }
+                rasFatalExpected = true;
+                if (!monitor.rasFatal()) {
+                    fail(i, "host-fatal outcome did not latch rasFatal");
+                    break;
+                }
+                // Degrade, not crash: the registry is intact and every
+                // mutating call is now a typed denial.
+                if (!auditBlast(i, before, 0))
+                    break;
+                const MonitorResult denied =
+                    monitor.switchTo(pick_domain(false));
+                if (denied.ok ||
+                    denied.code != MonitorError::RasFatal) {
+                    fail(i, "mutating call after host degrade was not "
+                            "a typed ras-fatal denial");
+                }
+                break;
+              }
+              default: {
+                // Poison inside a suspended (mid-migration) domain:
+                // containment must still work — the migration is dead
+                // either way, and only the owner may go.
+                op_name = "ras.suspended";
+                if (monitor.rasFatal())
+                    break;
+                const DomainId victim = pick_domain(false);
+                if (victim == 0)
+                    break;
+                const Addr page = pickPoisonPage(victim);
+                if (!page)
+                    break;
+                const MonitorResult sus = monitor.suspendDomain(victim);
+                if (!sus.ok) {
+                    result = sus;
+                    break;
+                }
+                resnap();
+                smp.mem().poisonLine(page);
+                ++stats.rasPoisons;
+                const auto before = live();
+                ++stats.rasReports;
+                const auto mc = monitor.handleMachineCheck(page);
+                if (!mc.ok) {
+                    // Leave the domain suspended: the patrol scrubber
+                    // will re-find the poison and finish containment.
+                    result = MonitorResult::fail(mc.code, mc.error);
+                    break;
+                }
+                if (mc.value != RasOutcome::ContainedDomain) {
+                    fail(i, std::string("expected contained-domain, "
+                                        "got ") +
+                                toString(mc.value));
+                    break;
+                }
+                if (monitor.domainExists(victim)) {
+                    ++stats.rasBlastViolations;
+                    fail(i, "suspended poisoned domain survived "
+                            "containment");
+                    break;
+                }
+                auditBlast(i, before, victim);
+                break;
+              }
+            }
         } else if (roll < 94) {
             op_name = "dma";
             ++stats.dmaOps;
@@ -1012,6 +1423,17 @@ runChaosSmp(const ChaosConfig &config)
             if (xfer.busWaitCycles != 0) {
                 ++stats.dmaBusWaits;
                 stats.dmaBusWaitCycles += xfer.busWaitCycles;
+            }
+            if (xfer.machineCheck && config.rasLayer) {
+                // A beat consumed poison: the engine failed closed;
+                // route the machine check to the monitor like the
+                // platform firmware would.
+                ++stats.rasMachineChecks;
+                ++stats.rasReports;
+                const auto mc =
+                    monitor.handleMachineCheck(xfer.faultAddr);
+                if (!mc.ok)
+                    result = MonitorResult::fail(mc.code, mc.error);
             }
             if (rng.chance(0.25))
                 iopmp.flushCaches();
@@ -1117,6 +1539,36 @@ runChaosSmp(const ChaosConfig &config)
             fail(i, "invariant violated: " + violation);
             break;
         }
+
+        // RAS campaigns: one patrol batch between every op — latent
+        // poison the consumers have not tripped over (failed reports,
+        // suspended victims) is found and contained within a lap. Runs
+        // after the audits: its containments belong to the *next* op's
+        // oracle snapshot.
+        if (config.rasLayer && !stats.failed) {
+            op_name = "ras.patrol";
+            if (const auto hit = scrub->step()) {
+                const auto before = live();
+                DomainId owner = 0;
+                for (DomainId id : before) {
+                    for (const Gms &gms : monitor.gmsOf(id)) {
+                        if (gms.base <= *hit &&
+                            *hit < gms.base + gms.size) {
+                            owner = id;
+                        }
+                    }
+                }
+                ++stats.rasReports;
+                const auto mc = monitor.handleMachineCheck(*hit);
+                if (mc.ok) {
+                    auditBlast(i, before, owner);
+                } else if (mc.code != MonitorError::RasFatal) {
+                    fail(i, "patrol report failed: " + mc.error);
+                }
+            }
+            if (stats.failed)
+                break;
+        }
     }
 
     injector.disable();
@@ -1139,6 +1591,25 @@ runChaosSmp(const ChaosConfig &config)
         stats.staleExecGrants = checker.staleExecGrants();
         stats.staleRwGrants = checker.staleRwGrants();
     }
+    if (config.rasLayer) {
+        stats.rasQuarantines = monitor.stats().get("ras.quarantines");
+        stats.rasContained =
+            monitor.stats().get("ras.contained_domains");
+        stats.rasHeals = monitor.stats().get("ras.heals");
+        stats.rasFatalEvents = monitor.stats().get("ras.fatal");
+        stats.scrubPagesScanned = scrub->pagesScanned();
+        stats.scrubDetections = scrub->detections();
+        // A whole-host degrade is only legal when the campaign planted
+        // monitor-region poison (or a rebuild ran out of frames) —
+        // anything else means containment escalated past its class.
+        if (monitor.rasFatal() && !rasFatalExpected && !stats.failed) {
+            ++stats.rasBlastViolations;
+            stats.failed = true;
+            stats.failure =
+                "seed " + std::to_string(config.seed) +
+                ": host degraded without a monitor-region poison event";
+        }
+    }
 
     if (sampler) {
         sampler->sample(campaign_cycles());
@@ -1150,6 +1621,8 @@ runChaosSmp(const ChaosConfig &config)
         smp.registerStats(registry);
         checker.registerStats(registry);
         iopmp.registerStats(registry);
+        if (scrub)
+            scrub->registerStats(registry);
         for (unsigned h = 0; h < unsigned(kernels.size()); ++h) {
             kernels[h]->registerStats(
                 registry, h == 0 ? "os"

@@ -82,6 +82,23 @@ struct ChaosConfig
      */
     bool fleetLayer = false;
     /**
+     * RAS chaos (mutually exclusive with osLayer/virtLayer/fleetLayer):
+     * plant memory poison across the three blast-radius classes — a
+     * victim enclave's data pages, pmpte frames of a live PMP Table,
+     * free/host frames, and (rarely, late in the campaign) the
+     * monitor-private region — then detect it through real consumers
+     * (bare accesses, DMA beats, a background patrol scrubber) and
+     * route every machine check into
+     * SecureMonitor::handleMachineCheck. After every containment the
+     * campaign audits the blast-radius contract: only the owning
+     * domain dies, self-heals leave the measurement bit-identical and
+     * the domain grantable, free-frame poison touches nobody, and
+     * monitor poison degrades exactly the whole host (every mutating
+     * call a typed RasFatal denial, reads still up). Runs the SMP
+     * campaign even with harts == 1.
+     */
+    bool rasLayer = false;
+    /**
      * Migration chaos (mutually exclusive with every other layer):
      * run *two* hosts — two SmpSystems with their own monitors — and
      * ping-pong domains between them through the live-migration
@@ -155,6 +172,19 @@ struct ChaosStats
     uint64_t fleetStaleProbes = 0;  //!< retired-id probes (all denied)
     uint64_t coalescedWindows = 0;  //!< windows the monitor flushed
     uint64_t postAckViolations = 0; //!< checker hard failures (must be 0)
+
+    // RAS campaigns only (--ras):
+    uint64_t rasOps = 0;            //!< RAS sub-ops performed
+    uint64_t rasPoisons = 0;        //!< poison events planted
+    uint64_t rasMachineChecks = 0;  //!< poison consumed via access/DMA paths
+    uint64_t rasReports = 0;        //!< handleMachineCheck invocations
+    uint64_t rasQuarantines = 0;    //!< frames retired by the monitor
+    uint64_t rasContained = 0;      //!< domains destroyed to contain poison
+    uint64_t rasHeals = 0;          //!< PMP Tables rebuilt from clean frames
+    uint64_t rasFatalEvents = 0;    //!< whole-host degrades (monitor poison)
+    uint64_t scrubPagesScanned = 0; //!< patrol scrubber coverage
+    uint64_t scrubDetections = 0;   //!< poisoned frames the patrol found
+    uint64_t rasBlastViolations = 0; //!< containment crossed a boundary (must be 0)
 
     // Migration campaigns only (--migrate):
     uint64_t migrations = 0;     //!< migration attempts started

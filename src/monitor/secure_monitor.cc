@@ -52,6 +52,21 @@ toString(MonitorError error)
       case MonitorError::LockContended: return "lock-contended";
       case MonitorError::StaleHandle: return "stale-handle";
       case MonitorError::DomainMigrating: return "domain-migrating";
+      case MonitorError::RasFatal: return "ras-fatal";
+      case MonitorError::QuarantinedPage: return "quarantined-page";
+    }
+    return "?";
+}
+
+const char *
+toString(RasOutcome outcome)
+{
+    switch (outcome) {
+      case RasOutcome::AlreadyQuarantined: return "already-quarantined";
+      case RasOutcome::QuarantinedFree: return "quarantined-free";
+      case RasOutcome::ContainedDomain: return "contained-domain";
+      case RasOutcome::HealedTable: return "healed-table";
+      case RasOutcome::HostFatal: return "host-fatal";
     }
     return "?";
 }
@@ -154,6 +169,18 @@ struct SecureMonitor::Txn
         stashed_.emplace_back(id, std::move(dom));
     }
 
+    /**
+     * Keep a PMP-table object the call swapped out wholesale
+     * (self-heal): rollback re-points the domain at the original
+     * before the metadata rollback runs, since touch() snapshotted
+     * *that* object, not its replacement.
+     */
+    void
+    stashTable(DomainId id, std::unique_ptr<PmpTable> table)
+    {
+        stashedTables_.emplace_back(id, std::move(table));
+    }
+
     MonitorResult
     commit(bool flushed, bool degraded = false)
     {
@@ -199,6 +226,19 @@ struct SecureMonitor::Txn
         for (auto &[id, dom] : stashed_)
             m_.domains_.restoreErased(id, std::move(dom));
         stashed_.clear();
+
+        // 2b. Re-point domains whose table object was swapped out
+        //     mid-call (self-heal) back at the original: step 3's
+        //     metadata rollback must run against the object touch()
+        //     snapshotted. The abandoned replacement is destroyed
+        //     here; its frames were already zeroed by the journal
+        //     replay and are reclaimed by the cursor restore in 4.
+        for (auto &[id, table] : stashedTables_) {
+            Domain *dom = m_.domains_.find(id);
+            panic_if(!dom, "rollback lost healed domain %u", id);
+            dom->table = std::move(table);
+        }
+        stashedTables_.clear();
 
         // 3. Restore per-domain state of the touched set; drop tables
         //    created mid-call (their frames are reclaimed by the
@@ -297,6 +337,8 @@ struct SecureMonitor::Txn
     std::vector<VirtSnap> virtSnaps_; //!< all harts, virt-enabled only
     std::vector<DomainSnap> domSnaps_;
     std::vector<std::pair<DomainId, Domain>> stashed_;
+    std::vector<std::pair<DomainId, std::unique_ptr<PmpTable>>>
+        stashedTables_;
 };
 
 template <typename Fn>
@@ -400,6 +442,12 @@ SecureMonitor::SecureMonitor(Machine &machine, const MonitorConfig &config)
     stats_.add("ipi_post", &statIpiPost_);
     stats_.add("ipi_retries", &statIpiRetries_);
     stats_.add("ipi_elided", &statIpiElided_);
+    stats_.add("ras.reports", &statRasReports_);
+    stats_.add("ras.quarantines", &statRasQuarantines_);
+    stats_.add("ras.contained_domains", &statRasContained_);
+    stats_.add("ras.heals", &statRasHeals_);
+    stats_.add("ras.fatal", &statRasFatal_);
+    stats_.add("ras.scrubbed_pages", &statRasScrubbed_);
     domains_.registerStats(stats_);
     for (unsigned e = 1; e < kNumMonitorErrors; ++e) {
         stats_.add(std::string("errors.") + toString(MonitorError(e)),
@@ -598,6 +646,8 @@ SecureMonitor::createDomain()
 MonitorResult
 SecureMonitor::destroyDomain(DomainId id)
 {
+    if (rasFatal_)
+        return failRasFatal();
     if (id == 0) {
         return failCall(MonitorError::BadArgument,
                                    "cannot destroy the host domain");
@@ -605,7 +655,15 @@ SecureMonitor::destroyDomain(DomainId id)
     Domain *dom = domains_.find(id);
     if (!dom)
         return failNoDomain(id);
-    return transact("destroyDomain", [&](Txn &txn) {
+    // Captured before the erase: once the transaction commits the
+    // domain object is gone, and the freed frames get scrubbed so the
+    // next owner reads zeros (never the dead domain's data). The
+    // table frames die with the domain too — bump-allocated monitor
+    // frames are never reissued, so their backing can be dropped.
+    const std::vector<Gms> freed = dom->gmsList;
+    const std::vector<Addr> deadTableFrames =
+        dom->table ? dom->table->tablePages() : std::vector<Addr>{};
+    MonitorResult result = transact("destroyDomain", [&](Txn &txn) {
         if (FAULT_POINT("monitor.destroy_domain")) {
             throw MonitorAbort{MonitorError::InjectedFault,
                                "injected fault at monitor.destroy_domain"};
@@ -626,11 +684,21 @@ SecureMonitor::destroyDomain(DomainId id)
         }
         return txn.commit(flushed, degraded);
     });
+    if (result.ok) {
+        scrubFreedGms(freed);
+        for (const Addr frame : deadTableFrames) {
+            if (!pageQuarantined(frame))
+                machine_.mem().releasePage(frame);
+        }
+    }
+    return result;
 }
 
 MonitorResult
 SecureMonitor::addGms(DomainId id, const Gms &gms)
 {
+    if (rasFatal_)
+        return failRasFatal();
     Domain *dom = findDomain(id);
     if (!dom)
         return failNoDomain(id);
@@ -669,6 +737,16 @@ SecureMonitor::addGms(DomainId id, const Gms &gms)
         return failCall(MonitorError::OverlapMonitor,
                                    "GMS overlaps the monitor");
     }
+    // Retired frames never re-enter circulation: a poisoned page
+    // stays out of every future grant.
+    if (!quarantine_.empty()) {
+        for (Addr p = gms.base; p < gms.base + gms.size; p += kPageSize) {
+            if (pageQuarantined(p)) {
+                return failCall(MonitorError::QuarantinedPage,
+                                "GMS overlaps a quarantined page");
+            }
+        }
+    }
 
     return transact("addGms", [&](Txn &txn) {
         txn.touch(id);
@@ -702,6 +780,8 @@ SecureMonitor::addGms(DomainId id, const Gms &gms)
 MonitorResult
 SecureMonitor::removeGms(DomainId id, Addr base)
 {
+    if (rasFatal_)
+        return failRasFatal();
     Domain *dom = findDomain(id);
     if (!dom)
         return failNoDomain(id);
@@ -741,6 +821,8 @@ SecureMonitor::removeGms(DomainId id, Addr base)
 MonitorResult
 SecureMonitor::setLabel(DomainId id, Addr base, GmsLabel label)
 {
+    if (rasFatal_)
+        return failRasFatal();
     Domain *dom = findDomain(id);
     if (!dom)
         return failNoDomain(id);
@@ -778,6 +860,8 @@ SecureMonitor::setLabel(DomainId id, Addr base, GmsLabel label)
 MonitorResult
 SecureMonitor::setPerm(DomainId id, Addr base, Perm perm)
 {
+    if (rasFatal_)
+        return failRasFatal();
     Domain *dom = findDomain(id);
     if (!dom)
         return failNoDomain(id);
@@ -822,6 +906,8 @@ MonitorResult
 SecureMonitor::shareGms(DomainId owner, Addr base, DomainId peer,
                         Perm perm)
 {
+    if (rasFatal_)
+        return failRasFatal();
     if (owner == peer)
         return failCall(MonitorError::BadArgument,
                                    "cannot share with self");
@@ -929,6 +1015,8 @@ SecureMonitor::attestDomain(DomainId id, uint64_t nonce) const
 MonitorResult
 SecureMonitor::hintHotRegion(DomainId id, Addr base, uint64_t size)
 {
+    if (rasFatal_)
+        return failRasFatal();
     if (!isPowerOf2(size) || size < kPageSize || base % size != 0)
         return failCall(MonitorError::BadArgument,
                                    "hot region must be NAPOT");
@@ -1001,6 +1089,8 @@ SecureMonitor::hintHotRegion(DomainId id, Addr base, uint64_t size)
 MonitorResult
 SecureMonitor::switchTo(DomainId id)
 {
+    if (rasFatal_)
+        return failRasFatal();
     Domain *dom = findDomain(id);
     if (!dom)
         return failNoDomain(id);
@@ -1025,6 +1115,8 @@ SecureMonitor::switchTo(DomainId id)
 MonitorResult
 SecureMonitor::suspendDomain(DomainId id)
 {
+    if (rasFatal_)
+        return failRasFatal();
     if (id == 0) {
         return failCall(MonitorError::BadArgument,
                         "cannot migrate the host domain");
@@ -1060,6 +1152,8 @@ SecureMonitor::suspendDomain(DomainId id)
 MonitorResult
 SecureMonitor::resumeDomain(DomainId id)
 {
+    if (rasFatal_)
+        return failRasFatal();
     Domain *dom = findDomain(id);
     if (!dom)
         return failNoDomain(id);
@@ -1091,6 +1185,226 @@ SecureMonitor::domainGrantable(DomainId id) const
 {
     const Domain *dom = domains_.find(id);
     return dom && dom->alive && !dom->migrating;
+}
+
+bool
+SecureMonitor::pageQuarantined(Addr pa) const
+{
+    return quarantine_.count(pa & ~Addr(kPageSize - 1)) != 0;
+}
+
+void
+SecureMonitor::quarantinePage(Addr pa)
+{
+    const Addr page = pa & ~Addr(kPageSize - 1);
+    if (!quarantine_.insert(page).second)
+        return;
+    ++statRasQuarantines_;
+    // Retire the frame: backing dropped, poison bits kept, so later
+    // touches keep machine-checking instead of reading fresh zeros
+    // where the lost data used to be.
+    machine_.mem().releasePage(page);
+    DPRINTF(Monitor, "quarantine page %#lx\n", page);
+}
+
+void
+SecureMonitor::enterRasFatal(Addr pa)
+{
+    rasFatal_ = true;
+    ++statRasFatal_;
+    DPRINTF(Monitor, "RAS-fatal: uncontainable poison at %#lx\n", pa);
+}
+
+MonitorResult
+SecureMonitor::failRasFatal() const
+{
+    return failCall(MonitorError::RasFatal,
+                    "host degraded by an uncontained memory error");
+}
+
+void
+SecureMonitor::scrubFreedGms(const std::vector<Gms> &freed)
+{
+    PhysMem &mem = machine_.mem();
+    for (const Gms &gms : freed) {
+        // A shared region survives in a peer's address space: its
+        // contents are still live and must not be wiped.
+        if (gms.shared)
+            continue;
+        for (Addr p = gms.base; p < gms.base + gms.size;
+             p += kPageSize) {
+            if (pageQuarantined(p))
+                continue;
+            mem.releasePage(p);
+            ++statRasScrubbed_;
+        }
+    }
+}
+
+MonitorResult
+SecureMonitor::healTable(DomainId id)
+{
+    Domain *dom = findDomain(id);
+    panic_if(!dom || !dom->table, "healTable without a table");
+    return transact("healTable", [&](Txn &txn) {
+        txn.touch(id);
+        if (FAULT_POINT("monitor.heal_table")) {
+            throw MonitorAbort{MonitorError::InjectedFault,
+                               "injected fault at monitor.heal_table"};
+        }
+        // The dying table's stores keep counting, as on destroy.
+        tableWritesTotal_ += dom->table->entryWrites();
+        txn.stashTable(id, std::move(dom->table));
+        // Rebuild from the monitor's authoritative layout into fresh
+        // frames: the poisoned pmpte bytes are never read.
+        dom->table = std::make_unique<PmpTable>(
+            machine_.mem(),
+            [this](unsigned npages) { return allocTableFrame(npages); },
+            config_.pmptLevels);
+        dom->table->setWriteAggregate(&tableWritesAgg_);
+        dom->table->setJournal(&txn.journal_);
+        for (const Gms &gms : dom->gmsList)
+            writeGmsToTable(*dom, gms);
+
+        bool degraded = false;
+        if (id == current_) {
+            // The running domain's root moved: reprogram the
+            // registers and run the real shootdown (non-empty diff).
+            degraded = applyLayout();
+        } else {
+            // No register points at the rebuilt table, but PMPTW
+            // caches may hold pmptes of the old frames from when the
+            // domain last ran: fence every hart anyway (fail closed
+            // on lost IPIs).
+            machine_.sfenceVma();
+            machine_.hpmp().flushCache();
+            remoteShootdown();
+        }
+        return txn.commit(true, degraded);
+    });
+}
+
+MonitorValue<RasOutcome>
+SecureMonitor::handleMachineCheck(Addr pa)
+{
+    ++statRasReports_;
+    const Addr page = pa & ~Addr(kPageSize - 1);
+    MonitorValue<RasOutcome> result;
+    if (pageQuarantined(page)) {
+        // The frame is already retired; nothing new to contain.
+        result.value = RasOutcome::AlreadyQuarantined;
+        noteResult(true, MonitorError::None, 0, false, false);
+        return result;
+    }
+    if (rasFatal_) {
+        noteResult(false, MonitorError::RasFatal, 0, false, false);
+        return MonitorValue<RasOutcome>::fail(
+            MonitorError::RasFatal,
+            "host degraded by an uncontained memory error");
+    }
+
+    // Class 1 — a pmpte frame of a live domain's PMP Table: the
+    // monitor holds the authoritative layout, so rebuild instead of
+    // killing the domain.
+    DomainId tableOwner = 0;
+    bool ownsTable = false;
+    domains_.forEach([&](DomainId id, const Domain &dom) {
+        if (!ownsTable && dom.table && dom.table->isTablePage(page)) {
+            tableOwner = id;
+            ownsTable = true;
+        }
+    });
+    if (ownsTable) {
+        // Measurement oracle around the rebuild: self-heal must not
+        // change what the domain attests to.
+        const MonitorValue<MerkleHash> pre = measureDomain(tableOwner);
+        const std::vector<Addr> oldFrames =
+            domain(tableOwner).table->tablePages();
+        const MonitorResult heal = healTable(tableOwner);
+        if (!heal.ok) {
+            if (heal.code == MonitorError::OutOfTableFrames) {
+                // The monitor cannot rebuild: degrade the whole host
+                // rather than keep checking against poisoned pmptes.
+                enterRasFatal(pa);
+                quarantinePage(page);
+                result.value = RasOutcome::HostFatal;
+                noteResult(true, MonitorError::None, 0, true, false);
+                return result;
+            }
+            noteResult(false, heal.code, 0, false, false);
+            return MonitorValue<RasOutcome>::fail(heal.code,
+                                                  heal.error);
+        }
+        quarantinePage(page);
+        // The other old frames hold only dead pmptes (bump-allocated
+        // monitor frames are never reissued): drop their backing.
+        for (const Addr frame : oldFrames) {
+            if (!pageQuarantined(frame))
+                machine_.mem().releasePage(frame);
+        }
+        const MonitorValue<MerkleHash> post = measureDomain(tableOwner);
+        panic_if(pre.ok != post.ok ||
+                     (pre.ok && pre.value != post.value),
+                 "self-heal changed domain %u's measurement",
+                 tableOwner);
+        ++statRasHeals_;
+        result.value = RasOutcome::HealedTable;
+        noteResult(true, MonitorError::None, heal.cycles,
+                   heal.degraded, false);
+        return result;
+    }
+
+    // Class 2 — monitor-private state (or a table frame the registry
+    // cannot attribute): no containment boundary is left below the
+    // TCB. The host degrades; read paths stay up, grants stop.
+    if (page >= config_.monitorBase &&
+        page < config_.monitorBase + config_.monitorSize) {
+        enterRasFatal(pa);
+        quarantinePage(page);
+        result.value = RasOutcome::HostFatal;
+        noteResult(true, MonitorError::None, 0, true, false);
+        return result;
+    }
+
+    // Class 3 — a live enclave's data page: retire the frame and
+    // destroy only the owning domain. Siblings and the host keep
+    // running (the blast-radius contract the chaos campaign audits).
+    DomainId victim = 0;
+    bool owned = false;
+    domains_.forEach([&](DomainId id, const Domain &dom) {
+        if (owned)
+            return;
+        for (const Gms &gms : dom.gmsList) {
+            if (gms.base <= pa && pa < gms.base + gms.size) {
+                victim = id;
+                owned = true;
+                return;
+            }
+        }
+    });
+    if (owned && victim != 0) {
+        const MonitorResult destroy = destroyDomain(victim);
+        if (!destroy.ok) {
+            noteResult(false, destroy.code, 0, false, false);
+            return MonitorValue<RasOutcome>::fail(destroy.code,
+                                                  destroy.error);
+        }
+        quarantinePage(page);
+        ++statRasContained_;
+        DPRINTF(Monitor, "contained poison %#lx: domain %u destroyed\n",
+                pa, victim);
+        result.value = RasOutcome::ContainedDomain;
+        noteResult(true, MonitorError::None, destroy.cycles,
+                   destroy.degraded, false);
+        return result;
+    }
+
+    // The host's own page (domain 0 cannot be destroyed) or an
+    // unowned free frame: retire it in place.
+    quarantinePage(page);
+    result.value = RasOutcome::QuarantinedFree;
+    noteResult(true, MonitorError::None, 0, false, false);
+    return result;
 }
 
 const std::vector<Gms> &
@@ -1509,6 +1823,14 @@ SecureMonitor::digestWith(const HpmpUnit &unit,
     h = digestFold(h, tableFrameNext_);
     h = digestFold(h, tableWritesTotal_);
     h = digestFold(h, heatClock_);
+    h = digestFold(h, rasFatal_);
+    // Order-independent fold of the quarantine set: hash-set
+    // iteration order is not stable across rehashes.
+    uint64_t q = 0;
+    for (const Addr page : quarantine_)
+        q ^= (page ^ 0x9e3779b97f4a7c15ULL) * 0x100000001b3ULL;
+    h = digestFold(h, q);
+    h = digestFold(h, quarantine_.size());
 
     // Siblings fenced by a coalesced window apply one *net* register
     // diff where the committing hart paid per-commit diffs, so their

@@ -26,6 +26,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "base/interval_set.h"
@@ -77,12 +78,29 @@ enum class MonitorError : uint8_t
     LockContended,    //!< another hart holds the global monitor lock
     StaleHandle,      //!< DomainId from a destroyed, since-recycled domain
     DomainMigrating,  //!< domain is suspended for an in-flight migration
+    RasFatal,         //!< host degraded by an uncontained memory error
+    QuarantinedPage,  //!< region overlaps a retired (quarantined) frame
 };
 
 /** Number of MonitorError values (sizes the per-error counters). */
-constexpr unsigned kNumMonitorErrors = 13;
+constexpr unsigned kNumMonitorErrors = 15;
 
 const char *toString(MonitorError error);
+
+/**
+ * What handleMachineCheck() did with a reported poisoned address — the
+ * three blast-radius classes of DESIGN.md §15 plus the no-op repeat.
+ */
+enum class RasOutcome : uint8_t
+{
+    AlreadyQuarantined, //!< repeat report of a retired frame: no-op
+    QuarantinedFree,    //!< frame retired; no domain had to die
+    ContainedDomain,    //!< owning domain destroyed, its frame retired
+    HealedTable,        //!< pmpte subtree rebuilt into fresh frames
+    HostFatal,          //!< monitor-private state hit: host degraded
+};
+
+const char *toString(RasOutcome outcome);
 
 /** Result of a monitor call. */
 struct MonitorResult
@@ -264,6 +282,42 @@ class SecureMonitor
      * invariant).
      */
     bool domainGrantable(DomainId id) const;
+
+    /**
+     * Machine-check containment policy (DESIGN.md §15). The firmware
+     * RAS handler reports the physical address whose poison was
+     * consumed; the monitor classifies the blast radius and contains
+     * it:
+     *
+     *  - pmpte frame of a live domain's PMP Table: self-heal — the
+     *    subtree is rebuilt from the monitor's authoritative GMS
+     *    layout into fresh frames (the poisoned bytes are never
+     *    read), the root is re-pointed under a shootdown window and
+     *    the domain's measurement is verified unchanged. Counted in
+     *    ras.heals; the dead frame is retired.
+     *  - monitor-private state (including a table frame the monitor
+     *    cannot attribute): whole-host degrade — rasFatal() latches
+     *    and every further mutating call fails with RasFatal.
+     *  - a live enclave's data page: the frame is retired and only
+     *    the owning domain is destroyed (its freed pages scrubbed);
+     *    sibling domains and the host are untouched.
+     *  - the host's own page, or an unowned free frame: the frame is
+     *    retired in place (the host domain cannot be destroyed).
+     *
+     * Idempotent: re-reporting an already-retired frame is an ok
+     * no-op. A containment step that fails mid-way (injected fault)
+     * rolls back bit-identically and surfaces the typed error.
+     */
+    MonitorValue<RasOutcome> handleMachineCheck(Addr pa);
+
+    /** True once an uncontainable error degraded the whole host. */
+    bool rasFatal() const { return rasFatal_; }
+
+    /** True iff the frame holding pa was retired by containment. */
+    bool pageQuarantined(Addr pa) const;
+
+    /** Number of retired frames. */
+    size_t quarantinedPages() const { return quarantine_.size(); }
 
     /**
      * Open a coalesced shootdown window (multi-hart monitors only; a
@@ -491,6 +545,36 @@ class SecureMonitor
      *  roll back. */
     MonitorResult failCall(MonitorError code, std::string why) const;
 
+    /** The typed failure every mutating call takes once rasFatal_. */
+    MonitorResult failRasFatal() const;
+
+    /** Latch the whole-host degrade (uncontainable error at pa). */
+    void enterRasFatal(Addr pa);
+
+    /**
+     * Retire the frame holding pa: backing dropped (releasePage),
+     * poison bits kept, so later touches keep machine-checking
+     * instead of reading recycled bytes. Idempotent.
+     */
+    void quarantinePage(Addr pa);
+
+    /**
+     * Self-heal a domain's PMP Table after a pmpte frame took poison:
+     * rebuild into fresh frames from the GMS list, re-point the root
+     * and fence every hart. Transactional — an abort mid-rebuild
+     * restores the original table object bit-identically.
+     */
+    MonitorResult healTable(DomainId id);
+
+    /**
+     * Scrub-on-free: drop the backing of a destroyed domain's
+     * exclusively-owned pages so a later owner of the frame reads
+     * zeros, never the dead domain's data. Runs after the destroy
+     * committed; shared regions (still live in a peer) and retired
+     * frames are skipped.
+     */
+    void scrubFreedGms(const std::vector<Gms> &freed);
+
     Machine &machine_;
     SmpSystem *smp_ = nullptr; //!< set by the SmpSystem constructor
     MonitorConfig config_;
@@ -519,6 +603,9 @@ class SecureMonitor
 
     uint64_t skipFenceNth_ = 0;  //!< mutation: shootdown # to sabotage
     uint64_t skipFenceSeen_ = 0; //!< shootdowns since the knob was armed
+
+    std::unordered_set<uint64_t> quarantine_; //!< retired page bases
+    bool rasFatal_ = false; //!< whole-host degrade latch
 
     bool coalesceActive_ = false;   //!< begin..end coalesced epoch
     bool coalescedOpen_ = false;    //!< >=1 commit deferred, window open
@@ -553,6 +640,12 @@ class SecureMonitor
     Counter statIpiPost_;    //!< sibling posts in coalesced flushes
     Counter statIpiRetries_; //!< lost-IPI re-posts inside coalesced windows
     Counter statIpiElided_;  //!< shootdowns skipped on empty layout diffs
+    mutable Counter statRasReports_; //!< machine checks reported to the monitor
+    Counter statRasQuarantines_;     //!< frames retired from circulation
+    Counter statRasContained_;       //!< domains destroyed to contain poison
+    Counter statRasHeals_;           //!< PMP tables rebuilt in place
+    Counter statRasFatal_;           //!< uncontainable errors (host degrade)
+    Counter statRasScrubbed_;        //!< freed pages scrubbed before reuse
 };
 
 } // namespace hpmp

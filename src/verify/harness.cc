@@ -365,6 +365,19 @@ defaultMigrateSites()
     return sites;
 }
 
+const std::vector<std::string> &
+defaultRasSites()
+{
+    // The two containment workhorses handleMachineCheck() delegates
+    // to: branching them enumerates every failed-containment path, and
+    // the harness then demands a bit-identical rollback.
+    static const std::vector<std::string> sites = {
+        "monitor.destroy_domain",
+        "monitor.heal_table",
+    };
+    return sites;
+}
+
 } // namespace
 
 std::vector<std::string>
@@ -372,8 +385,11 @@ ModelConfig::effectiveSites() const
 {
     if (!faultSites.empty())
         return faultSites;
-    return script == "migrate" ? defaultMigrateSites()
-                               : defaultCoreSites();
+    if (script == "migrate")
+        return defaultMigrateSites();
+    if (script == "ras")
+        return defaultRasSites();
+    return defaultCoreSites();
 }
 
 std::vector<std::string>
@@ -861,11 +877,416 @@ runMigratePath(const ModelConfig &cfg,
 }
 
 RunOutcome
+runRasPath(const ModelConfig &cfg, const std::vector<Decision> *forced)
+{
+    panic_if(cfg.domains < 1, "ras scenario wants >= 1 domain");
+    RunOutcome out;
+
+    MachineParams mp = rocketParams();
+    mp.pmptwEntries = 0;
+    SmpParams sp;
+    sp.harts = cfg.harts > 0 ? cfg.harts : 1;
+    sp.schedSeed = 1;
+    SmpSystem smp(mp, sp);
+    MonitorConfig mc;
+    mc.scheme = cfg.scheme;
+    SecureMonitor monitor(smp, mc);
+    for (unsigned h = 0; h < sp.harts; ++h) {
+        smp.hart(h).setPriv(PrivMode::Supervisor);
+        smp.hart(h).setBare();
+    }
+
+    FaultInjector &inj = FaultInjector::instance();
+    inj.disable();
+    const uint64_t gmsBytes = napotPages(cfg.pages) * kPageSize;
+    std::vector<DomainId> dom(cfg.domains + 1, 0);
+    for (unsigned i = 1; i <= cfg.domains; ++i) {
+        dom[i] = monitor.createDomain();
+        // Slow label: slow GMSs live in the PMP Table under both the
+        // pmpt and hpmp schemes, so the pmpte-frame blast-radius class
+        // exists everywhere tables exist.
+        const MonitorResult r = monitor.addGms(
+            dom[i],
+            {regionOf(i), gmsBytes, Perm::rw(), GmsLabel::Slow});
+        panic_if(!r.ok, "ras setup addGms failed: %s", r.error.c_str());
+    }
+
+    PathController ctl;
+    ctl.forced = forced;
+    ctl.depthLimit = cfg.depthLimit;
+    ctl.faultBudget = cfg.faultBranch ? cfg.maxFaults : 0;
+    ctl.injectBudget = 0;
+
+    const std::vector<std::string> siteList = cfg.effectiveSites();
+    const std::set<std::string> branchSites(siteList.begin(),
+                                            siteList.end());
+    InjectorGuard injectorGuard;
+    inj.enable(1);
+    inj.setDecisionController([&](const char *site) {
+        if (ctl.faultsFired >= ctl.faultBudget)
+            return false;
+        if (branchSites.find(site) == branchSites.end())
+            return false;
+        if (ctl.choose(DecisionKind::Fault, kBinaryAlts, site) != 1)
+            return false;
+        ++ctl.faultsFired;
+        return true;
+    });
+
+    auto stateKey = [&]() {
+        uint64_t key = monitor.stateDigest(true);
+        key = fnvFold(key, monitor.quarantinedPages());
+        key = fnvFold(key, monitor.rasFatal() ? 1 : 0);
+        key = fnvFold(key, ctl.faultsFired);
+        return key;
+    };
+
+    unsigned opIndex = 0;
+    auto violate = [&](const std::string &kind,
+                       const std::string &desc) {
+        out.violated = true;
+        out.violation.kind = kind;
+        out.violation.description = desc;
+        out.violation.opIndex = opIndex;
+        out.violation.stateDigest = stateKey();
+        out.finalDigest = out.violation.stateDigest;
+    };
+
+    // Two poison/report rounds so the post-containment state (healed
+    // table, contained victim, degraded host) is itself poked again.
+    bool rasFatalExpected = false;
+    for (unsigned round = 0; round < 2 && !out.violated && !ctl.truncated;
+         ++round) {
+        ++opIndex;
+        const std::string rtag = "#r" + std::to_string(round);
+
+        // The placement decision: which blast-radius class this
+        // round's poison lands in. Alternatives derive from the live
+        // state (a contained victim removes its data-page class).
+        std::vector<unsigned> live, tabled;
+        for (unsigned i = 1; i <= cfg.domains; ++i) {
+            if (!monitor.domainExists(dom[i]))
+                continue;
+            live.push_back(i);
+            const PmpTable *t = monitor.tablePeek(dom[i]);
+            if (t != nullptr && !t->tablePages().empty())
+                tabled.push_back(i);
+        }
+        std::vector<unsigned> classes;
+        if (!live.empty())
+            classes.push_back(0); // enclave data page
+        if (!tabled.empty())
+            classes.push_back(1); // pmpte frame of a live table
+        classes.push_back(2);     // unowned free frame
+        classes.push_back(3);     // monitor-private page
+        const unsigned cls = ctl.choose(DecisionKind::Inject, classes,
+                                        "ras_place" + rtag);
+
+        Addr target = 0;
+        unsigned victim = 0;
+        Addr oldRoot = 0;
+        MonitorValue<AttestationReport> preAttest;
+        switch (cls) {
+          case 0: {
+            victim = ctl.choose(DecisionKind::Inject, live,
+                                "ras_victim" + rtag);
+            target = regionOf(victim) + 0x40;
+            smp.mem().poisonLine(target);
+            // Consume through a real access first when the victim can
+            // run: the poisoned line must surface as a MachineCheck
+            // naming the line, never as data.
+            if (!monitor.rasFatal()) {
+                const MonitorResult sw = monitor.switchTo(dom[victim]);
+                if (sw.ok) {
+                    const AccessOutcome acc =
+                        smp.hart(0).access(target, AccessType::Load);
+                    if (acc.fault != Fault::MachineCheck) {
+                        violate("machine_check",
+                                "load of a poisoned line returned " +
+                                    std::string(toString(acc.fault)) +
+                                    ", not MachineCheck");
+                    } else if ((acc.poisonAddr & ~Addr(63)) !=
+                               (target & ~Addr(63))) {
+                        violate("machine_check",
+                                "machine check blamed the wrong line");
+                    }
+                }
+            }
+            break;
+          }
+          case 1: {
+            victim = ctl.choose(DecisionKind::Inject, tabled,
+                                "ras_victim" + rtag);
+            const std::vector<Addr> &frames =
+                monitor.tablePeek(dom[victim])->tablePages();
+            std::vector<unsigned> frameAlts{0};
+            if (frames.size() > 1)
+                frameAlts.push_back(unsigned(frames.size() - 1));
+            const unsigned fi = ctl.choose(
+                DecisionKind::Inject, frameAlts, "ras_frame" + rtag);
+            target = frames[fi] + 0x80;
+            oldRoot = monitor.tablePeek(dom[victim])->rootPa();
+            preAttest = monitor.attestDomain(dom[victim], 7);
+            smp.mem().poisonLine(target);
+            break;
+          }
+          case 2:
+            // The same unowned frame every round, so a round-2 repeat
+            // exercises cross-round AlreadyQuarantined idempotency.
+            target = regionOf(cfg.domains + 1) + 0x200;
+            smp.mem().poisonLine(target);
+            break;
+          default: {
+            // Highest non-table, non-quarantined monitor-private page
+            // (pmpte frames bump-allocate from the low end).
+            Addr page = monitor.config().monitorBase +
+                        monitor.config().monitorSize;
+            while (page > monitor.config().monitorBase) {
+                page -= kPageSize;
+                if (monitor.pageQuarantined(page))
+                    continue;
+                bool isTable = false;
+                for (unsigned i : live) {
+                    const PmpTable *t = monitor.tablePeek(dom[i]);
+                    if (t != nullptr && t->isTablePage(page)) {
+                        isTable = true;
+                        break;
+                    }
+                }
+                if (!isTable)
+                    break;
+            }
+            target = page + 0x100;
+            smp.mem().poisonLine(target);
+            break;
+          }
+        }
+        if (out.violated)
+            break;
+
+        const Addr targetPage = target & ~Addr(kPageSize - 1);
+        const bool fatalBefore = monitor.rasFatal();
+        const bool quarBefore = monitor.pageQuarantined(targetPage);
+        const uint64_t preDigest = monitor.stateDigest(true);
+
+        ++out.opsExecuted;
+        const MonitorValue<RasOutcome> mcv =
+            monitor.handleMachineCheck(target);
+
+        const std::string where =
+            "ras class " + std::to_string(cls) + " (op #" +
+            std::to_string(opIndex) + ")";
+        if (quarBefore) {
+            // Repeat report of a retired frame: an ok no-op always,
+            // even after the host degraded.
+            if (!mcv.ok || mcv.value != RasOutcome::AlreadyQuarantined) {
+                violate("quarantine",
+                        "repeat report of a retired frame was not an "
+                        "ok no-op after " + where);
+            } else if (monitor.stateDigest(true) != preDigest) {
+                violate("quarantine",
+                        "no-op repeat report changed the digest after " +
+                            where);
+            }
+        } else if (fatalBefore) {
+            // New reports after the whole-host degrade: typed RasFatal
+            // denial, nothing mutated.
+            if (mcv.ok || mcv.code != MonitorError::RasFatal) {
+                violate("ras_fatal",
+                        "report after host degrade was not a typed "
+                        "RasFatal denial after " + where);
+            } else if (monitor.stateDigest(true) != preDigest) {
+                violate("ras_rollback",
+                        "denied report changed the digest after " +
+                            where);
+            }
+        } else if (!mcv.ok) {
+            // An injected fault aborted containment: bit-identical
+            // rollback, victim intact, frame not retired.
+            if (monitor.stateDigest(true) != preDigest) {
+                violate("ras_rollback",
+                        "failed containment (" +
+                            std::string(toString(mcv.code)) +
+                            ") left the digest changed after " + where);
+            } else if (monitor.pageQuarantined(targetPage)) {
+                violate("ras_rollback",
+                        "failed containment still retired the frame "
+                        "after " + where);
+            } else if ((cls == 0 || cls == 1) &&
+                       !monitor.domainExists(dom[victim])) {
+                violate("ras_rollback",
+                        "failed containment destroyed the victim "
+                        "anyway after " + where);
+            } else if (cls == 1 &&
+                       monitor.tablePeek(dom[victim])->rootPa() !=
+                           oldRoot) {
+                violate("ras_rollback",
+                        "failed heal re-pointed the table root after " +
+                            where);
+            }
+        } else {
+            switch (cls) {
+              case 0:
+                if (mcv.value != RasOutcome::ContainedDomain) {
+                    violate("blast_radius",
+                            "data-page poison resolved as " +
+                                std::string(toString(mcv.value)) +
+                                " after " + where);
+                } else if (monitor.domainExists(dom[victim])) {
+                    violate("blast_radius",
+                            "victim survived its own containment "
+                            "after " + where);
+                } else if (!monitor.pageQuarantined(targetPage)) {
+                    violate("quarantine",
+                            "contained frame was not retired after " +
+                                where);
+                }
+                break;
+              case 1:
+                if (mcv.value == RasOutcome::HostFatal) {
+                    // Legal escalation: out of fresh table frames.
+                    rasFatalExpected = true;
+                    break;
+                }
+                if (mcv.value != RasOutcome::HealedTable) {
+                    violate("heal",
+                            "pmpte poison resolved as " +
+                                std::string(toString(mcv.value)) +
+                                " after " + where);
+                    break;
+                }
+                if (!monitor.domainExists(dom[victim]) ||
+                    monitor.tablePeek(dom[victim]) == nullptr) {
+                    violate("heal",
+                            "self-heal lost the domain after " + where);
+                } else if (monitor.tablePeek(dom[victim])->rootPa() ==
+                           oldRoot) {
+                    violate("heal",
+                            "healed table still points at the old "
+                            "root after " + where);
+                } else if (!monitor.pageQuarantined(targetPage)) {
+                    violate("quarantine",
+                            "healed frame was not retired after " +
+                                where);
+                } else {
+                    const MonitorValue<AttestationReport> post =
+                        monitor.attestDomain(dom[victim], 7);
+                    if (!preAttest.ok || !post.ok ||
+                        post.value.measurement !=
+                            preAttest.value.measurement) {
+                        violate("heal",
+                                "self-heal changed the measurement "
+                                "after " + where);
+                    } else if (!monitor.attestor().verify(post.value,
+                                                          7)) {
+                        violate("heal",
+                                "post-heal report does not verify "
+                                "after " + where);
+                    }
+                }
+                break;
+              case 2:
+                if (mcv.value != RasOutcome::QuarantinedFree) {
+                    violate("blast_radius",
+                            "free-frame poison resolved as " +
+                                std::string(toString(mcv.value)) +
+                                " after " + where);
+                } else if (!monitor.pageQuarantined(targetPage)) {
+                    violate("quarantine",
+                            "free frame was not retired after " +
+                                where);
+                } else {
+                    // Immediate idempotency probe.
+                    const uint64_t qd = monitor.stateDigest(true);
+                    const MonitorValue<RasOutcome> again =
+                        monitor.handleMachineCheck(target);
+                    if (!again.ok ||
+                        again.value != RasOutcome::AlreadyQuarantined) {
+                        violate("quarantine",
+                                "re-report of a retired frame was not "
+                                "an ok no-op after " + where);
+                    } else if (monitor.stateDigest(true) != qd) {
+                        violate("quarantine",
+                                "no-op re-report changed the digest "
+                                "after " + where);
+                    }
+                }
+                break;
+              default:
+                if (mcv.value != RasOutcome::HostFatal) {
+                    violate("ras_fatal",
+                            "monitor-page poison resolved as " +
+                                std::string(toString(mcv.value)) +
+                                " after " + where);
+                    break;
+                }
+                rasFatalExpected = true;
+                if (!monitor.rasFatal()) {
+                    violate("ras_fatal",
+                            "HostFatal did not latch rasFatal after " +
+                                where);
+                } else {
+                    const MonitorResult probe =
+                        monitor.switchTo(dom[1]);
+                    if (probe.ok ||
+                        probe.code != MonitorError::RasFatal) {
+                        violate("ras_fatal",
+                                "mutating call after host degrade was "
+                                "not a typed RasFatal denial after " +
+                                    where);
+                    }
+                }
+                break;
+            }
+            // Blast-radius audit: every domain live before the report
+            // survives, except a data-page containment's own victim.
+            if (!out.violated) {
+                for (unsigned i : live) {
+                    if (cls == 0 && i == victim)
+                        continue;
+                    if (!monitor.domainExists(dom[i])) {
+                        violate("blast_radius",
+                                "containment killed bystander domain "
+                                "index " + std::to_string(i) +
+                                    " after " + where);
+                        break;
+                    }
+                }
+            }
+        }
+        if (!out.violated) {
+            const std::string inv = checkIsolationInvariants(monitor);
+            if (!inv.empty())
+                violate("invariant", inv + " after " + where);
+        }
+    }
+
+    if (!out.violated && monitor.rasFatal() && !rasFatalExpected) {
+        violate("ras_fatal",
+                "host degraded without a monitor-region poison event");
+    }
+
+    out.decisions = std::move(ctl.made);
+    out.truncated = ctl.truncated;
+    out.divergence = ctl.divergence;
+    out.divergenceWhy = ctl.divergenceWhy;
+    out.newTransitions = ctl.pastPrefix()
+                             ? out.decisions.size() -
+                                   (forced ? forced->size() : 0)
+                             : 0;
+    if (!out.violated)
+        out.finalDigest = stateKey();
+    return out;
+}
+
+RunOutcome
 runPath(const ModelConfig &cfg, const std::vector<Decision> *forced,
         StateSet *visited)
 {
     if (cfg.script == "migrate")
         return runMigratePath(cfg, forced);
+    if (cfg.script == "ras")
+        return runRasPath(cfg, forced);
     return runCorePath(cfg, forced, visited);
 }
 

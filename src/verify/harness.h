@@ -56,7 +56,9 @@ struct ModelConfig
     unsigned pages = 16;
     IsolationScheme scheme = IsolationScheme::Hpmp;
     /** Scenario: "core" (monitor-call script) | "migrate" (two-host
-     *  two-phase handoff, fault branching only). */
+     *  two-phase handoff, fault branching only) | "ras" (poison
+     *  placement across the blast-radius classes, fault branching on
+     *  the containment paths). */
     std::string script = "core";
     /** Max recorded decisions per path; deeper paths are truncated
      *  (counted, never silently dropped). */
@@ -115,6 +117,20 @@ RunOutcome runCorePath(const ModelConfig &config,
  */
 RunOutcome runMigratePath(const ModelConfig &config,
                           const std::vector<Decision> *forced);
+
+/**
+ * Execute one path of the RAS containment scenario: two poison/report
+ * rounds whose placement (a victim enclave's data page, a pmpte frame
+ * of a live PMP Table, an unowned free frame, a monitor-private page)
+ * is enumerated as a decision, with monitor.destroy_domain /
+ * monitor.heal_table FAULT_POINT hits branched to cover every failed
+ * containment. Checks the blast-radius contract (only the owning
+ * domain dies, self-heals keep the measurement and re-point the root,
+ * monitor poison degrades exactly the whole host), digest-exact
+ * rollback of failed containments, and quarantine idempotency.
+ */
+RunOutcome runRasPath(const ModelConfig &config,
+                      const std::vector<Decision> *forced);
 
 /** Dispatch on config.script. */
 RunOutcome runPath(const ModelConfig &config,

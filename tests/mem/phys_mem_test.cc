@@ -61,17 +61,93 @@ TEST(PhysMem, ZeroPage)
     EXPECT_EQ(mem.read64(0x3ff8), 0u);
 }
 
+TEST(PhysMem, ReleasePageDropsBackingAndShrinks)
+{
+    PhysMem mem(1_GiB);
+    mem.write64(0x4000, 0x11);
+    mem.write64(0x5000, 0x22);
+    EXPECT_EQ(mem.backedPages(), 2u);
+    mem.releasePage(0x4000);
+    EXPECT_EQ(mem.backedPages(), 1u);
+    EXPECT_EQ(mem.read64(0x4000), 0u); // back to the lazy zero state
+    EXPECT_EQ(mem.read64(0x5000), 0x22u);
+    mem.releasePage(0x4000); // releasing an unbacked page is a no-op
+    EXPECT_EQ(mem.backedPages(), 1u);
+}
+
+TEST(PhysMem, PoisonLineGranularity)
+{
+    PhysMem mem(1_GiB);
+    EXPECT_FALSE(mem.isPoisoned(0x6000, kPageSize));
+    mem.poisonLine(0x6044); // granule [0x6040, 0x6080)
+    EXPECT_TRUE(mem.isPoisoned(0x6040));
+    EXPECT_TRUE(mem.isPoisoned(0x607f));
+    EXPECT_FALSE(mem.isPoisoned(0x6080));
+    EXPECT_FALSE(mem.isPoisoned(0x603f));
+    EXPECT_TRUE(mem.isPoisoned(0x6000, kPageSize)); // range overlap
+    EXPECT_EQ(mem.poisonedPages(), 1u);
+
+    mem.clearPoisonLine(0x6040);
+    EXPECT_FALSE(mem.isPoisoned(0x6000, kPageSize));
+    EXPECT_EQ(mem.poisonedPages(), 0u);
+}
+
+TEST(PhysMem, PoisonPageAndClear)
+{
+    PhysMem mem(1_GiB);
+    mem.poisonPage(0x7000);
+    EXPECT_TRUE(mem.isPoisoned(0x7000));
+    EXPECT_TRUE(mem.isPoisoned(0x7fc0));
+    EXPECT_FALSE(mem.isPoisoned(0x8000));
+    mem.clearPoison(0x7000);
+    EXPECT_FALSE(mem.isPoisoned(0x7000, kPageSize));
+}
+
+TEST(PhysMem, PoisonMarksFrameNotContents)
+{
+    // An uncorrectable error marks the physical frame: neither
+    // zeroing the contents nor dropping the backing clears it.
+    PhysMem mem(1_GiB);
+    mem.write64(0x9000, 0x33);
+    mem.poisonLine(0x9000);
+    mem.zeroPage(0x9000);
+    EXPECT_TRUE(mem.isPoisoned(0x9000));
+    mem.releasePage(0x9000);
+    EXPECT_EQ(mem.backedPages(), 0u);
+    EXPECT_TRUE(mem.isPoisoned(0x9000));
+    // Poison works on never-backed frames too (the mark is metadata).
+    mem.poisonLine(0xa040);
+    EXPECT_TRUE(mem.isPoisoned(0xa000, kPageSize));
+    EXPECT_EQ(mem.backedPages(), 0u);
+}
+
+TEST(PhysMem, IsPoisonedRangeSpansPages)
+{
+    PhysMem mem(1_GiB);
+    mem.poisonLine(0xc000); // first granule of the second page
+    EXPECT_FALSE(mem.isPoisoned(0xb000, kPageSize));
+    EXPECT_TRUE(mem.isPoisoned(0xbfc0, 0x80)); // crosses into 0xc000
+    EXPECT_FALSE(mem.isPoisoned(0xb000, 0));   // empty range
+}
+
 TEST(PhysMemDeath, OutOfRangePanics)
 {
     PhysMem mem(1_MiB);
     EXPECT_DEATH(mem.read64(2_MiB), "out of range");
     EXPECT_DEATH(mem.write64(1_MiB - 4, 0), "out of range");
+    EXPECT_DEATH(mem.poisonLine(2_MiB), "out of range");
+    EXPECT_DEATH(mem.poisonPage(1_MiB), "out of range");
+    EXPECT_DEATH(mem.releasePage(1_MiB), "out of range");
 }
 
 TEST(PhysMemDeath, MisalignedPanics)
 {
     PhysMem mem(1_MiB);
     EXPECT_DEATH(mem.read64(1), "misaligned");
+    EXPECT_DEATH(mem.write64(0x1004, 0), "misaligned");
+    EXPECT_DEATH(mem.poisonPage(0x1040), "unaligned");
+    EXPECT_DEATH(mem.clearPoison(0x1040), "unaligned");
+    EXPECT_DEATH(mem.releasePage(0x1040), "unaligned");
 }
 
 } // namespace

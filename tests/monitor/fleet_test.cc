@@ -83,6 +83,35 @@ TEST_F(FleetMonitorTest, RecycledIdIsDeniedStale)
     EXPECT_GE(monitor->stats().get("registry_stale_denied"), 1u);
 }
 
+TEST_F(FleetMonitorTest, TenantChurnDoesNotLeakBackedPages)
+{
+    makeSmp(2);
+    // One tenant lifecycle: create, register, dirty every page, destroy.
+    auto lifecycle = [&] {
+        const DomainId d = monitor->createDomain();
+        ASSERT_TRUE(monitor
+                        ->addGms(d, {2_GiB, 1_MiB, Perm::rw(),
+                                     GmsLabel::Fast})
+                        .ok);
+        for (Addr a = 2_GiB; a < 2_GiB + 1_MiB; a += kPageSize)
+            smp->mem().write64(a, a);
+        const size_t dirty = smp->mem().backedPages();
+        ASSERT_TRUE(monitor->destroyDomain(d).ok);
+        // Teardown released the tenant's data pages: the footprint
+        // shrinks instead of accumulating dead frames.
+        EXPECT_LE(smp->mem().backedPages() + 1_MiB / kPageSize,
+                  dirty + 8);
+    };
+    lifecycle(); // warm up monitor bookkeeping pages
+    const size_t baseline = smp->mem().backedPages();
+    for (unsigned i = 0; i < 8; ++i)
+        lifecycle();
+    // Churn is footprint-neutral: eight more lifecycles did not grow
+    // the backing beyond the post-warm-up baseline.
+    EXPECT_LE(smp->mem().backedPages(), baseline + 8);
+    EXPECT_EQ(smp->mem().read64(2_GiB), 0u); // scrubbed, not leaked
+}
+
 TEST(DomainRegistry10k, LookupsAreExactlyOneProbe)
 {
     DomainRegistry<int> reg;

@@ -42,6 +42,7 @@ struct Options
     bool osLayer = false;  //!< per-hart kernels + DMA (multi-hart only)
     bool virtLayer = false; //!< per-hart guest VMs (multi-hart only)
     bool fleetLayer = false; //!< fleet serving chaos (multi-hart only)
+    bool rasLayer = false;   //!< memory-poison / machine-check chaos
     bool migrateLayer = false; //!< two-host live-migration chaos
     size_t traceRing = 8192; //!< event-ring capacity; 0 disables capture
     std::vector<IsolationScheme> schemes{IsolationScheme::Hpmp};
@@ -62,7 +63,7 @@ usage(const char *argv0)
         "usage: %s [--seed N | --seeds N,M,...] [--ops N]\n"
         "          [--scheme pmp|pmpt|hpmp|all] [--fault-prob P]\n"
         "          [--harts N] [--os-layer] [--virt] [--fleet]\n"
-        "          [--migrate] [--trace-ring N]\n"
+        "          [--ras] [--migrate] [--trace-ring N]\n"
         "          [--light-digest] [--stats-json FILE]\n"
         "          [--stats-series FILE] [--stats-interval CYCLES]\n"
         "          [--site-coverage-out FILE] [--list-fault-sites]\n",
@@ -209,6 +210,8 @@ main(int argc, char **argv)
             opts.virtLayer = true;
         } else if (arg == "--fleet") {
             opts.fleetLayer = true;
+        } else if (arg == "--ras") {
+            opts.rasLayer = true;
         } else if (arg == "--migrate") {
             opts.migrateLayer = true;
         } else if (arg == "--site-coverage-out") {
@@ -275,8 +278,17 @@ main(int argc, char **argv)
                      "traffic)\n");
         return 2;
     }
-    if (opts.migrateLayer &&
+    if (opts.rasLayer &&
         (opts.osLayer || opts.virtLayer || opts.fleetLayer)) {
+        std::fprintf(stderr,
+                     "--ras is mutually exclusive with --os-layer, "
+                     "--virt and --fleet (poison containment audits "
+                     "need sole ownership of the domain population)\n");
+        return 2;
+    }
+    if (opts.migrateLayer &&
+        (opts.osLayer || opts.virtLayer || opts.fleetLayer ||
+         opts.rasLayer)) {
         std::fprintf(stderr,
                      "--migrate is mutually exclusive with the other "
                      "layers (it runs its own two-host campaign)\n");
@@ -321,6 +333,7 @@ main(int argc, char **argv)
             config.osLayer = opts.osLayer;
             config.virtLayer = opts.virtLayer;
             config.fleetLayer = opts.fleetLayer;
+            config.rasLayer = opts.rasLayer;
             config.migrateLayer = opts.migrateLayer;
             std::string campaign_stats;
             if (!opts.statsJson.empty())
@@ -404,6 +417,24 @@ main(int argc, char **argv)
                     (unsigned long long)stats.staleExecGrants,
                     (unsigned long long)stats.staleRwGrants);
             }
+            if (opts.rasLayer) {
+                std::printf(
+                    "      ras-ops=%llu poisons=%llu machine-checks=%llu "
+                    "reports=%llu quarantines=%llu contained=%llu "
+                    "heals=%llu fatal=%llu scrub-scanned=%llu "
+                    "scrub-detections=%llu blast-violations=%llu\n",
+                    (unsigned long long)stats.rasOps,
+                    (unsigned long long)stats.rasPoisons,
+                    (unsigned long long)stats.rasMachineChecks,
+                    (unsigned long long)stats.rasReports,
+                    (unsigned long long)stats.rasQuarantines,
+                    (unsigned long long)stats.rasContained,
+                    (unsigned long long)stats.rasHeals,
+                    (unsigned long long)stats.rasFatalEvents,
+                    (unsigned long long)stats.scrubPagesScanned,
+                    (unsigned long long)stats.scrubDetections,
+                    (unsigned long long)stats.rasBlastViolations);
+            }
             if (opts.migrateLayer) {
                 std::printf(
                     "      migrations=%llu commits=%llu aborts=%llu "
@@ -443,6 +474,8 @@ main(int argc, char **argv)
                     replay += " --virt";
                 if (opts.fleetLayer)
                     replay += " --fleet";
+                if (opts.rasLayer)
+                    replay += " --ras";
                 if (opts.migrateLayer)
                     replay += " --migrate";
                 replay += " --trace-ring " + std::to_string(opts.traceRing);

@@ -13,6 +13,7 @@
  *     model_check                         # exhaustive default config
  *     model_check --harts 2 --domains 2 --depth 64
  *     model_check --script migrate        # two-host handoff, faults
+ *     model_check --script ras            # poison containment paths
  *     model_check --mutate-skip-fence 2   # seeded bug: must find it
  *     model_check --replay ce.txt         # re-run a counterexample
  *
@@ -59,7 +60,7 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--harts N] [--domains N] [--pages N]\n"
-        "          [--scheme pmp|pmpt|hpmp] [--script core|migrate]\n"
+        "          [--scheme pmp|pmpt|hpmp] [--script core|migrate|ras]\n"
         "          [--depth N] [--max-faults N] [--max-injects N]\n"
         "          [--no-fault-branch] [--sites a,b,...]\n"
         "          [--mutate-skip-fence N] [--max-violations N]\n"
